@@ -1,0 +1,115 @@
+"""E10 — virtualized abstraction and zero-reconfiguration migration (§3.2).
+
+A tenant holding a pipe + hose guarantee bundle is migrated between host
+shapes (cascade -> DGX -> EPYC) and onto increasingly loaded destinations.
+Reported: migration success, whether the tenant-visible guarantees were
+bit-identical after the move, and isolation on the destination (victim
+rate under attack right after landing).
+
+Expected shape: migrations succeed with identical tenant-visible
+guarantees whenever the destination has capacity (no tenant-side
+reconfiguration, across *different* topologies); when the destination is
+too full, the migration fails atomically (source left intact).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import print_table
+
+from repro.core import HostNetworkManager, hose, migrate_tenant, pipe
+from repro.sim import Engine, FabricNetwork
+from repro.topology import (
+    cascade_lake_2s,
+    dgx_like,
+    epyc_like_1s,
+    shortest_path,
+)
+from repro.units import Gbps, to_Gbps
+
+DEST_SHAPES = [("cascade", cascade_lake_2s), ("dgx", dgx_like),
+               ("epyc", epyc_like_1s)]
+
+
+def build_manager(preset, background_load_gbps=0.0):
+    network = FabricNetwork(preset(), Engine())
+    manager = HostNetworkManager(network, decision_latency=0.0)
+    if background_load_gbps:
+        manager.submit(pipe("bg", "bg-tenant", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(background_load_gbps)))
+    return manager
+
+
+def source_with_tenant():
+    manager = build_manager(cascade_lake_2s)
+    manager.submit(pipe("front", "acme", src="nic0", dst="dimm0-0",
+                        bandwidth=Gbps(60)))
+    manager.submit(hose("feed", "acme", endpoint="gpu0",
+                        bandwidth=Gbps(30)))
+    return manager
+
+
+def post_landing_isolation(manager):
+    """Victim rate under an 8-flow attack on the destination."""
+    network = manager.network
+    manager.register_tenant("evil")
+    path = shortest_path(network.topology, "nic0", "dimm0-0")
+    victim = network.start_transfer("acme", path, demand=Gbps(60))
+    for _ in range(8):
+        network.start_transfer("evil", path)
+    network.engine.run_until(network.engine.now + 0.03)
+    return to_Gbps(victim.current_rate)
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for dest_name, preset in DEST_SHAPES:
+        source = source_with_tenant()
+        destination = build_manager(preset)
+        outcome = migrate_tenant(source, destination, "acme")
+        preserved = (
+            outcome.complete
+            and outcome.destination_view.guaranteed_bandwidth()
+            == outcome.source_view.guaranteed_bandwidth()
+        )
+        isolation = post_landing_isolation(destination) if outcome.complete \
+            else float("nan")
+        results[dest_name] = (outcome.complete, preserved, isolation)
+        rows.append([f"cascade -> {dest_name}", outcome.complete,
+                     preserved, f"{isolation:.1f}"])
+
+    # overloaded destination: migration must fail atomically
+    source = source_with_tenant()
+    crowded = build_manager(cascade_lake_2s, background_load_gbps=200)
+    outcome = migrate_tenant(source, crowded, "acme")
+    source_intact = len(source.intents_of("acme")) == 2
+    results["crowded"] = (outcome.complete, source_intact, float("nan"))
+    rows.append(["cascade -> crowded", outcome.complete,
+                 f"source intact: {source_intact}", "-"])
+
+    print_table(
+        "E10: tenant migration across host shapes "
+        "(guarantees: 60 Gbps pipe + 30 Gbps hose)",
+        ["migration", "succeeded", "guarantees preserved",
+         "victim Gbps under attack"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e10(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for dest in ("cascade", "dgx", "epyc"):
+        complete, preserved, isolation = r[dest]
+        assert complete, f"migration to {dest} failed"
+        assert preserved, f"guarantees changed on {dest}"
+        assert isolation >= 58.0, f"isolation not enforced on {dest}"
+    complete, source_intact, _ = r["crowded"]
+    assert not complete
+    assert source_intact
+
+
+if __name__ == "__main__":
+    run_experiment()

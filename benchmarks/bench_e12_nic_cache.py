@@ -1,0 +1,95 @@
+"""E12 — RDMA NIC connection-cache thrashing (§2, Kong et al. [32]).
+
+Sweeps the number of active RDMA connections through the NIC's on-chip
+connection-state cache and reports achievable goodput, per-message latency,
+and the extra PCIe traffic of context refetches — then injects that extra
+traffic into the simulated fabric to show the second-order effect: the
+NIC's *own* cache misses congest the PCIe link for everyone sharing it.
+
+Expected shape: goodput flat while connections fit in cache (1024
+entries), then a cliff; miss-induced PCIe traffic grows past the cliff and
+measurably raises the victim's path utilization.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.devices import RdmaNicModel
+from repro.devices.pcie import effective_pcie_bandwidth
+from repro.topology import shortest_path
+from repro.units import Gbps, kib, to_Gbps, to_us
+
+CONNECTIONS = [64, 512, 1024, 2048, 8192, 32768]
+MESSAGE_SIZE = kib(4)
+
+
+def run_point(nic, active_connections):
+    pcie = effective_pcie_bandwidth(Gbps(256), int(MESSAGE_SIZE))
+    goodput = nic.goodput(MESSAGE_SIZE, active_connections, pcie)
+    latency = nic.message_latency(active_connections)
+    message_rate = goodput / MESSAGE_SIZE
+    extra_pcie = nic.extra_pcie_rate(message_rate, active_connections)
+
+    # second-order effect: the refetch traffic congests the shared link
+    network = fresh_network()
+    path = shortest_path(network.topology, "nic0", "dimm0-0")
+    network.start_transfer("nic-refetch", path, demand=extra_pcie + 1.0)
+    network.start_transfer("nic-payload", path, demand=goodput)
+    victim_latency = network.path_latency(path, 64.0)
+    return {
+        "goodput": goodput,
+        "latency": latency,
+        "extra_pcie": extra_pcie,
+        "victim_latency": victim_latency,
+    }
+
+
+def run_experiment():
+    nic = RdmaNicModel("nic0")
+    rows = []
+    results = {}
+    for connections in CONNECTIONS:
+        r = run_point(nic, connections)
+        results[connections] = r
+        rows.append([
+            connections,
+            f"{to_Gbps(r['goodput']):.1f}",
+            f"{to_us(r['latency']):.2f}",
+            f"{to_Gbps(r['extra_pcie']):.1f}",
+            f"{to_us(r['victim_latency']):.2f}",
+        ])
+    print_table(
+        f"E12: RDMA NIC vs active connections "
+        f"(cache: {nic.connection_cache.entries} entries, 4KiB messages)",
+        ["connections", "goodput (Gbps)", "msg latency (us)",
+         "miss PCIe (Gbps)", "victim 1-way (us)"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e12(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    cache = RdmaNicModel("nic0").connection_cache.entries
+    # flat region while the working set fits
+    assert r[64]["goodput"] == r[cache]["goodput"]
+    # the cliff: 32x overflow loses most of the goodput
+    assert r[32 * cache]["goodput"] < 0.5 * r[cache]["goodput"]
+    # miss traffic appears only past the cliff and grows
+    assert r[cache]["extra_pcie"] == 0.0
+    assert r[32 * cache]["extra_pcie"] > 0.0
+    # latency rises past the cliff
+    assert r[32 * cache]["latency"] > 2 * r[cache]["latency"]
+    # past the cliff, refetches are a large fraction of all PCIe traffic
+    # (bandwidth spent moving page tables instead of payload)
+    overflow = r[32 * cache]
+    waste = overflow["extra_pcie"] / (overflow["extra_pcie"]
+                                      + overflow["goodput"])
+    assert waste > 0.3
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,76 @@
+"""E13 — diagnosing host misconfiguration from measurements (§2).
+
+The paper counts the host configuration space (DDIO, IOMMU, ordering,
+payload sizes, interrupt moderation, NUMA policy) among the main reasons
+intra-host debugging is hard: a bad setting produces no error, only a
+performance signature.  The config advisor measures each known-bad
+configuration's signature with the diagnostic tools and names the
+suspected misconfiguration.
+
+Reported per misconfiguration: whether the advisor's top finding names
+the injected misconfiguration, and the measured evidence.
+
+Expected shape: every shipped misconfiguration identified by its top
+finding; the recommended configuration yields zero findings (no false
+positives).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import print_table
+
+from repro.devices import MISCONFIGURATIONS, RECOMMENDED_CONFIG
+from repro.devices.configured import build_configured_host
+from repro.diagnostics.config_advisor import advise, measure_signature
+from repro.topology import cascade_lake_2s
+
+
+def run_experiment():
+    topology = cascade_lake_2s()
+    baseline = measure_signature(
+        build_configured_host(topology, RECOMMENDED_CONFIG)
+    )
+    rows = []
+    results = {}
+    for name, config in sorted(MISCONFIGURATIONS.items()):
+        signature = measure_signature(build_configured_host(topology,
+                                                            config))
+        findings = advise(signature, baseline)
+        top = findings[0].suspected if findings else "(none)"
+        correct = top == name
+        results[name] = (correct, findings)
+        rows.append([
+            name,
+            top,
+            "yes" if correct else "NO",
+            findings[0].evidence if findings else "-",
+        ])
+    healthy_findings = advise(baseline, baseline)
+    results["healthy"] = (not healthy_findings, healthy_findings)
+    rows.append([
+        "(recommended)",
+        "(none)" if not healthy_findings else healthy_findings[0].suspected,
+        "yes" if not healthy_findings else "NO",
+        "clean signature",
+    ])
+    print_table(
+        "E13: configuration advisor vs injected misconfigurations",
+        ["injected", "top finding", "correct", "evidence"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e13(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name in MISCONFIGURATIONS:
+        correct, findings = r[name]
+        assert correct, f"{name}: advisor named {findings[:1]}"
+    healthy_ok, findings = r["healthy"]
+    assert healthy_ok, f"false positives on a healthy host: {findings}"
+
+
+if __name__ == "__main__":
+    run_experiment()

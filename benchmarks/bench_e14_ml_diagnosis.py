@@ -1,0 +1,157 @@
+"""E14 — ML diagnosis over multi-modal telemetry (§3.1 Q3).
+
+"Intra-host networks are more heterogeneous, so the collected data will
+have more modalities ... using machine learning may be more essential in
+order to leverage these high-modality data for diagnosis."
+
+We generate labelled incidents by injecting each failure class (plus
+healthy runs) on seeded hosts under background load, extract feature
+vectors spanning the counter and heartbeat modalities, train a
+nearest-centroid classifier per modality on the first seeds, and test on
+held-out seeds.
+
+Expected shape: the combined-modality classifier is at least as accurate
+as either single modality, and strictly better than counters alone —
+counters cannot see quiet-link failures, heartbeats alone blur failure
+classes that differ mainly in counter signatures.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.monitor import FailureInjector, HostMonitor
+from repro.monitor.classifier import (
+    MODALITY_MASKS,
+    FailureClassifier,
+    extract_features,
+)
+from repro.telemetry import CounterSource
+from repro.units import us
+from repro.workloads import KvStoreApp, NvmeScanApp
+
+PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0", "nic1", "gpu1", "dimm1-0"]
+WINDOW = 0.1
+TRAIN_SEEDS = range(0, 4)
+TEST_SEEDS = range(4, 7)
+
+def _congest(network):
+    """Not a failure: a tenant legitimately saturating the NIC path.
+
+    Heartbeat RTTs inflate exactly as under a silent degradation — only
+    the counter modality (utilization pinned high, no rate drop) can tell
+    overload from hardware failure.
+    """
+    from repro.workloads import MaliciousFloodApp
+
+    MaliciousFloodApp(network, "hog", src="nic0", dst="dimm0-0",
+                      flow_count=16).start()
+
+
+INCIDENTS = {
+    "healthy": lambda inj, net: None,
+    "congestion": lambda inj, net: _congest(net),
+    "link_degrade": lambda inj, net: inj.degrade_link(
+        "pcie-up0", capacity_factor=0.1, extra_latency=us(4)),
+    "link_down": lambda inj, net: inj.fail_link("pcie-gpu0"),
+    "switch_degrade": lambda inj, net: inj.degrade_switch(
+        "pcisw0", capacity_factor=0.1, extra_latency=us(4)),
+    "link_flap": lambda inj, net: inj.flap_link("pcie-nvme0", period=0.02),
+}
+
+
+def generate_example(label, seed):
+    """One labelled incident: inject, observe a window, extract features."""
+    network = fresh_network()
+    monitor = HostMonitor(
+        network, probers=PROBERS, telemetry_period=0.005,
+        heartbeat_period=0.005, source=CounterSource.SOFTWARE, seed=seed,
+    )
+    monitor.start()
+    KvStoreApp(network, "kv", nic="nic0", dimm="dimm0-0",
+               request_rate=10_000, seed=seed).start()
+    NvmeScanApp(network, "scan", nvme="nvme0", dimm="dimm0-0",
+                seed=seed).start()
+    network.engine.run_until(WINDOW)  # reference window
+    monitor.record_baseline()
+    INCIDENTS[label](FailureInjector(network), network)
+    network.engine.run_until(2 * WINDOW + WINDOW)  # observation window
+    features = extract_features(monitor.store, monitor.heartbeats,
+                                window=WINDOW,
+                                now=network.engine.now)
+    return features
+
+
+def build_dataset(seeds):
+    return [
+        (label, generate_example(label, seed))
+        for label in INCIDENTS
+        for seed in seeds
+    ]
+
+
+def run_experiment():
+    train = build_dataset(TRAIN_SEEDS)
+    test = build_dataset(TEST_SEEDS)
+    rows = []
+    results = {}
+    for modality in MODALITY_MASKS:
+        classifier = FailureClassifier(modality=modality)
+        classifier.fit(train)
+        accuracy = classifier.accuracy(test)
+        confusion = classifier.confusion(test)
+        worst = [
+            f"{truth}->{predicted}"
+            for (truth, predicted), count in sorted(confusion.items())
+            if truth != predicted
+        ]
+        results[modality] = (accuracy, confusion)
+        rows.append([
+            modality,
+            f"{accuracy:.0%}",
+            ", ".join(worst[:3]) if worst else "none",
+        ])
+    print_table(
+        f"E14: failure-class diagnosis accuracy by telemetry modality "
+        f"({len(TRAIN_SEEDS) * len(INCIDENTS)} train / "
+        f"{len(TEST_SEEDS) * len(INCIDENTS)} test incidents)",
+        ["modality", "accuracy", "misclassifications"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e14(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    combined_acc = r["combined"][0]
+    counters_acc = r["counters"][0]
+    heartbeats_acc = r["heartbeats"][0]
+    # the multi-modal classifier dominates both single modalities
+    assert combined_acc >= counters_acc
+    assert combined_acc >= heartbeats_acc
+    # and is strictly better than the counter-only view
+    assert combined_acc > counters_acc
+    # the combined classifier is actually good, not just relatively good
+    assert combined_acc >= 0.8
+
+    # congestion vs degradation is the case needing both modalities:
+    # heartbeats alone must confuse them at least once
+    hb_confusion = r["heartbeats"][1]
+    hb_cross = sum(
+        count for (truth, predicted), count in hb_confusion.items()
+        if truth != predicted
+        and {truth, predicted} & {"congestion", "link_degrade",
+                                  "switch_degrade"}
+    )
+    combined_confusion = r["combined"][1]
+    combined_cross = sum(
+        count for (truth, predicted), count in combined_confusion.items()
+        if truth != predicted
+    )
+    assert combined_cross <= hb_cross
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,89 @@
+"""E1 — RDMA loopback exhausts PCIe bandwidth (§2, citing BytePS [31]).
+
+A victim RDMA stream (NIC -> memory) shares nic0's PCIe path with a
+loopback aggressor of increasing offered rate.  Reported per intensity:
+victim throughput and victim small-op RTT, with the fabric unmanaged vs
+managed (victim holds a 100 Gbps pipe guarantee).
+
+Expected shape: unmanaged victim throughput collapses toward the fair
+share as the loopback ramps, and its RTT inflates by >10x; managed victim
+holds its floor and its RTT stays flat, while the aggressor still gets the
+leftover (work conservation).
+"""
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.core import HostNetworkManager, pipe
+from repro.topology import shortest_path
+from repro.units import Gbps, to_Gbps, to_us, us
+from repro.workloads import RdmaLoopbackApp
+
+INTENSITIES = [0.0, Gbps(50), Gbps(100), Gbps(200), math.inf]
+
+#: The victim's round-trip SLO; compiled into utilization ceilings so the
+#: work-conserving fabric cannot run the victim's path to saturation.
+VICTIM_SLO = us(6)
+
+
+def run_point(offered, managed):
+    network = fresh_network()
+    if managed:
+        manager = HostNetworkManager(network, decision_latency=0.0)
+        manager.register_tenant("loopback")
+        manager.submit(pipe("victim-pipe", "victim", src="nic0",
+                            dst="dimm0-0", bandwidth=Gbps(100),
+                            latency_slo=VICTIM_SLO,
+                            bidirectional=True))
+    path = shortest_path(network.topology, "nic0", "dimm0-0")
+    victim = network.start_transfer("victim", path, demand=Gbps(100))
+    if offered:
+        RdmaLoopbackApp(network, "loopback", nic="nic0", dimm="dimm0-0",
+                        offered_rate=offered, streams=4).start()
+    network.engine.run_until(0.05)
+    rtt = network.round_trip_latency(path, 64.0, 64.0)
+    return to_Gbps(victim.current_rate), to_us(rtt)
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for offered in INTENSITIES:
+        label = "elastic" if math.isinf(offered) else f"{to_Gbps(offered):.0f}"
+        unmanaged = run_point(offered, managed=False)
+        managed = run_point(offered, managed=True)
+        results[label] = {"unmanaged": unmanaged, "managed": managed}
+        rows.append([
+            label, unmanaged[0], unmanaged[1], managed[0], managed[1],
+        ])
+    print_table(
+        "E1: victim vs RDMA loopback intensity "
+        "(victim floor: 100 Gbps pipe)",
+        ["loopback (Gbps)", "unmanaged victim Gbps", "unmanaged RTT us",
+         "managed victim Gbps", "managed RTT us"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e1(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quiet = results["0"]
+    storm = results["elastic"]
+    slo_us = VICTIM_SLO * 1e6
+    # unmanaged: collapses below 80% of demand and RTT blows past the SLO
+    assert storm["unmanaged"][0] < 80.0
+    assert storm["unmanaged"][1] > 5 * quiet["unmanaged"][1]
+    assert storm["unmanaged"][1] > 2 * slo_us
+    # managed: floor held within 2% and the RTT SLO honoured
+    assert storm["managed"][0] >= 98.0
+    assert storm["managed"][1] <= slo_us
+    assert quiet["managed"][1] <= slo_us
+
+
+if __name__ == "__main__":
+    run_experiment()

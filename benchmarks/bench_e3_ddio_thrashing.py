@@ -1,0 +1,87 @@
+"""E3 — DDIO cache thrashing converts PCIe load into memory-bus load (§2).
+
+Sweeps the aggregate inbound device-write rate through the LLC I/O ways
+and reports hit rate and the extra memory-bus bandwidth thrashing causes,
+for DDIO {2, 4, 8 ways, disabled}.  Also shows the end-to-end effect: the
+extra memory-bus traffic is injected into the simulated fabric and the
+resulting memory-bus utilization measured.
+
+Expected shape: a sharp knee at ``ways x way_size / consume_delay``; more
+ways push the knee right; DDIO-off pays the 2x memory-bus tax at every
+rate (the Lamda [37] observation).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.devices import DdioCache
+from repro.topology import shortest_path
+from repro.units import GBps, to_GBps, us
+
+#: Mean delay between DMA landing and the application consuming it.
+CONSUME_DELAY = us(100)
+
+SWEEP = [GBps(5), GBps(15), GBps(30), GBps(60), GBps(120)]
+
+
+def run_fabric_effect(extra_membus_rate):
+    """Inject thrashing traffic into the fabric; return membus utilization."""
+    network = fresh_network()
+    path = shortest_path(network.topology, "socket0", "dimm0-0")
+    if extra_membus_rate > 0:
+        network.start_transfer("_thrash", path, demand=extra_membus_rate)
+    return network.link_utilization("membus0-0")
+
+
+def run_experiment():
+    configs = {
+        "ddio-2w": DdioCache(ways=2),
+        "ddio-4w": DdioCache(ways=4),
+        "ddio-8w": DdioCache(ways=8),
+        "ddio-off": DdioCache(enabled=False),
+    }
+    rows = []
+    results = {}
+    for name, cache in configs.items():
+        for rate in SWEEP:
+            report = cache.steady_state(rate, CONSUME_DELAY)
+            membus_util = run_fabric_effect(report.membus_extra_rate)
+            key = (name, round(to_GBps(rate)))
+            results[key] = (report.hit_rate, report.membus_extra_rate,
+                            membus_util)
+            rows.append([
+                name,
+                f"{to_GBps(rate):.0f}",
+                f"{report.hit_rate:.2f}",
+                f"{to_GBps(report.membus_extra_rate):.1f}",
+                f"{membus_util:.1%}",
+            ])
+    print_table(
+        "E3: DDIO thrashing vs inbound DMA rate "
+        f"(consume delay {CONSUME_DELAY * 1e6:.0f}us)",
+        ["config", "io rate (GBps)", "hit rate", "extra membus (GBps)",
+         "membus util"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e3(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # knee: 2-way cache is clean at 5 GBps, thrashing at 120 GBps
+    assert r[("ddio-2w", 5)][0] == 1.0
+    assert r[("ddio-2w", 120)][0] < 0.5
+    # more ways push the knee right
+    assert r[("ddio-8w", 60)][0] > r[("ddio-2w", 60)][0]
+    # DDIO off pays the full 2x tax at every rate
+    assert r[("ddio-off", 5)][1] > 0
+    assert r[("ddio-off", 120)][1] >= r[("ddio-2w", 120)][1]
+    # thrashing shows up as real memory-bus utilization
+    assert r[("ddio-off", 120)][2] > r[("ddio-off", 5)][2]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,147 @@
+"""E5 — the storage-and-processing dilemma of monitoring (§3.1 Q2).
+
+Sweeps the telemetry sampling period under both processing modes:
+
+* **local** — samples stay in per-device ring buffers (no fabric cost,
+  bounded history);
+* **ship** — every cycle's samples cross the fabric to a collection point
+  as real system flows.
+
+Reported per configuration: monitoring *fidelity* (mean absolute error of
+the sampled utilization against simulator ground truth, sampled during a
+bursty workload) and monitoring *overhead* (fabric bandwidth consumed by
+shipping, and its share of the victim link).
+
+Expected shape: fidelity improves steeply with faster sampling and then
+flattens (the knee); shipping overhead grows linearly with the sampling
+rate — the dilemma is the crossing of those curves.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.telemetry import CounterSource, TelemetryCollector
+from repro.topology import shortest_path
+from repro.units import Gbps, ms, to_Gbps
+from repro.workloads import MlTrainingApp
+
+PERIODS = [ms(0.5), ms(1), ms(5), ms(20), ms(100)]
+RUN_TIME = 0.5
+
+
+def run_point(period, processing):
+    network = fresh_network()
+    collector = TelemetryCollector(
+        network, source=CounterSource.SOFTWARE, period=period,
+        processing=processing,
+    )
+    collector.start()
+    # bursty workload: ML batches start/stop every iteration
+    MlTrainingApp(network, "ml", dimm="dimm0-0", gpu="gpu0",
+                  concurrency=1).start()
+
+    # measure fidelity: compare sampled vs true utilization of the ML path
+    link = "pcie-gpu0"
+    errors = []
+    t = 0.0
+    while t < RUN_TIME:
+        t += ms(2)
+        network.engine.run_until(t)
+        truth = network.link_utilization(link)
+        sampled = collector.latest_utilization(link)
+        errors.append(abs(truth - sampled))
+    mae = sum(errors) / len(errors)
+    overhead = collector.overhead_rate()
+    return mae, overhead
+
+
+def run_probe_point(period):
+    """Active probing's side of Q2: heartbeat cost vs detection speed."""
+    from repro.monitor import FailureInjector, HeartbeatMesh
+    from repro.sim.rng import make_rng
+
+    network = fresh_network()
+    mesh = HeartbeatMesh(
+        network, ["nic0", "gpu0", "nvme0", "dimm0-0", "nic1"],
+        period=period, consume_fabric=True, rng=make_rng(3),
+    )
+    mesh.start()
+    network.engine.run_until(0.05)
+    mesh.record_baseline()
+    injected_at = network.engine.now
+    FailureInjector(network).degrade_link("pcie-up0", capacity_factor=0.1,
+                                          extra_latency=5e-6)
+    detected_at = None
+    t = injected_at
+    while t < injected_at + 0.2:
+        t += period
+        network.engine.run_until(t)
+        if mesh.anomalous_probes():
+            detected_at = t
+            break
+    overhead = mesh.probe_bytes_sent / network.engine.now
+    ttd = (detected_at - injected_at) if detected_at else float("nan")
+    return ttd, overhead
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for period in PERIODS:
+        for processing in ("local", "ship"):
+            mae, overhead = run_point(period, processing)
+            results[(period, processing)] = (mae, overhead)
+            rows.append([
+                f"{period * 1e3:.1f}",
+                processing,
+                f"{mae:.3f}",
+                f"{to_Gbps(overhead):.4f}",
+            ])
+    print_table(
+        "E5: monitoring fidelity vs overhead (sampling-period sweep)",
+        ["period (ms)", "processing", "util MAE", "ship overhead (Gbps)"],
+        rows,
+    )
+
+    probe_rows = []
+    for period in (ms(1), ms(5), ms(20)):
+        ttd, overhead = run_probe_point(period)
+        results[("probe", period)] = (ttd, overhead)
+        probe_rows.append([
+            f"{period * 1e3:.0f}",
+            f"{ttd * 1e3:.0f}" if ttd == ttd else "-",
+            f"{to_Gbps(overhead) * 1e3:.3f}",
+        ])
+    print_table(
+        "E5b: heartbeat probing — detection speed vs fabric cost "
+        "(probes consume real bytes)",
+        ["probe period (ms)", "time to detect (ms)",
+         "probe overhead (Mbps)"],
+        probe_rows,
+    )
+    return results
+
+
+def test_bench_e5(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fast_mae = r[(PERIODS[0], "ship")][0]
+    slow_mae = r[(PERIODS[-1], "ship")][0]
+    assert fast_mae < slow_mae, "faster sampling should improve fidelity"
+    # overhead grows with sampling rate
+    fast_overhead = r[(PERIODS[0], "ship")][1]
+    slow_overhead = r[(PERIODS[-1], "ship")][1]
+    assert fast_overhead > 20 * slow_overhead
+    # local processing never costs fabric bandwidth
+    assert all(r[(p, "local")][1] == 0.0 for p in PERIODS)
+    # probing: faster rounds detect faster and cost proportionally more
+    fast_ttd, fast_cost = r[("probe", ms(1))]
+    slow_ttd, slow_cost = r[("probe", ms(20))]
+    assert fast_ttd < slow_ttd
+    assert fast_cost > 5 * slow_cost
+
+
+if __name__ == "__main__":
+    run_experiment()

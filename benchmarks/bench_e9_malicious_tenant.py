@@ -1,0 +1,121 @@
+"""E9 — a malicious tenant sweeps its attack intensity (§2).
+
+"Tenants may maliciously exhaust intra-host network fabric resources and
+impair others."  The attacker opens 1..64 elastic flows across the
+victim's NIC->memory path (more flows = bigger max-min share, no single
+flow abnormal).  The victim is a KV store with a 50 Gbps pipe guarantee
+under hostnet; per policy and intensity we report victim p99 latency and
+attacker achieved bandwidth.
+
+Expected shape: unmanaged victim p99 grows with flow count without bound
+(fair share shrinks as 1/N); static partition and hostnet pin the victim
+p99 flat; hostnet additionally leaves the attacker all non-guaranteed
+bandwidth (work conservation), where static strands it.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.baselines import (
+    HostnetPolicy,
+    StaticPartitionPolicy,
+    UnmanagedPolicy,
+)
+from repro.core import pipe
+from repro.units import Gbps, to_Gbps, to_us
+from repro.workloads import KvStoreApp, MaliciousFloodApp
+
+FLOW_COUNTS = [1, 4, 16, 64]
+TENANTS = ["kv", "evil"]
+
+
+from repro.units import us
+
+#: The KV tenant's round-trip latency SLO; the manager compiles it into
+#: per-link utilization ceilings so queueing can't eat the tail.
+KV_LATENCY_SLO = us(12)
+
+
+def intent_factory(tenant):
+    if tenant == "kv":
+        return [pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                     bandwidth=Gbps(50), latency_slo=KV_LATENCY_SLO,
+                     bidirectional=True)]
+    return []
+
+
+def run_point(policy, flow_count):
+    from repro.topology import shortest_path
+
+    network = fresh_network()
+    policy.setup(network, TENANTS)
+    kv = KvStoreApp(network, "kv", nic="nic0", dimm="dimm0-0",
+                    request_rate=20_000, seed=2)
+    kv.start()
+    # the victim's bulk ingest stream: 50 Gbps of offered load whose
+    # achieved rate shows the 1/N fair-share collapse directly
+    path = shortest_path(network.topology, "nic0", "dimm0-0")
+    bulk = network.start_transfer("kv", path, demand=Gbps(50))
+    attacker = MaliciousFloodApp(network, "evil", src="nic0", dst="dimm0-0",
+                                 flow_count=flow_count)
+    attacker.start()
+    # 20ms warmup covers arrival ramp and the arbiter's first reactions;
+    # measurement starts after it (applied identically to every policy).
+    network.engine.run_until(0.02)
+    kv.stats.latencies.clear()
+    network.engine.run_until(0.2)
+    p99 = to_us(kv.stats.latency_summary().p99)
+    victim_gbps = to_Gbps(bulk.current_rate)
+    attack_rate = to_Gbps(attacker.attack_rate())
+    policy.teardown(network, TENANTS)
+    return p99, victim_gbps, attack_rate
+
+
+def run_experiment():
+    policies = [
+        ("unmanaged", UnmanagedPolicy),
+        ("static_partition", StaticPartitionPolicy),
+        ("hostnet", lambda: HostnetPolicy(intent_factory,
+                                          decision_latency=0.0)),
+    ]
+    rows = []
+    results = {}
+    for name, make_policy in policies:
+        for flow_count in FLOW_COUNTS:
+            p99, victim_gbps, attack_rate = run_point(make_policy(),
+                                                      flow_count)
+            results[(name, flow_count)] = (p99, victim_gbps, attack_rate)
+            rows.append([name, flow_count, f"{p99:.1f}",
+                         f"{victim_gbps:.1f}", f"{attack_rate:.1f}"])
+    print_table(
+        "E9: victim vs attacker flow count "
+        "(victim floor 50 Gbps under hostnet)",
+        ["policy", "attack flows", "kv p99 (us)", "victim bulk (Gbps)",
+         "attack rate (Gbps)"],
+        rows,
+    )
+    return results
+
+
+def test_bench_e9(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # unmanaged: attack intensity collapses victim goodput toward 1/N
+    assert r[("unmanaged", 64)][1] < r[("unmanaged", 1)][1] / 4
+    assert r[("unmanaged", 64)][1] < 10.0
+    # unmanaged tail is inflated vs protected policies at every intensity
+    assert r[("unmanaged", 64)][0] > 2 * r[("hostnet", 64)][0]
+    # hostnet honours the latency SLO it admitted (20% slack for jitter)
+    assert all(r[("hostnet", n)][0] <= KV_LATENCY_SLO * 1e6 * 1.2
+               for n in FLOW_COUNTS)
+    # hostnet: victim goodput pinned at its floor regardless of intensity
+    assert all(r[("hostnet", n)][1] >= 49.0 for n in FLOW_COUNTS)
+    # hostnet stays work-conserving: the attacker is never starved below
+    # what static partition strands it with
+    assert r[("hostnet", 64)][2] >= r[("static_partition", 64)][2] * 0.95
+
+
+if __name__ == "__main__":
+    run_experiment()

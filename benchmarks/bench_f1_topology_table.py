@@ -1,0 +1,86 @@
+"""F1 — regenerate Figure 1's capacity/latency table from the simulator.
+
+The paper's only figure annotates a commodity-server topology with a table
+of capacity and basic latency per link class.  We *measure* both with the
+library's own diagnostic tools (hostperf for capacity, hostping for
+latency) on the calibrated ``cascade_lake_2s`` preset, and assert each
+measurement lands inside the paper's published range.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network, print_table
+
+from repro.diagnostics import hostperf, hostping
+from repro.topology import FIGURE1_RANGES, LinkClass
+from repro.units import to_Gbps, to_us
+
+#: One representative (src, dst) pair per Figure-1 link class; the pair's
+#: shortest path has the target class as its bottleneck/only hop.
+CLASS_PROBES = {
+    LinkClass.INTER_SOCKET: ("socket0", "socket1"),
+    LinkClass.INTRA_SOCKET: ("socket0", "dimm0-0"),
+    LinkClass.PCIE_UPSTREAM: ("pcisw0", "rc0-0"),
+    LinkClass.PCIE_DOWNSTREAM: ("pcisw0", "nic0"),
+    LinkClass.INTER_HOST: ("nic0", "external"),
+}
+
+#: Figure 1's printed ranges, for the table's reference column.
+PAPER_RANGES = {
+    LinkClass.INTER_SOCKET: ("20-72 GBps", "130-220 ns"),
+    LinkClass.INTRA_SOCKET: ("100-200 GBps", "2-110 ns"),
+    LinkClass.PCIE_UPSTREAM: ("~256 Gbps", "30-120 ns"),
+    LinkClass.PCIE_DOWNSTREAM: ("~256 Gbps", "30-120 ns"),
+    LinkClass.INTER_HOST: ("~200 Gbps", "<2 us"),
+}
+
+
+def measure_class(network, link_class):
+    """Measure one link class: (capacity bytes/s, one-way latency s)."""
+    src, dst = CLASS_PROBES[link_class]
+    perf = hostperf(network, src, dst, duration=0.02)
+    ping = hostping(network, src, dst, count=5)
+    # hostperf measures a single path; inter-socket capacity in Figure 1 is
+    # per-link, and our probe path uses exactly one of the parallel links.
+    one_way = ping.summary.p50 / 2.0
+    return perf.achieved_rate, one_way, perf.path
+
+
+def run_experiment():
+    network = fresh_network()
+    rows = []
+    results = {}
+    for link_class in CLASS_PROBES:
+        capacity, latency, path = measure_class(network, link_class)
+        results[link_class] = (capacity, latency)
+        paper_cap, paper_lat = PAPER_RANGES[link_class]
+        rows.append([
+            link_class.value,
+            f"{to_Gbps(capacity):.1f} Gbps",
+            paper_cap,
+            f"{to_us(latency) * 1000:.0f} ns",
+            paper_lat,
+        ])
+    print_table(
+        "F1: Figure 1 capacity / basic latency table (measured vs paper)",
+        ["link class", "measured cap", "paper cap",
+         "measured latency", "paper latency"],
+        rows,
+    )
+    return results
+
+
+def test_bench_f1(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for link_class, (capacity, latency) in results.items():
+        (cap_lo, cap_hi), (lat_lo, lat_hi) = FIGURE1_RANGES[link_class]
+        assert cap_lo * 0.8 <= capacity <= cap_hi * 1.05, link_class
+        assert lat_lo * 0.8 <= latency <= lat_hi * 1.2, link_class
+
+
+if __name__ == "__main__":
+    run_experiment()

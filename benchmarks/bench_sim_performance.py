@@ -1,0 +1,94 @@
+"""Simulator performance: the cost of simulating a managed host.
+
+Not a paper experiment — this measures the *reproduction's own* hot paths
+with real repeated timing (pytest-benchmark's bread and butter), so
+regressions in the solver, engine, or router show up in CI:
+
+* max-min solve with 100 flows over the cascade topology;
+* discrete-event engine throughput (events/second);
+* path enumeration on the DGX-like host;
+* one full co-location second (KV + loopback + arbiter) of simulated time.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import fresh_network
+
+from repro.core import HostNetworkManager, pipe
+from repro.sim import Engine, FabricNetwork
+from repro.sim.bandwidth import FlowDemand, max_min_fair_rates
+from repro.sim.rng import make_rng
+from repro.topology import cascade_lake_2s, dgx_like, k_shortest_paths
+from repro.units import Gbps
+from repro.workloads import KvStoreApp, RdmaLoopbackApp
+
+
+def _solver_instance(n_flows=100, seed=1):
+    topology = cascade_lake_2s()
+    link_ids = [l.link_id for l in topology.links()]
+    capacities = {}
+    for link_id in link_ids:
+        cap = topology.link(link_id).capacity
+        capacities[f"{link_id}|fwd"] = cap
+        capacities[f"{link_id}|rev"] = cap
+    rng = make_rng(seed, "perf")
+    flows = []
+    for i in range(n_flows):
+        links = tuple(
+            f"{rng.choice(link_ids)}|{rng.choice(['fwd', 'rev'])}"
+            for _ in range(rng.randint(2, 5))
+        )
+        flows.append(FlowDemand(f"f{i}", links,
+                                demand=Gbps(rng.uniform(1, 200))))
+    return flows, capacities
+
+
+def test_solver_100_flows(benchmark):
+    flows, capacities = _solver_instance()
+    rates = benchmark(max_min_fair_rates, flows, capacities)
+    assert len(rates) == 100
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = Engine()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                engine.schedule_in(1e-6, tick)
+
+        engine.schedule_in(1e-6, tick)
+        engine.run()
+        return state["count"]
+
+    count = benchmark(run_10k_events)
+    assert count == 10_000
+
+
+def test_path_enumeration_dgx(benchmark):
+    topology = dgx_like()
+    paths = benchmark(k_shortest_paths, topology, "gpu0", "dimm1-0", 6)
+    assert paths
+
+
+def test_managed_colocation_second(benchmark):
+    def simulate_one_second():
+        network = fresh_network()
+        manager = HostNetworkManager(network, decision_latency=0.0)
+        manager.register_tenant("hog")
+        manager.submit(pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(50), bidirectional=True))
+        KvStoreApp(network, "kv", nic="nic0", dimm="dimm0-0",
+                   request_rate=10_000, seed=1).start()
+        RdmaLoopbackApp(network, "hog", nic="nic0", dimm="dimm0-0",
+                        streams=4).start()
+        network.engine.run_until(1.0)
+        manager.shutdown()
+        return network.engine.events_processed
+
+    events = benchmark.pedantic(simulate_one_second, rounds=3, iterations=1)
+    assert events > 10_000

@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*.py`` regenerates one table/figure from EXPERIMENTS.md.  The
+helpers here keep output formatting uniform so the benches read like the
+paper's tables, and provide the standard victim/aggressor rigs several
+experiments share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sim import Engine, FabricNetwork
+from repro.topology import cascade_lake_2s
+
+
+def fresh_network(preset=cascade_lake_2s) -> FabricNetwork:
+    """A new engine + fabric over *preset* (default: Figure 1's host)."""
+    return FabricNetwork(preset(), Engine())
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment table in a fixed-width layout."""
+    rendered: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Configuration audit: find the silent misconfiguration (§2, E13).
+
+A host "works" but underperforms; nothing in any log says why. The audit
+measures the host's performance signature (RTT, PCIe efficiency,
+memory-bus amplification, NUMA placement) with the diagnostic tools and
+compares it against the recommended configuration's signature, naming the
+suspected misconfiguration.
+
+Run:  python examples/config_audit.py
+"""
+
+from repro.devices import (
+    MISCONFIGURATIONS,
+    RECOMMENDED_CONFIG,
+    build_configured_host,
+)
+from repro.diagnostics import advise, measure_signature
+from repro.topology import cascade_lake_2s
+from repro.units import to_us
+
+
+def describe_signature(label, signature):
+    print(f"{label:<20} rtt={to_us(signature.local_rtt):6.2f}us  "
+          f"pcie-eff={signature.pcie_efficiency:4.0%}  "
+          f"membus-amp={signature.membus_amplification:.1f}x  "
+          f"remote-numa={'yes' if signature.crosses_socket else 'no'}")
+
+
+def main() -> None:
+    topology = cascade_lake_2s()
+
+    print("measuring the known-good baseline...")
+    baseline = measure_signature(
+        build_configured_host(topology, RECOMMENDED_CONFIG)
+    )
+    describe_signature("(recommended)", baseline)
+    print()
+
+    # A fleet of hosts, one quietly misconfigured each way.
+    for name, config in sorted(MISCONFIGURATIONS.items()):
+        host = build_configured_host(topology, config)
+        signature = measure_signature(host)
+        describe_signature(f"host[{name}]", signature)
+        findings = advise(signature, baseline)
+        for finding in findings:
+            print(f"    -> suspected {finding.suspected!r}: "
+                  f"{finding.evidence}")
+        if not findings:
+            print("    -> no findings (missed!)")
+        print()
+
+    print("audit of a healthy host:")
+    findings = advise(baseline, baseline)
+    print(f"    -> {len(findings)} findings (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

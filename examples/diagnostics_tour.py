@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Diagnostics tour: hostping, hosttrace, hostperf, hostshark.
+
+§3.1 asks for intra-host analogues of "ping, traceroute, iperf, and
+wireshark".  This example exercises all four against a congested host and
+prints their operator-facing output.
+
+Run:  python examples/diagnostics_tour.py
+"""
+
+from repro import (
+    Engine,
+    FabricNetwork,
+    HostShark,
+    MlTrainingApp,
+    RdmaLoopbackApp,
+    cascade_lake_2s,
+    hostperf,
+    hostping,
+    hosttrace,
+)
+from repro.units import mib
+
+
+def main() -> None:
+    network = FabricNetwork(cascade_lake_2s(), Engine())
+
+    # wireshark-style capture, armed before anything runs
+    shark = HostShark(network)
+    shark.start_capture()
+
+    # background load: ML batches + a loopback hog on socket 0
+    MlTrainingApp(network, "ml", dimm="dimm0-0", gpu="gpu0",
+                  batch_bytes=mib(128)).start()
+    RdmaLoopbackApp(network, "hog", nic="nic0", dimm="dimm0-0").start()
+    network.engine.run_until(0.05)
+
+    print("=" * 70)
+    print(hostping(network, "nic0", "dimm0-0", count=8).describe())
+    print("=" * 70)
+    print(hosttrace(network, "nic0", "dimm1-0").describe())
+    print("=" * 70)
+    print(hostperf(network, "nvme0", "dimm0-0", duration=0.02).describe())
+    print("=" * 70)
+
+    records = shark.records(tenant="ml", event="complete")
+    print(f"hostshark: {len(shark)} events captured; "
+          f"{len(records)} completed 'ml' transfers; by tenant: "
+          f"{shark.summary_by_tenant()}")
+    slowest = max(
+        (r for r in shark.records(event="complete")),
+        key=lambda r: r.bytes_sent, default=None,
+    )
+    if slowest is not None:
+        print(f"largest captured transfer: {slowest.flow_id} "
+              f"({slowest.bytes_sent / 1e6:.0f} MB, tenant "
+              f"{slowest.tenant_id}, {slowest.src} -> {slowest.dst})")
+
+
+if __name__ == "__main__":
+    main()

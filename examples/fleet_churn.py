@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fleet churn: a day in the life of a managed multi-tenant host.
+
+Replays a synthetic tenant-churn trace (§3.2: applications "come and go")
+against a managed host, with the monitor running throughout, then produces
+the operator-facing reports: per-tenant fairness, SLO compliance for the
+guaranteed tenant, stranded-bandwidth accounting, and the monitor's final
+health check.
+
+Run:  python examples/fleet_churn.py
+"""
+
+from repro import (
+    Engine,
+    FabricNetwork,
+    Gbps,
+    HostMonitor,
+    HostNetworkManager,
+    KvStoreApp,
+    MlTrainingApp,
+    NvmeScanApp,
+    RdmaLoopbackApp,
+    cascade_lake_2s,
+    pipe,
+)
+from repro.analysis import (
+    capacity_report,
+    evaluate_slo,
+    format_capacity_report,
+    jain_index,
+    stranded_bandwidth,
+)
+from repro.units import to_Gbps, to_us, us
+from repro.workloads import AppKind, TraceGenerator, TraceReplayer
+
+
+def main() -> None:
+    network = FabricNetwork(cascade_lake_2s(), Engine())
+    engine = network.engine
+    manager = HostNetworkManager(network, decision_latency=us(10))
+
+    # One long-lived guaranteed tenant: a KV store with a latency SLO.
+    slo = us(10)
+    manager.submit(pipe("kv-slo", "kv-tenant", src="nic0", dst="dimm0-0",
+                        bandwidth=Gbps(40), latency_slo=slo,
+                        bidirectional=True))
+    kv = KvStoreApp(network, "kv-tenant", nic="nic0", dimm="dimm0-0",
+                    request_rate=15_000, seed=1)
+    kv.start()
+
+    # The churning crowd, replayed from a deterministic synthetic trace.
+    trace = TraceGenerator(seed=21).generate(
+        tenant_count=6, horizon=1.5, mean_duration=0.4
+    )
+    print(f"trace: {len(trace)} sessions over {trace.horizon:.1f}s, "
+          f"{len(trace.tenants())} tenants")
+
+    def make_app(event):
+        manager.register_tenant(event.tenant_id)
+        if event.app_kind is AppKind.KV_STORE:
+            return KvStoreApp(network, event.tenant_id, nic="nic1",
+                              dimm="dimm1-0",
+                              request_rate=10_000 * event.intensity, seed=2)
+        if event.app_kind is AppKind.ML_TRAINING:
+            return MlTrainingApp(network, event.tenant_id, dimm="dimm0-0",
+                                 gpu="gpu0")
+        if event.app_kind is AppKind.NVME_SCAN:
+            return NvmeScanApp(network, event.tenant_id, nvme="nvme0",
+                               dimm="dimm0-0")
+        return RdmaLoopbackApp(network, event.tenant_id, nic="nic0",
+                               dimm="dimm0-0",
+                               offered_rate=Gbps(120 * event.intensity),
+                               streams=4)
+
+    TraceReplayer(engine, trace, make_app).arm()
+
+    monitor = HostMonitor(network, probers=["nic0", "gpu0", "nvme0",
+                                            "dimm0-0", "nic1"])
+    monitor.start()
+    engine.run_until(0.05)
+    monitor.record_baseline()
+    engine.run_until(trace.horizon + 0.1)
+
+    # --- operator reports ------------------------------------------------
+    print("\n== SLO compliance (kv-tenant, guaranteed) ==")
+    report = evaluate_slo(kv.stats.latencies, slo)
+    print(f"requests={report.samples}  p99={to_us(report.p99):.1f}us  "
+          f"slo={to_us(slo):.0f}us  compliance={report.compliance:.1%}  "
+          f"met={report.met}")
+
+    print("\n== per-tenant fabric shares on pcie-nic0 (this instant) ==")
+    tenants = sorted({*trace.tenants(), "kv-tenant"})
+    rates = {t: network.tenant_link_rate(t, "pcie-nic0") for t in tenants}
+    active = {t: r for t, r in rates.items() if r > 0}
+    for tenant, rate in sorted(active.items()):
+        print(f"  {tenant:<12} {to_Gbps(rate):7.1f} Gbps")
+    if len(active) > 1:
+        print(f"  Jain index over active tenants: "
+              f"{jain_index(list(active.values())):.2f}")
+
+    print("\n== capacity / reservations ==")
+    print(format_capacity_report(capacity_report(manager), limit=5))
+    stranded = stranded_bandwidth(manager)
+    print(f"stranded reserved bandwidth: "
+          f"{ {k: f'{to_Gbps(v):.0f}G' for k, v in stranded.items()} }")
+
+    print("\n== monitor verdict ==")
+    final = monitor.check()
+    print(final.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Multi-tenant cloud host: policies vs a malicious tenant (§2, E9).
+
+Four tenants share a dual-socket host: a latency-sensitive KV store, an ML
+training job, a storage scan — and one malicious tenant flooding the KV
+store's PCIe path.  The same workload runs under four isolation policies:
+
+    unmanaged          (today's intra-host network)
+    rdt_like           (memory-bus-only point solution)
+    static_partition   (hard 1/N split of every link)
+    hostnet            (the paper's compile-schedule-arbitrate manager)
+
+Run:  python examples/multi_tenant_cloud.py
+"""
+
+from repro import (
+    Engine,
+    FabricNetwork,
+    Gbps,
+    HostnetPolicy,
+    KvStoreApp,
+    MaliciousFloodApp,
+    MlTrainingApp,
+    NvmeScanApp,
+    RdtLikePolicy,
+    StaticPartitionPolicy,
+    UnmanagedPolicy,
+    cascade_lake_2s,
+    pipe,
+)
+from repro.units import to_Gbps, to_us, us
+
+TENANTS = ["kv", "ml", "scan", "evil"]
+
+
+def intent_factory(tenant: str):
+    """Guarantees the hostnet manager enforces (per-tenant intents)."""
+    if tenant == "kv":
+        # bandwidth floor + latency SLO, bidirectional (request/response)
+        return [pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                     bandwidth=Gbps(60), latency_slo=us(8),
+                     bidirectional=True)]
+    if tenant == "ml":
+        return [pipe("ml-pipe", "ml", src="dimm0-0", dst="gpu0",
+                     bandwidth=Gbps(120))]
+    return []  # scan and evil are best-effort
+
+
+def run_policy(policy):
+    """One full co-location run under *policy*; returns the metrics row."""
+    network = FabricNetwork(cascade_lake_2s(), Engine())
+    policy.setup(network, TENANTS)
+
+    kv = KvStoreApp(network, "kv", nic="nic0", dimm="dimm0-0",
+                    request_rate=20_000, seed=11)
+    ml = MlTrainingApp(network, "ml", dimm="dimm0-0", gpu="gpu0")
+    scan = NvmeScanApp(network, "scan", nvme="nvme1", dimm="dimm1-0")
+    evil = MaliciousFloodApp(network, "evil", src="nic0", dst="dimm0-0",
+                             flow_count=16)
+    for app in (kv, ml, scan, evil):
+        app.start()
+    network.engine.run_until(0.4)
+
+    row = {
+        "kv_p99_us": to_us(kv.stats.latency_summary().p99),
+        "ml_gbps": to_Gbps(ml.stats.throughput(network.engine.now)),
+        "scan_gbps": to_Gbps(scan.stats.throughput(network.engine.now)),
+        "evil_gbps": to_Gbps(evil.attack_rate()),
+    }
+    for app in (kv, ml, scan, evil):
+        app.stop()
+    policy.teardown(network, TENANTS)
+    return row
+
+
+def main() -> None:
+    policies = [
+        UnmanagedPolicy(),
+        RdtLikePolicy(),
+        StaticPartitionPolicy(),
+        HostnetPolicy(intent_factory, decision_latency=0.0),
+    ]
+    header = (f"{'policy':<18} {'kv p99 (us)':>12} {'ml (Gbps)':>10} "
+              f"{'scan (Gbps)':>12} {'attack (Gbps)':>14}")
+    print(header)
+    print("-" * len(header))
+    for policy in policies:
+        row = run_policy(policy)
+        print(f"{policy.name:<18} {row['kv_p99_us']:>12.1f} "
+              f"{row['ml_gbps']:>10.1f} {row['scan_gbps']:>12.1f} "
+              f"{row['evil_gbps']:>14.1f}")
+    print("\nshape to expect: hostnet protects kv/ml like static_partition "
+          "but keeps the fabric busy; rdt_like fails on PCIe attacks; "
+          "unmanaged fails everywhere.")
+
+
+if __name__ == "__main__":
+    main()

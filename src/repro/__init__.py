@@ -1,0 +1,206 @@
+"""hostnet — a manageable intra-host network.
+
+A faithful, laptop-scale reproduction of *"Towards a Manageable Intra-Host
+Network"* (Kong, Lou, Bai, Kim, Zhuo — HotOS '23): a flow-level simulator
+of commodity-server intra-host fabrics (PCIe, memory buses, UPI), plus the
+two building blocks the paper proposes —
+
+* a **fine-grained monitoring system** (:mod:`repro.telemetry`,
+  :mod:`repro.monitor`, :mod:`repro.diagnostics`), and
+* a **holistic resource manager** (:mod:`repro.core`).
+
+Quick start::
+
+    from repro import (Engine, FabricNetwork, cascade_lake_2s,
+                       HostNetworkManager, pipe, Gbps)
+
+    topology = cascade_lake_2s()
+    engine = Engine()
+    network = FabricNetwork(topology, engine)
+    manager = HostNetworkManager(network)
+    manager.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
+                        bandwidth=Gbps(100)))
+    engine.run_until(1.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment suite.
+"""
+
+from . import units
+from .baselines import (
+    HostnetPolicy,
+    IsolationPolicy,
+    RdtLikePolicy,
+    StaticPartitionPolicy,
+    UnmanagedPolicy,
+)
+from .core import (
+    DynamicArbiter,
+    HostNetworkManager,
+    IntentKind,
+    PerformanceTarget,
+    Placement,
+    VirtualHostView,
+    hose,
+    interpret,
+    migrate_tenant,
+    pipe,
+)
+from .devices import (
+    DdioCache,
+    HostConfig,
+    IommuModel,
+    NumaPolicy,
+    PcieSwitchModel,
+    RdmaNicModel,
+    tlp_efficiency,
+)
+from .diagnostics import (
+    HostShark,
+    hostperf,
+    hostping,
+    hosttrace,
+    troubleshoot,
+)
+from .errors import HostNetError
+from .monitor import (
+    FailureInjector,
+    HeartbeatMesh,
+    HostMonitor,
+    localize,
+)
+from .sim import (
+    SYSTEM_TENANT,
+    Engine,
+    FabricNetwork,
+    Flow,
+    FlowState,
+    LatencyModel,
+)
+from .stats import percentile, summarize
+from .telemetry import (
+    CounterBank,
+    CounterSource,
+    MetricStore,
+    TelemetryCollector,
+    utilization_table,
+)
+from .topology import (
+    Device,
+    DeviceType,
+    HostTopology,
+    Link,
+    LinkClass,
+    Path,
+    TopologyBuilder,
+    cascade_lake_2s,
+    cxl_host,
+    dgx_like,
+    epyc_like_1s,
+    load_preset,
+    minimal_host,
+    shortest_path,
+    widest_path,
+)
+from .units import GBps, Gbps, ms, ns, us
+from .workloads import (
+    KvStoreApp,
+    MaliciousFloodApp,
+    MlTrainingApp,
+    NvmeScanApp,
+    RdmaLoopbackApp,
+    Tenant,
+    TenantRegistry,
+    TraceGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "units",
+    # errors
+    "HostNetError",
+    # topology
+    "Device",
+    "DeviceType",
+    "Link",
+    "LinkClass",
+    "HostTopology",
+    "TopologyBuilder",
+    "Path",
+    "shortest_path",
+    "widest_path",
+    "minimal_host",
+    "cascade_lake_2s",
+    "dgx_like",
+    "epyc_like_1s",
+    "cxl_host",
+    "load_preset",
+    # sim
+    "Engine",
+    "FabricNetwork",
+    "Flow",
+    "FlowState",
+    "LatencyModel",
+    "SYSTEM_TENANT",
+    # devices
+    "HostConfig",
+    "NumaPolicy",
+    "DdioCache",
+    "RdmaNicModel",
+    "IommuModel",
+    "PcieSwitchModel",
+    "tlp_efficiency",
+    # telemetry
+    "CounterSource",
+    "CounterBank",
+    "MetricStore",
+    "TelemetryCollector",
+    "utilization_table",
+    # monitor
+    "HostMonitor",
+    "HeartbeatMesh",
+    "FailureInjector",
+    "localize",
+    # diagnostics
+    "hostping",
+    "hosttrace",
+    "hostperf",
+    "HostShark",
+    "troubleshoot",
+    # core
+    "PerformanceTarget",
+    "IntentKind",
+    "pipe",
+    "hose",
+    "interpret",
+    "HostNetworkManager",
+    "Placement",
+    "DynamicArbiter",
+    "VirtualHostView",
+    "migrate_tenant",
+    # baselines
+    "IsolationPolicy",
+    "UnmanagedPolicy",
+    "StaticPartitionPolicy",
+    "RdtLikePolicy",
+    "HostnetPolicy",
+    # workloads
+    "Tenant",
+    "TenantRegistry",
+    "KvStoreApp",
+    "MlTrainingApp",
+    "RdmaLoopbackApp",
+    "NvmeScanApp",
+    "MaliciousFloodApp",
+    "TraceGenerator",
+    # stats & units
+    "percentile",
+    "summarize",
+    "Gbps",
+    "GBps",
+    "ns",
+    "us",
+    "ms",
+]

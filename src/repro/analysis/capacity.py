@@ -1,0 +1,82 @@
+"""Capacity and reservation reporting over a managed host."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.manager import HostNetworkManager
+from ..sim.network import FabricNetwork
+from ..topology.elements import LinkClass
+from ..units import to_Gbps
+
+
+@dataclass(frozen=True)
+class LinkCapacityRow:
+    """One link's capacity accounting."""
+
+    link_id: str
+    link_class: LinkClass
+    capacity: float
+    reserved: float
+    used: float
+
+    @property
+    def reserved_fraction(self) -> float:
+        """Reserved over per-direction capacity (may exceed 1 with
+        bidirectional reservations; reported raw)."""
+        if self.capacity <= 0:
+            return float("inf")
+        return self.reserved / self.capacity
+
+    @property
+    def used_fraction(self) -> float:
+        """Carried traffic over both-direction capacity."""
+        if self.capacity <= 0:
+            return float("inf")
+        return self.used / (2 * self.capacity)
+
+
+def capacity_report(manager: HostNetworkManager) -> List[LinkCapacityRow]:
+    """Reserved vs used per link, sorted by reserved fraction."""
+    network = manager.network
+    rows = []
+    for link in network.topology.links():
+        rows.append(
+            LinkCapacityRow(
+                link_id=link.link_id,
+                link_class=link.link_class,
+                capacity=link.capacity,
+                reserved=manager.ledger.reserved_total(link.link_id),
+                used=network.link_rate(link.link_id),
+            )
+        )
+    rows.sort(key=lambda r: r.reserved_fraction, reverse=True)
+    return rows
+
+
+def stranded_bandwidth(manager: HostNetworkManager) -> Dict[str, float]:
+    """Per-link reserved-but-unused bandwidth (bytes/s), nonzero only.
+
+    The quantity work-conserving arbitration exists to recover (E6).
+    """
+    stranded: Dict[str, float] = {}
+    for row in capacity_report(manager):
+        idle = max(row.reserved - row.used, 0.0)
+        if idle > 0:
+            stranded[row.link_id] = idle
+    return stranded
+
+
+def format_capacity_report(rows: List[LinkCapacityRow],
+                           limit: int = 10) -> str:
+    """Fixed-width text rendering of the top *limit* rows."""
+    lines = [f"{'link':<24} {'class':<16} {'reserved':>10} {'used':>10} "
+             f"{'capacity':>10}"]
+    for row in rows[:limit]:
+        lines.append(
+            f"{row.link_id:<24} {row.link_class.value:<16} "
+            f"{to_Gbps(row.reserved):>8.1f}G {to_Gbps(row.used):>8.1f}G "
+            f"{to_Gbps(row.capacity):>8.1f}G"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Fairness and interference metrics for experiment analysis.
+
+The QoS literature the paper draws on (FairCloud, EyeQ, ElasticSwitch)
+evaluates allocations with a small set of standard metrics; having them in
+the library keeps benchmark post-processing uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index over *allocations*.
+
+    1.0 means perfectly equal; ``1/n`` means one party has everything.
+    Zero-length input raises; all-zero input returns 1.0 (vacuously fair).
+    """
+    if not allocations:
+        raise ValueError("jain_index of empty allocation set")
+    if any(a < 0 for a in allocations):
+        raise ValueError("allocations must be >= 0")
+    total = sum(allocations)
+    squares = sum(a * a for a in allocations)
+    # squares can underflow to 0 for denormal allocations even when the
+    # total does not; both cases are "effectively nothing allocated".
+    if total == 0 or squares == 0:
+        return 1.0
+    return min((total * total) / (len(allocations) * squares), 1.0)
+
+
+def weighted_jain_index(allocations: Mapping[str, float],
+                        weights: Mapping[str, float]) -> float:
+    """Jain's index over allocations normalized by entitlement weights.
+
+    A tenant with twice the weight is *supposed* to get twice the share;
+    this index is 1.0 exactly when everyone gets allocation proportional
+    to weight.
+    """
+    if not allocations:
+        raise ValueError("weighted_jain_index of empty allocation set")
+    normalized = []
+    for tenant, allocation in allocations.items():
+        weight = weights.get(tenant, 1.0)
+        if weight <= 0:
+            raise ValueError(f"weight for {tenant!r} must be > 0")
+        normalized.append(allocation / weight)
+    return jain_index(normalized)
+
+
+def slowdown(alone: float, shared: float) -> float:
+    """Interference slowdown of a latency metric: shared / alone.
+
+    1.0 = no interference; 10.0 = the co-located tail is 10x worse.
+    """
+    if alone <= 0:
+        raise ValueError("alone metric must be > 0")
+    return shared / alone
+
+
+def goodput_retention(alone: float, shared: float) -> float:
+    """Fraction of run-alone throughput retained under co-location."""
+    if alone <= 0:
+        raise ValueError("alone throughput must be > 0")
+    return min(shared / alone, 1.0)
+
+
+def isolation_scorecard(
+    alone_latency: float,
+    shared_latency: Mapping[str, float],
+    alone_throughput: float,
+    shared_throughput: Mapping[str, float],
+) -> Dict[str, Dict[str, float]]:
+    """Per-policy scorecard: latency slowdown and goodput retention.
+
+    Input maps are keyed by policy name; output is
+    ``{policy: {"slowdown": x, "retention": y}}``.
+    """
+    policies = set(shared_latency) | set(shared_throughput)
+    card: Dict[str, Dict[str, float]] = {}
+    for policy in sorted(policies):
+        entry: Dict[str, float] = {}
+        if policy in shared_latency:
+            entry["slowdown"] = slowdown(alone_latency,
+                                         shared_latency[policy])
+        if policy in shared_throughput:
+            entry["retention"] = goodput_retention(
+                alone_throughput, shared_throughput[policy]
+            )
+        card[policy] = entry
+    return card

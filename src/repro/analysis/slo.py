@@ -1,0 +1,98 @@
+"""SLO compliance analysis over recorded latency samples and rate series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..stats import percentile
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Compliance of a latency sample set against a target.
+
+    Attributes:
+        slo: The latency bound (seconds).
+        samples: Number of samples evaluated.
+        compliance: Fraction of samples within the SLO.
+        p99: The sample p99 (the usual SLO yardstick).
+        worst: The worst observed sample.
+    """
+
+    slo: float
+    samples: int
+    compliance: float
+    p99: float
+    worst: float
+
+    @property
+    def met(self) -> bool:
+        """Whether the p99 is within the SLO (the standard criterion)."""
+        return self.p99 <= self.slo
+
+
+def evaluate_slo(latencies: Sequence[float], slo: float) -> SloReport:
+    """Score *latencies* against *slo*; raises on empty input."""
+    if not latencies:
+        raise ValueError("evaluate_slo of empty sample set")
+    if slo <= 0:
+        raise ValueError("slo must be > 0")
+    within = sum(1 for sample in latencies if sample <= slo)
+    return SloReport(
+        slo=slo,
+        samples=len(latencies),
+        compliance=within / len(latencies),
+        p99=percentile(latencies, 99),
+        worst=max(latencies),
+    )
+
+
+def violation_episodes(
+    series: Sequence[Tuple[float, float]],
+    floor: float,
+    tolerance: float = 0.95,
+) -> List[Tuple[float, float]]:
+    """Contiguous time spans where a guaranteed rate dipped below floor.
+
+    Args:
+        series: (time, rate) samples, time-ordered.
+        floor: The guaranteed rate.
+        tolerance: A sample violates when ``rate < floor * tolerance``.
+
+    Returns:
+        ``(start, end)`` spans.  A violation at the last sample closes at
+        that sample's time.
+    """
+    episodes: List[Tuple[float, float]] = []
+    start = None
+    last_time = None
+    for t, rate in series:
+        if last_time is not None and t < last_time:
+            raise ValueError("series must be time-ordered")
+        last_time = t
+        violating = rate < floor * tolerance
+        if violating and start is None:
+            start = t
+        elif not violating and start is not None:
+            episodes.append((start, t))
+            start = None
+    if start is not None and last_time is not None:
+        episodes.append((start, last_time))
+    return episodes
+
+
+def violation_time_fraction(
+    series: Sequence[Tuple[float, float]],
+    floor: float,
+    tolerance: float = 0.95,
+) -> float:
+    """Fraction of the observed span spent in violation."""
+    if len(series) < 2:
+        return 0.0
+    span = series[-1][0] - series[0][0]
+    if span <= 0:
+        return 0.0
+    violated = sum(end - start for start, end
+                   in violation_episodes(series, floor, tolerance))
+    return violated / span

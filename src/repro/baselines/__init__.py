@@ -1,0 +1,15 @@
+"""Baseline isolation policies the paper's manager is compared against."""
+
+from .hostnet_policy import HostnetPolicy, IntentFactory
+from .policy import IsolationPolicy, UnmanagedPolicy
+from .rdt_like import RdtLikePolicy
+from .static_partition import StaticPartitionPolicy
+
+__all__ = [
+    "IsolationPolicy",
+    "UnmanagedPolicy",
+    "StaticPartitionPolicy",
+    "RdtLikePolicy",
+    "HostnetPolicy",
+    "IntentFactory",
+]

@@ -1,0 +1,73 @@
+"""Adapter exposing the full hostnet manager through the policy interface.
+
+Benchmarks sweep ``[unmanaged, static_partition, rdt_like, hostnet]`` over
+identical workloads; this adapter lets the real manager participate.  The
+caller supplies an *intent factory* describing what guarantees each tenant
+should hold (benchmarks know their workloads; the policy does not).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.intents import PerformanceTarget
+from ..core.manager import HostNetworkManager
+from ..sim.network import FabricNetwork
+from .policy import IsolationPolicy
+
+#: Signature of the intent factory: tenant id -> intents for that tenant
+#: (empty list means best-effort).
+IntentFactory = Callable[[str], List[PerformanceTarget]]
+
+
+class HostnetPolicy(IsolationPolicy):
+    """The paper's proposed manager, as a sweepable policy.
+
+    Args:
+        intent_factory: Produces each tenant's intents at setup time.
+        work_conserving: Arbiter mode.
+        headroom: Admission budget fraction.
+        decision_latency: Arbiter enforcement delay (seconds).
+    """
+
+    name = "hostnet"
+
+    def __init__(
+        self,
+        intent_factory: IntentFactory,
+        work_conserving: bool = True,
+        headroom: float = 0.9,
+        decision_latency: float = 10e-6,
+    ) -> None:
+        self.intent_factory = intent_factory
+        self.work_conserving = work_conserving
+        self.headroom = headroom
+        self.decision_latency = decision_latency
+        self.manager: Optional[HostNetworkManager] = None
+        self.rejections: Dict[str, str] = {}
+
+    def setup(self, network: FabricNetwork, tenants: Sequence[str]) -> None:
+        """Build a manager, register tenants, and submit their intents."""
+        from ..errors import HostNetError
+
+        self.manager = HostNetworkManager(
+            network,
+            headroom=self.headroom,
+            work_conserving=self.work_conserving,
+            decision_latency=self.decision_latency,
+        )
+        self.rejections = {}
+        for tenant in tenants:
+            self.manager.register_tenant(tenant)
+            for intent in self.intent_factory(tenant):
+                try:
+                    self.manager.submit(intent)
+                except HostNetError as exc:
+                    self.rejections[intent.intent_id] = str(exc)
+
+    def teardown(self, network: FabricNetwork,
+                 tenants: Sequence[str]) -> None:
+        """Stop the arbiter and lift all enforcement."""
+        if self.manager is not None:
+            self.manager.shutdown()
+            self.manager = None

@@ -1,0 +1,45 @@
+"""Common interface for isolation policies (baselines and hostnet).
+
+Benchmarks sweep policies over identical workloads; a policy only decides
+what enforcement to install on the fabric for a given tenant set.  The
+interface is deliberately tiny: ``setup`` before the workload starts,
+``teardown`` after, and a ``name`` for result tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.network import FabricNetwork
+
+
+class IsolationPolicy:
+    """Base class: install/remove fabric enforcement for a tenant set."""
+
+    name = "base"
+
+    def setup(self, network: FabricNetwork, tenants: Sequence[str]) -> None:
+        """Install enforcement for *tenants* on *network*."""
+        raise NotImplementedError
+
+    def teardown(self, network: FabricNetwork,
+                 tenants: Sequence[str]) -> None:
+        """Remove whatever :meth:`setup` installed."""
+        raise NotImplementedError
+
+
+class UnmanagedPolicy(IsolationPolicy):
+    """Today's intra-host network: no enforcement at all (the §2 status quo).
+
+    Every tenant gets whatever max-min fairness hands its *flows* — so a
+    tenant that opens more flows simply takes more bandwidth.
+    """
+
+    name = "unmanaged"
+
+    def setup(self, network: FabricNetwork, tenants: Sequence[str]) -> None:
+        """Nothing to install."""
+
+    def teardown(self, network: FabricNetwork,
+                 tenants: Sequence[str]) -> None:
+        """Nothing to remove."""

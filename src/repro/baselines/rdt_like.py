@@ -1,0 +1,53 @@
+"""RDT-like point solution: memory-bus-only throttling.
+
+§2: "Intel RDT technology supports allocating memory bandwidth to different
+tenants ... Unfortunately, these features only provide limited point
+solutions that mitigate interference from specific components in a
+coarse-grained way."  This baseline reproduces that limitation: tenants are
+capped on *intra-socket (memory-bus) links only*; PCIe and UPI stay
+free-for-all, so interference that bottlenecks there (the paper's RDMA
+loopback case) sails straight through.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.network import FabricNetwork
+from ..topology.elements import LinkClass
+from .policy import IsolationPolicy
+
+
+class RdtLikePolicy(IsolationPolicy):
+    """Equal memory-bus split per tenant; everything else unmanaged."""
+
+    name = "rdt_like"
+
+    def _memory_links(self, network: FabricNetwork):
+        """Links RDT-style memory-bandwidth allocation can actually reach:
+        intra-socket links with a DIMM endpoint (the memory bus itself, not
+        the socket<->root-complex mesh, which MBA cannot throttle)."""
+        from ..topology.elements import DeviceType
+
+        topo = network.topology
+        for link in topo.links(LinkClass.INTRA_SOCKET):
+            ends = (topo.device(link.src).device_type,
+                    topo.device(link.dst).device_type)
+            if DeviceType.DIMM in ends:
+                yield link
+
+    def setup(self, network: FabricNetwork, tenants: Sequence[str]) -> None:
+        """Install equal splits on memory-bus links only."""
+        if not tenants:
+            return
+        share = 1.0 / len(tenants)
+        for link in self._memory_links(network):
+            per_tenant = link.capacity * share
+            for tenant in tenants:
+                network.set_tenant_link_cap(tenant, link.link_id, per_tenant)
+
+    def teardown(self, network: FabricNetwork,
+                 tenants: Sequence[str]) -> None:
+        """Remove every installed cap."""
+        for tenant in tenants:
+            network.clear_tenant_caps(tenant)

@@ -1,0 +1,36 @@
+"""Static hard partitioning: every link split equally among tenants.
+
+The classic isolation-without-manageability answer: perfect protection,
+terrible utilization — a tenant can never use more than ``1/N`` of any link
+even when the others are idle.  E2/E6 quantify exactly that loss against
+hostnet's work-conserving manager.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.network import FabricNetwork
+from .policy import IsolationPolicy
+
+
+class StaticPartitionPolicy(IsolationPolicy):
+    """Cap every tenant at ``capacity / N`` on every link."""
+
+    name = "static_partition"
+
+    def setup(self, network: FabricNetwork, tenants: Sequence[str]) -> None:
+        """Install the equal hard split for *tenants* on every link."""
+        if not tenants:
+            return
+        share = 1.0 / len(tenants)
+        for link in network.topology.links():
+            per_tenant = link.capacity * share
+            for tenant in tenants:
+                network.set_tenant_link_cap(tenant, link.link_id, per_tenant)
+
+    def teardown(self, network: FabricNetwork,
+                 tenants: Sequence[str]) -> None:
+        """Remove every installed cap."""
+        for tenant in tenants:
+            network.clear_tenant_caps(tenant)

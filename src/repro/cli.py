@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operator-style entry points over the simulated host, mirroring how the
+paper's tooling would be driven in production:
+
+* ``describe [--preset P]`` — print a preset's topology summary;
+* ``ping SRC DST`` — hostping between two devices;
+* ``trace SRC DST`` — hosttrace with per-hop latency attribution;
+* ``perf SRC DST`` — hostperf achievable-bandwidth probe;
+* ``drill [--failure ...]`` — inject a failure under load, run the
+  monitor, print detection + localization + diagnosis;
+* ``presets`` — list available host presets.
+
+All commands run against a freshly built simulated host (optionally with
+background load), so they work anywhere the library is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .diagnostics import hostperf, hostping, hosttrace, troubleshoot
+from .monitor import FailureInjector, HostMonitor
+from .sim import Engine, FabricNetwork
+from .topology import PRESETS, load_preset
+from .units import us
+from .workloads import KvStoreApp
+
+
+def _build_network(preset: str, load: bool) -> FabricNetwork:
+    network = FabricNetwork(load_preset(preset), Engine())
+    if load:
+        from .topology.elements import DeviceType
+
+        nics = network.topology.devices(DeviceType.NIC)
+        dimms = network.topology.devices(DeviceType.DIMM)
+        if nics and dimms:
+            app = KvStoreApp(network, "bg", nic=nics[0].device_id,
+                             dimm=dimms[0].device_id, request_rate=10_000,
+                             seed=0)
+            app.start()
+            network.engine.run_until(0.05)
+    return network
+
+
+def cmd_presets(_args: argparse.Namespace) -> int:
+    """List the shipped host presets with their sizes."""
+    for name in sorted(PRESETS):
+        topo = load_preset(name)
+        print(f"{name:<18} {len(topo.devices())} devices, "
+              f"{len(topo.links())} links")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    """Print the selected preset's topology summary or ASCII tree."""
+    topology = load_preset(args.preset)
+    if args.tree:
+        from .topology.render import render_tree
+
+        print(render_tree(topology))
+    else:
+        print(topology.describe())
+    return 0
+
+
+def cmd_ping(args: argparse.Namespace) -> int:
+    """hostping between two devices on a fresh simulated host."""
+    network = _build_network(args.preset, args.load)
+    print(hostping(network, args.src, args.dst, count=args.count).describe())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """hosttrace with per-hop latency attribution."""
+    network = _build_network(args.preset, args.load)
+    print(hosttrace(network, args.src, args.dst).describe())
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """hostperf achievable-bandwidth probe."""
+    network = _build_network(args.preset, args.load)
+    print(hostperf(network, args.src, args.dst,
+                   duration=args.duration).describe())
+    return 0
+
+
+def cmd_drill(args: argparse.Namespace) -> int:
+    """Inject a failure under load; print detection, localization, and
+    the automated diagnosis."""
+    network = _build_network(args.preset, load=True)
+    monitor = HostMonitor(network)
+    monitor.start()
+    network.engine.run_until(network.engine.now + 0.05)
+    monitor.record_baseline()
+
+    injector = FailureInjector(network)
+    if args.failure == "switch":
+        from .topology.elements import DeviceType
+
+        switches = network.topology.devices(DeviceType.PCIE_SWITCH)
+        if not switches:
+            print("preset has no PCIe switch to fail", file=sys.stderr)
+            return 1
+        failure = injector.degrade_switch(switches[0].device_id,
+                                          capacity_factor=0.1,
+                                          extra_latency=us(5))
+    elif args.failure == "link-down":
+        link = network.topology.links()[0]
+        failure = injector.fail_link(link.link_id)
+    else:
+        link = network.topology.links()[0]
+        failure = injector.degrade_link(link.link_id, capacity_factor=0.1,
+                                        extra_latency=us(5))
+    print(f"[injected] {failure.kind.value} on {failure.target}")
+
+    network.engine.run_until(network.engine.now + 0.1)
+    report = monitor.check()
+    print(report.describe())
+    suspect = report.top_link_suspect()
+    if suspect is not None:
+        link = network.topology.link(suspect.element_id)
+        diagnosis = troubleshoot(network, link.src, link.dst)
+        print(diagnosis.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="hostnet: manageable intra-host network tooling "
+                    "(simulated)",
+    )
+    parser.add_argument("--preset", default="cascade_lake_2s",
+                        choices=sorted(PRESETS), help="host preset")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list host presets")
+    describe = sub.add_parser("describe", help="print the preset's topology")
+    describe.add_argument("--tree", action="store_true",
+                          help="render as an ASCII tree with link specs")
+
+    for name, helptext in (("ping", "round-trip latency probe"),
+                           ("trace", "per-hop latency breakdown"),
+                           ("perf", "achievable bandwidth probe")):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("src")
+        p.add_argument("dst")
+        p.add_argument("--load", action="store_true",
+                       help="add background KV load first")
+        if name == "ping":
+            p.add_argument("--count", type=int, default=8)
+        if name == "perf":
+            p.add_argument("--duration", type=float, default=0.05)
+
+    drill = sub.add_parser("drill", help="failure-injection drill")
+    drill.add_argument("--failure", default="switch",
+                       choices=["switch", "link-degrade", "link-down"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "presets": cmd_presets,
+        "describe": cmd_describe,
+        "ping": cmd_ping,
+        "trace": cmd_trace,
+        "perf": cmd_perf,
+        "drill": cmd_drill,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Holistic resource management: intents -> interpret -> schedule -> arbitrate."""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ReservationLedger,
+)
+from .arbiter import DynamicArbiter, LinkAllocation, compute_caps
+from .intents import IntentKind, PerformanceTarget, hose, pipe
+from .interpreter import (
+    CandidateRequirement,
+    CompiledIntent,
+    LinkDemand,
+    interpret,
+)
+from .manager import HostNetworkManager, Placement
+from .scheduler import (
+    FirstFitScheduler,
+    RandomScheduler,
+    Scheduler,
+    TopologyAwareScheduler,
+    make_scheduler,
+)
+from .virtual import (
+    MigrationResult,
+    VirtualHostView,
+    build_view,
+    migrate_tenant,
+)
+
+__all__ = [
+    "IntentKind",
+    "PerformanceTarget",
+    "pipe",
+    "hose",
+    "LinkDemand",
+    "CandidateRequirement",
+    "CompiledIntent",
+    "interpret",
+    "ReservationLedger",
+    "AdmissionController",
+    "AdmissionDecision",
+    "Scheduler",
+    "TopologyAwareScheduler",
+    "FirstFitScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "compute_caps",
+    "LinkAllocation",
+    "DynamicArbiter",
+    "VirtualHostView",
+    "build_view",
+    "MigrationResult",
+    "migrate_tenant",
+    "HostNetworkManager",
+    "Placement",
+]

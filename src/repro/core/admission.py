@@ -1,0 +1,185 @@
+"""Reservation ledger and admission control.
+
+The ledger tracks, per directed link, how much bandwidth is promised to
+admitted intents.  Admission is a pure capacity check: a candidate fits iff
+every one of its directed demands leaves the link within
+``capacity * headroom``.  Headroom < 1 keeps slack for system traffic and
+model error; headroom > 1 deliberately overcommits (useful with
+work-conserving tenants that rarely peak together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AdmissionError
+from ..topology.graph import HostTopology
+from .interpreter import CandidateRequirement, CompiledIntent, LinkDemand
+
+
+def _key(link_id: str, direction: str) -> Tuple[str, str]:
+    return (link_id, direction)
+
+
+class ReservationLedger:
+    """Per-directed-link bandwidth reservations of admitted intents."""
+
+    def __init__(self, topology: HostTopology) -> None:
+        self.topology = topology
+        self._reserved: Dict[Tuple[str, str], float] = {}
+        self._by_intent: Dict[str, List[LinkDemand]] = {}
+
+    def reserved(self, link_id: str, direction: str) -> float:
+        """Bytes/s currently reserved on one direction of *link_id*."""
+        return self._reserved.get(_key(link_id, direction), 0.0)
+
+    def reserved_total(self, link_id: str) -> float:
+        """Reserved bytes/s on *link_id*, both directions summed."""
+        return (self.reserved(link_id, "fwd") + self.reserved(link_id, "rev"))
+
+    def utilization(self, link_id: str, direction: str) -> float:
+        """Reserved fraction of one direction's capacity."""
+        capacity = self.topology.link(link_id).capacity
+        if capacity <= 0:
+            return float("inf")
+        return self.reserved(link_id, direction) / capacity
+
+    def headroom_after(self, demand: LinkDemand, headroom: float) -> float:
+        """Remaining capacity fraction after adding *demand* (can be < 0)."""
+        capacity = self.topology.link(demand.link_id).capacity
+        if capacity <= 0:
+            return float("-inf")
+        budget = capacity * headroom
+        used = self.reserved(demand.link_id, demand.direction)
+        return (budget - used - demand.bandwidth) / capacity
+
+    def fits(self, candidate: CandidateRequirement, headroom: float) -> bool:
+        """Whether every demand of *candidate* fits within *headroom*."""
+        return all(
+            self.headroom_after(demand, headroom) >= 0.0
+            for demand in candidate.demands
+        )
+
+    def post_utilization(self, candidate: CandidateRequirement) -> float:
+        """Max directed-link reserved utilization if *candidate* commits.
+
+        The scheduler's objective: lower is better (more balanced fabric).
+        """
+        worst = 0.0
+        for demand in candidate.demands:
+            capacity = self.topology.link(demand.link_id).capacity
+            if capacity <= 0:
+                return float("inf")
+            used = self.reserved(demand.link_id, demand.direction)
+            worst = max(worst, (used + demand.bandwidth) / capacity)
+        return worst
+
+    def commit(self, intent_id: str, candidate: CandidateRequirement) -> None:
+        """Record *candidate*'s demands under *intent_id*."""
+        if intent_id in self._by_intent:
+            raise AdmissionError(intent_id, "already committed")
+        for demand in candidate.demands:
+            key = _key(demand.link_id, demand.direction)
+            self._reserved[key] = self._reserved.get(key, 0.0) + demand.bandwidth
+        self._by_intent[intent_id] = list(candidate.demands)
+
+    def release(self, intent_id: str) -> List[LinkDemand]:
+        """Remove an intent's reservations; returns what was released."""
+        demands = self._by_intent.pop(intent_id, None)
+        if demands is None:
+            raise AdmissionError(intent_id, "not committed")
+        for demand in demands:
+            key = _key(demand.link_id, demand.direction)
+            remaining = self._reserved.get(key, 0.0) - demand.bandwidth
+            if remaining <= 1e-9:
+                self._reserved.pop(key, None)
+            else:
+                self._reserved[key] = remaining
+        return demands
+
+    def demands_of(self, intent_id: str) -> List[LinkDemand]:
+        """The committed demands of one intent."""
+        try:
+            return list(self._by_intent[intent_id])
+        except KeyError:
+            raise AdmissionError(intent_id, "not committed") from None
+
+    def committed_intents(self) -> List[str]:
+        """Ids of all committed intents."""
+        return list(self._by_intent)
+
+    def tenant_floor(self, link_id: str, intent_ids: List[str]) -> float:
+        """Total floor the given intents hold on *link_id* (both directions)."""
+        total = 0.0
+        for intent_id in intent_ids:
+            for demand in self._by_intent.get(intent_id, []):
+                if demand.link_id == link_id:
+                    total += demand.bandwidth
+        return total
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    Attributes:
+        intent_id: The intent decided on.
+        admitted: Whether it was accepted.
+        candidate: The committed candidate when admitted.
+        reason: Rejection reason when not.
+    """
+
+    intent_id: str
+    admitted: bool
+    candidate: Optional[CandidateRequirement] = None
+    reason: str = ""
+
+
+class AdmissionController:
+    """Capacity-checked admission against a ledger.
+
+    Args:
+        ledger: The shared reservation ledger.
+        headroom: Admission budget as a fraction of link capacity
+            (0.9 keeps 10% slack; 1.2 overcommits by 20%).
+    """
+
+    def __init__(self, ledger: ReservationLedger, headroom: float = 0.9) -> None:
+        if headroom <= 0:
+            raise ValueError(f"headroom must be > 0, got {headroom}")
+        self.ledger = ledger
+        self.headroom = headroom
+        self.admitted_count = 0
+        self.rejected_count = 0
+
+    def feasible(self, compiled: CompiledIntent) -> List[CandidateRequirement]:
+        """Candidates of *compiled* that currently fit the budget."""
+        return [
+            c for c in compiled.candidates
+            if self.ledger.fits(c, self.headroom)
+        ]
+
+    def admit(self, compiled: CompiledIntent,
+              candidate: CandidateRequirement) -> AdmissionDecision:
+        """Commit *candidate* for *compiled*'s intent, re-checking fit."""
+        intent_id = compiled.intent.intent_id
+        if not self.ledger.fits(candidate, self.headroom):
+            self.rejected_count += 1
+            return AdmissionDecision(
+                intent_id=intent_id, admitted=False,
+                reason="insufficient capacity at commit time",
+            )
+        self.ledger.commit(intent_id, candidate)
+        self.admitted_count += 1
+        return AdmissionDecision(
+            intent_id=intent_id, admitted=True, candidate=candidate,
+        )
+
+    def reject(self, compiled: CompiledIntent,
+               reason: str) -> AdmissionDecision:
+        """Record a rejection (for accounting symmetry)."""
+        self.rejected_count += 1
+        return AdmissionDecision(
+            intent_id=compiled.intent.intent_id, admitted=False, reason=reason,
+        )

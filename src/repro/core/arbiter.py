@@ -1,0 +1,435 @@
+"""The dynamic resource arbiter (§3.2).
+
+Enforces the schedule at run time: periodically observes per-tenant usage
+on every managed link, computes rate caps that protect admitted floors, and
+pushes them into the fabric — after a configurable *decision latency*, the
+end-to-end time to sense, decide, and program an enforcement point.  §3.2
+Q3 asks how small that latency must be; E7 sweeps it and measures how
+isolation degrades as enforcement goes stale.
+
+Allocation rule per managed link (each adjustment round):
+
+1. every guaranteed tenant's cap is at least its floor, always — so a
+   returning tenant can start reclaiming immediately;
+2. the distributable spare is ``capacity - sum(floors)`` **plus the
+   unused part of idle tenants' floors** (ElasticSwitch-style lending:
+   guaranteed bandwidth nobody is using works for others);
+3. spare is distributed by *demand-aware water-filling*: each tenant's
+   spare demand is estimated from its observed usage beyond its floor
+   (doubled, to let it grow between rounds, plus a small ramp allowance
+   so idle tenants can signal); leftover is split equally.
+
+Lending is what makes the fabric work-conserving, and it is also the
+source of the staleness window E7 measures: when an idle guarantee-holder
+bursts back, borrowed bandwidth is only reclaimed at the next adjustment
+(plus the decision latency), so floors can dip transiently.  Larger
+decision latencies mean longer dips — §3.2 Q3 quantified.
+
+Non-work-conserving mode pins guaranteed tenants exactly at their floors
+and splits the static spare among best-effort tenants — predictable and
+dip-free, but it strands every idle guarantee (the E6/E9 trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ArbiterError
+from ..sim.engine import PeriodicTask
+from ..sim.network import SYSTEM_TENANT, FabricNetwork
+from ..units import us
+
+#: Usage below this (bytes/s) counts as inactive.
+_ACTIVE_EPSILON = 1.0
+
+#: Minimum cap handed to an inactive best-effort tenant so it can ramp up.
+_RAMP_ALLOWANCE_FRACTION = 0.02
+
+#: How far beyond observed usage a tenant's spare-demand estimate reaches;
+#: 2.0 lets a growing tenant double every adjustment round.
+_GROWTH_FACTOR = 2.0
+
+#: A guaranteed tenant using less than this fraction of its floor is
+#: *parked*: its unused floor is lent out.  Any usage above the threshold
+#: reclaims the floor at the next adjustment — lending on raw usage alone
+#: would deadlock (a squeezed owner can never ramp back through borrowed
+#: capacity).
+_PARK_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class LinkAllocation:
+    """One adjustment-round outcome for a link (for introspection/tests)."""
+
+    link_id: str
+    capacity: float
+    floors: Dict[str, float]
+    usages: Dict[str, float]
+    caps: Dict[str, float]
+
+
+def compute_caps(
+    capacity: float,
+    floors: Dict[str, float],
+    usages: Dict[str, float],
+    best_effort: Set[str],
+    work_conserving: bool,
+    utilization_ceiling: float = 1.0,
+    lend_parked_floors: bool = True,
+    demand_aware: bool = True,
+) -> Dict[str, float]:
+    """The arbiter's per-link allocation rule (see module docstring).
+
+    Args:
+        capacity: Per-direction link capacity (bytes/s).
+        floors: Guaranteed floor per guaranteed tenant.
+        usages: Observed rate per tenant (guaranteed and best-effort).
+        best_effort: Tenants present without any floor on this link.
+        work_conserving: Whether unused guarantees are redistributable.
+        utilization_ceiling: Fraction of capacity the allocator may hand
+            out in total.  Latency SLOs compile to ceilings < 1 (queueing
+            delay explodes near saturation), trading some work
+            conservation for a bounded tail.  Floors always fit first —
+            guarantees beat the ceiling if they conflict.
+        lend_parked_floors: Whether idle guarantees join the spare
+            (the ElasticSwitch-style lending; off = hard reservations).
+            Ablation knob — production use leaves it on.
+        demand_aware: Whether the spare is water-filled by usage-derived
+            demand estimates (off = split equally among active sharers).
+            Ablation knob — production use leaves it on.
+
+    Returns:
+        Rate cap per tenant (every tenant in *floors* or *best_effort*).
+    """
+    if not 0 < utilization_ceiling <= 1:
+        raise ValueError("utilization_ceiling must be in (0, 1]")
+    budget = capacity * utilization_ceiling
+    reserved = sum(floors.values())
+    spare = max(budget - reserved, 0.0)
+    allowance = capacity * _RAMP_ALLOWANCE_FRACTION
+    tenants = set(floors) | set(best_effort)
+
+    caps: Dict[str, float] = {}
+    if not work_conserving:
+        for tenant, floor in floors.items():
+            caps[tenant] = floor
+        if best_effort:
+            be_share = spare / len(best_effort)
+            for tenant in best_effort:
+                caps[tenant] = max(be_share, allowance)
+        return caps
+
+    # Lend *parked* guarantees: a floor whose owner is clearly idle joins
+    # the distributable spare.  Reclaim happens one round after the owner
+    # shows any real usage again — the staleness window E7 measures.
+    if lend_parked_floors:
+        spare += sum(
+            max(floor - usages.get(tenant, 0.0), 0.0)
+            for tenant, floor in floors.items()
+            if usages.get(tenant, 0.0) < _PARK_FRACTION * floor
+        )
+
+    # Demand-aware water-filling of the spare.  A tenant's estimated spare
+    # demand is its observed usage beyond its floor, doubled so it can keep
+    # growing, plus the ramp allowance so an idle tenant still gets a
+    # toehold to signal demand with.
+    if demand_aware:
+        estimates = {
+            tenant: max(usages.get(tenant, 0.0)
+                        - floors.get(tenant, 0.0), 0.0)
+            * _GROWTH_FACTOR + allowance
+            for tenant in tenants
+        }
+        allocation = _waterfill(spare, estimates)
+    else:
+        # Ablation: equal split among active sharers (plus all guaranteed
+        # tenants, whose floors must be claimable instantly).
+        active = {t for t in tenants
+                  if usages.get(t, 0.0) > _ACTIVE_EPSILON}
+        sharers = active | set(floors)
+        share = spare / len(sharers) if sharers else 0.0
+        allocation = {t: (share if t in sharers else allowance)
+                      for t in tenants}
+    for tenant in tenants:
+        caps[tenant] = floors.get(tenant, 0.0) + allocation[tenant]
+    for tenant in best_effort:
+        caps[tenant] = max(caps[tenant], allowance)
+    return caps
+
+
+def _waterfill(budget: float, demands: Dict[str, float]) -> Dict[str, float]:
+    """Classic water-filling: satisfy demands fairly, split any leftover.
+
+    Each round gives every unsatisfied claimant an equal share, capped at
+    its demand; leftover re-enters the pool.  Budget remaining after every
+    demand is met is split equally among all claimants (so anyone may grow
+    past its estimate next round).
+    """
+    if not demands:
+        return {}
+    allocation = {tenant: 0.0 for tenant in demands}
+    unsatisfied = {t for t, d in demands.items() if d > 0}
+    remaining = budget
+    while unsatisfied and remaining > 1e-9:
+        share = remaining / len(unsatisfied)
+        progressed = False
+        for tenant in list(unsatisfied):
+            need = demands[tenant] - allocation[tenant]
+            grant = min(share, need)
+            if grant > 0:
+                allocation[tenant] += grant
+                remaining -= grant
+                progressed = True
+            if allocation[tenant] >= demands[tenant] - 1e-9:
+                unsatisfied.discard(tenant)
+        if not progressed:
+            break
+    if remaining > 1e-9:
+        bonus = remaining / len(demands)
+        for tenant in allocation:
+            allocation[tenant] += bonus
+    return allocation
+
+
+class DynamicArbiter:
+    """Periodic, delayed enforcement of floors over a live fabric.
+
+    Args:
+        network: The fabric to control.
+        period: Adjustment period (seconds).
+        decision_latency: Sense-decide-program delay before newly computed
+            caps take effect (seconds) — §3.2 Q3's knob.
+        work_conserving: Allocation mode (see :func:`compute_caps`).
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        period: float = 0.001,
+        decision_latency: float = us(10),
+        work_conserving: bool = True,
+        lend_parked_floors: bool = True,
+        demand_aware: bool = True,
+    ) -> None:
+        if period <= 0:
+            raise ArbiterError(f"period must be > 0, got {period}")
+        if decision_latency < 0:
+            raise ArbiterError("decision_latency must be >= 0")
+        self.network = network
+        self.period = period
+        self.decision_latency = decision_latency
+        self.work_conserving = work_conserving
+        self.lend_parked_floors = lend_parked_floors
+        self.demand_aware = demand_aware
+
+        # (link, direction) -> tenant -> floor.  Links are full duplex, so
+        # guarantees are enforced per direction (a 50 Gbps ingress floor
+        # must not be satisfiable with egress bandwidth).
+        self._floors: Dict[Tuple[str, str], Dict[str, float]] = {}
+        # link -> {owner: ceiling}; the strictest owner wins per link.
+        self._ceilings: Dict[str, Dict[str, float]] = {}
+        self._best_effort: Set[str] = set()
+        self._task: Optional[PeriodicTask] = None
+        self._capped: Set[tuple] = set()
+
+        self.adjustments = 0
+        self.last_allocations: List[LinkAllocation] = []
+
+    # -- configuration ----------------------------------------------------------
+
+    def _floor_keys(self, link_id: str,
+                    direction: Optional[str]) -> List[Tuple[str, str]]:
+        if direction is None:
+            return [(link_id, "fwd"), (link_id, "rev")]
+        if direction not in ("fwd", "rev"):
+            raise ArbiterError(f"direction must be fwd/rev/None, "
+                               f"got {direction!r}")
+        return [(link_id, direction)]
+
+    def add_floor(self, tenant_id: str, link_id: str, bandwidth: float,
+                  direction: Optional[str] = None) -> None:
+        """Add *bandwidth* to a tenant's guaranteed floor on *link_id*.
+
+        With *direction* (``"fwd"``/``"rev"``) the floor binds one
+        direction; without it, the guarantee is installed in both
+        directions (bidirectional intents, simple callers).
+        """
+        if bandwidth <= 0:
+            raise ArbiterError("floor bandwidth must be > 0")
+        self.network.topology.link(link_id)  # validate
+        for key in self._floor_keys(link_id, direction):
+            per_tenant = self._floors.setdefault(key, {})
+            per_tenant[tenant_id] = per_tenant.get(tenant_id, 0.0) + bandwidth
+
+    def remove_floor(self, tenant_id: str, link_id: str,
+                     bandwidth: float,
+                     direction: Optional[str] = None) -> None:
+        """Subtract *bandwidth* from a floor (removing it at zero)."""
+        for key in self._floor_keys(link_id, direction):
+            per_tenant = self._floors.get(key, {})
+            current = per_tenant.get(tenant_id)
+            if current is None:
+                raise ArbiterError(
+                    f"no floor for tenant {tenant_id!r} on "
+                    f"{key[0]!r}/{key[1]}"
+                )
+            remaining = current - bandwidth
+            if remaining <= 1e-9:
+                del per_tenant[tenant_id]
+                if not per_tenant:
+                    del self._floors[key]
+            else:
+                per_tenant[tenant_id] = remaining
+
+    def set_utilization_ceiling(self, owner: str, link_id: str,
+                                ceiling: float) -> None:
+        """Bound the fraction of *link_id* the allocator may hand out.
+
+        Latency SLOs compile to per-link ceilings: capping utilization
+        bounds queueing inflation.  Multiple owners (intents) may set
+        ceilings on one link; the strictest applies.  The link must also
+        carry at least one floor for the arbiter to manage it.
+        """
+        if not 0 < ceiling <= 1:
+            raise ArbiterError("ceiling must be in (0, 1]")
+        self.network.topology.link(link_id)  # validate
+        self._ceilings.setdefault(link_id, {})[owner] = ceiling
+
+    def clear_utilization_ceiling(self, owner: str, link_id: str) -> None:
+        """Remove one owner's ceiling on *link_id* (no-op if absent)."""
+        owners = self._ceilings.get(link_id)
+        if owners is not None:
+            owners.pop(owner, None)
+            if not owners:
+                del self._ceilings[link_id]
+
+    def ceiling_on(self, link_id: str) -> float:
+        """The effective (strictest) ceiling on *link_id*; 1.0 if none."""
+        owners = self._ceilings.get(link_id)
+        if not owners:
+            return 1.0
+        return min(owners.values())
+
+    def register_best_effort(self, tenant_id: str) -> None:
+        """Mark a tenant as best-effort (subject to caps, no floor)."""
+        self._best_effort.add(tenant_id)
+
+    def unregister_best_effort(self, tenant_id: str) -> None:
+        """Remove a tenant from best-effort tracking and lift its caps."""
+        self._best_effort.discard(tenant_id)
+        self._lift_tenant_caps(tenant_id)
+
+    def floors_on(self, link_id: str,
+                  direction: Optional[str] = None) -> Dict[str, float]:
+        """Current floors on *link_id*.
+
+        With *direction*, that direction's floors; without, the per-tenant
+        maximum across directions (the effective guarantee level).
+        """
+        if direction is not None:
+            return dict(self._floors.get((link_id, direction), {}))
+        merged: Dict[str, float] = {}
+        for d in ("fwd", "rev"):
+            for tenant, floor in self._floors.get((link_id, d), {}).items():
+                merged[tenant] = max(merged.get(tenant, 0.0), floor)
+        return merged
+
+    def managed_links(self) -> List[str]:
+        """Links with at least one floor (either direction), deduplicated."""
+        seen: List[str] = []
+        for link_id, _direction in self._floors:
+            if link_id not in seen:
+                seen.append(link_id)
+        return seen
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic adjustment."""
+        if self._task is not None:
+            raise ArbiterError("arbiter already started")
+        self._task = self.network.engine.schedule_every(
+            self.period, self.adjust_once, label="arbiter-adjust"
+        )
+
+    def stop(self, lift_caps: bool = True) -> None:
+        """Stop adjusting; optionally lift every cap the arbiter set."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if lift_caps:
+            for tenant_id, link_id, direction in list(self._capped):
+                self.network.clear_tenant_link_cap(tenant_id, link_id,
+                                                   direction=direction)
+            self._capped.clear()
+
+    # -- the control loop -------------------------------------------------------
+
+    def adjust_once(self) -> List[LinkAllocation]:
+        """One sense-decide round; caps apply after ``decision_latency``."""
+        self.adjustments += 1
+        allocations: List[LinkAllocation] = []
+        pending: List[tuple] = []
+        for (link_id, direction), floors in self._floors.items():
+            link = self.network.topology.link(link_id)
+            capacity = link.capacity  # the arbiter believes the spec sheet
+            tenants = set(floors) | self._best_effort
+            tenants.discard(SYSTEM_TENANT)
+            usages = {
+                tenant: self.network.tenant_link_rate(tenant, link_id,
+                                                      direction)
+                for tenant in tenants
+            }
+            best_effort_here = {
+                t for t in self._best_effort if t not in floors
+            }
+            caps = compute_caps(
+                capacity=capacity, floors=dict(floors), usages=usages,
+                best_effort=best_effort_here,
+                work_conserving=self.work_conserving,
+                utilization_ceiling=self.ceiling_on(link_id),
+                lend_parked_floors=self.lend_parked_floors,
+                demand_aware=self.demand_aware,
+            )
+            allocations.append(
+                LinkAllocation(
+                    link_id=f"{link_id}|{direction}", capacity=capacity,
+                    floors=dict(floors), usages=usages, caps=dict(caps),
+                )
+            )
+            for tenant, cap in caps.items():
+                pending.append((tenant, link_id, direction, cap))
+
+        if pending:
+            if self.decision_latency > 0:
+                self.network.engine.schedule_in(
+                    self.decision_latency,
+                    lambda batch=pending: self._apply(batch),
+                    label="arbiter-apply",
+                )
+            else:
+                self._apply(pending)
+        self.last_allocations = allocations
+        return allocations
+
+    def _apply(self, batch: List[tuple]) -> None:
+        for tenant, link_id, direction, cap in batch:
+            self.network.set_tenant_link_cap(tenant, link_id, cap,
+                                             direction=direction)
+            self._capped.add((tenant, link_id, direction))
+
+    def _lift_tenant_caps(self, tenant_id: str) -> None:
+        stale = [key for key in self._capped if key[0] == tenant_id]
+        for tenant, link_id, direction in stale:
+            self.network.clear_tenant_link_cap(tenant, link_id,
+                                               direction=direction)
+            self._capped.discard((tenant, link_id, direction))
+
+    def lift_link_caps(self, link_id: str) -> None:
+        """Lift every cap on *link_id* (after its last floor is released)."""
+        stale = [key for key in self._capped if key[1] == link_id]
+        for tenant, link, direction in stale:
+            self.network.clear_tenant_link_cap(tenant, link,
+                                               direction=direction)
+            self._capped.discard((tenant, link, direction))

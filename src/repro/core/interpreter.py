@@ -1,0 +1,219 @@
+"""The performance-targets interpreter (§3.2).
+
+Compiles a :class:`~repro.core.intents.PerformanceTarget` into concrete
+*candidate requirements*: for each viable fabric path, the set of per-link
+bandwidth demands that would satisfy the intent along that path.  The
+interpreter is "general and flexible because the intra-host network
+topology and capacities may vary on different hosts" — it works from the
+topology alone, with no preset-specific logic.
+
+* PIPE intents compile to k candidate paths src->dst; each candidate
+  demands the full floor on every link it crosses.
+* HOSE intents compile to a single candidate: the union of links on the
+  shortest paths from the endpoint to each of its *anchor* sinks (the
+  local memory system and the external network — the two places intra-host
+  traffic terminates), demanding the floor once per link.  This is the
+  hose model's aggregate semantics: one reservation covers any peer mix.
+
+Latency SLOs are enforced structurally: candidates whose zero-load RTT
+already exceeds the SLO are discarded here, before scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import InterpretationError, NoPathError
+from ..topology.elements import DeviceType
+from ..topology.graph import HostTopology
+from ..topology.routing import Path, k_shortest_paths, shortest_path
+from .intents import IntentKind, PerformanceTarget
+
+
+@dataclass(frozen=True)
+class LinkDemand:
+    """A directed per-link bandwidth requirement.
+
+    Attributes:
+        link_id: The physical link.
+        direction: ``"fwd"``/``"rev"`` relative to the link's (src, dst).
+        bandwidth: Required bytes/s on that direction.
+    """
+
+    link_id: str
+    direction: str
+    bandwidth: float
+
+
+@dataclass(frozen=True)
+class CandidateRequirement:
+    """One way to satisfy an intent: a path (or link union) plus demands."""
+
+    paths: Tuple[Path, ...]
+    demands: Tuple[LinkDemand, ...]
+
+    def links(self) -> List[str]:
+        """Distinct physical links this candidate touches."""
+        seen = []
+        for demand in self.demands:
+            if demand.link_id not in seen:
+                seen.append(demand.link_id)
+        return seen
+
+
+@dataclass(frozen=True)
+class CompiledIntent:
+    """Interpreter output: the intent plus its viable candidates."""
+
+    intent: PerformanceTarget
+    candidates: Tuple[CandidateRequirement, ...]
+
+
+def _directed_demands(topology: HostTopology, path: Path,
+                      bandwidth: float,
+                      bidirectional: bool) -> List[LinkDemand]:
+    """Per-link demands for *bandwidth* along *path* (optionally both ways)."""
+    demands: List[LinkDemand] = []
+    for i, link_id in enumerate(path.links):
+        link = topology.link(link_id)
+        forward = "fwd" if path.devices[i] == link.src else "rev"
+        demands.append(LinkDemand(link_id, forward, bandwidth))
+        if bidirectional:
+            backward = "rev" if forward == "fwd" else "fwd"
+            demands.append(LinkDemand(link_id, backward, bandwidth))
+    return demands
+
+
+def _merge_demands(demands: List[LinkDemand]) -> List[LinkDemand]:
+    """Union demands per (link, direction), keeping the maximum.
+
+    The hose semantics: the same reservation covers any peer, so shared
+    links are reserved once, not once per destination.
+    """
+    best: Dict[Tuple[str, str], float] = {}
+    order: List[Tuple[str, str]] = []
+    for demand in demands:
+        key = (demand.link_id, demand.direction)
+        if key not in best:
+            order.append(key)
+        best[key] = max(best.get(key, 0.0), demand.bandwidth)
+    return [LinkDemand(link, direction, best[(link, direction)])
+            for link, direction in order]
+
+
+def _hose_anchors(topology: HostTopology, endpoint: str) -> List[str]:
+    """Sinks a hose endpoint's traffic terminates at.
+
+    Intra-host traffic ultimately hits host memory (the endpoint-local DIMM
+    group when one exists, else any DIMM) and — for externally reachable
+    hosts — the inter-host port.  These anchor the hose's reserved tree.
+    """
+    anchors: List[str] = []
+    socket = topology.socket_of(endpoint)
+    dimms = topology.devices(DeviceType.DIMM)
+    local = [d for d in dimms if d.socket == socket]
+    pool = local or dimms
+    if pool:
+        anchors.append(pool[0].device_id)
+    for ext in topology.devices(DeviceType.EXTERNAL):
+        if ext.device_id != endpoint:
+            anchors.append(ext.device_id)
+            break
+    anchors = [a for a in anchors if a != endpoint]
+    if not anchors:
+        raise InterpretationError(
+            f"no hose anchors reachable from {endpoint!r} "
+            f"(topology has no DIMM or external sink)"
+        )
+    return anchors
+
+
+def interpret(topology: HostTopology, intent: PerformanceTarget,
+              k: int = 4) -> CompiledIntent:
+    """Compile *intent* into candidate per-link requirements.
+
+    Raises :class:`InterpretationError` when no candidate can possibly
+    satisfy the intent (no path, every path SLO-infeasible, or the floor
+    exceeds every path's bottleneck capacity).
+    """
+    if intent.kind is IntentKind.PIPE:
+        candidates = _interpret_pipe(topology, intent, k)
+    else:
+        candidates = _interpret_hose(topology, intent, k)
+    if not candidates:
+        raise InterpretationError(
+            f"intent {intent.intent_id!r}: no feasible candidate "
+            f"(bandwidth={intent.bandwidth:.3g}B/s, "
+            f"latency_slo={intent.latency_slo})"
+        )
+    return CompiledIntent(intent=intent, candidates=tuple(candidates))
+
+
+def _interpret_pipe(topology: HostTopology, intent: PerformanceTarget,
+                    k: int) -> List[CandidateRequirement]:
+    try:
+        paths = k_shortest_paths(topology, intent.src, intent.dst, k=k)
+    except NoPathError as exc:
+        raise InterpretationError(
+            f"intent {intent.intent_id!r}: {exc}"
+        ) from exc
+    candidates = []
+    for path in paths:
+        if intent.latency_slo is not None \
+                and 2.0 * path.base_latency > intent.latency_slo:
+            continue
+        if path.bottleneck_capacity < intent.bandwidth:
+            continue
+        demands = _directed_demands(topology, path, intent.bandwidth,
+                                    bidirectional=intent.bidirectional)
+        candidates.append(
+            CandidateRequirement(paths=(path,), demands=tuple(demands))
+        )
+    return candidates
+
+
+def _interpret_hose(topology: HostTopology, intent: PerformanceTarget,
+                    k: int) -> List[CandidateRequirement]:
+    """Hose candidates: one per combination of per-anchor path choices.
+
+    The hose's reserved tree is not unique — each anchor may be reachable
+    over several fabric paths (parallel UPI links, either NIC's inter-host
+    port).  Emitting the (bounded) cross-product as distinct candidates
+    lets the topology-aware scheduler place hoses as cleverly as pipes.
+    """
+    import itertools
+
+    anchors = _hose_anchors(topology, intent.src)
+    per_anchor: List[List[Path]] = []
+    for anchor in anchors:
+        try:
+            choices = k_shortest_paths(topology, intent.src, anchor,
+                                       k=min(k, 3))
+        except NoPathError:
+            continue
+        viable = [
+            p for p in choices
+            if (intent.latency_slo is None
+                or 2.0 * p.base_latency <= intent.latency_slo)
+            and p.bottleneck_capacity >= intent.bandwidth
+        ]
+        if viable:
+            per_anchor.append(viable)
+    if not per_anchor:
+        return []
+    candidates: List[CandidateRequirement] = []
+    for combo in itertools.islice(itertools.product(*per_anchor), 8):
+        demands: List[LinkDemand] = []
+        for path in combo:
+            # Hose guarantees are ingress+egress: demand both directions.
+            demands.extend(
+                _directed_demands(topology, path, intent.bandwidth,
+                                  bidirectional=True)
+            )
+        candidates.append(
+            CandidateRequirement(
+                paths=tuple(combo), demands=tuple(_merge_demands(demands))
+            )
+        )
+    return candidates

@@ -1,0 +1,256 @@
+"""The :class:`HostNetworkManager`: the paper's compile-schedule-arbitrate
+pipeline in one facade (§3.2).
+
+Submitting a :class:`~repro.core.intents.PerformanceTarget` runs:
+
+1. **interpret** — compile the intent into candidate per-link requirements
+   under its resource model (pipe/hose);
+2. **schedule** — pick a candidate topology-aware (or via a baseline
+   strategy);
+3. **admit** — capacity-check and commit the reservation;
+4. **arbitrate** — install the floors in the dynamic arbiter, which
+   enforces them on the live fabric from then on.
+
+The manager also maintains each tenant's virtualized view and the tenant
+registry; it is the single object examples and benchmarks interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import AdmissionError, UnknownTenantError
+from ..sim.network import FabricNetwork
+from ..units import us
+from .admission import AdmissionController, AdmissionDecision, ReservationLedger
+from .arbiter import DynamicArbiter
+from .intents import PerformanceTarget
+from .interpreter import CandidateRequirement, interpret
+from .scheduler import Scheduler, TopologyAwareScheduler
+from .virtual import VirtualHostView, build_view
+
+
+@dataclass
+class Placement:
+    """A successfully admitted intent and where it landed.
+
+    Attributes:
+        intent: The admitted intent.
+        candidate: The committed candidate (paths + per-link demands).
+    """
+
+    intent: PerformanceTarget
+    candidate: CandidateRequirement
+
+    def links(self) -> List[str]:
+        """Physical links the placement reserved on."""
+        return self.candidate.links()
+
+
+class HostNetworkManager:
+    """Holistic resource manager over one host's fabric.
+
+    Args:
+        network: The live fabric to manage.
+        scheduler: Path-selection strategy (default topology-aware).
+        headroom: Admission budget fraction (see
+            :class:`~repro.core.admission.AdmissionController`).
+        work_conserving: Arbiter allocation mode.
+        arbiter_period: Arbiter adjustment period (seconds).
+        decision_latency: Arbiter sense-to-enforce delay (seconds, §3.2 Q3).
+        candidate_paths: k for the interpreter's path enumeration.
+        auto_start_arbiter: Start the arbiter loop on construction.
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        scheduler: Optional[Scheduler] = None,
+        headroom: float = 0.9,
+        work_conserving: bool = True,
+        arbiter_period: float = 0.001,
+        decision_latency: float = us(10),
+        candidate_paths: int = 4,
+        auto_start_arbiter: bool = True,
+    ) -> None:
+        self.network = network
+        self.scheduler = scheduler or TopologyAwareScheduler()
+        self.ledger = ReservationLedger(network.topology)
+        self.admission = AdmissionController(self.ledger, headroom=headroom)
+        self.arbiter = DynamicArbiter(
+            network, period=arbiter_period,
+            decision_latency=decision_latency,
+            work_conserving=work_conserving,
+        )
+        self.candidate_paths = candidate_paths
+        self.tenants: Set[str] = set()
+        self._placements: Dict[str, Placement] = {}
+        self._intents_by_tenant: Dict[str, List[str]] = {}
+        if auto_start_arbiter:
+            self.arbiter.start()
+
+    # -- tenants -----------------------------------------------------------------
+
+    def register_tenant(self, tenant_id: str) -> None:
+        """Add a tenant; until it holds intents it is best-effort."""
+        if tenant_id in self.tenants:
+            return
+        self.tenants.add(tenant_id)
+        self._intents_by_tenant.setdefault(tenant_id, [])
+        self.arbiter.register_best_effort(tenant_id)
+
+    def unregister_tenant(self, tenant_id: str) -> None:
+        """Remove a tenant: release its intents and lift its caps."""
+        if tenant_id not in self.tenants:
+            raise UnknownTenantError(tenant_id)
+        for intent_id in list(self._intents_by_tenant.get(tenant_id, [])):
+            self.release(intent_id)
+        self.arbiter.unregister_best_effort(tenant_id)
+        self.tenants.discard(tenant_id)
+        self._intents_by_tenant.pop(tenant_id, None)
+
+    # -- the pipeline ---------------------------------------------------------------
+
+    def submit(self, intent: PerformanceTarget) -> Placement:
+        """Interpret, schedule, admit, and start enforcing *intent*.
+
+        Raises :class:`~repro.errors.InterpretationError`,
+        :class:`~repro.errors.ScheduleError`, or
+        :class:`~repro.errors.AdmissionError` at the stage that failed.
+        """
+        if intent.tenant_id not in self.tenants:
+            self.register_tenant(intent.tenant_id)
+        if intent.intent_id in self._placements:
+            raise AdmissionError(intent.intent_id, "already placed")
+
+        compiled = interpret(self.network.topology, intent,
+                             k=self.candidate_paths)
+        candidate = self.scheduler.choose(compiled, self.admission)
+        decision = self.admission.admit(compiled, candidate)
+        if not decision.admitted:
+            raise AdmissionError(intent.intent_id, decision.reason)
+
+        for demand in candidate.demands:
+            self.arbiter.add_floor(intent.tenant_id, demand.link_id,
+                                   demand.bandwidth,
+                                   direction=demand.direction)
+        if intent.latency_slo is not None:
+            self._install_slo_ceilings(intent, candidate)
+        placement = Placement(intent=intent, candidate=candidate)
+        self._placements[intent.intent_id] = placement
+        self._intents_by_tenant.setdefault(intent.tenant_id, []).append(
+            intent.intent_id
+        )
+        # Enforce the new allocation immediately rather than waiting for
+        # the next periodic tick ("adjust the allocation promptly when
+        # applications come and go").
+        self.arbiter.adjust_once()
+        return placement
+
+    def _install_slo_ceilings(self, intent: PerformanceTarget,
+                              candidate: CandidateRequirement) -> None:
+        """Compile a latency SLO into per-link utilization ceilings.
+
+        Queueing inflates a path's one-way latency to roughly
+        ``B * (1 + alpha * rho / (1 - rho))`` at uniform utilization
+        ``rho`` (B = zero-load latency).  Inverting for the SLO's one-way
+        budget gives the admissible rho; a 0.8 safety factor keeps tail
+        headroom.  This is the interpreter's "holistic" translation of an
+        application intent into low-level requirements (§3.2).
+        """
+        alpha = self.network.latency_model.alpha
+        for path in candidate.paths:
+            base = path.base_latency
+            if base <= 0:
+                continue
+            slack = (intent.latency_slo / 2.0 - base) / base
+            if slack <= 0:
+                rho = 0.2  # SLO is razor-thin; keep the path nearly idle
+            else:
+                budget = 0.8 * slack
+                rho = budget / (alpha + budget)
+            rho = min(max(rho, 0.2), 1.0)
+            for link_id in path.links:
+                self.arbiter.set_utilization_ceiling(
+                    intent.intent_id, link_id, rho
+                )
+
+    def try_submit(self, intent: PerformanceTarget) -> Optional[Placement]:
+        """Like :meth:`submit` but returns ``None`` instead of raising."""
+        from ..errors import HostNetError
+
+        try:
+            return self.submit(intent)
+        except HostNetError:
+            return None
+
+    def release(self, intent_id: str) -> None:
+        """Withdraw an intent: drop reservations, floors, and stale caps."""
+        placement = self._placements.pop(intent_id, None)
+        if placement is None:
+            raise AdmissionError(intent_id, "not placed")
+        tenant_id = placement.intent.tenant_id
+        for demand in placement.candidate.demands:
+            self.arbiter.remove_floor(tenant_id, demand.link_id,
+                                      demand.bandwidth,
+                                      direction=demand.direction)
+        if placement.intent.latency_slo is not None:
+            for link_id in placement.links():
+                self.arbiter.clear_utilization_ceiling(intent_id, link_id)
+        self.ledger.release(intent_id)
+        bucket = self._intents_by_tenant.get(tenant_id, [])
+        if intent_id in bucket:
+            bucket.remove(intent_id)
+        # Lift caps on links the arbiter no longer manages.
+        for link_id in placement.links():
+            if link_id not in self.arbiter.managed_links():
+                self.arbiter.lift_link_caps(link_id)
+        self.arbiter.adjust_once()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def placement(self, intent_id: str) -> Placement:
+        """The placement of an admitted intent."""
+        try:
+            return self._placements[intent_id]
+        except KeyError:
+            raise AdmissionError(intent_id, "not placed") from None
+
+    def placements(self) -> List[Placement]:
+        """All current placements."""
+        return list(self._placements.values())
+
+    def intents_of(self, tenant_id: str) -> List[PerformanceTarget]:
+        """Admitted intents of one tenant."""
+        if tenant_id not in self.tenants:
+            raise UnknownTenantError(tenant_id)
+        return [
+            self._placements[i].intent
+            for i in self._intents_by_tenant.get(tenant_id, [])
+        ]
+
+    def tenant_view(self, tenant_id: str) -> VirtualHostView:
+        """The tenant's virtualized intra-host network view."""
+        return build_view(self, tenant_id)
+
+    def shutdown(self) -> None:
+        """Stop the arbiter and lift every cap (end of experiment)."""
+        self.arbiter.stop(lift_caps=True)
+
+    def describe(self) -> str:
+        """Human-readable summary of the manager's state."""
+        lines = [
+            f"HostNetworkManager on {self.network.topology.name!r}: "
+            f"{len(self.tenants)} tenants, {len(self._placements)} intents, "
+            f"scheduler={self.scheduler.name}, "
+            f"{'work-conserving' if self.arbiter.work_conserving else 'reserved'}"
+        ]
+        for placement in self._placements.values():
+            intent = placement.intent
+            lines.append(
+                f"  {intent.intent_id}: tenant={intent.tenant_id} "
+                f"{intent.kind.value} {intent.bandwidth:.3g}B/s over "
+                f"{len(placement.links())} links"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Topology-aware resource scheduling (§3.2).
+
+"There can be several GPU-SSD pathways within an intra-host network that
+can support the same amount of bandwidth.  The scheduler needs to carefully
+choose one of the pathways based on topology and usage information to
+maximize overall resource efficiency."
+
+Three strategies, so the benefit of topology awareness is measurable (E8):
+
+* :class:`TopologyAwareScheduler` — picks the feasible candidate whose
+  commitment minimizes the fabric's maximum reserved utilization (balanced
+  packing), tie-broken by latency;
+* :class:`FirstFitScheduler` — first feasible candidate in interpreter
+  order (lowest latency first);
+* :class:`RandomScheduler` — uniform choice among feasible candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import ScheduleError
+from .admission import AdmissionController
+from .interpreter import CandidateRequirement, CompiledIntent
+
+
+class Scheduler:
+    """Strategy interface: choose one feasible candidate (or raise)."""
+
+    name = "base"
+
+    def choose(self, compiled: CompiledIntent,
+               admission: AdmissionController) -> CandidateRequirement:
+        """Pick a candidate that currently fits; raise :class:`ScheduleError`
+        when none does."""
+        feasible = admission.feasible(compiled)
+        if not feasible:
+            raise ScheduleError(
+                f"intent {compiled.intent.intent_id!r}: no candidate fits "
+                f"(headroom {admission.headroom})"
+            )
+        return self._select(feasible, admission)
+
+    def _select(self, feasible: List[CandidateRequirement],
+                admission: AdmissionController) -> CandidateRequirement:
+        raise NotImplementedError
+
+
+class TopologyAwareScheduler(Scheduler):
+    """Minimize post-placement max reserved utilization (balanced packing)."""
+
+    name = "topology_aware"
+
+    def _select(self, feasible: List[CandidateRequirement],
+                admission: AdmissionController) -> CandidateRequirement:
+        def objective(candidate: CandidateRequirement) -> tuple:
+            post = admission.ledger.post_utilization(candidate)
+            latency = min(p.base_latency for p in candidate.paths)
+            return (post, latency)
+
+        return min(feasible, key=objective)
+
+
+class FirstFitScheduler(Scheduler):
+    """Take the first feasible candidate (interpreter order = lowest latency)."""
+
+    name = "first_fit"
+
+    def _select(self, feasible: List[CandidateRequirement],
+                admission: AdmissionController) -> CandidateRequirement:
+        return feasible[0]
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice among feasible candidates (the null strategy)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def _select(self, feasible: List[CandidateRequirement],
+                admission: AdmissionController) -> CandidateRequirement:
+        return self._rng.choice(feasible)
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    """Scheduler factory by strategy name."""
+    if name == "topology_aware":
+        return TopologyAwareScheduler()
+    if name == "first_fit":
+        return FirstFitScheduler()
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    raise ScheduleError(f"unknown scheduler strategy {name!r}")

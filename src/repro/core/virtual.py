@@ -1,0 +1,202 @@
+"""Virtualized intra-host network abstraction (§3.2).
+
+"Each tenant should see a dedicated isolated virtual intra-host network ...
+if a tenant is only allocated half of the PCIe bandwidth to an I/O device,
+from the tenant's perspective, it should see an illusion that the allocated
+bandwidth is the corresponding PCIe capacity."
+
+:class:`VirtualHostView` is that illusion: a topology whose link capacities
+equal the tenant's committed floors, with unreserved links pruned.  Because
+the view is expressed in intents (not host-specific link ids), a tenant can
+be migrated to a differently-shaped host by re-submitting the same intents
+there — :func:`migrate_tenant` — with no tenant-side reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import UnknownTenantError
+from ..topology.elements import Link
+from ..topology.graph import HostTopology
+from .intents import PerformanceTarget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .manager import HostNetworkManager
+
+
+@dataclass(frozen=True)
+class VirtualHostView:
+    """A tenant's private view of the intra-host network.
+
+    Attributes:
+        tenant_id: The viewing tenant.
+        topology: A :class:`HostTopology` whose link capacities are the
+            tenant's allocations (its "full capacity" illusion).
+        intents: The intents backing the view.
+    """
+
+    tenant_id: str
+    topology: HostTopology
+    intents: tuple
+
+    def allocated_capacity(self, link_id: str) -> float:
+        """The tenant-visible capacity of *link_id* (0 if unreserved)."""
+        if not self.topology.has_link(link_id):
+            return 0.0
+        return self.topology.link(link_id).capacity
+
+    def total_allocated(self) -> float:
+        """Sum of tenant-visible link capacities (a size-of-slice scalar)."""
+        return sum(l.capacity for l in self.topology.links())
+
+    def guaranteed_bandwidth(self) -> Dict[str, float]:
+        """Floor per intent id (what the tenant was promised)."""
+        return {i.intent_id: i.bandwidth for i in self.intents}
+
+
+def build_view(manager: "HostNetworkManager",
+               tenant_id: str) -> VirtualHostView:
+    """Construct the tenant's current :class:`VirtualHostView`.
+
+    The view's topology contains every device, but only links on which the
+    tenant holds reservations — with capacity equal to the reservation
+    (max of the two directions, matching the full-duplex illusion).
+    """
+    intents = manager.intents_of(tenant_id)
+    if tenant_id not in manager.tenants:
+        raise UnknownTenantError(tenant_id)
+    host = manager.network.topology
+    view = HostTopology(name=f"virtual-{tenant_id}@{host.name}")
+    for device in host.devices():
+        view.add_device(device)
+
+    # Sum same-direction demands across intents, then take the busier
+    # direction as the visible capacity.
+    directed: Dict[tuple, float] = {}
+    for intent in intents:
+        for demand in manager.ledger.demands_of(intent.intent_id):
+            key = (demand.link_id, demand.direction)
+            directed[key] = directed.get(key, 0.0) + demand.bandwidth
+    visible: Dict[str, float] = {}
+    for (link_id, _direction), bandwidth in directed.items():
+        visible[link_id] = max(visible.get(link_id, 0.0), bandwidth)
+
+    for link_id, capacity in visible.items():
+        real = host.link(link_id)
+        view.add_link(
+            Link(
+                link_id=real.link_id,
+                src=real.src,
+                dst=real.dst,
+                link_class=real.link_class,
+                capacity=capacity,
+                base_latency=real.base_latency,
+            )
+        )
+    return VirtualHostView(
+        tenant_id=tenant_id, topology=view, intents=tuple(intents),
+    )
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of :func:`migrate_tenant`.
+
+    Attributes:
+        tenant_id: Who moved.
+        moved: Intents re-admitted on the destination.
+        failed: Intents the destination rejected (with reasons).
+        source_view / destination_view: Before/after tenant views.
+    """
+
+    tenant_id: str
+    moved: List[PerformanceTarget]
+    failed: List[tuple]
+    source_view: VirtualHostView
+    destination_view: Optional[VirtualHostView]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every intent survived the migration."""
+        return not self.failed and bool(self.moved)
+
+
+def migrate_tenant(source: "HostNetworkManager",
+                   destination: "HostNetworkManager",
+                   tenant_id: str) -> MigrationResult:
+    """Move a tenant between hosts by re-submitting its intents.
+
+    The tenant's intents are host-agnostic *except* for device ids; device
+    ids are remapped by device type and per-type index (the n-th NIC on the
+    source maps to the n-th NIC on the destination), which is exactly what
+    a placement system does when it assigns virtual devices on the new
+    host.  Intents the destination cannot admit are reported, and in that
+    case already-moved intents are rolled back (all-or-nothing).
+    """
+    from ..errors import HostNetError
+
+    source_view = build_view(source, tenant_id)
+    intents = source.intents_of(tenant_id)
+    mapping = _device_mapping(source.network.topology,
+                              destination.network.topology)
+
+    if tenant_id not in destination.tenants:
+        destination.register_tenant(tenant_id)
+
+    moved: List[PerformanceTarget] = []
+    failed: List[tuple] = []
+    for intent in intents:
+        try:
+            remapped = PerformanceTarget(
+                intent_id=intent.intent_id,
+                tenant_id=intent.tenant_id,
+                kind=intent.kind,
+                bandwidth=intent.bandwidth,
+                src=mapping.get(intent.src, intent.src),
+                dst=(mapping.get(intent.dst, intent.dst)
+                     if intent.dst is not None else None),
+                latency_slo=intent.latency_slo,
+                work_conserving=intent.work_conserving,
+                bidirectional=intent.bidirectional,
+            )
+            destination.submit(remapped)
+            moved.append(remapped)
+        except HostNetError as exc:
+            failed.append((intent, str(exc)))
+
+    if failed:
+        for intent in moved:
+            destination.release(intent.intent_id)
+        return MigrationResult(
+            tenant_id=tenant_id, moved=[], failed=failed,
+            source_view=source_view, destination_view=None,
+        )
+
+    for intent in intents:
+        source.release(intent.intent_id)
+    destination_view = build_view(destination, tenant_id)
+    return MigrationResult(
+        tenant_id=tenant_id, moved=moved, failed=[],
+        source_view=source_view, destination_view=destination_view,
+    )
+
+
+def _device_mapping(src_topo: HostTopology,
+                    dst_topo: HostTopology) -> Dict[str, str]:
+    """Map source device ids to destination ids by (type, index)."""
+    mapping: Dict[str, str] = {}
+    from ..topology.elements import DeviceType
+
+    for dtype in DeviceType:
+        src_devices = sorted(
+            (d.device_id for d in src_topo.devices(dtype))
+        )
+        dst_devices = sorted(
+            (d.device_id for d in dst_topo.devices(dtype))
+        )
+        for i, device_id in enumerate(src_devices):
+            if i < len(dst_devices):
+                mapping[device_id] = dst_devices[i]
+    return mapping

@@ -1,0 +1,50 @@
+"""Behavioural device models layered on topology nodes."""
+
+from .cache import DdioCache, DdioReport, DeviceCache
+from .config import (
+    MISCONFIGURATIONS,
+    RECOMMENDED_CONFIG,
+    HostConfig,
+    NumaPolicy,
+)
+from .configured import ConfiguredHost, build_configured_host
+from .endpoints import (
+    CpuModel,
+    CxlDeviceModel,
+    GpuModel,
+    MemoryModel,
+    NvmeModel,
+)
+from .iommu import IommuModel
+from .nic import RdmaNicModel
+from .pcie import (
+    DLLP_TAX,
+    TLP_OVERHEAD_BYTES,
+    PcieSwitchModel,
+    effective_pcie_bandwidth,
+    tlp_efficiency,
+)
+
+__all__ = [
+    "HostConfig",
+    "NumaPolicy",
+    "RECOMMENDED_CONFIG",
+    "MISCONFIGURATIONS",
+    "DdioCache",
+    "DdioReport",
+    "DeviceCache",
+    "ConfiguredHost",
+    "build_configured_host",
+    "RdmaNicModel",
+    "IommuModel",
+    "PcieSwitchModel",
+    "tlp_efficiency",
+    "effective_pcie_bandwidth",
+    "TLP_OVERHEAD_BYTES",
+    "DLLP_TAX",
+    "CpuModel",
+    "MemoryModel",
+    "GpuModel",
+    "NvmeModel",
+    "CxlDeviceModel",
+]

@@ -1,0 +1,156 @@
+"""LLC / DDIO occupancy model — the cache-thrashing mechanism of §2.
+
+Intel DDIO lets I/O devices DMA directly into a small number of dedicated
+last-level-cache ways.  When the aggregate inbound write rate outpaces what
+applications consume before eviction, lines spill to DRAM and are re-read
+later — *cache thrashing* — converting PCIe bandwidth into extra memory-bus
+bandwidth.  The paper (and Lamda [37], Farshin'20 [17]) describe exactly
+this effect; we reproduce it with a steady-state residency model:
+
+* the I/O ways hold ``capacity = ways x way_size`` bytes;
+* inbound DMA at rate ``W`` gives a line an expected cache residency of
+  ``capacity / W`` seconds before it is evicted by newer arrivals;
+* the application consumes a line ``consume_delay`` seconds after arrival;
+* a line is a *hit* iff it is consumed before eviction, so the steady-state
+  hit rate is ``min(1, capacity / (W * consume_delay))``;
+* every missed byte costs two memory-bus transfers (write-back + re-read).
+
+This yields the characteristic knee: below ``capacity / consume_delay``
+bytes/s of inbound I/O there is no thrashing at all; above it, extra
+memory-bus traffic grows linearly with the overload (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import mib
+
+
+@dataclass(frozen=True)
+class DdioReport:
+    """Steady-state outcome of the DDIO occupancy model.
+
+    Attributes:
+        hit_rate: Fraction of inbound bytes consumed from the LLC in [0, 1].
+        spill_rate: Bytes/s of inbound DMA evicted to DRAM before use.
+        membus_extra_rate: Extra memory-bus bytes/s caused by thrashing
+            (write-back plus the application's DRAM re-read).
+        residency: Expected seconds a line stays cached before eviction.
+    """
+
+    hit_rate: float
+    spill_rate: float
+    membus_extra_rate: float
+    residency: float
+
+
+@dataclass
+class DdioCache:
+    """The dedicated LLC I/O ways of one CPU socket.
+
+    Attributes:
+        ways: Number of LLC ways dedicated to I/O (Intel default: 2).
+        way_size: Bytes per way (a 1.375 MiB/way Skylake-derivative default).
+        enabled: When ``False``, every inbound byte goes straight to DRAM
+            (hit rate 0) — the DDIO-off configuration.
+    """
+
+    ways: int = 2
+    way_size: float = mib(1.5)
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if self.way_size <= 0:
+            raise ValueError(f"way_size must be > 0, got {self.way_size}")
+
+    @property
+    def capacity(self) -> float:
+        """Total I/O-way capacity in bytes."""
+        return self.ways * self.way_size
+
+    def thrash_threshold(self, consume_delay: float) -> float:
+        """Inbound rate (bytes/s) above which thrashing begins.
+
+        Below this rate every line survives until the application reads it.
+        """
+        if consume_delay <= 0:
+            return float("inf")
+        return self.capacity / consume_delay
+
+    def steady_state(self, io_write_rate: float,
+                     consume_delay: float) -> DdioReport:
+        """Evaluate the model for an aggregate inbound DMA rate.
+
+        Args:
+            io_write_rate: Total inbound device-write rate (bytes/s).
+            consume_delay: Mean time (seconds) between a byte landing in
+                the cache and the application reading it.
+        """
+        if io_write_rate < 0:
+            raise ValueError("io_write_rate must be >= 0")
+        if consume_delay < 0:
+            raise ValueError("consume_delay must be >= 0")
+        if io_write_rate == 0:
+            return DdioReport(hit_rate=1.0, spill_rate=0.0,
+                              membus_extra_rate=0.0, residency=float("inf"))
+        if not self.enabled:
+            # All inbound data goes to DRAM and is read back once.
+            return DdioReport(
+                hit_rate=0.0,
+                spill_rate=io_write_rate,
+                membus_extra_rate=2.0 * io_write_rate,
+                residency=0.0,
+            )
+        residency = self.capacity / io_write_rate
+        if consume_delay <= 0:
+            hit_rate = 1.0
+        else:
+            hit_rate = min(1.0, residency / consume_delay)
+        spill = io_write_rate * (1.0 - hit_rate)
+        return DdioReport(
+            hit_rate=hit_rate,
+            spill_rate=spill,
+            membus_extra_rate=2.0 * spill,
+            residency=residency,
+        )
+
+
+@dataclass
+class DeviceCache:
+    """A generic on-device cache (RDMA NIC ICM, NVMe controller DRAM...).
+
+    A working-set miss model: with ``entries`` cacheable objects and a
+    working set of ``active`` objects accessed uniformly, the steady-state
+    miss rate is ``max(0, 1 - entries / active)``.  The same shape the NIC
+    connection-cache literature reports (Kong'23 [32]): flat until the
+    working set exceeds the cache, then rising misses.
+    """
+
+    entries: int
+    miss_penalty: float = 0.0  # seconds added per miss
+    miss_extra_bytes: float = 0.0  # extra fabric bytes fetched per miss
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError(f"entries must be >= 1, got {self.entries}")
+        if self.miss_penalty < 0 or self.miss_extra_bytes < 0:
+            raise ValueError("miss costs must be >= 0")
+
+    def miss_rate(self, active: int) -> float:
+        """Steady-state miss probability for a working set of *active*."""
+        if active < 0:
+            raise ValueError(f"active must be >= 0, got {active}")
+        if active <= self.entries:
+            return 0.0
+        return 1.0 - self.entries / active
+
+    def expected_penalty(self, active: int) -> float:
+        """Expected per-access latency penalty (seconds)."""
+        return self.miss_rate(active) * self.miss_penalty
+
+    def expected_extra_bytes(self, active: int) -> float:
+        """Expected extra fabric bytes per access."""
+        return self.miss_rate(active) * self.miss_extra_bytes

@@ -1,0 +1,128 @@
+"""The host configuration space (Figure 1's dashed box).
+
+The paper stresses that intra-host performance depends heavily on a large
+space of per-host configurations — NUMA policy, IOMMU, DDIO, request sizes,
+ordering restrictions, access-control services, interrupt moderation.  This
+module gives that space a concrete, validated shape, and quantifies how each
+knob perturbs the fabric (latency multipliers, efficiency factors, extra
+memory-bus traffic) so monitoring can *detect misconfiguration* (E4) and
+benchmarks can sweep the space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from ..units import ns, us
+
+
+class NumaPolicy(enum.Enum):
+    """Where a device's DMA memory lands relative to its socket."""
+
+    LOCAL = "local"  # pinned to the device's socket (correct)
+    REMOTE = "remote"  # pinned to the other socket (misconfiguration)
+    INTERLEAVE = "interleave"  # striped across sockets
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """One point in the host configuration space.
+
+    Attributes:
+        ddio_enabled: Whether inbound DMA targets the LLC I/O ways
+            (Intel DDIO).  Disabled, every inbound byte crosses the memory
+            bus twice (write + application read).
+        ddio_ways: Number of LLC ways dedicated to I/O when DDIO is on.
+        iommu_enabled: Whether DMA addresses are translated by the IOMMU
+            (adds per-transaction translation latency; misses are costly).
+        relaxed_ordering: PCIe relaxed ordering; disabled, the effective
+            PCIe efficiency drops because completions serialize.
+        max_payload_size: PCIe max payload size in bytes (128..4096).
+        interrupt_moderation: Interrupt coalescing delay in seconds; adds
+            directly to small-operation latency, saves CPU at high rates.
+        acs_enabled: PCIe Access Control Services; forces peer-to-peer
+            traffic up through the root complex (longer paths).
+        numa_policy: DMA buffer placement policy.
+    """
+
+    ddio_enabled: bool = True
+    ddio_ways: int = 2
+    iommu_enabled: bool = False
+    relaxed_ordering: bool = True
+    max_payload_size: int = 256
+    interrupt_moderation: float = 0.0
+    acs_enabled: bool = False
+    numa_policy: NumaPolicy = NumaPolicy.LOCAL
+
+    _VALID_PAYLOADS = (128, 256, 512, 1024, 2048, 4096)
+
+    def __post_init__(self) -> None:
+        if self.max_payload_size not in self._VALID_PAYLOADS:
+            raise ValueError(
+                f"max_payload_size must be one of {self._VALID_PAYLOADS}, "
+                f"got {self.max_payload_size}"
+            )
+        if not 1 <= self.ddio_ways <= 11:
+            raise ValueError(f"ddio_ways must be in [1, 11], got {self.ddio_ways}")
+        if self.interrupt_moderation < 0:
+            raise ValueError("interrupt_moderation must be >= 0")
+
+    def with_changes(self, **changes: object) -> "HostConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- effects on the fabric ---------------------------------------------
+
+    def small_op_latency_penalty(self) -> float:
+        """Extra one-way latency (seconds) this config adds to small ops."""
+        penalty = self.interrupt_moderation
+        if self.iommu_enabled:
+            penalty += ns(60)  # IOTLB-hit translation cost
+        if self.acs_enabled:
+            penalty += ns(90)  # forced root-complex round trip for P2P
+        return penalty
+
+    def pcie_efficiency_factor(self) -> float:
+        """Multiplier (<= 1) on PCIe effective bandwidth from ordering knobs."""
+        factor = 1.0
+        if not self.relaxed_ordering:
+            factor *= 0.85  # strict ordering stalls the completion pipeline
+        if self.iommu_enabled:
+            factor *= 0.95  # translation adds per-TLP overhead
+        return factor
+
+    def membus_amplification(self) -> float:
+        """How many memory-bus bytes one inbound DMA byte costs.
+
+        With DDIO, data lands in the LLC and may be consumed before spilling
+        (the cache model refines this); without it, every byte is written to
+        DRAM and read back by the application.
+        """
+        return 1.0 if self.ddio_enabled else 2.0
+
+    def describe_differences(self, baseline: "HostConfig") -> List[str]:
+        """Human-readable list of fields where self differs from *baseline*."""
+        diffs = []
+        for name in self.__dataclass_fields__:
+            mine = getattr(self, name)
+            theirs = getattr(baseline, name)
+            if mine != theirs:
+                diffs.append(f"{name}: {theirs!r} -> {mine!r}")
+        return diffs
+
+
+#: The sane default configuration a well-run host ships with.
+RECOMMENDED_CONFIG = HostConfig()
+
+#: Known-bad configurations used by failure-injection experiments (E4).
+MISCONFIGURATIONS: Dict[str, HostConfig] = {
+    "remote_numa": RECOMMENDED_CONFIG.with_changes(numa_policy=NumaPolicy.REMOTE),
+    "ddio_off": RECOMMENDED_CONFIG.with_changes(ddio_enabled=False),
+    "strict_ordering": RECOMMENDED_CONFIG.with_changes(relaxed_ordering=False),
+    "tiny_payload": RECOMMENDED_CONFIG.with_changes(max_payload_size=128),
+    "heavy_moderation": RECOMMENDED_CONFIG.with_changes(
+        interrupt_moderation=us(50)
+    ),
+}

@@ -1,0 +1,96 @@
+"""Apply a :class:`HostConfig` to a simulated host.
+
+Figure 1's dashed box — DDIO, IOMMU, ordering, payload sizes, interrupt
+moderation, NUMA policy — "heavily impact the performance of intra-host
+connections".  :func:`build_configured_host` folds a configuration's
+effects into a concrete fabric so they are *measurable* (and therefore
+diagnosable, E13) rather than declared:
+
+* PCIe link capacities scale by the config's protocol efficiency
+  (payload size, ordering, IOMMU per-TLP tax);
+* PCIe downstream links gain the config's small-op latency penalty
+  (interrupt moderation, IOTLB hits, ACS detours);
+* inbound DMA lands on the socket-local or remote DIMM group per the NUMA
+  policy (remote placement drags every transfer across UPI);
+* the DDIO setting selects the LLC model used for memory-amplification
+  accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import Engine
+from ..sim.network import FabricNetwork
+from ..topology.elements import DeviceType, LinkClass
+from ..topology.graph import HostTopology
+from .cache import DdioCache
+from .config import HostConfig, NumaPolicy
+from .pcie import tlp_efficiency
+
+
+@dataclass
+class ConfiguredHost:
+    """A fabric with a host configuration's effects baked in.
+
+    Attributes:
+        config: The applied configuration.
+        network: The live fabric (topology already adjusted).
+        ddio: The LLC model matching the config.
+    """
+
+    config: HostConfig
+    network: FabricNetwork
+    ddio: DdioCache
+
+    def dma_target_dimm(self, device_id: str) -> str:
+        """The DIMM group a device's DMA lands on under this config.
+
+        LOCAL pins to the device's socket; REMOTE to the other socket
+        (the classic placement bug); INTERLEAVE alternates but for
+        path purposes resolves to the remote group (worst-path member).
+        """
+        topology = self.network.topology
+        socket = topology.socket_of(device_id)
+        dimms = topology.devices(DeviceType.DIMM)
+        if not dimms:
+            raise ValueError("topology has no DIMM groups")
+        local = [d for d in dimms if d.socket == socket]
+        remote = [d for d in dimms if d.socket != socket]
+        if self.config.numa_policy is NumaPolicy.LOCAL or not remote:
+            pool = local or dimms
+        elif self.config.numa_policy is NumaPolicy.REMOTE:
+            pool = remote
+        else:  # INTERLEAVE: half the traffic crosses sockets
+            pool = remote
+        return pool[0].device_id
+
+    def membus_amplification(self) -> float:
+        """Memory-bus bytes per inbound DMA byte under this config."""
+        return self.config.membus_amplification()
+
+
+def build_configured_host(
+    topology: HostTopology,
+    config: HostConfig,
+    engine: Optional[Engine] = None,
+) -> ConfiguredHost:
+    """Build a :class:`ConfiguredHost` over a copy of *topology*.
+
+    The input topology is not mutated; capacities and latencies on the
+    copy reflect the configuration.
+    """
+    adjusted = topology.copy()
+    efficiency = config.pcie_efficiency_factor() * tlp_efficiency(
+        config.max_payload_size, config.max_payload_size
+    ) / tlp_efficiency(256, 256)
+    penalty = config.small_op_latency_penalty()
+    for link in adjusted.links():
+        if link.link_class in (LinkClass.PCIE_UPSTREAM,
+                               LinkClass.PCIE_DOWNSTREAM):
+            link.capacity = link.capacity * min(efficiency, 1.0)
+            link.base_latency = link.base_latency + penalty
+    network = FabricNetwork(adjusted, engine or Engine())
+    ddio = DdioCache(ways=config.ddio_ways, enabled=config.ddio_enabled)
+    return ConfiguredHost(config=config, network=network, ddio=ddio)

@@ -1,0 +1,136 @@
+"""Capability models for end-node devices: CPU, memory, GPU, NVMe, CXL.
+
+These bound what workloads can *offer* to the fabric (a GPU has a finite
+number of copy engines; an NVMe SSD has read/write ceilings and an IOPS
+budget; a CPU core processes a bounded op rate).  They are deliberately
+simple capability envelopes — the fabric contention itself is handled by
+the flow solver — but they keep workload demands physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GBps, Gbps, ns, us
+
+
+@dataclass
+class CpuModel:
+    """One CPU socket's processing capability.
+
+    Attributes:
+        socket: Socket index.
+        cores: Physical core count.
+        ops_per_core: Small-op (request) processing rate per core (ops/s).
+        memory_bandwidth: Aggregate socket memory bandwidth (bytes/s).
+    """
+
+    socket: int
+    cores: int = 28
+    ops_per_core: float = 1.5e6
+    memory_bandwidth: float = GBps(131)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+    def max_op_rate(self, cores_used: int) -> float:
+        """Total ops/s with *cores_used* cores dedicated."""
+        if not 0 <= cores_used <= self.cores:
+            raise ValueError(
+                f"cores_used must be in [0, {self.cores}], got {cores_used}"
+            )
+        return cores_used * self.ops_per_core
+
+
+@dataclass
+class MemoryModel:
+    """One DIMM group's capability.
+
+    Attributes:
+        channels: Memory channels aggregated into this group.
+        per_channel_bandwidth: Bytes/s per channel.
+        access_latency: DRAM access latency (seconds).
+    """
+
+    channels: int = 6
+    per_channel_bandwidth: float = GBps(21.8)
+    access_latency: float = ns(85)
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate bandwidth (bytes/s)."""
+        return self.channels * self.per_channel_bandwidth
+
+
+@dataclass
+class GpuModel:
+    """One GPU's host-communication capability.
+
+    Attributes:
+        gpu_id: Topology device id.
+        copy_engines: Concurrent DMA engines (bounds parallel transfers).
+        per_engine_bandwidth: Bytes/s one engine sustains.
+        kernel_launch_latency: Host-side launch overhead (seconds).
+    """
+
+    gpu_id: str
+    copy_engines: int = 2
+    per_engine_bandwidth: float = GBps(26)
+    kernel_launch_latency: float = us(8)
+
+    def max_dma_rate(self, engines_used: int = None) -> float:
+        """Peak offered DMA rate with *engines_used* engines (default all)."""
+        engines = self.copy_engines if engines_used is None else engines_used
+        if not 0 <= engines <= self.copy_engines:
+            raise ValueError(
+                f"engines_used must be in [0, {self.copy_engines}]"
+            )
+        return engines * self.per_engine_bandwidth
+
+
+@dataclass
+class NvmeModel:
+    """One NVMe SSD's capability envelope.
+
+    Attributes:
+        nvme_id: Topology device id.
+        read_bandwidth: Sequential read ceiling (bytes/s).
+        write_bandwidth: Sequential write ceiling (bytes/s).
+        max_iops: 4K random IOPS budget.
+        access_latency: Media + controller latency (seconds).
+    """
+
+    nvme_id: str
+    read_bandwidth: float = GBps(6.8)
+    write_bandwidth: float = GBps(4.0)
+    max_iops: float = 1.0e6
+    access_latency: float = us(80)
+
+    def offered_rate(self, io_size: float, read_fraction: float = 1.0) -> float:
+        """Offered bytes/s for a mix of *io_size*-byte operations."""
+        if io_size <= 0:
+            raise ValueError("io_size must be > 0")
+        if not 0 <= read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        bandwidth_bound = (read_fraction * self.read_bandwidth
+                           + (1 - read_fraction) * self.write_bandwidth)
+        iops_bound = self.max_iops * io_size
+        return min(bandwidth_bound, iops_bound)
+
+
+@dataclass
+class CxlDeviceModel:
+    """A CXL.mem expander (the paper's §2 CXL discussion, [49]).
+
+    Attributes:
+        device_id: Topology device id.
+        capacity_bytes: Exposed memory capacity.
+        access_latency: Device-to-host-memory latency (~150 ns per [49]).
+        bandwidth: Link bandwidth (bytes/s).
+    """
+
+    device_id: str
+    capacity_bytes: float = 256e9
+    access_latency: float = ns(150)
+    bandwidth: float = GBps(32)

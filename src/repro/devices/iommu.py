@@ -1,0 +1,70 @@
+"""IOMMU / IOTLB model.
+
+Agarwal et al. (HotNets'22, the paper's [2]) show the IOMMU is a first-order
+intra-host bottleneck: every DMA is address-translated, the IOTLB is small,
+and misses trigger multi-level page-walks over the memory bus.  We model the
+IOTLB with the same working-set miss model as other device caches and expose
+both the latency tax and the extra memory-bus traffic of page walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import kib, ns
+
+
+@dataclass
+class IommuModel:
+    """Translation model for one IOMMU.
+
+    Attributes:
+        iotlb_entries: IOTLB capacity in translations.
+        page_size: Bytes covered by one translation.
+        hit_latency: Translation latency on an IOTLB hit (seconds).
+        miss_latency: Page-walk latency on a miss (seconds).
+        walk_bytes: Memory-bus bytes one page walk reads (PTE fetches).
+        enabled: Disabled IOMMUs translate for free (pass-through).
+    """
+
+    iotlb_entries: int = 256
+    page_size: float = kib(4)
+    hit_latency: float = ns(30)
+    miss_latency: float = ns(900)
+    walk_bytes: float = 4 * 64.0  # four cache-line PTE reads
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iotlb_entries < 1:
+            raise ValueError("iotlb_entries must be >= 1")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be > 0")
+
+    def working_set_pages(self, buffer_bytes: float) -> int:
+        """Number of translations a DMA buffer of *buffer_bytes* needs."""
+        if buffer_bytes < 0:
+            raise ValueError("buffer_bytes must be >= 0")
+        return max(1, int(-(-buffer_bytes // self.page_size)))
+
+    def miss_rate(self, buffer_bytes: float) -> float:
+        """Steady-state IOTLB miss probability for a DMA working set."""
+        if not self.enabled:
+            return 0.0
+        pages = self.working_set_pages(buffer_bytes)
+        if pages <= self.iotlb_entries:
+            return 0.0
+        return 1.0 - self.iotlb_entries / pages
+
+    def translation_latency(self, buffer_bytes: float) -> float:
+        """Expected per-transaction translation latency (seconds)."""
+        if not self.enabled:
+            return 0.0
+        miss = self.miss_rate(buffer_bytes)
+        return (1.0 - miss) * self.hit_latency + miss * self.miss_latency
+
+    def walk_traffic(self, transaction_rate: float,
+                     buffer_bytes: float) -> float:
+        """Memory-bus bytes/s of page walks at *transaction_rate* tx/s."""
+        if transaction_rate < 0:
+            raise ValueError("transaction_rate must be >= 0")
+        return transaction_rate * self.miss_rate(buffer_bytes) * self.walk_bytes

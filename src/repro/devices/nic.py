@@ -1,0 +1,94 @@
+"""RDMA NIC model: message-rate limits and the connection-state cache.
+
+Reproduces the microarchitectural behaviour Kong et al. measured (NSDI'23,
+the paper's [32]): an RNIC caches per-connection state (QP context, MTT
+entries) on chip; once the number of *active* connections exceeds the cache,
+every miss forces a PCIe read of host memory, simultaneously adding latency
+and stealing PCIe bandwidth from payload DMA.  The visible symptom is a
+throughput cliff as connection count crosses cache capacity (E12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..units import Gbps, kib, ns, us
+from .cache import DeviceCache
+
+
+@dataclass
+class RdmaNicModel:
+    """Behavioural model of one RDMA NIC.
+
+    Attributes:
+        nic_id: Topology device id.
+        line_rate: Port speed in bytes/s.
+        max_message_rate: Messages/s the processing pipeline sustains
+            (binds small-message throughput before bandwidth does).
+        base_latency: NIC processing latency per message (seconds).
+        connection_cache: On-chip connection-state cache model.
+        context_fetch_bytes: Host-memory bytes fetched on a cache miss.
+    """
+
+    nic_id: str
+    line_rate: float = Gbps(200)
+    max_message_rate: float = 100e6
+    base_latency: float = ns(600)
+    connection_cache: DeviceCache = field(
+        default_factory=lambda: DeviceCache(
+            entries=1024, miss_penalty=us(1.5), miss_extra_bytes=kib(4)
+        )
+    )
+    context_fetch_bytes: float = kib(4)
+
+    def __post_init__(self) -> None:
+        if self.line_rate <= 0 or self.max_message_rate <= 0:
+            raise ValueError("line_rate and max_message_rate must be > 0")
+
+    def message_latency(self, active_connections: int) -> float:
+        """Per-message NIC latency, including expected cache-miss stalls."""
+        return self.base_latency + self.connection_cache.expected_penalty(
+            active_connections
+        )
+
+    def goodput(self, message_size: float, active_connections: int,
+                pcie_capacity: float) -> float:
+        """Achievable application goodput (bytes/s).
+
+        Binds the NIC by, in order: the message-rate pipeline, the wire
+        rate, and the PCIe budget after subtracting cache-miss context
+        fetches.  *pcie_capacity* is the usable PCIe bandwidth toward host
+        memory for this NIC.
+
+        The shape this produces is the measured one: flat at
+        ``min(line rate, message-rate x size, PCIe)`` while connections fit
+        in cache, then degrading as misses tax both the pipeline and PCIe.
+        """
+        if message_size <= 0:
+            raise ValueError("message_size must be > 0")
+        miss_rate = self.connection_cache.miss_rate(active_connections)
+
+        # Pipeline bound: each miss stalls the pipeline for the fetch.
+        per_message = 1.0 / self.max_message_rate + miss_rate * (
+            self.connection_cache.miss_penalty
+        )
+        pipeline_bound = message_size / per_message
+
+        # PCIe bound: payload shares the bus with context fetches.
+        overhead_per_byte = (miss_rate * self.context_fetch_bytes) / message_size
+        pcie_bound = pcie_capacity / (1.0 + overhead_per_byte)
+
+        return min(pipeline_bound, self.line_rate, pcie_bound)
+
+    def extra_pcie_rate(self, message_rate: float,
+                        active_connections: int) -> float:
+        """PCIe bytes/s of context fetches at a given message rate."""
+        if message_rate < 0:
+            raise ValueError("message_rate must be >= 0")
+        miss_rate = self.connection_cache.miss_rate(active_connections)
+        return message_rate * miss_rate * self.context_fetch_bytes
+
+    def saturating_connections(self) -> int:
+        """Connection count at which the cache begins to miss."""
+        return self.connection_cache.entries

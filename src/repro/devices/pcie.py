@@ -1,0 +1,109 @@
+"""PCIe protocol model: TLP efficiency, switches, and failure modes.
+
+Follows the analytic model of Neugebauer et al. (SIGCOMM'18, cited as [43]):
+the usable fraction of a PCIe link's raw bandwidth is the payload divided by
+payload plus per-TLP header/framing overhead, so small DMA transactions get
+markedly less than the advertised x16 number.  PCIe switches add processing
+latency and, per the paper's §3.1 motivating case, can *silently* degrade —
+that failure mode is first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..units import ns
+
+#: Per-TLP overhead in bytes: 2B framing + 6B DLL + 12B TLP header + 4B LCRC.
+TLP_OVERHEAD_BYTES = 24
+
+#: DLLP (ack/flow-control) tax as a fraction of raw bandwidth.
+DLLP_TAX = 0.05
+
+
+def tlp_efficiency(payload_size: int, max_payload_size: int = 256) -> float:
+    """Fraction of raw PCIe bandwidth usable for *payload_size*-byte DMA.
+
+    A transfer is split into TLPs of at most *max_payload_size* bytes; each
+    TLP pays :data:`TLP_OVERHEAD_BYTES` of header/framing plus the DLLP tax.
+
+    >>> round(tlp_efficiency(256, 256), 3)
+    0.868
+    """
+    if payload_size <= 0:
+        raise ValueError(f"payload_size must be > 0, got {payload_size}")
+    if max_payload_size <= 0:
+        raise ValueError(f"max_payload_size must be > 0, got {max_payload_size}")
+    chunk = min(payload_size, max_payload_size)
+    per_tlp = chunk / (chunk + TLP_OVERHEAD_BYTES)
+    return per_tlp * (1.0 - DLLP_TAX)
+
+
+def effective_pcie_bandwidth(
+    raw_capacity: float,
+    payload_size: int,
+    max_payload_size: int = 256,
+    config_factor: float = 1.0,
+) -> float:
+    """Usable bandwidth (bytes/s) of a PCIe link for a given DMA size.
+
+    *config_factor* folds in host-configuration penalties (see
+    :meth:`~repro.devices.config.HostConfig.pcie_efficiency_factor`).
+    """
+    return raw_capacity * tlp_efficiency(payload_size, max_payload_size) \
+        * config_factor
+
+
+@dataclass
+class PcieSwitchModel:
+    """Behavioural model of a PCIe switch.
+
+    Attributes:
+        switch_id: The topology device id this model describes.
+        port_count: Number of downstream ports.
+        forwarding_latency: Store-and-forward processing delay (seconds).
+        failed: When set, the switch silently degrades: forwarded traffic
+            sees ``degrade_factor`` of link capacity and extra latency.
+            This models §3.1's "hardware failure occurring on the PCIe
+            switch may silently cause the connected PCIe device to suffer
+            performance degradation".
+        degrade_factor: Remaining capacity fraction while failed.
+        degrade_extra_latency: Additional forwarding latency while failed.
+    """
+
+    switch_id: str
+    port_count: int = 4
+    forwarding_latency: float = ns(70)
+    failed: bool = False
+    degrade_factor: float = 0.25
+    degrade_extra_latency: float = ns(400)
+
+    def __post_init__(self) -> None:
+        if self.port_count < 1:
+            raise ValueError("port_count must be >= 1")
+        if not 0 < self.degrade_factor <= 1:
+            raise ValueError("degrade_factor must be in (0, 1]")
+
+    @property
+    def effective_latency(self) -> float:
+        """Current forwarding latency, including failure penalty."""
+        if self.failed:
+            return self.forwarding_latency + self.degrade_extra_latency
+        return self.forwarding_latency
+
+    def capacity_factor(self) -> float:
+        """Multiplier on attached link capacities (1.0 when healthy)."""
+        return self.degrade_factor if self.failed else 1.0
+
+    def inject_failure(self, degrade_factor: Optional[float] = None) -> None:
+        """Silently degrade the switch (no error is surfaced anywhere)."""
+        if degrade_factor is not None:
+            if not 0 < degrade_factor <= 1:
+                raise ValueError("degrade_factor must be in (0, 1]")
+            self.degrade_factor = degrade_factor
+        self.failed = True
+
+    def repair(self) -> None:
+        """Restore the switch to healthy operation."""
+        self.failed = False

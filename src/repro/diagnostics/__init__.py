@@ -1,0 +1,32 @@
+"""Diagnostic tools: hostping, hosttrace, hostperf, hostshark, troubleshoot."""
+
+from .config_advisor import (
+    ConfigSignature,
+    Finding,
+    advise,
+    measure_signature,
+)
+from .hostperf import PerfReport, hostperf
+from .hostping import PingReport, hostping
+from .hostshark import CaptureRecord, HostShark
+from .hosttrace import HopReport, TraceReport, hosttrace
+from .toolkit import CauseClass, Diagnosis, troubleshoot
+
+__all__ = [
+    "PingReport",
+    "hostping",
+    "HopReport",
+    "TraceReport",
+    "hosttrace",
+    "PerfReport",
+    "hostperf",
+    "CaptureRecord",
+    "HostShark",
+    "CauseClass",
+    "Diagnosis",
+    "troubleshoot",
+    "ConfigSignature",
+    "Finding",
+    "measure_signature",
+    "advise",
+]

@@ -1,0 +1,156 @@
+"""Configuration advisor: diagnose misconfiguration from measurements.
+
+§2 lists the host configuration space as a major debugging burden — the
+same hardware performs very differently under DDIO/IOMMU/ordering/NUMA
+settings, and nothing announces a bad setting.  The advisor measures a
+host's *performance signature* with the diagnostic tools and compares it
+against the signature the recommended configuration would produce,
+emitting findings that name the likely misconfiguration (E13).
+
+Signature components (all measured, not read from the config):
+
+* **rtt_penalty** — extra NIC->memory round-trip latency vs the spec path;
+* **pcie_efficiency** — hostperf achieved rate over the spec x16 rate;
+* **membus_amplification** — memory-bus bytes per inbound DMA byte at a
+  probe rate, from the DDIO occupancy model's steady state;
+* **crosses_socket** — whether NIC DMA lands on the remote NUMA node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..devices.configured import ConfiguredHost
+from ..topology.elements import DeviceType
+from ..units import GBps, Gbps, to_us, us
+from .hostperf import hostperf
+from .hostping import hostping
+
+#: Probe rate used for the DDIO amplification measurement.
+_DDIO_PROBE_RATE = GBps(20)
+
+#: Mean consume delay assumed for the amplification probe.
+_DDIO_CONSUME_DELAY = us(100)
+
+
+@dataclass(frozen=True)
+class ConfigSignature:
+    """Measured performance signature of a configured host.
+
+    All probes run on the NIC -> *local* DIMM path so the PCIe/latency
+    components are not confounded by NUMA placement; placement itself is
+    captured separately by ``crosses_socket``.
+    """
+
+    local_rtt: float  # measured NIC->local-DIMM round trip (seconds)
+    pcie_efficiency: float  # achieved / advertised x16 rate in (0, 1]
+    membus_amplification: float  # memory-bus bytes per DMA byte
+    crosses_socket: bool  # NIC DMA lands on the remote NUMA node
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One advisor conclusion.
+
+    Attributes:
+        suspected: Name of the suspected misconfiguration (matches the
+            keys of :data:`repro.devices.config.MISCONFIGURATIONS`).
+        evidence: Human-readable measurement that triggered it.
+        severity: Rough impact score (bigger = worse).
+    """
+
+    suspected: str
+    evidence: str
+    severity: float
+
+
+def measure_signature(host: ConfiguredHost) -> ConfigSignature:
+    """Probe *host* and compute its :class:`ConfigSignature`."""
+    network = host.network
+    topology = network.topology
+    nics = topology.devices(DeviceType.NIC)
+    if not nics:
+        raise ValueError("signature probes need a NIC")
+    nic = nics[0].device_id
+    dma_target = host.dma_target_dimm(nic)
+    socket = topology.socket_of(nic)
+    local_dimms = [d for d in topology.devices(DeviceType.DIMM)
+                   if d.socket == socket]
+    probe_target = (local_dimms[0].device_id if local_dimms
+                    else dma_target)
+
+    ping = hostping(network, nic, probe_target, count=5)
+    measured_rtt = ping.summary.p50 if ping.summary else float("inf")
+
+    perf = hostperf(network, nic, probe_target, duration=0.01)
+    efficiency = min(perf.achieved_rate / Gbps(256), 1.0)
+
+    report = host.ddio.steady_state(_DDIO_PROBE_RATE, _DDIO_CONSUME_DELAY)
+    amplification = 1.0 + (report.membus_extra_rate / _DDIO_PROBE_RATE
+                           if _DDIO_PROBE_RATE else 0.0)
+
+    crosses = not topology.same_socket(nic, dma_target)
+    return ConfigSignature(
+        local_rtt=measured_rtt,
+        pcie_efficiency=efficiency,
+        membus_amplification=amplification,
+        crosses_socket=crosses,
+    )
+
+
+def advise(signature: ConfigSignature,
+           baseline: ConfigSignature) -> List[Finding]:
+    """Compare a measured signature against the known-good baseline.
+
+    Thresholds are generous (2x the baseline noise) so a healthy host
+    produces no findings.
+    """
+    findings: List[Finding] = []
+
+    if signature.crosses_socket and not baseline.crosses_socket:
+        findings.append(Finding(
+            suspected="remote_numa",
+            evidence="NIC DMA lands on the remote NUMA node "
+                     "(path crosses the inter-socket link)",
+            severity=3.0,
+        ))
+
+    amp_excess = signature.membus_amplification \
+        - baseline.membus_amplification
+    if amp_excess > 0.5:
+        findings.append(Finding(
+            suspected="ddio_off",
+            evidence=f"memory-bus amplification "
+                     f"{signature.membus_amplification:.1f}x vs "
+                     f"{baseline.membus_amplification:.1f}x expected "
+                     f"(inbound DMA bouncing through DRAM)",
+            severity=amp_excess,
+        ))
+
+    efficiency_loss = baseline.pcie_efficiency - signature.pcie_efficiency
+    if efficiency_loss > 0.05:
+        # distinguish ordering stalls from undersized payloads by depth:
+        # strict ordering costs ~15%; a 128B max payload costs ~8% extra
+        # TLP header overhead relative to the 256B spec.
+        suspected = ("strict_ordering" if efficiency_loss > 0.12
+                     else "tiny_payload")
+        findings.append(Finding(
+            suspected=suspected,
+            evidence=f"PCIe efficiency {signature.pcie_efficiency:.0%} vs "
+                     f"{baseline.pcie_efficiency:.0%} expected",
+            severity=efficiency_loss * 10,
+        ))
+
+    rtt_excess = signature.local_rtt - baseline.local_rtt
+    if rtt_excess > us(5):
+        findings.append(Finding(
+            suspected="heavy_moderation",
+            evidence=f"small-op RTT {to_us(rtt_excess):.1f}us beyond the "
+                     f"baseline (interrupt coalescing or translation "
+                     f"stalls)",
+            severity=to_us(rtt_excess),
+        ))
+
+    findings.sort(key=lambda f: f.severity, reverse=True)
+    return findings

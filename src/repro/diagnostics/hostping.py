@@ -1,0 +1,95 @@
+"""``hostping`` — intra-host ping (§3.1's diagnostic-tool proposal, [40]).
+
+Measures the round-trip latency between two intra-host devices over the
+fabric path they would actually use, under whatever load the fabric is
+carrying right now.  The analogue of Hostping's RDMA loopback probes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import MonitorError
+from ..sim.network import FabricNetwork
+from ..stats import Summary, summarize
+from ..topology.routing import Path, shortest_path
+from ..units import format_time
+
+
+@dataclass(frozen=True)
+class PingReport:
+    """Result of one :func:`hostping` run.
+
+    Attributes:
+        src / dst: Probed devices.
+        path: Fabric path probed.
+        sent / received: Probe counts (lost probes had a down path).
+        rtts: Individual round-trip samples (seconds), successful only.
+        summary: Percentile summary of *rtts* (``None`` if all lost).
+    """
+
+    src: str
+    dst: str
+    path: Path
+    sent: int
+    received: int
+    rtts: List[float]
+    summary: Optional[Summary]
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of probes lost."""
+        return 1.0 - (self.received / self.sent) if self.sent else 0.0
+
+    def describe(self) -> str:
+        """ping-style human-readable output."""
+        lines = [f"HOSTPING {self.src} -> {self.dst} via {self.path}"]
+        lines.append(
+            f"{self.sent} probes sent, {self.received} received, "
+            f"{self.loss_rate:.0%} loss"
+        )
+        if self.summary is not None:
+            lines.append(
+                f"rtt p50/p95/p99 = {format_time(self.summary.p50)}/"
+                f"{format_time(self.summary.p95)}/{format_time(self.summary.p99)}"
+            )
+        return "\n".join(lines)
+
+
+def hostping(
+    network: FabricNetwork,
+    src: str,
+    dst: str,
+    count: int = 10,
+    probe_bytes: float = 64.0,
+    interval: float = 0.001,
+    seed: int = 0,
+) -> PingReport:
+    """Ping *dst* from *src* *count* times, one probe per *interval*.
+
+    The engine is advanced by ``count * interval`` — the run observes the
+    live fabric as background traffic evolves.  Probes whose path is down
+    count as lost.
+    """
+    if count < 1:
+        raise MonitorError(f"count must be >= 1, got {count}")
+    # Probe the physical path even if part of it is down: a dead hop shows
+    # up as loss, the way real ping reports 100% loss rather than no-route.
+    path = shortest_path(network.topology, src, dst, healthy_only=False)
+    rng = random.Random(seed)
+    rtts: List[float] = []
+    lost = 0
+    for _ in range(count):
+        rtt = network.round_trip_latency(path, probe_bytes, probe_bytes)
+        if math.isinf(rtt):
+            lost += 1
+        else:
+            rtts.append(rtt * (1.0 + rng.uniform(-0.02, 0.02)))
+        network.engine.run_until(network.engine.now + interval)
+    return PingReport(
+        src=src, dst=dst, path=path, sent=count, received=count - lost,
+        rtts=rtts, summary=summarize(rtts) if rtts else None,
+    )

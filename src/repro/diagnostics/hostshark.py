@@ -1,0 +1,148 @@
+"""``hostshark`` — transaction capture for the intra-host fabric.
+
+The wireshark analogue §3.1 asks for: subscribes to flow start/completion
+events on the fabric and records them with their metadata, supporting
+display filters over tenant, device, link, and tags.  Capture is passive —
+it observes the fluid simulator's control events and costs the fabric
+nothing (a tcpdump on the control path, not the data path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim.flows import Flow, FlowState
+from ..sim.network import FabricNetwork
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured fabric event.
+
+    Attributes:
+        time: Event time.
+        event: ``"start"`` or ``"complete"``.
+        flow_id / tenant_id: Flow identity.
+        src / dst: Flow endpoints.
+        links: Links the flow crosses.
+        size: Flow size (``None`` for persistent flows).
+        bytes_sent: Bytes moved at event time.
+        rate: Assigned rate at event time.
+        tags: The flow's free-form tags.
+    """
+
+    time: float
+    event: str
+    flow_id: str
+    tenant_id: str
+    src: str
+    dst: str
+    links: tuple
+    size: Optional[float]
+    bytes_sent: float
+    rate: float
+    tags: Dict[str, str]
+
+
+class HostShark:
+    """Flow-event capture with display filters.
+
+    Args:
+        network: The fabric to attach to.
+        max_records: Ring size; oldest records are dropped beyond it.
+    """
+
+    def __init__(self, network: FabricNetwork, max_records: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.network = network
+        self.max_records = max_records
+        self._records: List[CaptureRecord] = []
+        self._capturing = False
+        network.on_flow_start(self._on_start)
+        network.on_flow_complete(self._on_complete)
+
+    # -- capture lifecycle ------------------------------------------------------
+
+    def start_capture(self) -> None:
+        """Begin recording events."""
+        self._capturing = True
+
+    def stop_capture(self) -> None:
+        """Stop recording (already captured records are kept)."""
+        self._capturing = False
+
+    def clear(self) -> None:
+        """Drop all captured records."""
+        self._records.clear()
+
+    # -- event sinks --------------------------------------------------------------
+
+    def _record(self, flow: Flow, event: str) -> None:
+        if not self._capturing:
+            return
+        self._records.append(
+            CaptureRecord(
+                time=self.network.engine.now,
+                event=event,
+                flow_id=flow.flow_id,
+                tenant_id=flow.tenant_id,
+                src=flow.path.src,
+                dst=flow.path.dst,
+                links=flow.path.links,
+                size=flow.size,
+                bytes_sent=flow.bytes_sent,
+                rate=flow.current_rate,
+                tags=dict(flow.tags),
+            )
+        )
+        if len(self._records) > self.max_records:
+            del self._records[: len(self._records) - self.max_records]
+
+    def _on_start(self, flow: Flow) -> None:
+        self._record(flow, "start")
+
+    def _on_complete(self, flow: Flow) -> None:
+        self._record(flow, "complete")
+
+    # -- filters --------------------------------------------------------------------
+
+    def records(
+        self,
+        tenant: Optional[str] = None,
+        device: Optional[str] = None,
+        link: Optional[str] = None,
+        event: Optional[str] = None,
+        tag: Optional[Dict[str, str]] = None,
+        predicate: Optional[Callable[[CaptureRecord], bool]] = None,
+    ) -> List[CaptureRecord]:
+        """Captured records matching every given filter (AND semantics)."""
+        result = []
+        for record in self._records:
+            if tenant is not None and record.tenant_id != tenant:
+                continue
+            if device is not None and device not in (record.src, record.dst):
+                continue
+            if link is not None and link not in record.links:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if tag is not None and any(
+                record.tags.get(k) != v for k, v in tag.items()
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary_by_tenant(self) -> Dict[str, int]:
+        """Captured event count per tenant."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.tenant_id] = counts.get(record.tenant_id, 0) + 1
+        return counts

@@ -1,0 +1,138 @@
+"""Automated troubleshooting: compose the diagnostic tools into a verdict.
+
+§3.1: "data center operators can manually *or automatically* use these
+tools ... to pinpoint the root cause of the performance issues efficiently."
+:func:`troubleshoot` is that automation: given a complaint ("traffic from A
+to B is slow"), it runs hosttrace to find the worst hop, cross-checks with
+hostping against an expected baseline, optionally measures achievable
+bandwidth with hostperf, and issues a structured verdict naming the
+bottleneck element and the likely cause class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.network import FabricNetwork
+from ..units import format_bandwidth, format_time
+from .hostperf import PerfReport, hostperf
+from .hostping import PingReport, hostping
+from .hosttrace import TraceReport, hosttrace
+
+
+class CauseClass(enum.Enum):
+    """Root-cause classes the automated diagnosis distinguishes."""
+
+    HEALTHY = "healthy"
+    CONGESTION = "congestion"  # high utilization on a healthy link
+    DEGRADED_LINK = "degraded_link"  # link flagged unhealthy
+    PATH_DOWN = "path_down"  # probes lost entirely
+
+
+@dataclass
+class Diagnosis:
+    """Structured outcome of one :func:`troubleshoot` run.
+
+    Attributes:
+        src / dst: The complained-about pair.
+        cause: The inferred :class:`CauseClass`.
+        culprit_link: The blamed link, when one stands out.
+        trace: The hosttrace evidence.
+        ping: The hostping evidence.
+        perf: The hostperf evidence, when bandwidth was measured.
+        notes: Human-readable reasoning steps, in order.
+    """
+
+    src: str
+    dst: str
+    cause: CauseClass
+    culprit_link: Optional[str]
+    trace: TraceReport
+    ping: PingReport
+    perf: Optional[PerfReport] = None
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line report an operator would read."""
+        lines = [
+            f"DIAGNOSIS {self.src} -> {self.dst}: {self.cause.value}"
+            + (f" at {self.culprit_link}" if self.culprit_link else "")
+        ]
+        lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def troubleshoot(
+    network: FabricNetwork,
+    src: str,
+    dst: str,
+    expected_rtt: Optional[float] = None,
+    rtt_inflation_threshold: float = 3.0,
+    congestion_threshold: float = 0.85,
+    measure_bandwidth: bool = False,
+    ping_count: int = 5,
+) -> Diagnosis:
+    """Automatically diagnose slow traffic from *src* to *dst*.
+
+    Args:
+        expected_rtt: Known-good RTT for the pair; when ``None``, the
+            zero-load spec (sum of base latencies, doubled) is used.
+        rtt_inflation_threshold: Measured/expected RTT ratio above which
+            the pair is considered unhealthy.
+        congestion_threshold: Utilization above which a hop is blamed on
+            congestion rather than degradation.
+        measure_bandwidth: Also run hostperf (perturbs the fabric).
+    """
+    notes: List[str] = []
+
+    ping = hostping(network, src, dst, count=ping_count)
+    trace = hosttrace(network, src, dst)
+    baseline = expected_rtt if expected_rtt is not None \
+        else 2.0 * trace.path.base_latency
+    notes.append(f"expected rtt {format_time(baseline)}")
+
+    perf: Optional[PerfReport] = None
+    if measure_bandwidth:
+        perf = hostperf(network, src, dst)
+        notes.append(f"hostperf achieved {format_bandwidth(perf.achieved_rate)}")
+
+    if ping.received == 0:
+        down = [h for h in trace.hops if not h.healthy]
+        culprit = down[0].link_id if down else None
+        notes.append("all probes lost: path is down")
+        return Diagnosis(src=src, dst=dst, cause=CauseClass.PATH_DOWN,
+                         culprit_link=culprit, trace=trace, ping=ping,
+                         perf=perf, notes=notes)
+
+    measured = ping.summary.p50 if ping.summary else float("inf")
+    notes.append(f"measured rtt p50 {format_time(measured)}")
+
+    if measured <= baseline * rtt_inflation_threshold:
+        notes.append("rtt within tolerance: no fabric issue found")
+        return Diagnosis(src=src, dst=dst, cause=CauseClass.HEALTHY,
+                         culprit_link=None, trace=trace, ping=ping,
+                         perf=perf, notes=notes)
+
+    worst = trace.worst_hop()
+    notes.append(
+        f"worst hop {worst.link_id}: {format_time(worst.measured_latency)} "
+        f"(x{worst.inflation:.1f} of base, util {worst.utilization:.0%})"
+    )
+    if not worst.healthy:
+        cause = CauseClass.DEGRADED_LINK
+        notes.append("worst hop is flagged unhealthy: hardware degradation")
+    elif worst.utilization >= congestion_threshold:
+        cause = CauseClass.CONGESTION
+        notes.append("worst hop is saturated: congestion")
+    else:
+        # Inflated RTT but no obviously sick hop: blame the worst one as
+        # degraded (silent failures don't set health flags).
+        cause = CauseClass.DEGRADED_LINK
+        notes.append(
+            "no saturated hop, yet rtt inflated: silent degradation suspected"
+        )
+    return Diagnosis(src=src, dst=dst, cause=cause,
+                     culprit_link=worst.link_id, trace=trace, ping=ping,
+                     perf=perf, notes=notes)

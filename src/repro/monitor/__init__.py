@@ -1,0 +1,46 @@
+"""Fine-grained monitoring system: heartbeats, anomaly detection, root cause."""
+
+from .anomaly import (
+    Anomaly,
+    AnomalyKind,
+    CusumDetector,
+    Detector,
+    EwmaDetector,
+    ThresholdDetector,
+    scan_store,
+)
+from .classifier import (
+    FEATURE_NAMES,
+    MODALITY_MASKS,
+    FailureClassifier,
+    extract_features,
+)
+from .failures import FailureInjector, FailureKind, InjectedFailure
+from .heartbeat import HeartbeatMesh, ProbeResult
+from .monitor import HostMonitor, MonitorReport
+from .rootcause import Suspect, localization_correct, localize, top_suspect
+
+__all__ = [
+    "Anomaly",
+    "AnomalyKind",
+    "Detector",
+    "ThresholdDetector",
+    "EwmaDetector",
+    "CusumDetector",
+    "scan_store",
+    "HeartbeatMesh",
+    "ProbeResult",
+    "Suspect",
+    "localize",
+    "top_suspect",
+    "localization_correct",
+    "FailureKind",
+    "InjectedFailure",
+    "FailureInjector",
+    "HostMonitor",
+    "MonitorReport",
+    "FailureClassifier",
+    "extract_features",
+    "FEATURE_NAMES",
+    "MODALITY_MASKS",
+]

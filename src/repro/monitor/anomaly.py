@@ -1,0 +1,216 @@
+"""Anomaly detectors over telemetry streams (§3.1's analysis platform).
+
+Three classic detectors, each a different trade-off between setup cost and
+sensitivity:
+
+* :class:`ThresholdDetector` — static bound (e.g. utilization > 0.9 means
+  congestion); zero training, misses anything that stays under the bar;
+* :class:`EwmaDetector` — self-baselining z-score on a smoothed mean;
+  catches shifts relative to *this host's* normal;
+* :class:`CusumDetector` — cumulative-sum change-point detection; catches
+  slow drifts threshold/EWMA miss.
+
+Detectors are streaming: feed them one ``(metric, time, value)`` at a time
+(or let :func:`scan_store` replay a :class:`~repro.telemetry.storage.
+MetricStore`), and they emit :class:`Anomaly` records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..stats import EwmaTracker
+from ..telemetry.storage import MetricStore
+
+
+class AnomalyKind(enum.Enum):
+    """What kind of misbehaviour a detector flagged."""
+
+    THRESHOLD_EXCEEDED = "threshold_exceeded"
+    DEVIATION = "deviation"
+    LEVEL_SHIFT = "level_shift"
+    MISSED_HEARTBEAT = "missed_heartbeat"
+    LATENCY_INFLATION = "latency_inflation"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected anomaly.
+
+    Attributes:
+        time: When it was detected (simulated seconds).
+        metric: The offending metric name.
+        kind: The :class:`AnomalyKind`.
+        value: Observed value.
+        expected: What the detector believed normal was.
+        severity: Unitless score (bigger = worse); comparable only within
+            one detector kind.
+    """
+
+    time: float
+    metric: str
+    kind: AnomalyKind
+    value: float
+    expected: float
+    severity: float
+
+
+class Detector:
+    """Base streaming detector interface."""
+
+    def observe(self, metric: str, t: float, value: float) -> Optional[Anomaly]:
+        """Feed one sample; returns an :class:`Anomaly` or ``None``."""
+        raise NotImplementedError
+
+
+class ThresholdDetector(Detector):
+    """Flags samples beyond a static threshold.
+
+    Args:
+        threshold: The bound.
+        above: ``True`` flags ``value > threshold``, else ``value <``.
+        metric_prefix: Only metrics starting with this are examined
+            (e.g. ``"link_util."``).
+    """
+
+    def __init__(self, threshold: float, above: bool = True,
+                 metric_prefix: str = "") -> None:
+        self.threshold = threshold
+        self.above = above
+        self.metric_prefix = metric_prefix
+
+    def observe(self, metric: str, t: float, value: float) -> Optional[Anomaly]:
+        """Flag *value* if it breaches the static threshold."""
+        if self.metric_prefix and not metric.startswith(self.metric_prefix):
+            return None
+        breached = value > self.threshold if self.above else value < self.threshold
+        if not breached:
+            return None
+        margin = abs(value - self.threshold)
+        return Anomaly(
+            time=t, metric=metric, kind=AnomalyKind.THRESHOLD_EXCEEDED,
+            value=value, expected=self.threshold,
+            severity=margin / max(abs(self.threshold), 1e-12),
+        )
+
+
+class EwmaDetector(Detector):
+    """Flags samples whose z-score against an EWMA baseline is extreme.
+
+    Args:
+        zscore_threshold: |z| beyond which a sample is anomalous.
+        alpha: EWMA smoothing factor.
+        warmup: Samples per metric consumed before any flagging (baseline
+            formation).
+        metric_prefix: Metric-name filter, as in :class:`ThresholdDetector`.
+    """
+
+    def __init__(self, zscore_threshold: float = 6.0, alpha: float = 0.2,
+                 warmup: int = 10, metric_prefix: str = "") -> None:
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.zscore_threshold = zscore_threshold
+        self.alpha = alpha
+        self.warmup = warmup
+        self.metric_prefix = metric_prefix
+        self._trackers: Dict[str, EwmaTracker] = {}
+
+    def observe(self, metric: str, t: float, value: float) -> Optional[Anomaly]:
+        """Flag *value* when its z-score against the EWMA baseline is
+        extreme; always folds the sample into the baseline."""
+        if self.metric_prefix and not metric.startswith(self.metric_prefix):
+            return None
+        tracker = self._trackers.get(metric)
+        if tracker is None:
+            tracker = EwmaTracker(alpha=self.alpha)
+            self._trackers[metric] = tracker
+        anomaly = None
+        if tracker.observations >= self.warmup:
+            z = tracker.zscore(value)
+            if abs(z) > self.zscore_threshold:
+                anomaly = Anomaly(
+                    time=t, metric=metric, kind=AnomalyKind.DEVIATION,
+                    value=value, expected=tracker.value or 0.0,
+                    severity=abs(z),
+                )
+        # Anomalous samples still update the baseline (slowly, via alpha);
+        # a persistent shift eventually becomes the new normal, like real
+        # self-baselining monitors.
+        tracker.update(value)
+        return anomaly
+
+
+class CusumDetector(Detector):
+    """Two-sided CUSUM change-point detector.
+
+    Accumulates deviations beyond a *drift* allowance; flags when either
+    cumulative sum exceeds *threshold* times the reference scale.
+
+    Args:
+        drift: Per-sample allowance as a fraction of the reference mean.
+        threshold: Alarm level, in multiples of the reference mean.
+        warmup: Samples used to form the reference mean.
+        metric_prefix: Metric-name filter.
+    """
+
+    def __init__(self, drift: float = 0.05, threshold: float = 1.0,
+                 warmup: int = 10, metric_prefix: str = "") -> None:
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.drift = drift
+        self.threshold = threshold
+        self.warmup = warmup
+        self.metric_prefix = metric_prefix
+        self._state: Dict[str, Dict[str, float]] = {}
+
+    def observe(self, metric: str, t: float, value: float) -> Optional[Anomaly]:
+        """Accumulate CUSUM statistics; flag and reset on alarm."""
+        if self.metric_prefix and not metric.startswith(self.metric_prefix):
+            return None
+        state = self._state.setdefault(
+            metric, {"count": 0.0, "mean": 0.0, "pos": 0.0, "neg": 0.0}
+        )
+        state["count"] += 1
+        if state["count"] <= self.warmup:
+            # Running mean during warmup.
+            state["mean"] += (value - state["mean"]) / state["count"]
+            return None
+        reference = state["mean"]
+        scale = max(abs(reference), 1e-12)
+        allowance = self.drift * scale
+        state["pos"] = max(0.0, state["pos"] + (value - reference) - allowance)
+        state["neg"] = max(0.0, state["neg"] - (value - reference) - allowance)
+        alarm = max(state["pos"], state["neg"])
+        if alarm <= self.threshold * scale:
+            return None
+        severity = alarm / (self.threshold * scale)
+        state["pos"] = 0.0
+        state["neg"] = 0.0
+        return Anomaly(
+            time=t, metric=metric, kind=AnomalyKind.LEVEL_SHIFT,
+            value=value, expected=reference, severity=severity,
+        )
+
+
+def scan_store(store: MetricStore, detectors: List[Detector],
+               metrics: Optional[List[str]] = None) -> List[Anomaly]:
+    """Replay a :class:`MetricStore` through *detectors*, oldest first.
+
+    Samples are merged across metrics in time order so streaming state
+    (EWMA baselines, CUSUM sums) sees them as they arrived.
+    """
+    names = metrics if metrics is not None else store.metrics()
+    merged = []
+    for name in names:
+        for t, v in store.series(name):
+            merged.append((t, name, v))
+    merged.sort(key=lambda item: item[0])
+    found: List[Anomaly] = []
+    for t, name, v in merged:
+        for detector in detectors:
+            anomaly = detector.observe(name, t, v)
+            if anomaly is not None:
+                found.append(anomaly)
+    return found

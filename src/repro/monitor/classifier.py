@@ -1,0 +1,227 @@
+"""ML-based failure classification over multi-modal telemetry (§3.1 Q3).
+
+The paper argues intra-host diagnosis is *higher-modality* than inter-host
+diagnosis — an Ethernet link yields bytes/packets/drops, while an
+intra-host incident leaves traces across heterogeneous signals (PCIe
+utilization, memory-bus rates, heartbeat RTTs, missed probes) — "using
+machine learning may be more essential in order to leverage these
+high-modality data".
+
+This module implements that pipeline end to end:
+
+* :func:`extract_features` — turns one observation window (metric store +
+  heartbeat mesh state) into a fixed feature vector spanning both
+  modalities;
+* :class:`FailureClassifier` — a standardized nearest-centroid classifier
+  (deliberately simple: deterministic, trainable from a handful of
+  injection runs, no external ML dependency beyond numpy);
+* feature masks selecting the **counters**, **heartbeats**, or
+  **combined** modality, so E14 can quantify the value of multi-modal
+  data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MonitorError
+from ..telemetry.storage import MetricStore
+from .heartbeat import HeartbeatMesh
+
+#: Feature names, in vector order.  The first block is the counter
+#: modality; the second is the heartbeat modality.
+FEATURE_NAMES: Tuple[str, ...] = (
+    # counters
+    "util_mean",
+    "util_max",
+    "util_std",
+    "rate_drop_max",
+    "rate_var_max",
+    # heartbeats
+    "missed_fraction",
+    "rtt_inflation_mean",
+    "rtt_inflation_max",
+    "rtt_inflation_std",
+    "rtt_time_variance",
+)
+
+#: Modality masks over :data:`FEATURE_NAMES`.
+MODALITY_MASKS: Dict[str, Tuple[bool, ...]] = {
+    "counters": (True,) * 5 + (False,) * 5,
+    "heartbeats": (False,) * 5 + (True,) * 5,
+    "combined": (True,) * 10,
+}
+
+
+def extract_features(store: MetricStore, mesh: HeartbeatMesh,
+                     window: float, now: float) -> np.ndarray:
+    """Build the feature vector for the observation window ``[now-window, now]``.
+
+    Counter features summarize `link_util.*` / `link_rate.*` metrics in
+    the window (with the immediately preceding window as the reference for
+    rate drops); heartbeat features compare each pair's recent probes
+    against its recorded baseline.
+    """
+    start = now - window
+    previous_start = start - window
+
+    utils: List[float] = []
+    drops: List[float] = []
+    rate_vars: List[float] = []
+    for metric in store.metrics():
+        if metric.startswith("link_util."):
+            utils.extend(v for _, v in store.window(metric, start, now))
+        elif metric.startswith("link_rate."):
+            recent = [v for _, v in store.window(metric, start, now)]
+            prior = [v for _, v in store.window(metric, previous_start,
+                                                start)]
+            if recent and prior:
+                prior_mean = float(np.mean(prior))
+                recent_mean = float(np.mean(recent))
+                if prior_mean > 0:
+                    drops.append(max(prior_mean - recent_mean, 0.0)
+                                 / prior_mean)
+            if len(recent) >= 2:
+                mean = float(np.mean(recent))
+                if mean > 0:
+                    rate_vars.append(float(np.std(recent)) / mean)
+
+    inflations: List[float] = []
+    time_variances: List[float] = []
+    missed = 0
+    observed = 0
+    for src, dst in mesh.pairs():
+        baseline = mesh.baseline(src, dst)
+        history = [r for r in mesh.results(src, dst)
+                   if start <= r.time <= now]
+        if not history:
+            continue
+        pair_inflations = []
+        for result in history:
+            observed += 1
+            if result.missed:
+                missed += 1
+            elif baseline and baseline > 0:
+                pair_inflations.append(result.rtt / baseline)
+        if pair_inflations:
+            inflations.extend(pair_inflations)
+            if len(pair_inflations) >= 2:
+                time_variances.append(float(np.std(pair_inflations)))
+
+    def agg(values: Sequence[float], fn, default: float = 0.0) -> float:
+        return float(fn(values)) if len(values) else default
+
+    features = np.array([
+        agg(utils, np.mean),
+        agg(utils, np.max),
+        agg(utils, np.std),
+        agg(drops, np.max),
+        agg(rate_vars, np.max),
+        (missed / observed) if observed else 0.0,
+        agg(inflations, np.mean, default=1.0),
+        agg(inflations, np.max, default=1.0),
+        agg(inflations, np.std),
+        agg(time_variances, np.max),
+    ], dtype=float)
+    return features
+
+
+@dataclass
+class TrainedClass:
+    """Centroid and spread of one failure class in feature space."""
+
+    label: str
+    centroid: np.ndarray
+    spread: np.ndarray
+    examples: int
+
+
+class FailureClassifier:
+    """Standardized nearest-centroid failure classifier.
+
+    Args:
+        modality: One of ``"counters"``, ``"heartbeats"``, ``"combined"`` —
+            which feature block the classifier may look at.
+    """
+
+    def __init__(self, modality: str = "combined") -> None:
+        if modality not in MODALITY_MASKS:
+            raise MonitorError(
+                f"unknown modality {modality!r}; "
+                f"choices: {sorted(MODALITY_MASKS)}"
+            )
+        self.modality = modality
+        self._mask = np.array(MODALITY_MASKS[modality], dtype=bool)
+        self._classes: Dict[str, TrainedClass] = {}
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def labels(self) -> List[str]:
+        """Trained class labels, sorted."""
+        return sorted(self._classes)
+
+    def fit(self, examples: Sequence[Tuple[str, np.ndarray]]) -> None:
+        """Train from ``(label, feature_vector)`` examples."""
+        if not examples:
+            raise MonitorError("cannot fit on zero examples")
+        by_label: Dict[str, List[np.ndarray]] = {}
+        for label, features in examples:
+            if features.shape != (len(FEATURE_NAMES),):
+                raise MonitorError(
+                    f"feature vector has shape {features.shape}, expected "
+                    f"({len(FEATURE_NAMES)},)"
+                )
+            by_label.setdefault(label, []).append(features)
+        everything = np.stack([f for _, f in examples])
+        scale = everything.std(axis=0)
+        scale[scale < 1e-9] = 1.0
+        self._scale = scale
+        self._classes = {}
+        for label, rows in by_label.items():
+            stacked = np.stack(rows)
+            self._classes[label] = TrainedClass(
+                label=label,
+                centroid=stacked.mean(axis=0),
+                spread=stacked.std(axis=0),
+                examples=len(rows),
+            )
+
+    def predict(self, features: np.ndarray) -> str:
+        """Label of the nearest class centroid (standardized distance)."""
+        scores = self.decision_scores(features)
+        return min(scores, key=scores.get)
+
+    def decision_scores(self, features: np.ndarray) -> Dict[str, float]:
+        """Standardized distance to every class centroid (lower = closer)."""
+        if not self._classes or self._scale is None:
+            raise MonitorError("classifier is not fitted")
+        mask = self._mask
+        scaled = features[mask] / self._scale[mask]
+        scores: Dict[str, float] = {}
+        for label, cls in self._classes.items():
+            centroid = cls.centroid[mask] / self._scale[mask]
+            scores[label] = float(np.linalg.norm(scaled - centroid))
+        return scores
+
+    def accuracy(self, examples: Sequence[Tuple[str, np.ndarray]]) -> float:
+        """Fraction of *examples* predicted correctly."""
+        if not examples:
+            raise MonitorError("cannot score zero examples")
+        correct = sum(
+            1 for label, features in examples
+            if self.predict(features) == label
+        )
+        return correct / len(examples)
+
+    def confusion(self, examples: Sequence[Tuple[str, np.ndarray]]
+                  ) -> Dict[Tuple[str, str], int]:
+        """``(truth, predicted) -> count`` over *examples*."""
+        table: Dict[Tuple[str, str], int] = {}
+        for label, features in examples:
+            key = (label, self.predict(features))
+            table[key] = table.get(key, 0) + 1
+        return table

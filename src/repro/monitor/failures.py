@@ -1,0 +1,212 @@
+"""Failure injection — the ground truth generator for detection experiments.
+
+Real failures can't be ordered from hardware, so E4 injects them: silent
+link/switch degradation (§3.1's motivating case), hard link-down, flapping,
+and host misconfiguration.  Every injection is recorded with its ground
+truth so detection rate, time-to-detect, and localization accuracy can be
+scored afterwards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import MonitorError
+from ..sim.network import FabricNetwork
+from ..units import us
+
+
+class FailureKind(enum.Enum):
+    """Kinds of injectable failures."""
+
+    LINK_DEGRADE = "link_degrade"  # silent capacity loss + extra latency
+    LINK_DOWN = "link_down"  # hard failure
+    LINK_FLAP = "link_flap"  # periodic up/down
+    SWITCH_DEGRADE = "switch_degrade"  # all links of one device degrade
+
+
+@dataclass
+class InjectedFailure:
+    """Record of one injected failure (the experiment's ground truth).
+
+    Attributes:
+        failure_id: Unique id.
+        kind: The :class:`FailureKind`.
+        target: Link id (link failures) or device id (switch failures).
+        injected_at: Simulated injection time.
+        cleared_at: When it was repaired, if it was.
+        affected_links: Every link whose behaviour was changed.
+    """
+
+    failure_id: str
+    kind: FailureKind
+    target: str
+    injected_at: float
+    cleared_at: Optional[float] = None
+    affected_links: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        """Whether the failure is still in effect."""
+        return self.cleared_at is None
+
+
+class FailureInjector:
+    """Injects and repairs fabric failures on a live network."""
+
+    def __init__(self, network: FabricNetwork) -> None:
+        self.network = network
+        self._failures: Dict[str, InjectedFailure] = {}
+        self._seq = 0
+        self._flap_tasks: Dict[str, object] = {}
+
+    def _new_id(self, kind: FailureKind) -> str:
+        self._seq += 1
+        return f"{kind.value}-{self._seq}"
+
+    # -- injections -----------------------------------------------------------
+
+    def degrade_link(self, link_id: str, capacity_factor: float = 0.25,
+                     extra_latency: float = us(2)) -> InjectedFailure:
+        """Silently degrade one link to *capacity_factor* of capacity."""
+        if not 0 < capacity_factor <= 1:
+            raise MonitorError("capacity_factor must be in (0, 1]")
+        link = self.network.topology.link(link_id)
+        link.extra_latency = extra_latency
+        self.network.degrade_link(link_id, link.capacity * capacity_factor)
+        failure = InjectedFailure(
+            failure_id=self._new_id(FailureKind.LINK_DEGRADE),
+            kind=FailureKind.LINK_DEGRADE,
+            target=link_id,
+            injected_at=self.network.engine.now,
+            affected_links=[link_id],
+        )
+        self._failures[failure.failure_id] = failure
+        return failure
+
+    def fail_link(self, link_id: str) -> InjectedFailure:
+        """Hard-fail one link (down)."""
+        self.network.topology.link(link_id)  # validate
+        self.network.set_link_up(link_id, False)
+        failure = InjectedFailure(
+            failure_id=self._new_id(FailureKind.LINK_DOWN),
+            kind=FailureKind.LINK_DOWN,
+            target=link_id,
+            injected_at=self.network.engine.now,
+            affected_links=[link_id],
+        )
+        self._failures[failure.failure_id] = failure
+        return failure
+
+    def flap_link(self, link_id: str, period: float = 0.05) -> InjectedFailure:
+        """Flap one link up/down every *period* seconds until cleared."""
+        self.network.topology.link(link_id)  # validate
+        failure = InjectedFailure(
+            failure_id=self._new_id(FailureKind.LINK_FLAP),
+            kind=FailureKind.LINK_FLAP,
+            target=link_id,
+            injected_at=self.network.engine.now,
+            affected_links=[link_id],
+        )
+        self._failures[failure.failure_id] = failure
+
+        def toggle() -> None:
+            if not failure.active:
+                return
+            link = self.network.topology.link(link_id)
+            self.network.set_link_up(link_id, not link.up)
+
+        task = self.network.engine.schedule_every(
+            period, toggle, label=f"flap-{link_id}"
+        )
+        self._flap_tasks[failure.failure_id] = task
+        return failure
+
+    def degrade_switch(self, switch_id: str, capacity_factor: float = 0.25,
+                       extra_latency: float = us(2)) -> InjectedFailure:
+        """Silently degrade every link incident to *switch_id*.
+
+        The paper's §3.1 motivating case: a failing PCIe switch silently
+        slows every device behind it, with no error surfaced anywhere.
+        """
+        if not 0 < capacity_factor <= 1:
+            raise MonitorError("capacity_factor must be in (0, 1]")
+        incident = self.network.topology.incident_links(switch_id)
+        if not incident:
+            raise MonitorError(f"device {switch_id!r} has no links to degrade")
+        affected = []
+        for link in incident:
+            link.extra_latency = extra_latency
+            self.network.degrade_link(
+                link.link_id, link.capacity * capacity_factor
+            )
+            affected.append(link.link_id)
+        failure = InjectedFailure(
+            failure_id=self._new_id(FailureKind.SWITCH_DEGRADE),
+            kind=FailureKind.SWITCH_DEGRADE,
+            target=switch_id,
+            injected_at=self.network.engine.now,
+            affected_links=affected,
+        )
+        self._failures[failure.failure_id] = failure
+        return failure
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self, inject, at: float,
+                 clear_after: Optional[float] = None) -> None:
+        """Schedule an injection (and optional repair) on the engine.
+
+        Args:
+            inject: ``lambda injector: injector.degrade_link(...)`` — called
+                with this injector at time *at*; must return the
+                :class:`InjectedFailure`.
+            at: Absolute injection time (simulated seconds, >= now).
+            clear_after: Seconds after injection to auto-repair; ``None``
+                leaves the failure in place.
+
+        Scripted failure timelines are how experiments exercise detection
+        under realistic incident/repair cycles.
+        """
+        engine = self.network.engine
+
+        def fire() -> None:
+            failure = inject(self)
+            if clear_after is not None:
+                engine.schedule_in(clear_after,
+                                   lambda: self.clear(failure),
+                                   label="failure-repair")
+
+        engine.schedule_at(at, fire, label="failure-inject")
+
+    # -- repair ------------------------------------------------------------------
+
+    def clear(self, failure: InjectedFailure) -> None:
+        """Repair an injected failure, restoring healthy behaviour."""
+        if not failure.active:
+            return
+        task = self._flap_tasks.pop(failure.failure_id, None)
+        if task is not None:
+            task.cancel()
+        for link_id in failure.affected_links:
+            link = self.network.topology.link(link_id)
+            link.extra_latency = 0.0
+            self.network.degrade_link(link_id, None)
+            self.network.set_link_up(link_id, True)
+        failure.cleared_at = self.network.engine.now
+
+    def clear_all(self) -> None:
+        """Repair everything still active."""
+        for failure in list(self._failures.values()):
+            self.clear(failure)
+
+    # -- queries -----------------------------------------------------------------
+
+    def failures(self, active_only: bool = False) -> List[InjectedFailure]:
+        """All injected failures, optionally only the active ones."""
+        items = list(self._failures.values())
+        if active_only:
+            items = [f for f in items if f.active]
+        return items

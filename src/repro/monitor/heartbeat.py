@@ -1,0 +1,212 @@
+"""Intra-host heartbeat mesh — Pingmesh brought inside the server (§3.1).
+
+The paper's anomaly-platform proposal: "devices on the intra-host network
+periodically send 'heartbeats' to each other, similar to works like
+Pingmesh".  Every probing period, each ordered device pair exchanges a tiny
+probe over its real fabric path; the measured RTT reflects current
+congestion, injected latency, and degraded capacity — and a down path shows
+up as a *missed* heartbeat.  Probe results feed the anomaly detectors and
+the topology-aware root-cause localizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MonitorError, NoPathError
+from ..sim.engine import PeriodicTask
+from ..sim.network import SYSTEM_TENANT, FabricNetwork
+from ..topology.routing import Path, shortest_path
+from ..units import ns
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One heartbeat measurement.
+
+    Attributes:
+        src / dst: Probed device pair.
+        time: When the probe completed (simulated seconds).
+        rtt: Measured round-trip time; ``inf`` means the heartbeat was
+            missed (path down).
+        path: The fabric path the probe took.
+    """
+
+    src: str
+    dst: str
+    time: float
+    rtt: float
+    path: Path
+
+    @property
+    def missed(self) -> bool:
+        """Whether the heartbeat got no response."""
+        return math.isinf(self.rtt)
+
+
+class HeartbeatMesh:
+    """Periodic all-pairs probing among selected devices.
+
+    Args:
+        network: The fabric under test.
+        probers: Device ids that participate (endpoints, typically one per
+            interesting device); all ordered pairs probe each other.
+        period: Probing period in seconds.
+        probe_bytes: Probe message size.
+        rng: Optional seeded RNG adding measurement noise (±2% of RTT),
+            mimicking real timestamping jitter.
+        history: Probe results retained per pair.
+        consume_fabric: When ``True``, every probe also injects its bytes
+            as a real system-tenant transfer, so heavy probing shows up in
+            counters and costs tenants bandwidth — the §3.1 Q2 overhead
+            applies to active probing just as to telemetry shipping.
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        probers: Sequence[str],
+        period: float = 0.005,
+        probe_bytes: float = 64.0,
+        rng: Optional[random.Random] = None,
+        history: int = 256,
+        consume_fabric: bool = False,
+    ) -> None:
+        if len(probers) < 2:
+            raise MonitorError("heartbeat mesh needs at least two probers")
+        if period <= 0:
+            raise MonitorError(f"period must be > 0, got {period}")
+        self.network = network
+        self.probers = list(probers)
+        self.period = period
+        self.probe_bytes = probe_bytes
+        self.rng = rng
+        self.history = history
+        self.consume_fabric = consume_fabric
+        self.probe_bytes_sent = 0.0
+        self._paths: Dict[Tuple[str, str], Path] = {}
+        self._results: Dict[Tuple[str, str], List[ProbeResult]] = {}
+        self._baseline: Dict[Tuple[str, str], float] = {}
+        self._task: Optional[PeriodicTask] = None
+        self.probes_sent = 0
+
+        for src, dst in itertools.permutations(self.probers, 2):
+            try:
+                self._paths[(src, dst)] = shortest_path(
+                    network.topology, src, dst
+                )
+            except NoPathError:
+                continue
+        if not self._paths:
+            raise MonitorError("no probe-able pairs among the probers")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic probing (first round after one period)."""
+        if self._task is not None:
+            raise MonitorError("heartbeat mesh already started")
+        self._task = self.network.engine.schedule_every(
+            self.period, self.probe_all, label="heartbeat"
+        )
+
+    def stop(self) -> None:
+        """Stop probing."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # -- probing ---------------------------------------------------------------
+
+    def probe_pair(self, src: str, dst: str) -> ProbeResult:
+        """Probe one pair immediately and record the result."""
+        try:
+            path = self._paths[(src, dst)]
+        except KeyError:
+            raise MonitorError(f"pair ({src!r}, {dst!r}) is not in the mesh")
+        rtt = self.network.round_trip_latency(
+            path, self.probe_bytes, self.probe_bytes
+        )
+        if not math.isinf(rtt) and self.rng is not None:
+            rtt *= 1.0 + self.rng.uniform(-0.02, 0.02)
+        if self.consume_fabric and not math.isinf(rtt):
+            # request + response bytes actually cross the fabric
+            self.network.start_transfer(
+                SYSTEM_TENANT, path, size=2 * self.probe_bytes,
+                tags={"app": "heartbeat"},
+            )
+            self.probe_bytes_sent += 2 * self.probe_bytes
+        result = ProbeResult(
+            src=src, dst=dst, time=self.network.engine.now, rtt=rtt, path=path
+        )
+        bucket = self._results.setdefault((src, dst), [])
+        bucket.append(result)
+        if len(bucket) > self.history:
+            del bucket[: len(bucket) - self.history]
+        self.probes_sent += 1
+        return result
+
+    def probe_all(self) -> List[ProbeResult]:
+        """Probe every pair once; returns this round's results."""
+        return [self.probe_pair(src, dst) for src, dst in self._paths]
+
+    # -- queries -----------------------------------------------------------------
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All probed (src, dst) pairs."""
+        return list(self._paths)
+
+    def path_for(self, src: str, dst: str) -> Path:
+        """The fabric path used to probe (src, dst)."""
+        return self._paths[(src, dst)]
+
+    def results(self, src: str, dst: str) -> List[ProbeResult]:
+        """Retained probe history for one pair (oldest first)."""
+        return list(self._results.get((src, dst), []))
+
+    def latest_round(self) -> List[ProbeResult]:
+        """The most recent result of every pair that has any."""
+        latest = []
+        for pair, bucket in self._results.items():
+            if bucket:
+                latest.append(bucket[-1])
+        return latest
+
+    def record_baseline(self) -> None:
+        """Snapshot current RTTs as the healthy baseline for each pair.
+
+        Call once while the host is known-good; anomaly scoring compares
+        later probes against these.
+        """
+        for src, dst in self._paths:
+            result = self.probe_pair(src, dst)
+            if not result.missed:
+                self._baseline[(src, dst)] = result.rtt
+
+    def baseline(self, src: str, dst: str) -> Optional[float]:
+        """The recorded healthy RTT for a pair, if any."""
+        return self._baseline.get((src, dst))
+
+    def anomalous_probes(self, inflation_factor: float = 3.0,
+                         floor: float = ns(50)) -> List[ProbeResult]:
+        """Latest-round probes that look unhealthy.
+
+        A probe is anomalous if it was missed, or its RTT exceeds
+        ``max(baseline * inflation_factor, baseline + floor)``.  Pairs
+        without a baseline are skipped (unknown, not anomalous).
+        """
+        flagged = []
+        for result in self.latest_round():
+            if result.missed:
+                flagged.append(result)
+                continue
+            base = self._baseline.get((result.src, result.dst))
+            if base is None:
+                continue
+            if result.rtt > max(base * inflation_factor, base + floor):
+                flagged.append(result)
+        return flagged

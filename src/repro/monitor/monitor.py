@@ -1,0 +1,215 @@
+"""The fine-grained monitoring system facade (building block 1, §3.1).
+
+:class:`HostMonitor` wires together the three components the paper calls
+for — the configuration/resource monitor (telemetry collector), the anomaly
+platform (heartbeat mesh + streaming detectors), and a diagnosis entry
+point that localizes the root cause with topology-aware tomography.
+
+Typical use::
+
+    monitor = HostMonitor(network, probers=["nic0", "gpu0", "nvme0"])
+    monitor.start()
+    engine.run_until(t0)          # let baselines form
+    monitor.record_baseline()
+    engine.run_until(t1)          # ... failure happens somewhere here ...
+    report = monitor.check()
+    if report.anomalies:
+        print(report.describe())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..sim.network import FabricNetwork
+from ..telemetry.collector import TelemetryCollector
+from ..telemetry.counters import CounterSource
+from ..telemetry.storage import MetricStore
+from .anomaly import (
+    Anomaly,
+    AnomalyKind,
+    CusumDetector,
+    Detector,
+    EwmaDetector,
+    ThresholdDetector,
+)
+from .heartbeat import HeartbeatMesh, ProbeResult
+from .rootcause import Suspect, localize
+
+
+@dataclass
+class MonitorReport:
+    """Outcome of one :meth:`HostMonitor.check` call.
+
+    Attributes:
+        time: When the check ran.
+        anomalies: Detector findings over telemetry since the last check.
+        bad_probes: Heartbeats flagged unhealthy this round.
+        suspects: Root-cause ranking (empty when nothing was anomalous).
+    """
+
+    time: float
+    anomalies: List[Anomaly] = field(default_factory=list)
+    bad_probes: List[ProbeResult] = field(default_factory=list)
+    suspects: List[Suspect] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether nothing anomalous was observed."""
+        return not self.anomalies and not self.bad_probes
+
+    def top_link_suspect(self) -> Optional[Suspect]:
+        """Best link-level root-cause candidate, if any."""
+        for suspect in self.suspects:
+            if suspect.kind == "link":
+                return suspect
+        return None
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"monitor report @ {self.time:.6f}s: "
+                 f"{'HEALTHY' if self.healthy else 'ANOMALOUS'}"]
+        for anomaly in self.anomalies[:10]:
+            lines.append(
+                f"  [{anomaly.kind.value}] {anomaly.metric}: "
+                f"value={anomaly.value:.4g} expected={anomaly.expected:.4g} "
+                f"severity={anomaly.severity:.2f}"
+            )
+        for probe in self.bad_probes[:10]:
+            state = "MISSED" if probe.missed else f"rtt={probe.rtt:.2e}s"
+            lines.append(f"  [heartbeat] {probe.src}->{probe.dst}: {state}")
+        for suspect in self.suspects[:5]:
+            lines.append(
+                f"  [suspect:{suspect.kind}] {suspect.element_id} "
+                f"suspicion={suspect.suspicion:.2f} "
+                f"({suspect.bad_crossings}/{suspect.total_crossings} probes)"
+            )
+        return "\n".join(lines)
+
+
+class HostMonitor:
+    """Fine-grained intra-host monitoring system.
+
+    Args:
+        network: The fabric to watch.
+        probers: Devices participating in the heartbeat mesh; defaults to
+            every flow endpoint except the external node.
+        source: Telemetry counter source (fidelity per §3.1 Q1).
+        telemetry_period: Counter sampling period (seconds).
+        heartbeat_period: Probe round period (seconds).
+        tenants: Tenant ids for per-tenant attribution where supported.
+        detectors: Override the default detector set.
+        seed: RNG seed for probe jitter.
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        probers: Optional[Sequence[str]] = None,
+        source: CounterSource = CounterSource.HARDWARE,
+        telemetry_period: float = 0.01,
+        heartbeat_period: float = 0.005,
+        tenants: Optional[Sequence[str]] = None,
+        detectors: Optional[List[Detector]] = None,
+        seed: int = 0,
+        processing: str = "local",
+    ) -> None:
+        self.network = network
+        self.store = MetricStore()
+        self.collector = TelemetryCollector(
+            network, store=self.store, source=source,
+            period=telemetry_period, processing=processing,
+            tenants=list(tenants or []),
+        )
+        if probers is None:
+            from ..topology.elements import DeviceType
+
+            probers = [
+                d.device_id for d in network.topology.endpoints()
+                if d.device_type is not DeviceType.EXTERNAL
+            ]
+        self.heartbeats = HeartbeatMesh(
+            network, probers, period=heartbeat_period,
+            rng=random.Random(seed),
+        )
+        self.detectors: List[Detector] = detectors if detectors is not None else [
+            ThresholdDetector(threshold=0.9, metric_prefix="link_util."),
+            EwmaDetector(zscore_threshold=8.0, metric_prefix="link_rate."),
+            CusumDetector(metric_prefix="link_util."),
+        ]
+        self._scanned_through: float = -1.0
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start telemetry sampling and heartbeat probing."""
+        if self._running:
+            return
+        self._running = True
+        self.collector.start()
+        self.heartbeats.start()
+
+    def stop(self) -> None:
+        """Stop all periodic activity."""
+        if not self._running:
+            return
+        self._running = False
+        self.collector.stop()
+        self.heartbeats.stop()
+
+    def record_baseline(self) -> None:
+        """Snapshot current heartbeat RTTs as the healthy baseline."""
+        self.heartbeats.record_baseline()
+
+    # -- checking ----------------------------------------------------------------
+
+    def check(self, rtt_inflation_factor: float = 3.0) -> MonitorReport:
+        """Run detection over everything observed since the last check."""
+        now = self.network.engine.now
+        anomalies: List[Anomaly] = []
+        for metric in self.store.metrics():
+            for t, value in self.store.series(metric):
+                if t <= self._scanned_through:
+                    continue
+                for detector in self.detectors:
+                    found = detector.observe(metric, t, value)
+                    if found is not None:
+                        anomalies.append(found)
+        self._scanned_through = now
+
+        bad_probes = self.heartbeats.anomalous_probes(rtt_inflation_factor)
+        for probe in bad_probes:
+            kind = (AnomalyKind.MISSED_HEARTBEAT if probe.missed
+                    else AnomalyKind.LATENCY_INFLATION)
+            base = self.heartbeats.baseline(probe.src, probe.dst) or 0.0
+            anomalies.append(
+                Anomaly(
+                    time=probe.time,
+                    metric=f"hb_rtt.{probe.src}.{probe.dst}",
+                    kind=kind,
+                    value=probe.rtt,
+                    expected=base,
+                    severity=(probe.rtt / base) if base > 0 else float("inf"),
+                )
+            )
+
+        suspects: List[Suspect] = []
+        if bad_probes:
+            flagged = {(p.src, p.dst) for p in bad_probes}
+            healthy = [
+                p for p in self.heartbeats.latest_round()
+                if (p.src, p.dst) not in flagged
+            ]
+            suspects = localize(self.network.topology, healthy, bad_probes)
+
+        return MonitorReport(
+            time=now, anomalies=anomalies,
+            bad_probes=bad_probes, suspects=suspects,
+        )
+
+    def monitoring_overhead_rate(self) -> float:
+        """Fabric bytes/s spent on telemetry shipping (0 for local mode)."""
+        return self.collector.overhead_rate()

@@ -1,0 +1,207 @@
+"""Weighted, demand-limited max-min fair bandwidth allocation.
+
+The fluid model at the heart of the simulator: each active flow traverses a
+set of capacity constraints (physical links, plus any *virtual* constraints
+the arbiter injects, e.g. a per-tenant cap on one link) and receives a rate
+via progressive filling (water-filling):
+
+1. grow every unfrozen flow's rate in proportion to its weight;
+2. when a constraint saturates, freeze every flow crossing it;
+3. when a flow reaches its demand, freeze that flow;
+4. repeat until all flows are frozen.
+
+This yields the classic weighted max-min fair allocation, which is the
+accepted fluid approximation for PCIe/memory-bus bandwidth sharing under
+congestion (see Neugebauer'18's PCIe model, and fair-share assumptions in
+the QoS literature the paper cites).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Relative tolerance for saturation checks.
+_EPSILON = 1e-9
+
+#: Absolute tolerance in bytes/s: demands/rates below this are zero.  Fabric
+#: quantities are O(1e9), so 1e-9 B/s is twenty orders below signal — but it
+#: keeps denormal inputs from stalling the water-filling loop.
+_ABS_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """One flow's input to the solver.
+
+    Attributes:
+        flow_id: Unique identifier.
+        links: Ids of the capacity constraints the flow crosses (physical
+            link ids and/or virtual constraint ids).
+        demand: Maximum useful rate in bytes/s (``inf`` for elastic flows).
+        weight: Max-min weight (> 0); rates grow in proportion to weights.
+    """
+
+    flow_id: str
+    links: Tuple[str, ...]
+    demand: float = math.inf
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"flow {self.flow_id!r}: weight must be > 0")
+        if self.demand < 0:
+            raise ValueError(f"flow {self.flow_id!r}: demand must be >= 0")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named capacity constraint (physical or virtual).
+
+    Physical constraints apply to every flow that lists them in ``links``.
+    Virtual constraints (e.g. tenant caps) additionally restrict membership
+    to ``member_flows`` when given.
+    """
+
+    constraint_id: str
+    capacity: float
+    member_flows: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(
+                f"constraint {self.constraint_id!r}: capacity must be >= 0"
+            )
+
+
+def max_min_fair_rates(
+    flows: Sequence[FlowDemand],
+    capacities: Mapping[str, float],
+    extra_constraints: Iterable[Constraint] = (),
+) -> Dict[str, float]:
+    """Compute weighted max-min fair rates.
+
+    Args:
+        flows: The active flows.
+        capacities: Capacity (bytes/s) per physical link id.  Every link id
+            referenced by a flow must be present.
+        extra_constraints: Additional constraints (e.g. the arbiter's
+            per-tenant-per-link caps).  A constraint with ``member_flows``
+            binds only the listed flows *and* only where the flow's link
+            set contains the constraint id — virtual ids are matched by
+            membership alone.
+
+    Returns:
+        Mapping flow id -> allocated rate (bytes/s).  Flows with zero demand
+        get rate 0.  A flow crossing a zero-capacity (failed) link gets 0.
+    """
+    if not flows:
+        return {}
+
+    # Build constraint membership: constraint id -> set of flow indices.
+    flow_index = {f.flow_id: i for i, f in enumerate(flows)}
+    if len(flow_index) != len(flows):
+        raise ValueError("duplicate flow ids passed to solver")
+
+    members: Dict[str, List[int]] = {}
+    caps: Dict[str, float] = {}
+    for f in flows:
+        for link_id in f.links:
+            if link_id not in capacities:
+                raise KeyError(f"flow {f.flow_id!r} references unknown "
+                               f"constraint {link_id!r}")
+            members.setdefault(link_id, []).append(flow_index[f.flow_id])
+    for link_id in members:
+        caps[link_id] = float(capacities[link_id])
+
+    for constraint in extra_constraints:
+        cid = constraint.constraint_id
+        if cid in caps:
+            raise ValueError(f"constraint id {cid!r} collides with a link id")
+        if constraint.member_flows is None:
+            raise ValueError(
+                f"virtual constraint {cid!r} must declare member_flows"
+            )
+        bound = [flow_index[fid] for fid in constraint.member_flows
+                 if fid in flow_index]
+        if bound:
+            members[cid] = bound
+            caps[cid] = float(constraint.capacity)
+
+    rates = [0.0 for _ in flows]
+    frozen = [f.demand <= _ABS_EPSILON for f in flows]
+
+    # Progressive filling.
+    for _round in range(2 * (len(flows) + len(caps)) + 2):
+        active = [i for i in range(len(flows)) if not frozen[i]]
+        if not active:
+            break
+
+        # Growth headroom per constraint: remaining capacity shared over the
+        # total weight of unfrozen flows crossing it.
+        step = math.inf
+        for cid, flow_ids in members.items():
+            active_weight = sum(flows[i].weight for i in flow_ids
+                                if not frozen[i])
+            if active_weight <= 0:
+                continue
+            used = sum(rates[i] for i in flow_ids)
+            headroom = caps[cid] - used
+            step = min(step, max(headroom, 0.0) / active_weight)
+
+        # Growth headroom per flow demand.
+        for i in active:
+            remaining = flows[i].demand - rates[i]
+            if math.isfinite(remaining):
+                step = min(step, remaining / flows[i].weight)
+
+        if not math.isfinite(step):
+            # No binding constraint at all: unconstrained elastic flows.
+            # This only happens for flows with infinite demand crossing no
+            # constraints, which is a caller bug.
+            raise ValueError("elastic flow with no capacity constraint")
+
+        if step > 0:
+            for i in active:
+                rates[i] += flows[i].weight * step
+
+        # Freeze demand-satisfied flows.
+        for i in active:
+            if rates[i] + _ABS_EPSILON >= flows[i].demand * (1 - _EPSILON):
+                rates[i] = min(rates[i], flows[i].demand)
+                frozen[i] = True
+
+        # Freeze flows on saturated constraints.
+        for cid, flow_ids in members.items():
+            used = sum(rates[i] for i in flow_ids)
+            if used + _ABS_EPSILON >= caps[cid] * (1 - _EPSILON):
+                for i in flow_ids:
+                    frozen[i] = True
+
+    return {flows[i].flow_id: rates[i] for i in range(len(flows))}
+
+
+def link_utilizations(
+    flows: Sequence[FlowDemand],
+    rates: Mapping[str, float],
+    capacities: Mapping[str, float],
+) -> Dict[str, float]:
+    """Per-link utilization in [0, 1] implied by *rates*.
+
+    Links with zero capacity report utilization 1.0 when any flow is mapped
+    onto them (they are fully degraded), else 0.0.
+    """
+    load: Dict[str, float] = {link_id: 0.0 for link_id in capacities}
+    for f in flows:
+        rate = rates.get(f.flow_id, 0.0)
+        for link_id in f.links:
+            if link_id in load:
+                load[link_id] += rate
+    result: Dict[str, float] = {}
+    for link_id, cap in capacities.items():
+        if cap <= 0:
+            result[link_id] = 1.0 if load[link_id] > 0 else 0.0
+        else:
+            result[link_id] = min(load[link_id] / cap, 1.0)
+    return result

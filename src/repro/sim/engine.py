@@ -1,0 +1,208 @@
+"""The discrete-event simulation engine.
+
+A classic heapq event loop over :class:`~repro.sim.clock.SimClock`.  The
+engine is deliberately minimal: everything else (flows, telemetry,
+heartbeats, arbitration) is built by scheduling callbacks on it.
+
+Determinism guarantees:
+
+* events at equal times fire in scheduling order (tie-broken by a sequence
+  number);
+* the engine is single-threaded;
+* no component of the library reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from ..errors import ClockError, SimulationError
+from .clock import SimClock
+from .events import Event
+
+
+class Engine:
+    """Single-threaded discrete-event engine."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks fired so far."""
+        return self._events_processed
+
+    def schedule_at(self, t: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule *callback* at absolute time *t* (>= now)."""
+        if t < self.now:
+            raise ClockError(
+                f"cannot schedule at {t} (now is {self.now})"
+            )
+        event = Event(time=t, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule *callback* after *delay* seconds (>= 0)."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule with negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, label=label)
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        label: str = "",
+        first_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> "PeriodicTask":
+        """Run *callback* every *period* seconds until cancelled.
+
+        ``jitter`` adds uniform ±jitter/2 noise to each period (requires
+        *rng*, a ``random.Random``-like object).  Returns a
+        :class:`PeriodicTask` handle with a ``cancel()`` method.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be > 0, got {period}")
+        if jitter < 0 or (jitter > 0 and rng is None):
+            raise SimulationError("jitter requires a non-negative value and an rng")
+        task = PeriodicTask(self, period, callback, label, jitter, rng)
+        delay = period if first_delay is None else first_delay
+        task._arm(delay)
+        return task
+
+    # -- execution -----------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process one event; returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> int:
+        """Process events up to and including time *t*; advance clock to *t*.
+
+        Returns the number of events processed.  ``max_events`` is a safety
+        valve against runaway event storms in tests.
+        """
+        if t < self.now:
+            raise ClockError(f"cannot run until {t} (now is {self.now})")
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > t:
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"run_until({t}) exceeded max_events={max_events}"
+                    )
+            self.clock.advance_to(t)
+        finally:
+            self._running = False
+        return processed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue completely (bounded by *max_events*)."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self.step():
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(f"run() exceeded max_events={max_events}")
+        finally:
+            self._running = False
+        return processed
+
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Engine.schedule_every`."""
+
+    def __init__(self, engine: Engine, period: float,
+                 callback: Callable[[], None], label: str,
+                 jitter: float, rng) -> None:
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._jitter = jitter
+        self._rng = rng
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self.fire_count = 0
+
+    def _next_period(self) -> float:
+        if self._jitter and self._rng is not None:
+            offset = (self._rng.random() - 0.5) * self._jitter
+            return max(self._period + offset, self._period * 0.01)
+        return self._period
+
+    def _arm(self, delay: float) -> None:
+        if self._cancelled:
+            return
+        self._event = self._engine.schedule_in(delay, self._fire,
+                                               label=self._label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._callback()
+        self._arm(self._next_period())
+
+    @property
+    def period(self) -> float:
+        """Current repeat period in seconds."""
+        return self._period
+
+    def reschedule(self, period: float) -> None:
+        """Change the repeat period, effective from the next firing."""
+        if period <= 0:
+            raise SimulationError(f"period must be > 0, got {period}")
+        self._period = period
+
+    def cancel(self) -> None:
+        """Stop the task; the pending firing (if any) is cancelled."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()

@@ -1,0 +1,31 @@
+"""Event types for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, seq)``.
+
+    The sequence number breaks ties deterministically: two events scheduled
+    for the same instant fire in scheduling order, which keeps the whole
+    simulation reproducible.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        label = f" {self.label!r}" if self.label else ""
+        return f"Event(t={self.time:.9f}, seq={self.seq}{label}, {state})"

@@ -1,0 +1,481 @@
+"""Live fabric state: active flows, fair-share rates, and accounting.
+
+:class:`FabricNetwork` is the simulator's beating heart.  It owns the set of
+active flows, recomputes the weighted max-min allocation whenever the flow
+set or the topology changes, integrates per-link/per-tenant byte counters
+over simulated time (the ground truth that telemetry later samples), and
+schedules finite-flow completions on the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import FlowError, UnknownLinkError
+from ..topology.graph import HostTopology
+from ..topology.routing import Path
+from .bandwidth import Constraint, FlowDemand, max_min_fair_rates
+from .engine import Engine
+from .events import Event
+from .flows import Flow, FlowState
+from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
+
+#: Tenant id used for infrastructure traffic (telemetry, heartbeats).
+SYSTEM_TENANT = "_system"
+
+#: Bytes below which a finite flow is considered fully transferred.
+_COMPLETION_SLACK = 1e-6
+
+#: Minimum completion-event horizon (seconds).  Guards against the float
+#: trap where a tiny remaining byte count yields an ETA below the clock's
+#: representable resolution, re-firing the completion event at the same
+#: timestamp forever.
+_MIN_ETA = 1e-9
+
+#: Direction suffixes for full-duplex constraint ids.
+FORWARD = "fwd"
+REVERSE = "rev"
+
+
+def directed_id(link_id: str, direction: str) -> str:
+    """Constraint id for one direction of a link (links are full duplex)."""
+    return f"{link_id}|{direction}"
+
+
+class FabricNetwork:
+    """The simulated intra-host fabric carrying fluid flows.
+
+    Args:
+        topology: The host topology to run on.
+        engine: The discrete-event engine driving simulated time.
+        latency_model: Queueing model for analytic small-op latencies.
+    """
+
+    def __init__(
+        self,
+        topology: HostTopology,
+        engine: Engine,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine
+        self.latency_model = latency_model or DEFAULT_LATENCY_MODEL
+
+        self._flows: Dict[str, Flow] = {}
+        self._directed_links: Dict[str, Tuple[str, ...]] = {}
+        self._flow_seq = itertools.count()
+        self._last_sync = engine.now
+        self._completion_event: Optional[Event] = None
+
+        # Ground-truth accounting (telemetry samples these).
+        self._link_bytes: Dict[str, float] = {
+            link_id: 0.0 for link_id in topology.link_ids()
+        }
+        self._link_dir_bytes: Dict[str, float] = {}
+        self._tenant_link_bytes: Dict[Tuple[str, str], float] = {}
+
+        # Arbiter-injected state.
+        self._tenant_weights: Dict[str, float] = {}
+        self._tenant_link_caps: Dict[Tuple[str, str], float] = {}
+
+        # Observers.
+        self._completion_listeners: List[Callable[[Flow], None]] = []
+        self._start_listeners: List[Callable[[Flow], None]] = []
+        self._recompute_count = 0
+
+    # -- flow lifecycle ------------------------------------------------------
+
+    def new_flow_id(self, prefix: str = "flow") -> str:
+        """Generate a unique flow id."""
+        return f"{prefix}-{next(self._flow_seq)}"
+
+    def start_flow(self, flow: Flow) -> Flow:
+        """Activate *flow* on the fabric and recompute rates."""
+        if flow.flow_id in self._flows:
+            raise FlowError(f"flow id already active: {flow.flow_id!r}")
+        if flow.state is not FlowState.PENDING:
+            raise FlowError(
+                f"flow {flow.flow_id!r} must be PENDING, is {flow.state.value}"
+            )
+        for link_id in flow.path.links:
+            if link_id not in self._link_bytes:
+                raise UnknownLinkError(link_id)
+        flow.state = FlowState.ACTIVE
+        flow.created_at = flow.created_at or self.engine.now
+        flow.started_at = self.engine.now
+        self._directed_links[flow.flow_id] = self._direct_path(flow.path)
+        self._flows[flow.flow_id] = flow
+        self._recompute()
+        for listener in self._start_listeners:
+            listener(flow)
+        return flow
+
+    def start_transfer(
+        self,
+        tenant_id: str,
+        path: Path,
+        size: Optional[float] = None,
+        demand: float = math.inf,
+        weight: float = 1.0,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        tags: Optional[Dict[str, str]] = None,
+        flow_id: Optional[str] = None,
+    ) -> Flow:
+        """Convenience wrapper: build and start a flow in one call."""
+        flow = Flow(
+            flow_id=flow_id or self.new_flow_id(),
+            tenant_id=tenant_id,
+            path=path,
+            size=size,
+            demand=demand,
+            weight=weight,
+            on_complete=on_complete,
+            tags=dict(tags or {}),
+        )
+        return self.start_flow(flow)
+
+    def cancel_flow(self, flow_id: str) -> Flow:
+        """Stop an active flow before completion."""
+        flow = self._active_flow(flow_id)
+        self._sync()
+        flow.state = FlowState.CANCELLED
+        flow.finished_at = self.engine.now
+        flow.current_rate = 0.0
+        del self._flows[flow_id]
+        del self._directed_links[flow_id]
+        self._recompute()
+        return flow
+
+    def _active_flow(self, flow_id: str) -> Flow:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise FlowError(f"flow not active: {flow_id!r}") from None
+
+    def active_flows(self, tenant_id: Optional[str] = None) -> List[Flow]:
+        """Currently active flows, optionally filtered by tenant."""
+        flows = list(self._flows.values())
+        if tenant_id is not None:
+            flows = [f for f in flows if f.tenant_id == tenant_id]
+        return flows
+
+    def flow(self, flow_id: str) -> Flow:
+        """Return the active flow with *flow_id*."""
+        return self._active_flow(flow_id)
+
+    def has_flow(self, flow_id: str) -> bool:
+        """Whether *flow_id* is currently active."""
+        return flow_id in self._flows
+
+    def on_flow_complete(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired for every finite-flow completion."""
+        self._completion_listeners.append(listener)
+
+    def on_flow_start(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired whenever a flow becomes active."""
+        self._start_listeners.append(listener)
+
+    # -- arbiter hooks ---------------------------------------------------------
+
+    def set_tenant_weight(self, tenant_id: str, weight: float) -> None:
+        """Set the fairness weight multiplier for a tenant's flows."""
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be > 0, got {weight}")
+        self._tenant_weights[tenant_id] = weight
+        self._recompute()
+
+    def set_tenant_link_cap(self, tenant_id: str, link_id: str,
+                            cap: float,
+                            direction: Optional[str] = None) -> None:
+        """Cap a tenant's rate on one link (bytes/s).
+
+        With *direction* (``"fwd"``/``"rev"``), only flows traversing the
+        link that way count toward the cap; without it, the cap binds the
+        tenant's aggregate over both directions.  Directional and
+        aggregate caps may coexist (the solver honours all of them).
+        """
+        if link_id not in self._link_bytes:
+            raise UnknownLinkError(link_id)
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        if direction not in (None, FORWARD, REVERSE):
+            raise ValueError(f"direction must be fwd/rev/None, "
+                             f"got {direction!r}")
+        self._tenant_link_caps[(tenant_id, link_id, direction)] = cap
+        self._recompute()
+
+    def clear_tenant_link_cap(self, tenant_id: str, link_id: str,
+                              direction: Optional[str] = None) -> None:
+        """Remove a previously set per-tenant link cap (no-op if absent)."""
+        key = (tenant_id, link_id, direction)
+        if self._tenant_link_caps.pop(key, None) is not None:
+            self._recompute()
+
+    def clear_tenant_caps(self, tenant_id: str) -> None:
+        """Remove every cap for *tenant_id*."""
+        stale = [k for k in self._tenant_link_caps if k[0] == tenant_id]
+        for key in stale:
+            del self._tenant_link_caps[key]
+        if stale:
+            self._recompute()
+
+    def set_flow_demand(self, flow_id: str, demand: float) -> None:
+        """Change a flow's offered load (bytes/s) and re-solve."""
+        flow = self._active_flow(flow_id)
+        if demand < 0:
+            raise ValueError(f"demand must be >= 0, got {demand}")
+        flow.demand = demand
+        self._recompute()
+
+    def set_flow_rate_cap(self, flow_id: str, cap: float) -> None:
+        """Cap one flow's rate (bytes/s); ``inf`` removes the cap."""
+        flow = self._active_flow(flow_id)
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        flow.rate_cap = cap
+        self._recompute()
+
+    def tenant_link_cap(self, tenant_id: str, link_id: str,
+                        direction: Optional[str] = None) -> Optional[float]:
+        """The cap currently applied to (*tenant_id*, *link_id*,
+        *direction*), if any."""
+        return self._tenant_link_caps.get((tenant_id, link_id, direction))
+
+    # -- failures ----------------------------------------------------------------
+
+    def degrade_link(self, link_id: str,
+                     degraded_capacity: Optional[float]) -> None:
+        """Silently degrade (or restore with ``None``) a link's capacity."""
+        link = self.topology.link(link_id)
+        link.degraded_capacity = degraded_capacity
+        self._recompute()
+
+    def set_link_up(self, link_id: str, up: bool) -> None:
+        """Administratively raise/lower a link."""
+        link = self.topology.link(link_id)
+        link.up = up
+        self._recompute()
+
+    # -- queries --------------------------------------------------------------
+
+    def _direct_path(self, path: Path) -> Tuple[str, ...]:
+        """Directed constraint ids for each hop of *path*."""
+        directed = []
+        for i, link_id in enumerate(path.links):
+            link = self.topology.link(link_id)
+            direction = FORWARD if path.devices[i] == link.src else REVERSE
+            directed.append(directed_id(link_id, direction))
+        return tuple(directed)
+
+    def link_rate(self, link_id: str, direction: Optional[str] = None) -> float:
+        """Instantaneous rate on *link_id* (bytes/s).
+
+        With *direction* (``"fwd"``/``"rev"``) only that direction is
+        counted; otherwise both directions are summed.
+        """
+        if link_id not in self._link_bytes:
+            raise UnknownLinkError(link_id)
+        if direction is None:
+            wanted = {directed_id(link_id, FORWARD),
+                      directed_id(link_id, REVERSE)}
+        else:
+            wanted = {directed_id(link_id, direction)}
+        total = 0.0
+        for f in self._flows.values():
+            directed = self._directed_links[f.flow_id]
+            hits = sum(1 for d in directed if d in wanted)
+            total += f.current_rate * hits
+        return total
+
+    def link_utilization(self, link_id: str) -> float:
+        """Instantaneous utilization of *link_id* in [0, 1].
+
+        Links are full duplex; utilization is the *busier direction's*
+        share of per-direction capacity, which is what drives queueing.
+        """
+        cap = self.topology.link(link_id).effective_capacity
+        busiest = max(self.link_rate(link_id, FORWARD),
+                      self.link_rate(link_id, REVERSE))
+        if cap <= 0:
+            return 1.0 if busiest > 0 else 0.0
+        return min(busiest / cap, 1.0)
+
+    def tenant_link_rate(self, tenant_id: str, link_id: str,
+                         direction: Optional[str] = None) -> float:
+        """Instantaneous rate of one tenant on one link.
+
+        With *direction*, only that direction's traversals count;
+        otherwise both directions are summed.
+        """
+        if link_id not in self._link_bytes:
+            raise UnknownLinkError(link_id)
+        if direction is None:
+            wanted = {directed_id(link_id, FORWARD),
+                      directed_id(link_id, REVERSE)}
+        else:
+            wanted = {directed_id(link_id, direction)}
+        total = 0.0
+        for f in self._flows.values():
+            if f.tenant_id != tenant_id:
+                continue
+            directed = self._directed_links[f.flow_id]
+            hits = sum(1 for d in directed if d in wanted)
+            total += f.current_rate * hits
+        return total
+
+    def link_bytes(self, link_id: str,
+                   direction: Optional[str] = None) -> float:
+        """Cumulative bytes carried by *link_id* up to now (ground truth).
+
+        With *direction* (``"fwd"``/``"rev"``), only that direction —
+        matching real per-direction rx/tx hardware counters.
+        """
+        self._sync()
+        if link_id not in self._link_bytes:
+            raise UnknownLinkError(link_id)
+        if direction is None:
+            return self._link_bytes[link_id]
+        return self._link_dir_bytes.get(directed_id(link_id, direction), 0.0)
+
+    def tenant_link_bytes(self, tenant_id: str, link_id: str) -> float:
+        """Cumulative bytes of one tenant on one link (ground truth)."""
+        self._sync()
+        return self._tenant_link_bytes.get((tenant_id, link_id), 0.0)
+
+    def path_latency(self, path: Path, message_size: float = 0.0) -> float:
+        """Analytic one-way latency of a small op along *path* right now."""
+        return self.latency_model.path_latency(
+            self.topology, path, self.link_utilization, message_size
+        )
+
+    def round_trip_latency(self, path: Path, request_size: float = 0.0,
+                           response_size: float = 0.0) -> float:
+        """Analytic round-trip latency along *path* and back."""
+        return self.latency_model.round_trip(
+            self.topology, path, self.link_utilization,
+            request_size, response_size,
+        )
+
+    @property
+    def recompute_count(self) -> int:
+        """How many times rates were re-solved (a cost/scale metric)."""
+        return self._recompute_count
+
+    # -- internals ----------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Integrate byte counters from the last sync point to now."""
+        now = self.engine.now
+        dt = now - self._last_sync
+        if dt <= 0:
+            return
+        for flow in self._flows.values():
+            moved = flow.current_rate * dt
+            if moved <= 0:
+                continue
+            if flow.is_finite:
+                moved = min(moved, flow.remaining_bytes)
+            flow.bytes_sent += moved
+            directed = self._directed_links[flow.flow_id]
+            for link_id, dlink in zip(flow.path.links, directed):
+                self._link_bytes[link_id] += moved
+                self._link_dir_bytes[dlink] = (
+                    self._link_dir_bytes.get(dlink, 0.0) + moved
+                )
+                key = (flow.tenant_id, link_id)
+                self._tenant_link_bytes[key] = (
+                    self._tenant_link_bytes.get(key, 0.0) + moved
+                )
+        self._last_sync = now
+
+    def _solve(self) -> None:
+        """Run the max-min solver over directed constraints."""
+        flows = list(self._flows.values())
+        demands = [
+            FlowDemand(
+                flow_id=f.flow_id,
+                links=self._directed_links[f.flow_id],
+                demand=f.effective_demand,
+                weight=f.weight * self._tenant_weights.get(f.tenant_id, 1.0),
+            )
+            for f in flows
+        ]
+        capacities = {}
+        for link_id in self._link_bytes:
+            cap = self.topology.link(link_id).effective_capacity
+            capacities[directed_id(link_id, FORWARD)] = cap
+            capacities[directed_id(link_id, REVERSE)] = cap
+        constraints = []
+        for (tenant_id, link_id, direction), cap in \
+                self._tenant_link_caps.items():
+            if direction is None:
+                wanted = {directed_id(link_id, FORWARD),
+                          directed_id(link_id, REVERSE)}
+            else:
+                wanted = {directed_id(link_id, direction)}
+            member = frozenset(
+                f.flow_id for f in flows
+                if f.tenant_id == tenant_id
+                and wanted & set(self._directed_links[f.flow_id])
+            )
+            if member:
+                constraints.append(
+                    Constraint(
+                        constraint_id=(f"cap:{tenant_id}:{link_id}:"
+                                       f"{direction or 'any'}"),
+                        capacity=cap,
+                        member_flows=member,
+                    )
+                )
+        rates = max_min_fair_rates(demands, capacities, constraints)
+        for f in flows:
+            f.current_rate = rates.get(f.flow_id, 0.0)
+
+    def _recompute(self) -> None:
+        """Sync accounting, re-solve rates, reschedule completion."""
+        self._sync()
+        self._solve()
+        self._recompute_count += 1
+        self._schedule_completion()
+
+    def _schedule_completion(self) -> None:
+        """Schedule the next finite-flow completion, if any."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        horizon = math.inf
+        for flow in self._flows.values():
+            if flow.is_finite and flow.current_rate > 0:
+                eta = flow.remaining_bytes / flow.current_rate
+                horizon = min(horizon, eta)
+        if math.isinf(horizon):
+            return
+        self._completion_event = self.engine.schedule_in(
+            max(horizon, _MIN_ETA), self._on_completion_tick,
+            label="flow-completion",
+        )
+
+    def _on_completion_tick(self) -> None:
+        """Complete every finite flow that has drained; then re-solve."""
+        self._sync()
+        finished = [
+            f for f in self._flows.values()
+            if f.is_finite and f.remaining_bytes <= max(
+                _COMPLETION_SLACK, f.current_rate * _MIN_ETA
+            )
+        ]
+        for flow in finished:
+            flow.state = FlowState.COMPLETED
+            flow.finished_at = self.engine.now
+            flow.current_rate = 0.0
+            flow.bytes_sent = float(flow.size)
+            del self._flows[flow.flow_id]
+            del self._directed_links[flow.flow_id]
+        self._recompute()
+        for flow in finished:
+            if flow.on_complete is not None:
+                flow.on_complete(flow)
+            for listener in self._completion_listeners:
+                listener(flow)

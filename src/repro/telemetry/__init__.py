@@ -1,0 +1,34 @@
+"""Fine-grained telemetry: counter sources, collection, storage, views."""
+
+from .collector import (
+    TelemetryCollector,
+    link_rate_metric,
+    link_util_metric,
+    tenant_rate_metric,
+)
+from .counters import SOURCE_SPECS, CounterBank, CounterSource, SourceSpec
+from .storage import MetricStore
+from .views import (
+    LinkUsage,
+    hottest_links,
+    per_tenant_usage,
+    top_talkers,
+    utilization_table,
+)
+
+__all__ = [
+    "CounterSource",
+    "SourceSpec",
+    "SOURCE_SPECS",
+    "CounterBank",
+    "MetricStore",
+    "TelemetryCollector",
+    "link_util_metric",
+    "link_rate_metric",
+    "tenant_rate_metric",
+    "LinkUsage",
+    "utilization_table",
+    "per_tenant_usage",
+    "top_talkers",
+    "hottest_links",
+]

@@ -1,0 +1,200 @@
+"""Periodic telemetry collection with explicit fabric cost (§3.1 Q2).
+
+The collector samples every link's counters on a fixed period and derives
+utilization rates.  Q2's dilemma is modelled head-on:
+
+* ``processing="local"`` — samples stay in the per-device ring buffers;
+  no fabric traffic, but the operator only gets local history;
+* ``processing="ship"`` — each cycle's samples are shipped as a real
+  system-tenant flow to a collection point (a DIMM), consuming memory-bus
+  and PCIe bandwidth that tenants would otherwise use.  The overhead is
+  measurable with the collector's own counters (E5).
+
+Metric naming scheme: ``link_util.<link_id>``, ``link_rate.<link_id>`` and
+``tenant_rate.<tenant>.<link_id>`` (per-tenant only when the counter source
+supports it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+from ..sim.engine import PeriodicTask
+from ..sim.network import SYSTEM_TENANT, FabricNetwork
+from ..topology.routing import shortest_path
+from .counters import CounterBank, CounterSource
+from .storage import MetricStore
+
+
+def link_util_metric(link_id: str) -> str:
+    """Metric name for a link's sampled utilization."""
+    return f"link_util.{link_id}"
+
+
+def link_rate_metric(link_id: str) -> str:
+    """Metric name for a link's sampled byte rate."""
+    return f"link_rate.{link_id}"
+
+
+def tenant_rate_metric(tenant_id: str, link_id: str) -> str:
+    """Metric name for one tenant's sampled byte rate on one link."""
+    return f"tenant_rate.{tenant_id}.{link_id}"
+
+
+class TelemetryCollector:
+    """Samples fabric counters on a period and stores derived rates.
+
+    Args:
+        network: The fabric to monitor.
+        store: Destination :class:`MetricStore`.
+        source: Counter source determining fidelity (see §3.1 Q1).
+        period: Sampling period in seconds.
+        processing: ``"local"`` or ``"ship"`` (see module docstring).
+        ship_from / ship_to: Endpoints of the shipping flow when
+            ``processing="ship"`` (defaults: first NIC -> first DIMM).
+        tenants: Tenant ids to attribute when the source supports it.
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        store: Optional[MetricStore] = None,
+        source: CounterSource = CounterSource.HARDWARE,
+        period: float = 0.01,
+        processing: str = "local",
+        ship_from: Optional[str] = None,
+        ship_to: Optional[str] = None,
+        tenants: Optional[List[str]] = None,
+    ) -> None:
+        if period <= 0:
+            raise TelemetryError(f"period must be > 0, got {period}")
+        if processing not in ("local", "ship"):
+            raise TelemetryError(f"unknown processing mode {processing!r}")
+        self.network = network
+        self.store = store if store is not None else MetricStore()
+        self.bank = CounterBank(network, source)
+        self.period = period
+        self.processing = processing
+        self.tenants = list(tenants or [])
+        self._task: Optional[PeriodicTask] = None
+        self._last_bytes: Dict[str, float] = {}
+        self._last_tenant_bytes: Dict[str, float] = {}
+        self._last_sample_time: Optional[float] = None
+
+        self.cycles = 0
+        self.shipped_bytes = 0.0
+
+        if processing == "ship":
+            topo = network.topology
+            if ship_from is None:
+                from ..topology.elements import DeviceType
+
+                nic_devs = topo.devices(DeviceType.NIC)
+                dimm_devs = topo.devices(DeviceType.DIMM)
+                if not nic_devs or not dimm_devs:
+                    raise TelemetryError(
+                        "ship mode needs a NIC and a DIMM (or explicit "
+                        "ship_from/ship_to)"
+                    )
+                ship_from = nic_devs[0].device_id
+                ship_to = ship_to or dimm_devs[0].device_id
+            elif ship_to is None:
+                raise TelemetryError("ship_from given without ship_to")
+            self._ship_path = shortest_path(network.topology, ship_from, ship_to)
+        else:
+            self._ship_path = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic sampling (first sample after one period)."""
+        if self._task is not None:
+            raise TelemetryError("collector already started")
+        self._task = self.network.engine.schedule_every(
+            self.period, self._sample, label="telemetry-sample"
+        )
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def set_period(self, period: float) -> None:
+        """Change the sampling period, effective next cycle."""
+        if period <= 0:
+            raise TelemetryError(f"period must be > 0, got {period}")
+        self.period = period
+        if self._task is not None:
+            self._task.reschedule(period)
+
+    # -- sampling ------------------------------------------------------------
+
+    def _sample(self) -> None:
+        now = self.network.engine.now
+        elapsed = (now - self._last_sample_time
+                   if self._last_sample_time is not None else self.period)
+        self._last_sample_time = now
+        if elapsed <= 0:
+            return
+        self.cycles += 1
+        record_count = 0
+
+        for link in self.network.topology.links():
+            rates = {}
+            for direction in ("fwd", "rev"):
+                key = f"{link.link_id}|{direction}"
+                cumulative = self.bank.link_bytes(link.link_id, direction)
+                previous = self._last_bytes.get(key, 0.0)
+                rates[direction] = max(cumulative - previous, 0.0) / elapsed
+                self._last_bytes[key] = cumulative
+            total_rate = rates["fwd"] + rates["rev"]
+            # The sampled view divides by *advertised* capacity: a silently
+            # degraded link looks underutilized, which is exactly why
+            # counters alone cannot localize such failures (E4).
+            busiest = max(rates.values())
+            utilization = busiest / link.capacity if link.capacity else 0.0
+            self.store.record(link_rate_metric(link.link_id), now, total_rate)
+            self.store.record(link_util_metric(link.link_id), now,
+                              min(utilization, 1.0))
+            record_count += 2
+
+        if self.tenants and self.bank.supports_per_tenant():
+            for tenant_id in self.tenants:
+                for link in self.network.topology.links():
+                    key = f"{tenant_id}.{link.link_id}"
+                    cumulative = self.bank.tenant_link_bytes(
+                        tenant_id, link.link_id
+                    )
+                    previous = self._last_tenant_bytes.get(key, 0.0)
+                    rate = max(cumulative - previous, 0.0) / elapsed
+                    self._last_tenant_bytes[key] = cumulative
+                    self.store.record(
+                        tenant_rate_metric(tenant_id, link.link_id), now, rate
+                    )
+                    record_count += 1
+
+        if self._ship_path is not None and record_count:
+            batch = record_count * self.bank.spec.record_bytes
+            self.shipped_bytes += batch
+            self.network.start_transfer(
+                SYSTEM_TENANT, self._ship_path, size=batch,
+                tags={"app": "telemetry-ship"},
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def overhead_rate(self) -> float:
+        """Average fabric bytes/s consumed by telemetry shipping so far."""
+        now = self.network.engine.now
+        if now <= 0:
+            return 0.0
+        return self.shipped_bytes / now
+
+    def latest_utilization(self, link_id: str) -> float:
+        """Most recent sampled utilization of *link_id* (0.0 if unsampled)."""
+        metric = link_util_metric(link_id)
+        if not self.store.has_metric(metric):
+            return 0.0
+        return self.store.latest(metric)[1]

@@ -1,0 +1,149 @@
+"""Counter sources and their fidelity limits (§3.1 Q1).
+
+The paper's Q1 asks *where monitoring data should come from* and observes
+the trade-off concretely:
+
+* **hardware counters** (Intel PCM/RDT-style) are accurate about totals but
+  coarse-grained: no per-tenant attribution, and a limited read frequency;
+* **software interception** is flexible and tenant-aware but blind to
+  hardware internals and taxes the CPU;
+* **future hardware** could offer per-tenant, high-frequency counters — at
+  a silicon cost vendors may not pay.
+
+:class:`CounterBank` wraps the simulator's ground-truth accounting and
+*degrades* it according to the selected :class:`CounterSource`'s
+:class:`SourceSpec`, so experiments measure exactly what each data source
+would let an operator see (E11).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import TelemetryError
+from ..sim.network import FabricNetwork
+from ..units import ms, us
+
+
+class CounterSource(enum.Enum):
+    """Where monitoring data is collected from."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    FUTURE_HARDWARE = "future_hardware"
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Fidelity and cost envelope of one counter source.
+
+    Attributes:
+        per_tenant: Whether per-tenant attribution is available.
+        min_read_interval: Reads closer together than this return the
+            previously latched value (hardware counter access frequency
+            limits).
+        quantum: Byte counters are reported in multiples of this.
+        record_bytes: Size of one exported sample record (shipping cost).
+        visibility: Fraction of fabric byte activity the source can see.
+            Software interception misses device-internal traffic (e.g.
+            NIC cache refills, page walks), so it under-reports.
+    """
+
+    per_tenant: bool
+    min_read_interval: float
+    quantum: float
+    record_bytes: float
+    visibility: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.visibility <= 1:
+            raise ValueError("visibility must be in (0, 1]")
+        if self.min_read_interval < 0 or self.quantum < 0:
+            raise ValueError("intervals and quanta must be >= 0")
+
+
+#: Calibrated specs per source (PCM-style hardware: 100ms reads, 64B-line
+#: quantised, tenant-blind; software shim: flexible but 10% blind; future
+#: hardware: everything, fast).
+SOURCE_SPECS: Dict[CounterSource, SourceSpec] = {
+    CounterSource.HARDWARE: SourceSpec(
+        per_tenant=False, min_read_interval=ms(100), quantum=64.0,
+        record_bytes=64.0, visibility=1.0,
+    ),
+    CounterSource.SOFTWARE: SourceSpec(
+        per_tenant=True, min_read_interval=us(100), quantum=1.0,
+        record_bytes=128.0, visibility=0.90,
+    ),
+    CounterSource.FUTURE_HARDWARE: SourceSpec(
+        per_tenant=True, min_read_interval=us(10), quantum=64.0,
+        record_bytes=64.0, visibility=1.0,
+    ),
+}
+
+
+class CounterBank:
+    """Degraded view over the fabric's ground-truth byte counters.
+
+    Reads are *latched*: a read earlier than ``min_read_interval`` after
+    the previous one returns the stale latched value, exactly like polling
+    a rate-limited hardware counter too fast.
+    """
+
+    def __init__(self, network: FabricNetwork,
+                 source: CounterSource = CounterSource.HARDWARE,
+                 spec: Optional[SourceSpec] = None) -> None:
+        self.network = network
+        self.source = source
+        self.spec = spec or SOURCE_SPECS[source]
+        self._latched: Dict[Tuple[str, ...], Tuple[float, float]] = {}
+        self.reads = 0
+
+    def _quantize(self, value: float) -> float:
+        if self.spec.quantum <= 0:
+            return value
+        return (value // self.spec.quantum) * self.spec.quantum
+
+    def _latch(self, key: Tuple[str, ...], fresh: float) -> float:
+        now = self.network.engine.now
+        self.reads += 1
+        held = self._latched.get(key)
+        # small epsilon so a read exactly one interval later is fresh even
+        # under float rounding
+        if held is not None and \
+                now - held[0] < self.spec.min_read_interval - 1e-12:
+            return held[1]
+        value = self._quantize(fresh * self.spec.visibility)
+        self._latched[key] = (now, value)
+        return value
+
+    def link_bytes(self, link_id: str,
+                   direction: Optional[str] = None) -> float:
+        """Cumulative bytes on *link_id* as this source reports them.
+
+        *direction* (``"fwd"``/``"rev"``) selects one direction, matching
+        real rx/tx counters; ``None`` reports the sum.
+        """
+        return self._latch(("link", link_id, direction or "both"),
+                           self.network.link_bytes(link_id, direction))
+
+    def tenant_link_bytes(self, tenant_id: str, link_id: str) -> float:
+        """Per-tenant cumulative bytes, if the source supports attribution.
+
+        Raises :class:`TelemetryError` for tenant-blind sources — callers
+        must handle the capability gap explicitly, not read zeros.
+        """
+        if not self.spec.per_tenant:
+            raise TelemetryError(
+                f"counter source {self.source.value!r} has no per-tenant "
+                f"attribution (§3.1 Q1)"
+            )
+        return self._latch(
+            ("tenant", tenant_id, link_id),
+            self.network.tenant_link_bytes(tenant_id, link_id),
+        )
+
+    def supports_per_tenant(self) -> bool:
+        """Whether :meth:`tenant_link_bytes` is available."""
+        return self.spec.per_tenant

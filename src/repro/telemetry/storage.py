@@ -1,0 +1,91 @@
+"""Bounded in-memory storage for telemetry samples (§3.1 Q2).
+
+Monitoring data must live somewhere; this store models the *local* option:
+ring buffers with a fixed per-metric capacity, so long runs cost constant
+memory and the collector can report how much history a given buffer size
+actually retains (the storage half of Q2's dilemma).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import UnknownMetricError
+
+
+class MetricStore:
+    """Named ring-buffer time series.
+
+    Args:
+        capacity: Maximum samples retained per metric (oldest evicted).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._series: Dict[str, Deque[Tuple[float, float]]] = {}
+        self.samples_recorded = 0
+        self.samples_evicted = 0
+
+    def record(self, metric: str, t: float, value: float) -> None:
+        """Append one sample to *metric*'s ring."""
+        ring = self._series.get(metric)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._series[metric] = ring
+        if len(ring) == self.capacity:
+            self.samples_evicted += 1
+        ring.append((t, value))
+        self.samples_recorded += 1
+
+    def metrics(self) -> List[str]:
+        """All metric names seen so far, sorted."""
+        return sorted(self._series)
+
+    def has_metric(self, metric: str) -> bool:
+        """Whether any sample was recorded under *metric*."""
+        return metric in self._series
+
+    def series(self, metric: str) -> List[Tuple[float, float]]:
+        """All retained (time, value) samples of *metric*, oldest first."""
+        try:
+            return list(self._series[metric])
+        except KeyError:
+            raise UnknownMetricError(metric) from None
+
+    def values(self, metric: str) -> List[float]:
+        """Just the values of *metric*'s retained samples."""
+        return [v for _, v in self.series(metric)]
+
+    def latest(self, metric: str) -> Tuple[float, float]:
+        """Most recent (time, value) of *metric*."""
+        samples = self.series(metric)
+        if not samples:
+            raise UnknownMetricError(metric)
+        return samples[-1]
+
+    def window(self, metric: str, start: float,
+               end: float) -> List[Tuple[float, float]]:
+        """Samples of *metric* with ``start <= t <= end``."""
+        return [(t, v) for t, v in self.series(metric) if start <= t <= end]
+
+    def memory_bytes(self, bytes_per_sample: float = 16.0) -> float:
+        """Approximate resident size of all retained samples."""
+        retained = sum(len(ring) for ring in self._series.values())
+        return retained * bytes_per_sample
+
+    def to_csv(self, metrics: Optional[List[str]] = None) -> str:
+        """Export retained samples as CSV (``metric,time,value`` rows).
+
+        The operator-facing escape hatch: telemetry leaves the simulation
+        in a form any external tooling ingests.  Rows are ordered by
+        metric name, then time.
+        """
+        names = metrics if metrics is not None else self.metrics()
+        lines = ["metric,time,value"]
+        for name in names:
+            for t, v in self.series(name):
+                lines.append(f"{name},{t!r},{v!r}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""Operator-facing summaries over live fabric state and stored telemetry.
+
+These are the "informative network usage statistics" §3.1 asks for: current
+utilization tables, per-tenant usage breakdowns, and top-talker rankings —
+the raw material for dashboards and for the anomaly platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.network import FabricNetwork
+from ..topology.elements import LinkClass
+from ..units import to_Gbps
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """One row of the utilization table."""
+
+    link_id: str
+    link_class: LinkClass
+    capacity: float
+    rate: float
+    utilization: float
+    healthy: bool
+
+    def format_row(self) -> str:
+        """Fixed-width human-readable row."""
+        flag = "" if self.healthy else "  [DEGRADED]"
+        return (f"{self.link_id:<24} {self.link_class.value:<16} "
+                f"{to_Gbps(self.rate):>8.1f} / {to_Gbps(self.capacity):>8.1f} "
+                f"Gbps  {self.utilization:>5.1%}{flag}")
+
+
+def utilization_table(network: FabricNetwork,
+                      link_class: Optional[LinkClass] = None) -> List[LinkUsage]:
+    """Current usage of every link, sorted by utilization (descending)."""
+    rows = []
+    for link in network.topology.links(link_class):
+        rows.append(
+            LinkUsage(
+                link_id=link.link_id,
+                link_class=link.link_class,
+                capacity=link.capacity,
+                rate=network.link_rate(link.link_id),
+                utilization=network.link_utilization(link.link_id),
+                healthy=link.healthy,
+            )
+        )
+    rows.sort(key=lambda r: r.utilization, reverse=True)
+    return rows
+
+
+def per_tenant_usage(network: FabricNetwork,
+                     tenants: Sequence[str]) -> Dict[str, Dict[str, float]]:
+    """Instantaneous per-tenant rate on every link the tenant touches.
+
+    Returns ``{tenant_id: {link_id: bytes_per_second}}`` with zero-rate
+    entries omitted.
+    """
+    usage: Dict[str, Dict[str, float]] = {}
+    for tenant_id in tenants:
+        per_link: Dict[str, float] = {}
+        for link in network.topology.links():
+            rate = network.tenant_link_rate(tenant_id, link.link_id)
+            if rate > 0:
+                per_link[link.link_id] = rate
+        usage[tenant_id] = per_link
+    return usage
+
+
+def top_talkers(network: FabricNetwork, tenants: Sequence[str],
+                link_id: str, k: int = 3) -> List[tuple]:
+    """The *k* tenants using the most bandwidth on *link_id* right now."""
+    ranked = sorted(
+        ((network.tenant_link_rate(t, link_id), t) for t in tenants),
+        reverse=True,
+    )
+    return [(tenant, rate) for rate, tenant in ranked[:k] if rate > 0]
+
+
+def hottest_links(network: FabricNetwork, k: int = 5) -> List[LinkUsage]:
+    """The *k* most utilized links right now."""
+    return utilization_table(network)[:k]

@@ -1,0 +1,63 @@
+"""Intra-host network topology: devices, links, graphs, routing, presets."""
+
+from .builder import TopologyBuilder
+from .elements import Device, DeviceType, Link, LinkClass
+from .graph import HostTopology
+from .presets import (
+    FIGURE1_RANGES,
+    PRESETS,
+    cascade_lake_2s,
+    cxl_host,
+    dgx_like,
+    epyc_like_1s,
+    load_preset,
+    minimal_host,
+)
+from .routing import (
+    Path,
+    enumerate_paths,
+    k_shortest_paths,
+    make_path,
+    shortest_path,
+    widest_path,
+)
+from .render import render_tree
+from .serialize import (
+    topology_diff,
+    topology_from_dict,
+    topology_from_json,
+    topology_to_dict,
+    topology_to_json,
+)
+from .validate import validate_topology, validation_errors
+
+__all__ = [
+    "Device",
+    "DeviceType",
+    "Link",
+    "LinkClass",
+    "HostTopology",
+    "TopologyBuilder",
+    "Path",
+    "make_path",
+    "enumerate_paths",
+    "shortest_path",
+    "widest_path",
+    "k_shortest_paths",
+    "validate_topology",
+    "validation_errors",
+    "topology_to_dict",
+    "topology_from_dict",
+    "topology_to_json",
+    "topology_from_json",
+    "topology_diff",
+    "render_tree",
+    "FIGURE1_RANGES",
+    "PRESETS",
+    "load_preset",
+    "minimal_host",
+    "cascade_lake_2s",
+    "dgx_like",
+    "epyc_like_1s",
+    "cxl_host",
+]

@@ -1,0 +1,159 @@
+"""Fluent builder for :class:`~repro.topology.graph.HostTopology`.
+
+Presets (``repro.topology.presets``) are written against this builder; it
+keeps id generation and the device/link pairing conventions in one place so
+hand-built test topologies and the shipped presets look identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from .elements import Device, DeviceType, Link, LinkClass
+from .graph import HostTopology
+
+
+class TopologyBuilder:
+    """Incrementally assemble a :class:`HostTopology`.
+
+    Every ``add_*`` method returns the created device's id so call sites can
+    chain connections without holding Device objects:
+
+    >>> b = TopologyBuilder("demo")
+    >>> s0 = b.add_socket(0)
+    >>> nic = b.add_nic(socket=0)
+    >>> rc = b.add_root_complex(socket=0)
+    >>> _ = b.connect(s0, rc, LinkClass.INTRA_SOCKET, capacity=1e11,
+    ...               base_latency=5e-8)
+    >>> _ = b.connect(rc, nic, LinkClass.PCIE_DOWNSTREAM, capacity=3.2e10,
+    ...               base_latency=8e-8)
+    >>> topo = b.build()
+    """
+
+    def __init__(self, name: str = "host") -> None:
+        self._topology = HostTopology(name)
+        self._counters: Dict[str, itertools.count] = {}
+
+    @classmethod
+    def extend(cls, topology: HostTopology) -> "TopologyBuilder":
+        """A builder that adds to an *existing* topology (preset variants)."""
+        builder = cls.__new__(cls)
+        builder._topology = topology
+        builder._counters = {}
+        return builder
+
+    def _next_id(self, prefix: str) -> str:
+        counter = self._counters.setdefault(prefix, itertools.count())
+        return f"{prefix}{next(counter)}"
+
+    # -- devices -----------------------------------------------------------
+
+    def add_device(
+        self,
+        device_type: DeviceType,
+        socket: Optional[int] = None,
+        device_id: Optional[str] = None,
+        **attrs: object,
+    ) -> str:
+        """Add a device of *device_type*; auto-generates an id if not given."""
+        if device_id is None:
+            device_id = self._next_id(device_type.value.replace("_", "-"))
+        self._topology.add_device(
+            Device(device_id=device_id, device_type=device_type,
+                   socket=socket, attrs=dict(attrs))
+        )
+        return device_id
+
+    def add_socket(self, socket: int, device_id: Optional[str] = None,
+                   **attrs: object) -> str:
+        """Add a CPU socket; default id is ``socket<N>``."""
+        if device_id is None:
+            device_id = f"socket{socket}"
+        return self.add_device(DeviceType.CPU_SOCKET, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_dimm(self, socket: int, device_id: Optional[str] = None,
+                 **attrs: object) -> str:
+        """Add a DIMM attached to *socket*."""
+        return self.add_device(DeviceType.DIMM, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_root_complex(self, socket: int, device_id: Optional[str] = None,
+                         **attrs: object) -> str:
+        """Add a PCIe root complex on *socket*."""
+        return self.add_device(DeviceType.PCIE_ROOT_COMPLEX, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_pcie_switch(self, socket: int, device_id: Optional[str] = None,
+                        **attrs: object) -> str:
+        """Add a PCIe switch below *socket*'s root complex."""
+        return self.add_device(DeviceType.PCIE_SWITCH, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_nic(self, socket: int, device_id: Optional[str] = None,
+                **attrs: object) -> str:
+        """Add a NIC on *socket*."""
+        return self.add_device(DeviceType.NIC, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_gpu(self, socket: int, device_id: Optional[str] = None,
+                **attrs: object) -> str:
+        """Add a GPU on *socket*."""
+        return self.add_device(DeviceType.GPU, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_nvme(self, socket: int, device_id: Optional[str] = None,
+                 **attrs: object) -> str:
+        """Add an NVMe SSD on *socket*."""
+        return self.add_device(DeviceType.NVME_SSD, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_cxl_device(self, socket: int, device_id: Optional[str] = None,
+                       **attrs: object) -> str:
+        """Add a CXL memory/accelerator device on *socket*."""
+        return self.add_device(DeviceType.CXL_DEVICE, socket=socket,
+                               device_id=device_id, **attrs)
+
+    def add_external(self, device_id: str = "external",
+                     **attrs: object) -> str:
+        """Add the stand-in node for the remote side of the inter-host link."""
+        return self.add_device(DeviceType.EXTERNAL, socket=None,
+                               device_id=device_id, **attrs)
+
+    # -- links ---------------------------------------------------------------
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        link_class: LinkClass,
+        capacity: float,
+        base_latency: float,
+        link_id: Optional[str] = None,
+    ) -> str:
+        """Connect two existing devices; returns the link id."""
+        if link_id is None:
+            link_id = self._next_id(f"{link_class.value}-")
+        self._topology.add_link(
+            Link(
+                link_id=link_id,
+                src=src,
+                dst=dst,
+                link_class=link_class,
+                capacity=capacity,
+                base_latency=base_latency,
+            )
+        )
+        return link_id
+
+    # -- finish --------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> HostTopology:
+        """Return the assembled topology, validating it by default."""
+        if validate:
+            # Local import to avoid a cycle (validate imports elements only).
+            from .validate import validate_topology
+
+            validate_topology(self._topology)
+        return self._topology

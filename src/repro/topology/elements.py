@@ -1,0 +1,187 @@
+"""Topology element types: devices, links, and their classifications.
+
+The paper's Figure 1 decomposes a commodity server into end-node devices
+(CPU sockets, DIMMs, NICs, GPUs, SSDs, ...) connected by five classes of
+intra-host links:
+
+1. inter-socket connects (UPI / Infinity Fabric),
+2. intra-socket connects (core mesh, memory bus),
+3. PCIe switch upstream links,
+4. PCIe switch downstream links,
+5. the inter-host network port (the "last hop" boundary).
+
+These classes carry the paper's capacity/latency table and are first-class
+here (:class:`LinkClass`) so benchmarks can regenerate that table directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class DeviceType(enum.Enum):
+    """Kind of end-node or fabric device in the intra-host network."""
+
+    CPU_SOCKET = "cpu_socket"
+    CPU_CORE = "cpu_core"
+    MEMORY_CONTROLLER = "memory_controller"
+    DIMM = "dimm"
+    LLC = "llc"
+    PCIE_ROOT_COMPLEX = "pcie_root_complex"
+    PCIE_SWITCH = "pcie_switch"
+    NIC = "nic"
+    GPU = "gpu"
+    NVME_SSD = "nvme_ssd"
+    FPGA = "fpga"
+    CXL_DEVICE = "cxl_device"
+    EXTERNAL = "external"  # stand-in for the remote end of the inter-host link
+
+
+#: Device types that can originate or sink application flows.
+ENDPOINT_TYPES = frozenset(
+    {
+        DeviceType.CPU_SOCKET,
+        DeviceType.CPU_CORE,
+        DeviceType.DIMM,
+        DeviceType.NIC,
+        DeviceType.GPU,
+        DeviceType.NVME_SSD,
+        DeviceType.FPGA,
+        DeviceType.CXL_DEVICE,
+        DeviceType.EXTERNAL,
+    }
+)
+
+#: Device types that only forward traffic (fabric elements).
+FABRIC_TYPES = frozenset(
+    {
+        DeviceType.PCIE_ROOT_COMPLEX,
+        DeviceType.PCIE_SWITCH,
+        DeviceType.MEMORY_CONTROLLER,
+        DeviceType.LLC,
+    }
+)
+
+
+class LinkClass(enum.Enum):
+    """Figure 1's five link classes, plus CXL as a sixth emerging class."""
+
+    INTER_SOCKET = "inter_socket"  # (1) e.g. Intel UPI, AMD Infinity
+    INTRA_SOCKET = "intra_socket"  # (2) core mesh / memory bus
+    PCIE_UPSTREAM = "pcie_upstream"  # (3) switch <-> root complex
+    PCIE_DOWNSTREAM = "pcie_downstream"  # (4) switch <-> device
+    INTER_HOST = "inter_host"  # (5) NIC <-> external network
+    CXL = "cxl"  # emerging CXL links (§2, [49])
+
+
+@dataclass(frozen=True)
+class Device:
+    """An immutable description of one device (node) in the topology.
+
+    Attributes:
+        device_id: Unique id, e.g. ``"socket0"`` or ``"nic0"``.
+        device_type: The :class:`DeviceType` classification.
+        socket: Index of the CPU socket this device is attached to (NUMA
+            domain), or ``None`` for devices outside any socket (external).
+        attrs: Free-form descriptive attributes (model name, lane count...).
+            Behavioural parameters live in ``repro.devices`` models, not here.
+    """
+
+    device_id: str
+    device_type: DeviceType
+    socket: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def is_endpoint(self) -> bool:
+        """Whether application flows may start or end at this device."""
+        return self.device_type in ENDPOINT_TYPES
+
+    @property
+    def is_fabric(self) -> bool:
+        """Whether this device is a pure forwarding element."""
+        return self.device_type in FABRIC_TYPES
+
+    def __str__(self) -> str:
+        return f"{self.device_id}({self.device_type.value})"
+
+
+@dataclass
+class Link:
+    """A bidirectional link (edge) between two devices.
+
+    Capacity is modelled per direction: a flow consumes capacity only in its
+    direction of travel, matching full-duplex PCIe/UPI behaviour.
+
+    Attributes:
+        link_id: Unique id, e.g. ``"upi0"`` or ``"pcie-sw0-nic0"``.
+        src: Device id of one endpoint.
+        dst: Device id of the other endpoint.
+        link_class: The Figure-1 :class:`LinkClass`.
+        capacity: Per-direction capacity in bytes/second.
+        base_latency: One-way propagation + processing latency in seconds
+            at zero load ("basic latency" in Figure 1's table).
+        degraded_capacity: If set, the link silently operates at this reduced
+            capacity — models §3.1's silent PCIe-switch failure. ``None``
+            means healthy.
+        extra_latency: Additional one-way latency injected by a failing
+            component on this link (seconds); 0.0 when healthy.
+        up: Whether the link is administratively/physically up.
+    """
+
+    link_id: str
+    src: str
+    dst: str
+    link_class: LinkClass
+    capacity: float
+    base_latency: float
+    degraded_capacity: Optional[float] = None
+    extra_latency: float = 0.0
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.link_id!r}: capacity must be > 0")
+        if self.base_latency < 0:
+            raise ValueError(f"link {self.link_id!r}: base_latency must be >= 0")
+        if self.src == self.dst:
+            raise ValueError(f"link {self.link_id!r}: self-loop not allowed")
+
+    @property
+    def effective_capacity(self) -> float:
+        """Capacity actually available: 0 when down, degraded when failing."""
+        if not self.up:
+            return 0.0
+        if self.degraded_capacity is not None:
+            return min(self.capacity, self.degraded_capacity)
+        return self.capacity
+
+    @property
+    def effective_latency(self) -> float:
+        """Base latency plus any failure-injected extra latency."""
+        return self.base_latency + self.extra_latency
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the link is up, at full capacity, with no extra latency."""
+        return self.up and self.degraded_capacity is None \
+            and self.extra_latency == 0.0
+
+    def endpoints(self) -> tuple:
+        """Return the ``(src, dst)`` device-id pair."""
+        return (self.src, self.dst)
+
+    def other_end(self, device_id: str) -> str:
+        """Return the device id on the opposite side of *device_id*."""
+        if device_id == self.src:
+            return self.dst
+        if device_id == self.dst:
+            return self.src
+        raise ValueError(
+            f"device {device_id!r} is not an endpoint of link {self.link_id!r}"
+        )
+
+    def __str__(self) -> str:
+        return f"{self.link_id}[{self.src}<->{self.dst} {self.link_class.value}]"

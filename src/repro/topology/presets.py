@@ -1,0 +1,282 @@
+"""Calibrated host-topology presets.
+
+Each preset reproduces a commodity-server shape from the paper's Figure 1
+and the measurement literature it cites (Neugebauer'18, Velten'22, Li'20).
+Link capacities/latencies are calibrated to the middle of Figure 1's table:
+
+====  =======================  ==============  ================
+item  link class               capacity        basic latency
+====  =======================  ==============  ================
+(1)   inter-socket connect     20-72 GBps      130-220 ns
+(2)   intra-socket connect     100-200 GBps    2-110 ns
+(3)   PCIe switch upstream     ~256 Gbps       30-120 ns
+(4)   PCIe switch downstream   ~256 Gbps       30-120 ns
+(5)   inter-host network       ~200 Gbps       <2 us
+====  =======================  ==============  ================
+
+``FIGURE1_RANGES`` encodes the table so tests and ``bench_f1`` can assert
+that every preset lands inside the paper's ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..units import GBps, Gbps, ns, us
+from .builder import TopologyBuilder
+from .elements import LinkClass
+from .graph import HostTopology
+
+#: Figure 1's table: link class -> ((min_cap, max_cap) bytes/s,
+#: (min_lat, max_lat) seconds).
+FIGURE1_RANGES: Dict[LinkClass, Tuple[Tuple[float, float], Tuple[float, float]]] = {
+    LinkClass.INTER_SOCKET: ((GBps(20), GBps(72)), (ns(130), ns(220))),
+    LinkClass.INTRA_SOCKET: ((GBps(100), GBps(200)), (ns(2), ns(110))),
+    LinkClass.PCIE_UPSTREAM: ((Gbps(200), Gbps(300)), (ns(30), ns(120))),
+    LinkClass.PCIE_DOWNSTREAM: ((Gbps(200), Gbps(300)), (ns(30), ns(120))),
+    LinkClass.INTER_HOST: ((Gbps(100), Gbps(400)), (ns(200), us(2))),
+}
+
+# Calibration constants (middle of the Figure-1 ranges; sources in DESIGN.md).
+UPI_CAPACITY = GBps(23.3)  # per UPI link; Cascade Lake has 2-3 of them
+UPI_LATENCY = ns(140)
+MEMBUS_CAPACITY = GBps(131)  # six DDR4-2933 channels, aggregated per DIMM group
+MEMBUS_LATENCY = ns(85)
+SOCKET_RC_CAPACITY = GBps(150)  # socket mesh to PCIe root complex
+SOCKET_RC_LATENCY = ns(50)
+PCIE_X16_CAPACITY = Gbps(256)  # PCIe 4.0 x16
+PCIE_UP_LATENCY = ns(105)
+PCIE_DOWN_LATENCY = ns(70)
+INTER_HOST_CAPACITY = Gbps(200)  # 200GbE / HDR InfiniBand
+INTER_HOST_LATENCY = us(1.2)
+CXL_CAPACITY = GBps(32)
+# Link latency chosen so device -> host memory totals ~150ns ([49]):
+# cxl link (65ns) + memory bus (85ns) = 150ns end to end.
+CXL_LATENCY = ns(65)
+
+
+def _add_socket_complex(
+    builder: TopologyBuilder,
+    socket: int,
+    dimm_groups: int = 2,
+    root_complexes: int = 2,
+) -> Dict[str, list]:
+    """Add one CPU socket with its memory and PCIe root complexes.
+
+    Returns a dict with the created ids: ``{"socket": id, "dimms": [...],
+    "root_complexes": [...]}``.
+    """
+    socket_id = builder.add_socket(socket)
+    dimms = []
+    for i in range(dimm_groups):
+        dimm = builder.add_dimm(socket, device_id=f"dimm{socket}-{i}")
+        builder.connect(
+            socket_id, dimm, LinkClass.INTRA_SOCKET,
+            capacity=MEMBUS_CAPACITY, base_latency=MEMBUS_LATENCY,
+            link_id=f"membus{socket}-{i}",
+        )
+        dimms.append(dimm)
+    rcs = []
+    for i in range(root_complexes):
+        rc = builder.add_root_complex(socket, device_id=f"rc{socket}-{i}")
+        builder.connect(
+            socket_id, rc, LinkClass.INTRA_SOCKET,
+            capacity=SOCKET_RC_CAPACITY, base_latency=SOCKET_RC_LATENCY,
+            link_id=f"mesh{socket}-{i}",
+        )
+        rcs.append(rc)
+    return {"socket": socket_id, "dimms": dimms, "root_complexes": rcs}
+
+
+def _link_sockets(builder: TopologyBuilder, a: str, b: str,
+                  count: int = 2) -> None:
+    """Add *count* parallel inter-socket (UPI-like) links between sockets."""
+    for i in range(count):
+        builder.connect(
+            a, b, LinkClass.INTER_SOCKET,
+            capacity=UPI_CAPACITY, base_latency=UPI_LATENCY,
+            link_id=f"upi-{a}-{b}-{i}",
+        )
+
+
+def minimal_host() -> HostTopology:
+    """The smallest interesting host: 1 socket, 1 DIMM, 1 RC, NIC + NVMe.
+
+    Used by the quickstart and as a fast fixture in tests.
+    """
+    b = TopologyBuilder("minimal")
+    parts = _add_socket_complex(b, 0, dimm_groups=1, root_complexes=1)
+    rc = parts["root_complexes"][0]
+    nic = b.add_nic(0, device_id="nic0")
+    nvme = b.add_nvme(0, device_id="nvme0")
+    b.connect(rc, nic, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nic0")
+    b.connect(rc, nvme, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nvme0")
+    external = b.add_external()
+    b.connect(nic, external, LinkClass.INTER_HOST,
+              capacity=INTER_HOST_CAPACITY, base_latency=INTER_HOST_LATENCY,
+              link_id="eth0")
+    return b.build()
+
+
+def cascade_lake_2s() -> HostTopology:
+    """Dual-socket Cascade-Lake-like server (the paper's Figure 1 shape).
+
+    Two sockets joined by two UPI links; each socket has two DIMM groups and
+    two PCIe root complexes.  Socket 0 carries a PCIe switch fanning out to
+    a NIC and an NVMe SSD (the multi-level PCIe fabric of Figure 1) plus a
+    direct-attached GPU; socket 1 carries a direct-attached NIC, GPU, and
+    NVMe.  ``nic0`` uplinks to the inter-host network.
+    """
+    b = TopologyBuilder("cascade_lake_2s")
+    s0 = _add_socket_complex(b, 0)
+    s1 = _add_socket_complex(b, 1)
+    _link_sockets(b, s0["socket"], s1["socket"], count=2)
+
+    # Socket 0: switch below rc0-0 with NIC + NVMe; GPU on rc0-1.
+    sw0 = b.add_pcie_switch(0, device_id="pcisw0")
+    b.connect(s0["root_complexes"][0], sw0, LinkClass.PCIE_UPSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_UP_LATENCY,
+              link_id="pcie-up0")
+    nic0 = b.add_nic(0, device_id="nic0")
+    nvme0 = b.add_nvme(0, device_id="nvme0")
+    b.connect(sw0, nic0, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nic0")
+    b.connect(sw0, nvme0, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nvme0")
+    gpu0 = b.add_gpu(0, device_id="gpu0")
+    b.connect(s0["root_complexes"][1], gpu0, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-gpu0")
+
+    # Socket 1: direct-attached NIC, GPU, NVMe.
+    nic1 = b.add_nic(1, device_id="nic1")
+    b.connect(s1["root_complexes"][0], nic1, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nic1")
+    gpu1 = b.add_gpu(1, device_id="gpu1")
+    b.connect(s1["root_complexes"][0], gpu1, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-gpu1")
+    nvme1 = b.add_nvme(1, device_id="nvme1")
+    b.connect(s1["root_complexes"][1], nvme1, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nvme1")
+
+    external = b.add_external()
+    b.connect(nic0, external, LinkClass.INTER_HOST,
+              capacity=INTER_HOST_CAPACITY, base_latency=INTER_HOST_LATENCY,
+              link_id="eth0")
+    b.connect(nic1, external, LinkClass.INTER_HOST,
+              capacity=INTER_HOST_CAPACITY, base_latency=INTER_HOST_LATENCY,
+              link_id="eth1")
+    return b.build()
+
+
+def dgx_like() -> HostTopology:
+    """An 8-GPU / 8-NIC DGX-like box (§1's NVIDIA DGX example).
+
+    Two sockets, two root complexes per socket, one PCIe switch per root
+    complex; each switch fans out to two GPUs and two NICs, giving several
+    alternative GPU<->NIC/SSD pathways — the scheduler's playground (§3.2).
+    """
+    b = TopologyBuilder("dgx_like")
+    parts = [_add_socket_complex(b, 0), _add_socket_complex(b, 1)]
+    _link_sockets(b, parts[0]["socket"], parts[1]["socket"], count=3)
+
+    external = b.add_external()
+    gpu_index = 0
+    nic_index = 0
+    for socket, socket_parts in enumerate(parts):
+        for rc_i, rc in enumerate(socket_parts["root_complexes"]):
+            sw = b.add_pcie_switch(socket, device_id=f"pcisw{socket}-{rc_i}")
+            b.connect(rc, sw, LinkClass.PCIE_UPSTREAM,
+                      capacity=PCIE_X16_CAPACITY, base_latency=PCIE_UP_LATENCY,
+                      link_id=f"pcie-up{socket}-{rc_i}")
+            for _ in range(2):
+                gpu = b.add_gpu(socket, device_id=f"gpu{gpu_index}")
+                b.connect(sw, gpu, LinkClass.PCIE_DOWNSTREAM,
+                          capacity=PCIE_X16_CAPACITY,
+                          base_latency=PCIE_DOWN_LATENCY,
+                          link_id=f"pcie-gpu{gpu_index}")
+                gpu_index += 1
+            for _ in range(2):
+                nic = b.add_nic(socket, device_id=f"nic{nic_index}")
+                b.connect(sw, nic, LinkClass.PCIE_DOWNSTREAM,
+                          capacity=PCIE_X16_CAPACITY,
+                          base_latency=PCIE_DOWN_LATENCY,
+                          link_id=f"pcie-nic{nic_index}")
+                b.connect(nic, external, LinkClass.INTER_HOST,
+                          capacity=INTER_HOST_CAPACITY,
+                          base_latency=INTER_HOST_LATENCY,
+                          link_id=f"eth{nic_index}")
+                nic_index += 1
+        # One NVMe per socket on the second root complex's switch.
+        nvme = b.add_nvme(socket, device_id=f"nvme{socket}")
+        b.connect(f"pcisw{socket}-1", nvme, LinkClass.PCIE_DOWNSTREAM,
+                  capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+                  link_id=f"pcie-nvme{socket}")
+    return b.build()
+
+
+def epyc_like_1s() -> HostTopology:
+    """Single-socket EPYC-like host: four root complexes, direct-attach I/O."""
+    b = TopologyBuilder("epyc_like_1s")
+    parts = _add_socket_complex(b, 0, dimm_groups=2, root_complexes=4)
+    rcs = parts["root_complexes"]
+    external = b.add_external()
+    nic = b.add_nic(0, device_id="nic0")
+    b.connect(rcs[0], nic, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-nic0")
+    b.connect(nic, external, LinkClass.INTER_HOST,
+              capacity=INTER_HOST_CAPACITY, base_latency=INTER_HOST_LATENCY,
+              link_id="eth0")
+    gpu = b.add_gpu(0, device_id="gpu0")
+    b.connect(rcs[1], gpu, LinkClass.PCIE_DOWNSTREAM,
+              capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+              link_id="pcie-gpu0")
+    for i, rc in enumerate(rcs[2:]):
+        nvme = b.add_nvme(0, device_id=f"nvme{i}")
+        b.connect(rc, nvme, LinkClass.PCIE_DOWNSTREAM,
+                  capacity=PCIE_X16_CAPACITY, base_latency=PCIE_DOWN_LATENCY,
+                  link_id=f"pcie-nvme{i}")
+    return b.build()
+
+
+def cxl_host() -> HostTopology:
+    """Cascade-Lake-like host extended with a CXL memory device (§2, [49])."""
+    topo = cascade_lake_2s()
+    b = TopologyBuilder.extend(topo)
+    cxl = b.add_cxl_device(0, device_id="cxl0")
+    b.connect("socket0", cxl, LinkClass.CXL,
+              capacity=CXL_CAPACITY, base_latency=CXL_LATENCY,
+              link_id="cxl-link0")
+    topo.name = "cxl_host"
+    return b.build()
+
+
+#: Registry of all shipped presets by name.
+PRESETS = {
+    "minimal": minimal_host,
+    "cascade_lake_2s": cascade_lake_2s,
+    "dgx_like": dgx_like,
+    "epyc_like_1s": epyc_like_1s,
+    "cxl_host": cxl_host,
+}
+
+
+def load_preset(name: str) -> HostTopology:
+    """Build the preset called *name*; raises ``KeyError`` with choices."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choices: {sorted(PRESETS)}"
+        ) from None
+    return factory()

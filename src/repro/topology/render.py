@@ -1,0 +1,75 @@
+"""ASCII rendering of host topologies.
+
+A text tree for terminals and docs: sockets at the top level, their memory
+and PCIe subtrees underneath, link parameters annotated per edge.  This is
+the ``describe``-but-structural view the CLI's operators read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..units import format_bandwidth, format_time
+from .elements import DeviceType, LinkClass
+from .graph import HostTopology
+
+
+def _edge_label(topology: HostTopology, a: str, b: str) -> str:
+    links = topology.links_between(a, b)
+    if not links:
+        return ""
+    link = min(links, key=lambda l: l.link_id)
+    extra = f" x{len(links)}" if len(links) > 1 else ""
+    health = "" if link.healthy else " [DEGRADED]"
+    return (f"[{link.link_id}{extra}: "
+            f"{format_bandwidth(link.effective_capacity)}, "
+            f"{format_time(link.base_latency)}]{health}")
+
+
+def _subtree(topology: HostTopology, device_id: str, parent: Optional[str],
+             visited: Set[str], prefix: str, lines: List[str]) -> None:
+    children = [
+        n for n in sorted(topology.neighbors(device_id))
+        if n != parent and n not in visited
+    ]
+    for index, child in enumerate(children):
+        child_type = topology.device(child).device_type
+        last = index == len(children) - 1
+        branch = "`-- " if last else "|-- "
+        label = _edge_label(topology, device_id, child)
+        lines.append(f"{prefix}{branch}{child} ({child_type.value}) {label}")
+        if child_type is DeviceType.EXTERNAL:
+            # the external network is a leaf under every NIC, never a
+            # transit point for the tree walk
+            continue
+        visited.add(child)
+        _subtree(topology, child, device_id, visited,
+                 prefix + ("    " if last else "|   "), lines)
+
+
+def render_tree(topology: HostTopology) -> str:
+    """Render *topology* as an ASCII tree rooted at its CPU sockets.
+
+    Inter-socket links are listed first (they are the only cycles in a
+    commodity host, so the per-socket subtrees stay clean trees).
+    """
+    lines: List[str] = [f"{topology.name}"]
+    for link in topology.links(LinkClass.INTER_SOCKET):
+        lines.append(
+            f"  {link.src} <=> {link.dst} "
+            f"[{link.link_id}: {format_bandwidth(link.effective_capacity)}, "
+            f"{format_time(link.base_latency)}]"
+        )
+    sockets = topology.devices(DeviceType.CPU_SOCKET)
+    visited: Set[str] = {d.device_id for d in sockets}
+    for socket in sorted(sockets, key=lambda d: d.device_id):
+        lines.append(f"{socket.device_id} (cpu_socket)")
+        _subtree(topology, socket.device_id, None, visited, "  ", lines)
+    # anything unreachable from a socket (shouldn't happen in valid hosts)
+    orphans = [d.device_id for d in topology.devices()
+               if d.device_id not in visited]
+    for orphan in sorted(orphans):
+        if topology.device(orphan).device_type is DeviceType.EXTERNAL:
+            continue  # external shows as a leaf under its NIC
+        lines.append(f"(unreached) {orphan}")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Path enumeration and selection over a :class:`HostTopology`.
+
+Flows in the intra-host network traverse an explicit device path (e.g.
+NIC -> PCIe switch -> root complex -> socket -> DIMM).  This module provides
+the path primitives everything else builds on:
+
+* :class:`Path` — an immutable device/link sequence with latency and
+  bottleneck-capacity accessors;
+* :func:`enumerate_paths` — all simple paths between two devices (bounded);
+* :func:`shortest_path` — minimum base-latency path;
+* :func:`widest_path` — maximum bottleneck-capacity path;
+* :func:`k_shortest_paths` — candidates for the topology-aware scheduler.
+
+Parallel links (MultiGraph edges) are handled by expanding each device-level
+path into the per-link choices and keeping the best link per hop for the
+metric in question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import NoPathError
+from .elements import DeviceType, Link
+from .graph import HostTopology
+
+#: Device types that may never forward traffic (interior of a path).
+_NO_TRANSIT = frozenset(
+    {
+        DeviceType.GPU,
+        DeviceType.NVME_SSD,
+        DeviceType.DIMM,
+        DeviceType.FPGA,
+        DeviceType.CXL_DEVICE,
+        DeviceType.EXTERNAL,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Path:
+    """An immutable path through the topology.
+
+    Attributes:
+        devices: Device ids visited, length ``n >= 1``.
+        links: Link ids traversed, length ``n - 1``.
+        base_latency: Sum of link base latencies (seconds, zero load).
+        bottleneck_capacity: Minimum effective link capacity (bytes/s).
+    """
+
+    devices: Tuple[str, ...]
+    links: Tuple[str, ...]
+    base_latency: float
+    bottleneck_capacity: float
+
+    @property
+    def src(self) -> str:
+        """First device on the path."""
+        return self.devices[0]
+
+    @property
+    def dst(self) -> str:
+        """Last device on the path."""
+        return self.devices[-1]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)
+
+    def uses_link(self, link_id: str) -> bool:
+        """Whether this path traverses *link_id*."""
+        return link_id in self.links
+
+    def uses_device(self, device_id: str) -> bool:
+        """Whether this path visits *device_id*."""
+        return device_id in self.devices
+
+    def __str__(self) -> str:
+        return " -> ".join(self.devices)
+
+
+def make_path(topology: HostTopology, devices: Sequence[str],
+              links: Sequence[str]) -> Path:
+    """Construct a :class:`Path`, computing its latency and bottleneck.
+
+    Raises ``ValueError`` if the link sequence does not connect the device
+    sequence in order.
+    """
+    devices = tuple(devices)
+    links = tuple(links)
+    if len(links) != max(len(devices) - 1, 0):
+        raise ValueError(
+            f"path shape mismatch: {len(devices)} devices, {len(links)} links"
+        )
+    total_latency = 0.0
+    bottleneck = float("inf")
+    for i, link_id in enumerate(links):
+        link = topology.link(link_id)
+        ends = {link.src, link.dst}
+        if ends != {devices[i], devices[i + 1]}:
+            raise ValueError(
+                f"link {link_id!r} does not join {devices[i]!r} and "
+                f"{devices[i + 1]!r}"
+            )
+        total_latency += link.base_latency
+        bottleneck = min(bottleneck, link.effective_capacity)
+    if not links:
+        bottleneck = float("inf")
+    return Path(devices=devices, links=links,
+                base_latency=total_latency, bottleneck_capacity=bottleneck)
+
+
+def _best_link(links: List[Link], metric: Callable[[Link], float],
+               maximize: bool, healthy_only: bool) -> Optional[Link]:
+    """Pick the best link among parallel candidates for a metric."""
+    if healthy_only:
+        links = [l for l in links if l.up and l.effective_capacity > 0]
+    if not links:
+        return None
+    return (max if maximize else min)(links, key=metric)
+
+
+def _expand_device_path(topology: HostTopology, node_path: Sequence[str],
+                        prefer: str, healthy_only: bool) -> Optional[Path]:
+    """Turn a device-id path into a :class:`Path`, choosing parallel links.
+
+    *prefer* is ``"latency"`` (min base latency per hop) or ``"capacity"``
+    (max effective capacity per hop).  Returns ``None`` if some hop has no
+    usable link.
+    """
+    links: List[str] = []
+    for a, b in zip(node_path, node_path[1:]):
+        candidates = topology.links_between(a, b)
+        if prefer == "capacity":
+            chosen = _best_link(candidates, lambda l: l.effective_capacity,
+                                True, healthy_only)
+        else:
+            chosen = _best_link(candidates, lambda l: l.base_latency,
+                                False, healthy_only)
+        if chosen is None:
+            return None
+        links.append(chosen.link_id)
+    return make_path(topology, node_path, links)
+
+
+def enumerate_paths(
+    topology: HostTopology,
+    src: str,
+    dst: str,
+    max_hops: int = 8,
+    max_paths: int = 64,
+    prefer: str = "latency",
+    healthy_only: bool = True,
+) -> List[Path]:
+    """All simple paths from *src* to *dst*, bounded by hops and count.
+
+    Paths are returned sorted by (hop count, base latency).  Intra-host
+    topologies are small trees-plus-UPI, so modest bounds cover everything;
+    the bounds guard against pathological hand-built meshes.
+
+    ``healthy_only=False`` also routes over down links — diagnostics use
+    this to probe the *physical* path and observe the loss, the way a real
+    ping reports 100% loss rather than "no route".
+    """
+    topology.device(src)
+    topology.device(dst)
+    if src == dst:
+        return [make_path(topology, (src,), ())]
+    graph = topology.healthy_subgraph() if healthy_only else topology.graph
+    paths: List[Path] = []
+    try:
+        node_paths: Iterator[List[str]] = nx.all_simple_paths(
+            graph, src, dst, cutoff=max_hops
+        )
+    except nx.NodeNotFound:  # pragma: no cover - validated above
+        return []
+    seen_nodes = set()
+    seen_links = set()
+    for node_path in node_paths:
+        # MultiGraph yields one node path per parallel-edge combination;
+        # expansion picks the best parallel link, so dedupe by node path.
+        key = tuple(node_path)
+        if key in seen_nodes:
+            continue
+        seen_nodes.add(key)
+        if not _valid_transit(topology, node_path):
+            continue
+        path = _expand_device_path(topology, node_path, prefer, healthy_only)
+        if path is None:
+            continue
+        for variant in _parallel_variants(topology, path, healthy_only):
+            if variant.links not in seen_links:
+                seen_links.add(variant.links)
+                paths.append(variant)
+            if len(paths) >= max_paths:
+                break
+        if len(paths) >= max_paths:
+            break
+    paths.sort(key=lambda p: (p.hop_count, p.base_latency))
+    return paths
+
+
+def _parallel_variants(topology: HostTopology, path: Path,
+                       healthy_only: bool) -> List[Path]:
+    """*path* plus one variant per alternative parallel link per hop.
+
+    Dual-socket hosts have 2-3 parallel UPI links; the scheduler needs
+    them as distinct candidates to balance across.  One hop is varied at a
+    time (no cross-product — intra-host paths have at most one or two
+    parallel-link hops, and single-substitution already exposes every
+    individual link).
+    """
+    variants = [path]
+    for i in range(path.hop_count):
+        a, b = path.devices[i], path.devices[i + 1]
+        for alternative in topology.links_between(a, b):
+            if alternative.link_id == path.links[i]:
+                continue
+            if healthy_only and not (alternative.up
+                                     and alternative.effective_capacity > 0):
+                continue
+            links = list(path.links)
+            links[i] = alternative.link_id
+            variants.append(make_path(topology, path.devices, links))
+    return variants
+
+
+def _valid_transit(topology: HostTopology, node_path: Sequence[str]) -> bool:
+    """Whether every interior device of *node_path* may forward traffic.
+
+    Leaf devices (GPU, SSD, DIMM, external...) terminate transactions; they
+    never appear mid-path.  A NIC forwards only between the host fabric and
+    its inter-host port, so an interior NIC must be adjacent to the external
+    node within the path.
+    """
+    for i in range(1, len(node_path) - 1):
+        dtype = topology.device(node_path[i]).device_type
+        if dtype in _NO_TRANSIT:
+            return False
+        if dtype == DeviceType.NIC:
+            neighbors = {node_path[i - 1], node_path[i + 1]}
+            adjacent_external = any(
+                topology.device(n).device_type == DeviceType.EXTERNAL
+                for n in neighbors
+            )
+            if not adjacent_external:
+                return False
+    return True
+
+
+def shortest_path(topology: HostTopology, src: str, dst: str,
+                  max_hops: int = 8, healthy_only: bool = True) -> Path:
+    """The minimum base-latency path; raises :class:`NoPathError` if none."""
+    candidates = enumerate_paths(topology, src, dst, max_hops=max_hops,
+                                 prefer="latency", healthy_only=healthy_only)
+    if not candidates:
+        raise NoPathError(src, dst, "no healthy path within hop bound")
+    return min(candidates, key=lambda p: p.base_latency)
+
+
+def widest_path(topology: HostTopology, src: str, dst: str,
+                max_hops: int = 8) -> Path:
+    """The maximum bottleneck-capacity path; ties broken by latency."""
+    candidates = enumerate_paths(topology, src, dst, max_hops=max_hops,
+                                 prefer="capacity")
+    if not candidates:
+        raise NoPathError(src, dst, "no healthy path within hop bound")
+    return max(candidates, key=lambda p: (p.bottleneck_capacity, -p.base_latency))
+
+
+def k_shortest_paths(topology: HostTopology, src: str, dst: str, k: int = 4,
+                     max_hops: int = 8) -> List[Path]:
+    """Up to *k* lowest-latency simple paths (scheduler candidates)."""
+    candidates = enumerate_paths(topology, src, dst, max_hops=max_hops,
+                                 prefer="latency")
+    if not candidates:
+        raise NoPathError(src, dst, "no healthy path within hop bound")
+    candidates.sort(key=lambda p: (p.base_latency, p.hop_count))
+    return candidates[:k]

@@ -1,0 +1,132 @@
+"""Topology serialization: dict/JSON round trips.
+
+Operators manage fleets declaratively; a topology that can't be written to
+a file can't be versioned, diffed, or shipped to a controller.  The format
+is deliberately plain (no pickle): device and link records with explicit
+enum values, so other tooling can produce or consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import TopologyError
+from .elements import Device, DeviceType, Link, LinkClass
+from .graph import HostTopology
+
+#: Format version written into every serialized topology.
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: HostTopology) -> Dict[str, Any]:
+    """Serialize *topology* into a JSON-safe dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "devices": [
+            {
+                "device_id": d.device_id,
+                "device_type": d.device_type.value,
+                "socket": d.socket,
+                "attrs": dict(d.attrs),
+            }
+            for d in topology.devices()
+        ],
+        "links": [
+            {
+                "link_id": l.link_id,
+                "src": l.src,
+                "dst": l.dst,
+                "link_class": l.link_class.value,
+                "capacity": l.capacity,
+                "base_latency": l.base_latency,
+                "degraded_capacity": l.degraded_capacity,
+                "extra_latency": l.extra_latency,
+                "up": l.up,
+            }
+            for l in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(payload: Dict[str, Any]) -> HostTopology:
+    """Rebuild a topology serialized with :func:`topology_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    topology = HostTopology(payload.get("name", "host"))
+    try:
+        for record in payload["devices"]:
+            topology.add_device(
+                Device(
+                    device_id=record["device_id"],
+                    device_type=DeviceType(record["device_type"]),
+                    socket=record.get("socket"),
+                    attrs=dict(record.get("attrs", {})),
+                )
+            )
+        for record in payload["links"]:
+            topology.add_link(
+                Link(
+                    link_id=record["link_id"],
+                    src=record["src"],
+                    dst=record["dst"],
+                    link_class=LinkClass(record["link_class"]),
+                    capacity=float(record["capacity"]),
+                    base_latency=float(record["base_latency"]),
+                    degraded_capacity=record.get("degraded_capacity"),
+                    extra_latency=float(record.get("extra_latency", 0.0)),
+                    up=bool(record.get("up", True)),
+                )
+            )
+    except (KeyError, ValueError) as exc:
+        raise TopologyError(f"malformed topology payload: {exc}") from exc
+    return topology
+
+
+def topology_to_json(topology: HostTopology, indent: int = 2) -> str:
+    """Serialize *topology* to a JSON string."""
+    return json.dumps(topology_to_dict(topology), indent=indent)
+
+
+def topology_from_json(text: str) -> HostTopology:
+    """Rebuild a topology from :func:`topology_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid topology JSON: {exc}") from exc
+    return topology_from_dict(payload)
+
+
+def topology_diff(a: HostTopology, b: HostTopology) -> List[str]:
+    """Human-readable structural differences between two topologies.
+
+    Covers devices/links added or removed and per-link parameter changes —
+    the view an operator wants before rolling a fleet config.
+    """
+    changes: List[str] = []
+    a_devices = {d.device_id for d in a.devices()}
+    b_devices = {d.device_id for d in b.devices()}
+    for device_id in sorted(b_devices - a_devices):
+        changes.append(f"+ device {device_id}")
+    for device_id in sorted(a_devices - b_devices):
+        changes.append(f"- device {device_id}")
+
+    a_links = {l.link_id: l for l in a.links()}
+    b_links = {l.link_id: l for l in b.links()}
+    for link_id in sorted(set(b_links) - set(a_links)):
+        changes.append(f"+ link {link_id}")
+    for link_id in sorted(set(a_links) - set(b_links)):
+        changes.append(f"- link {link_id}")
+    for link_id in sorted(set(a_links) & set(b_links)):
+        la, lb = a_links[link_id], b_links[link_id]
+        for field in ("capacity", "base_latency", "up",
+                      "degraded_capacity", "extra_latency"):
+            va, vb = getattr(la, field), getattr(lb, field)
+            if va != vb:
+                changes.append(f"~ link {link_id}.{field}: {va!r} -> {vb!r}")
+    return changes

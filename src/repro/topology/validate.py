@@ -1,0 +1,105 @@
+"""Structural validation of host topologies.
+
+A topology that passes validation is safe for the simulator and the resource
+manager: connected, endpoint devices hang off fabric correctly, and the
+Figure-1 link-class conventions are respected (e.g. PCIe downstream links
+attach a switch/root-complex to a device, inter-socket links join sockets).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import InvalidTopologyError
+from .elements import DeviceType, LinkClass
+from .graph import HostTopology
+
+#: Which (unordered) device-type pairs each link class may join.  ``None``
+#: entries match any device type.
+_ALLOWED_ENDS = {
+    LinkClass.INTER_SOCKET: [
+        (DeviceType.CPU_SOCKET, DeviceType.CPU_SOCKET),
+    ],
+    LinkClass.INTRA_SOCKET: [
+        (DeviceType.CPU_SOCKET, DeviceType.DIMM),
+        (DeviceType.CPU_SOCKET, DeviceType.MEMORY_CONTROLLER),
+        (DeviceType.MEMORY_CONTROLLER, DeviceType.DIMM),
+        (DeviceType.CPU_SOCKET, DeviceType.PCIE_ROOT_COMPLEX),
+        (DeviceType.CPU_SOCKET, DeviceType.CPU_CORE),
+        (DeviceType.CPU_SOCKET, DeviceType.LLC),
+    ],
+    LinkClass.PCIE_UPSTREAM: [
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.PCIE_SWITCH),
+        (DeviceType.PCIE_SWITCH, DeviceType.PCIE_SWITCH),
+    ],
+    LinkClass.PCIE_DOWNSTREAM: [
+        (DeviceType.PCIE_SWITCH, DeviceType.NIC),
+        (DeviceType.PCIE_SWITCH, DeviceType.GPU),
+        (DeviceType.PCIE_SWITCH, DeviceType.NVME_SSD),
+        (DeviceType.PCIE_SWITCH, DeviceType.FPGA),
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.NIC),
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.GPU),
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.NVME_SSD),
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.FPGA),
+    ],
+    LinkClass.INTER_HOST: [
+        (DeviceType.NIC, DeviceType.EXTERNAL),
+    ],
+    LinkClass.CXL: [
+        (DeviceType.CPU_SOCKET, DeviceType.CXL_DEVICE),
+        (DeviceType.PCIE_ROOT_COMPLEX, DeviceType.CXL_DEVICE),
+    ],
+}
+
+
+def validation_errors(topology: HostTopology) -> List[str]:
+    """Return a list of human-readable problems; empty list means valid."""
+    problems: List[str] = []
+
+    if len(topology) == 0:
+        problems.append("topology has no devices")
+        return problems
+
+    # Link-class endpoint conventions.
+    for link in topology.links():
+        src_t = topology.device(link.src).device_type
+        dst_t = topology.device(link.dst).device_type
+        allowed = _ALLOWED_ENDS[link.link_class]
+        if (src_t, dst_t) not in allowed and (dst_t, src_t) not in allowed:
+            problems.append(
+                f"link {link.link_id!r}: class {link.link_class.value} may not "
+                f"join {src_t.value} and {dst_t.value}"
+            )
+
+    # Connectivity: every endpoint device must be reachable from a socket.
+    if not topology.is_connected():
+        problems.append("topology is not connected over up links")
+
+    # Isolated devices are almost always construction bugs.
+    for device in topology.devices():
+        if topology.degree(device.device_id) == 0:
+            problems.append(f"device {device.device_id!r} has no links")
+
+    # Inter-socket links must join *different* sockets.
+    for link in topology.links(LinkClass.INTER_SOCKET):
+        if topology.socket_of(link.src) == topology.socket_of(link.dst):
+            problems.append(
+                f"link {link.link_id!r}: inter-socket link joins the same socket"
+            )
+
+    # A NIC with an inter-host link should exist if an EXTERNAL node exists.
+    externals = topology.devices(DeviceType.EXTERNAL)
+    if externals and not topology.links(LinkClass.INTER_HOST):
+        problems.append("external device present but no inter-host link")
+
+    return problems
+
+
+def validate_topology(topology: HostTopology) -> None:
+    """Raise :class:`InvalidTopologyError` listing all problems, if any."""
+    problems = validation_errors(topology)
+    if problems:
+        raise InvalidTopologyError(
+            f"topology {topology.name!r} failed validation:\n  "
+            + "\n  ".join(problems)
+        )

@@ -1,0 +1,184 @@
+"""Unit helpers for the ``repro`` library.
+
+Internally the library uses two canonical units everywhere:
+
+* **time** — seconds, as ``float``;
+* **bandwidth** — bytes per second, as ``float``.
+
+The intra-host networking literature mixes Gbps (bits), GBps (bytes), and
+nanosecond/microsecond latencies freely (the paper's Figure 1 does this in a
+single table), which is a classic source of off-by-8 bugs.  To keep raw magic
+numbers from crossing module boundaries, construct quantities with these
+helpers (``Gbps(200)``, ``us(2)``) and render them for humans with the
+``format_*`` functions.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time: canonical unit is seconds.
+# --------------------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def seconds(value: float) -> float:
+    """Return *value* seconds expressed in canonical time units (seconds)."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Return *value* milliseconds in seconds."""
+    return float(value) * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Return *value* microseconds in seconds."""
+    return float(value) * MICROSECOND
+
+
+def ns(value: float) -> float:
+    """Return *value* nanoseconds in seconds."""
+    return float(value) * NANOSECOND
+
+
+def to_ms(t: float) -> float:
+    """Convert *t* seconds to milliseconds."""
+    return t / MILLISECOND
+
+
+def to_us(t: float) -> float:
+    """Convert *t* seconds to microseconds."""
+    return t / MICROSECOND
+
+
+def to_ns(t: float) -> float:
+    """Convert *t* seconds to nanoseconds."""
+    return t / NANOSECOND
+
+
+# --------------------------------------------------------------------------
+# Data sizes: canonical unit is bytes.
+# --------------------------------------------------------------------------
+
+BYTE = 1.0
+KiB = 1024.0
+MiB = 1024.0 ** 2
+GiB = 1024.0 ** 3
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+
+def kib(value: float) -> float:
+    """Return *value* KiB in bytes."""
+    return float(value) * KiB
+
+
+def mib(value: float) -> float:
+    """Return *value* MiB in bytes."""
+    return float(value) * MiB
+
+
+def gib(value: float) -> float:
+    """Return *value* GiB in bytes."""
+    return float(value) * GiB
+
+
+# --------------------------------------------------------------------------
+# Bandwidth: canonical unit is bytes per second.
+# --------------------------------------------------------------------------
+
+BITS_PER_BYTE = 8.0
+
+
+def bps(value: float) -> float:
+    """Return *value* bits/second in bytes/second."""
+    return float(value) / BITS_PER_BYTE
+
+
+def Kbps(value: float) -> float:
+    """Return *value* kilobits/second in bytes/second."""
+    return bps(value * 1e3)
+
+
+def Mbps(value: float) -> float:
+    """Return *value* megabits/second in bytes/second."""
+    return bps(value * 1e6)
+
+
+def Gbps(value: float) -> float:
+    """Return *value* gigabits/second in bytes/second."""
+    return bps(value * 1e9)
+
+
+def MBps(value: float) -> float:
+    """Return *value* megabytes/second in bytes/second."""
+    return float(value) * 1e6
+
+
+def GBps(value: float) -> float:
+    """Return *value* gigabytes/second in bytes/second."""
+    return float(value) * 1e9
+
+
+def to_Gbps(bandwidth: float) -> float:
+    """Convert *bandwidth* (bytes/second) to gigabits/second."""
+    return bandwidth * BITS_PER_BYTE / 1e9
+
+
+def to_GBps(bandwidth: float) -> float:
+    """Convert *bandwidth* (bytes/second) to gigabytes/second."""
+    return bandwidth / 1e9
+
+
+def to_MBps(bandwidth: float) -> float:
+    """Convert *bandwidth* (bytes/second) to megabytes/second."""
+    return bandwidth / 1e6
+
+
+# --------------------------------------------------------------------------
+# Human-readable formatting.
+# --------------------------------------------------------------------------
+
+
+def format_time(t: float) -> str:
+    """Render *t* seconds with an auto-selected human unit.
+
+    >>> format_time(1.3e-7)
+    '130.0ns'
+    """
+    if t < 0:
+        return "-" + format_time(-t)
+    if t < MICROSECOND:
+        return f"{to_ns(t):.1f}ns"
+    if t < MILLISECOND:
+        return f"{to_us(t):.1f}us"
+    if t < SECOND:
+        return f"{to_ms(t):.2f}ms"
+    return f"{t:.3f}s"
+
+
+def format_bandwidth(bandwidth: float) -> str:
+    """Render *bandwidth* (bytes/second) in Gbps, the common fabric unit.
+
+    >>> format_bandwidth(Gbps(200))
+    '200.0Gbps'
+    """
+    return f"{to_Gbps(bandwidth):.1f}Gbps"
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an auto-selected binary unit."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    if n < KiB:
+        return f"{n:.0f}B"
+    if n < MiB:
+        return f"{n / KiB:.1f}KiB"
+    if n < GiB:
+        return f"{n / MiB:.1f}MiB"
+    return f"{n / GiB:.2f}GiB"

@@ -1,0 +1,43 @@
+"""Synthetic workloads: tenants, arrival generators, applications, traces."""
+
+from .apps import (
+    Application,
+    AppStats,
+    GpuAllReduceApp,
+    KvStoreApp,
+    MaliciousFloodApp,
+    MlTrainingApp,
+    NvmeScanApp,
+    RdmaLoopbackApp,
+)
+from .generators import ClosedLoopGenerator, OpenLoopGenerator
+from .tenants import Tenant, TenantRegistry
+from .traces import (
+    ARCHETYPE_DEFAULTS,
+    AppKind,
+    Trace,
+    TraceEvent,
+    TraceGenerator,
+    TraceReplayer,
+)
+
+__all__ = [
+    "Tenant",
+    "TenantRegistry",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "Application",
+    "AppStats",
+    "RdmaLoopbackApp",
+    "MlTrainingApp",
+    "KvStoreApp",
+    "NvmeScanApp",
+    "GpuAllReduceApp",
+    "MaliciousFloodApp",
+    "AppKind",
+    "TraceEvent",
+    "Trace",
+    "TraceGenerator",
+    "TraceReplayer",
+    "ARCHETYPE_DEFAULTS",
+]

@@ -1,0 +1,474 @@
+"""Synthetic applications — the co-location scenarios of §1–§2.
+
+Every motivating example in the paper is a concrete application here:
+
+* :class:`RdmaLoopbackApp` — the RDMA loopback traffic that "can exhaust
+  the PCIe bandwidth" (§2, citing BytePS [31]);
+* :class:`MlTrainingApp` — the ML job with "substantial workload for
+  CPU-GPU communication (e.g., loading training data)";
+* :class:`KvStoreApp` — the remote key-value store whose traffic "may
+  traverse the same PCIe root port and the memory bus and therefore suffer
+  from high latency";
+* :class:`NvmeScanApp` — storage scans saturating an SSD's PCIe link;
+* :class:`GpuAllReduceApp` — inter-GPU collective traffic (DGX-style);
+* :class:`MaliciousFloodApp` — the multi-tenant adversary that
+  "maliciously exhausts intra-host network fabric resources".
+
+Applications drive the fluid simulator: elephant transfers are flows; small
+request latencies are computed analytically from the instantaneous fabric
+state at arrival (so congestion created by one app is immediately visible
+in another's tail latency — the paper's interference mechanism).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import NoPathError, WorkloadError
+from ..sim.engine import Engine
+from ..sim.flows import Flow
+from ..sim.network import FabricNetwork
+from ..stats import Summary, summarize
+from ..topology.routing import Path, shortest_path
+from ..units import Gbps, kib, mib, us
+from .generators import ClosedLoopGenerator, OpenLoopGenerator
+
+
+@dataclass
+class AppStats:
+    """Runtime statistics common to every application.
+
+    Attributes:
+        ops_completed: Finished operations (requests, batches, chunks...).
+        bytes_moved: Total payload bytes transferred.
+        latencies: Per-operation latency samples (seconds), where the app
+            measures per-op latency.
+        started_at / stopped_at: Simulated lifetime bounds.
+    """
+
+    ops_completed: int = 0
+    bytes_moved: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+
+    def latency_summary(self) -> Summary:
+        """Percentile summary of recorded latencies (raises if none)."""
+        return summarize(self.latencies)
+
+    def throughput(self, now: float) -> float:
+        """Average payload bytes/s over the app's lifetime so far."""
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else now
+        elapsed = end - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_moved / elapsed
+
+
+class Application:
+    """Base class wiring an app to the fabric, engine, and a tenant."""
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 name: str, seed: int = 0) -> None:
+        self.network = network
+        self.engine: Engine = network.engine
+        self.tenant_id = tenant_id
+        self.name = name
+        self.rng = random.Random(seed)
+        self.stats = AppStats()
+        self._running = False
+        self._path_cache: Dict[tuple, Path] = {}
+
+    @property
+    def running(self) -> bool:
+        """Whether the application is currently generating load."""
+        return self._running
+
+    def start(self) -> None:
+        """Begin generating load (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        if self.stats.started_at is None:
+            self.stats.started_at = self.engine.now
+        self._on_start()
+
+    def stop(self) -> None:
+        """Stop generating load; outstanding work drains naturally."""
+        if not self._running:
+            return
+        self._running = False
+        self.stats.stopped_at = self.engine.now
+        self._on_stop()
+
+    def _on_start(self) -> None:
+        raise NotImplementedError
+
+    def _on_stop(self) -> None:
+        """Hook for subclasses; default does nothing extra."""
+
+    def _path(self, src: str, dst: str) -> Path:
+        """Shortest path from *src* to *dst*, cached per endpoint pair.
+
+        Path enumeration is expensive relative to per-operation work, so
+        apps reuse the path until a link on it goes down — then they
+        recompute (rerouting if the fabric still offers a way, keeping the
+        stale path if not, so the outage is observable as lost operations).
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        topology = self.network.topology
+        if cached is not None and all(
+            topology.link(link_id).up for link_id in cached.links
+        ):
+            return cached
+        try:
+            fresh = shortest_path(topology, src, dst)
+        except NoPathError:
+            if cached is not None:
+                return cached
+            raise
+        self._path_cache[key] = fresh
+        return fresh
+
+    def _tags(self, **extra: str) -> Dict[str, str]:
+        tags = {"app": self.name}
+        tags.update(extra)
+        return tags
+
+
+class RdmaLoopbackApp(Application):
+    """RDMA loopback: traffic leaves and re-enters the same NIC.
+
+    Loopback payload crosses the NIC's PCIe link and the path to the peer
+    (host memory, or a GPU for GPUDirect-style traffic) in *both*
+    directions simultaneously, which is why a single loopback job can
+    exhaust a x16 link (§2).  Modelled as ``streams`` persistent elastic
+    flows per direction (real loopback jobs run many QPs, and each grabs
+    its own max-min share) with a configurable aggregate offered rate.
+    """
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 nic: str, dimm: str, offered_rate: float = math.inf,
+                 streams: int = 1,
+                 name: str = "rdma-loopback", seed: int = 0) -> None:
+        if streams < 1:
+            raise WorkloadError("streams must be >= 1")
+        super().__init__(network, tenant_id, name, seed)
+        self.nic = nic
+        self.dimm = dimm
+        self.offered_rate = offered_rate
+        self.streams = streams
+        self._flows: List[Flow] = []
+
+    def _on_start(self) -> None:
+        outbound = self._path(self.dimm, self.nic)
+        inbound = self._path(self.nic, self.dimm)
+        per_stream = self.offered_rate / self.streams
+        for direction, path in (("out", outbound), ("in", inbound)):
+            for i in range(self.streams):
+                flow = self.network.start_transfer(
+                    self.tenant_id, path, size=None, demand=per_stream,
+                    tags=self._tags(direction=direction, stream=str(i)),
+                )
+                self._flows.append(flow)
+
+    def _on_stop(self) -> None:
+        for flow in self._flows:
+            if self.network.has_flow(flow.flow_id):
+                self.network.cancel_flow(flow.flow_id)
+        self._flows.clear()
+
+    def achieved_rate(self) -> float:
+        """Current aggregate loopback rate (bytes/s, both directions)."""
+        return sum(
+            f.current_rate for f in self._flows
+            if self.network.has_flow(f.flow_id)
+        )
+
+
+class MlTrainingApp(Application):
+    """ML training: closed-loop batch loading DIMM -> GPU.
+
+    Each iteration moves one batch over PCIe; iteration time is recorded,
+    so fabric congestion directly shows up as training slowdown.
+    """
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 dimm: str, gpu: str, batch_bytes: float = mib(256),
+                 concurrency: int = 2, compute_time: float = 0.0,
+                 name: str = "ml-training", seed: int = 0) -> None:
+        if batch_bytes <= 0:
+            raise WorkloadError("batch_bytes must be > 0")
+        super().__init__(network, tenant_id, name, seed)
+        self.dimm = dimm
+        self.gpu = gpu
+        self.batch_bytes = batch_bytes
+        self._generator = ClosedLoopGenerator(
+            self.engine, self._launch_batch, concurrency=concurrency,
+            think_time=compute_time, rng=self.rng,
+        )
+
+    def _on_start(self) -> None:
+        self._generator.start()
+
+    def _on_stop(self) -> None:
+        self._generator.stop()
+
+    def _launch_batch(self) -> None:
+        path = self._path(self.dimm, self.gpu)
+        launched_at = self.engine.now
+
+        def finished(flow: Flow) -> None:
+            self.stats.ops_completed += 1
+            self.stats.bytes_moved += self.batch_bytes
+            self.stats.latencies.append(self.engine.now - launched_at)
+            self._generator.operation_done()
+
+        self.network.start_transfer(
+            self.tenant_id, path, size=self.batch_bytes,
+            on_complete=finished, tags=self._tags(kind="batch"),
+        )
+
+    def iterations_per_second(self) -> float:
+        """Training iteration rate over the app lifetime."""
+        if not self.stats.latencies:
+            return 0.0
+        return self.stats.ops_completed / max(
+            (self.stats.stopped_at or self.engine.now)
+            - (self.stats.started_at or 0.0), 1e-12,
+        )
+
+
+class KvStoreApp(Application):
+    """Remote KV store served over RDMA: external -> NIC -> memory.
+
+    Requests arrive open loop; each response's latency is the analytic
+    round trip over the NIC-to-DIMM path *at arrival time* plus fixed
+    service overheads, so congestion anywhere on that path inflates the
+    recorded tail.  The aggregate request stream also offers real
+    bandwidth onto the fabric via two persistent demand flows (request
+    ingress and response egress).
+    """
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 nic: str, dimm: str, request_rate: float = 50_000.0,
+                 request_bytes: float = 512.0, response_bytes: float = kib(4),
+                 service_time: float = us(2), external: str = "external",
+                 name: str = "kv-store", seed: int = 0) -> None:
+        if request_rate <= 0:
+            raise WorkloadError("request_rate must be > 0")
+        super().__init__(network, tenant_id, name, seed)
+        self.nic = nic
+        self.dimm = dimm
+        self.external = external
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.service_time = service_time
+        self.request_rate = request_rate
+        self._generator = OpenLoopGenerator(
+            self.engine, self._serve_request, rate=request_rate, rng=self.rng,
+        )
+        self._demand_flows: List[Flow] = []
+
+    def _on_start(self) -> None:
+        # Persistent demand flows carrying the aggregate request/response
+        # byte streams (ingress external->DIMM, egress DIMM->external).
+        ingress = self._path(self.external, self.dimm)
+        egress = self._path(self.dimm, self.external)
+        in_rate = self.request_rate * self.request_bytes
+        out_rate = self.request_rate * self.response_bytes
+        self._demand_flows = [
+            self.network.start_transfer(
+                self.tenant_id, ingress, size=None, demand=in_rate,
+                tags=self._tags(kind="ingress"),
+            ),
+            self.network.start_transfer(
+                self.tenant_id, egress, size=None, demand=out_rate,
+                tags=self._tags(kind="egress"),
+            ),
+        ]
+        self._generator.start()
+
+    def _on_stop(self) -> None:
+        self._generator.stop()
+        for flow in self._demand_flows:
+            if self.network.has_flow(flow.flow_id):
+                self.network.cancel_flow(flow.flow_id)
+        self._demand_flows.clear()
+
+    def _serve_request(self) -> None:
+        try:
+            path = self._path(self.nic, self.dimm)
+        except NoPathError:
+            # Fabric partitioned: the request is lost, not crashed on.
+            return
+        fabric_rtt = self.network.round_trip_latency(
+            path, self.request_bytes, self.response_bytes
+        )
+        # Log-normal service jitter: keeps the fabric contribution exact
+        # while giving the recorded distribution a realistic tail.
+        service = self.service_time * self.rng.lognormvariate(0.0, 0.35)
+        latency = fabric_rtt + service
+        if math.isinf(latency):
+            # Path is down: the request is lost, not recorded as a latency.
+            return
+
+        def complete() -> None:
+            self.stats.ops_completed += 1
+            self.stats.bytes_moved += self.request_bytes + self.response_bytes
+            self.stats.latencies.append(latency)
+
+        self.engine.schedule_in(latency, complete, label="kv-response")
+
+    def set_request_rate(self, rate: float) -> None:
+        """Change the offered request rate and the demand flows to match."""
+        self.request_rate = rate
+        self._generator.set_rate(rate)
+        if self._demand_flows:
+            self.network.set_flow_demand(
+                self._demand_flows[0].flow_id, rate * self.request_bytes
+            )
+            self.network.set_flow_demand(
+                self._demand_flows[1].flow_id, rate * self.response_bytes
+            )
+
+
+class NvmeScanApp(Application):
+    """Storage scan: closed-loop sequential chunk reads NVMe -> DIMM."""
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 nvme: str, dimm: str, chunk_bytes: float = mib(64),
+                 concurrency: int = 4, device_rate: float = Gbps(54),
+                 name: str = "nvme-scan", seed: int = 0) -> None:
+        if chunk_bytes <= 0:
+            raise WorkloadError("chunk_bytes must be > 0")
+        super().__init__(network, tenant_id, name, seed)
+        self.nvme = nvme
+        self.dimm = dimm
+        self.chunk_bytes = chunk_bytes
+        self.device_rate = device_rate
+        self._generator = ClosedLoopGenerator(
+            self.engine, self._launch_chunk, concurrency=concurrency,
+        )
+
+    def _on_start(self) -> None:
+        self._generator.start()
+
+    def _on_stop(self) -> None:
+        self._generator.stop()
+
+    def _launch_chunk(self) -> None:
+        path = self._path(self.nvme, self.dimm)
+        launched_at = self.engine.now
+
+        def finished(flow: Flow) -> None:
+            self.stats.ops_completed += 1
+            self.stats.bytes_moved += self.chunk_bytes
+            self.stats.latencies.append(self.engine.now - launched_at)
+            self._generator.operation_done()
+
+        self.network.start_transfer(
+            self.tenant_id, path, size=self.chunk_bytes,
+            demand=self.device_rate / max(self._generator.in_flight, 1),
+            on_complete=finished, tags=self._tags(kind="chunk"),
+        )
+
+
+class GpuAllReduceApp(Application):
+    """Inter-GPU collective: closed-loop ring exchanges between GPU pairs.
+
+    On multi-socket hosts the ring crosses root complexes and UPI — the
+    PCIe contention BytePS [31] schedules around.
+    """
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 gpus: List[str], shard_bytes: float = mib(128),
+                 name: str = "gpu-allreduce", seed: int = 0) -> None:
+        if len(gpus) < 2:
+            raise WorkloadError("all-reduce needs at least two GPUs")
+        super().__init__(network, tenant_id, name, seed)
+        self.gpus = list(gpus)
+        self.shard_bytes = shard_bytes
+        self._generator = ClosedLoopGenerator(
+            self.engine, self._launch_round, concurrency=1,
+        )
+
+    def _on_start(self) -> None:
+        self._generator.start()
+
+    def _on_stop(self) -> None:
+        self._generator.stop()
+
+    def _launch_round(self) -> None:
+        """One ring round: every GPU sends a shard to its ring successor."""
+        launched_at = self.engine.now
+        pending = {"count": len(self.gpus)}
+
+        def one_done(flow: Flow) -> None:
+            pending["count"] -= 1
+            self.stats.bytes_moved += self.shard_bytes
+            if pending["count"] == 0:
+                self.stats.ops_completed += 1
+                self.stats.latencies.append(self.engine.now - launched_at)
+                self._generator.operation_done()
+
+        for i, gpu in enumerate(self.gpus):
+            successor = self.gpus[(i + 1) % len(self.gpus)]
+            path = self._path(gpu, successor)
+            self.network.start_transfer(
+                self.tenant_id, path, size=self.shard_bytes,
+                on_complete=one_done, tags=self._tags(kind="shard"),
+            )
+
+
+class MaliciousFloodApp(Application):
+    """Adversarial tenant flooding a victim's fabric path (§2, E9).
+
+    Launches *flow_count* elastic flows along the given source/destination
+    pair; with max-min fairness, N flows grab an N/(N+1) share of every
+    link they cross — the textbook way a tenant starves co-located victims
+    without any single flow looking abnormal.
+    """
+
+    def __init__(self, network: FabricNetwork, tenant_id: str,
+                 src: str, dst: str, flow_count: int = 8,
+                 per_flow_demand: float = math.inf,
+                 name: str = "malicious-flood", seed: int = 0) -> None:
+        if flow_count < 1:
+            raise WorkloadError("flow_count must be >= 1")
+        super().__init__(network, tenant_id, name, seed)
+        self.src = src
+        self.dst = dst
+        self.flow_count = flow_count
+        self.per_flow_demand = per_flow_demand
+        self._flows: List[Flow] = []
+
+    def _on_start(self) -> None:
+        path = self._path(self.src, self.dst)
+        for i in range(self.flow_count):
+            self._flows.append(
+                self.network.start_transfer(
+                    self.tenant_id, path, size=None,
+                    demand=self.per_flow_demand,
+                    tags=self._tags(index=str(i)),
+                )
+            )
+
+    def _on_stop(self) -> None:
+        for flow in self._flows:
+            if self.network.has_flow(flow.flow_id):
+                self.network.cancel_flow(flow.flow_id)
+        self._flows.clear()
+
+    def attack_rate(self) -> float:
+        """Current aggregate attack bandwidth (bytes/s)."""
+        return sum(
+            f.current_rate for f in self._flows
+            if self.network.has_flow(f.flow_id)
+        )

@@ -1,0 +1,155 @@
+"""Arrival-process generators for open- and closed-loop workloads.
+
+Generators schedule callbacks on the engine; applications plug a "fire one
+operation" callback in.  Open-loop (Poisson/uniform) generators model
+external request arrival; the closed-loop generator models a pipeline that
+keeps a fixed number of operations in flight (ML training iterations,
+storage scans).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..errors import WorkloadError
+from ..sim.engine import Engine
+
+
+class OpenLoopGenerator:
+    """Fires ``on_arrival`` according to an inter-arrival distribution.
+
+    Args:
+        engine: The simulation engine.
+        on_arrival: Callback fired once per arrival.
+        rate: Mean arrivals per second.
+        rng: Seeded random source; ``None`` makes arrivals deterministic
+            (exactly periodic at ``1/rate``).
+        process: ``"poisson"`` (exponential gaps) or ``"uniform"``
+            (gaps uniform in [0.5, 1.5] x mean).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        on_arrival: Callable[[], None],
+        rate: float,
+        rng: Optional[random.Random] = None,
+        process: str = "poisson",
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"arrival rate must be > 0, got {rate}")
+        if process not in ("poisson", "uniform"):
+            raise WorkloadError(f"unknown arrival process {process!r}")
+        if process == "poisson" and rng is None:
+            process = "periodic"
+        self._engine = engine
+        self._on_arrival = on_arrival
+        self._rate = rate
+        self._rng = rng
+        self._process = process
+        self._running = False
+        self.arrivals = 0
+
+    @property
+    def rate(self) -> float:
+        """Current mean arrival rate (arrivals/second)."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the arrival rate, effective from the next gap."""
+        if rate <= 0:
+            raise WorkloadError(f"arrival rate must be > 0, got {rate}")
+        self._rate = rate
+
+    def _gap(self) -> float:
+        mean_gap = 1.0 / self._rate
+        if self._process == "poisson":
+            return self._rng.expovariate(self._rate)
+        if self._process == "uniform":
+            jitter = self._rng.uniform(0.5, 1.5) if self._rng else 1.0
+            return mean_gap * jitter
+        return mean_gap  # periodic
+
+    def start(self) -> None:
+        """Begin generating arrivals (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._engine.schedule_in(self._gap(), self._fire, label="arrival")
+
+    def stop(self) -> None:
+        """Stop after the currently scheduled arrival (if any) is skipped."""
+        self._running = False
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.arrivals += 1
+        self._on_arrival()
+        self._engine.schedule_in(self._gap(), self._fire, label="arrival")
+
+
+class ClosedLoopGenerator:
+    """Keeps *concurrency* operations in flight.
+
+    The application calls :meth:`operation_done` when one finishes; the
+    generator immediately (plus optional think time) launches the next.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        launch: Callable[[], None],
+        concurrency: int = 1,
+        think_time: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise WorkloadError(f"concurrency must be >= 1, got {concurrency}")
+        if think_time < 0:
+            raise WorkloadError("think_time must be >= 0")
+        self._engine = engine
+        self._launch = launch
+        self._concurrency = concurrency
+        self._think_time = think_time
+        self._rng = rng
+        self._running = False
+        self.launched = 0
+        self.completed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Operations currently outstanding."""
+        return self.launched - self.completed
+
+    def start(self) -> None:
+        """Launch the initial window of operations."""
+        if self._running:
+            return
+        self._running = True
+        for _ in range(self._concurrency):
+            self._launch_one()
+
+    def stop(self) -> None:
+        """Stop launching; in-flight operations drain naturally."""
+        self._running = False
+
+    def operation_done(self) -> None:
+        """Signal one completed operation; replenishes the window."""
+        self.completed += 1
+        if not self._running:
+            return
+        if self._think_time > 0:
+            gap = self._think_time
+            if self._rng is not None:
+                gap = self._rng.expovariate(1.0 / self._think_time)
+            self._engine.schedule_in(gap, self._launch_one, label="think")
+        else:
+            self._launch_one()
+
+    def _launch_one(self) -> None:
+        if not self._running:
+            return
+        self.launched += 1
+        self._launch()

@@ -1,0 +1,96 @@
+"""Tenant registry for multi-tenant hosts.
+
+Tenants are the unit of isolation in §3.2: every flow is attributed to one,
+the monitor reports per-tenant usage where the data source allows it, and
+the resource manager allocates per tenant.  A tenant may be flagged
+``malicious`` for adversarial experiments (E9) — the flag changes nothing in
+the fabric (attackers don't announce themselves); it only labels ground
+truth for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import DuplicateElementError, UnknownTenantError
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant (VM / container) sharing the host.
+
+    Attributes:
+        tenant_id: Unique id.
+        name: Human-readable label.
+        priority: Relative importance class (higher = more important);
+            policies may map this to fairness weights.
+        malicious: Ground-truth adversarial flag for experiments.
+    """
+
+    tenant_id: str
+    name: str = ""
+    priority: int = 1
+    malicious: bool = False
+
+    def __post_init__(self) -> None:
+        if self.priority < 1:
+            raise ValueError(f"priority must be >= 1, got {self.priority}")
+
+
+class TenantRegistry:
+    """The set of tenants currently on the host."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Add *tenant*; raises :class:`DuplicateElementError` on reuse."""
+        if tenant.tenant_id in self._tenants:
+            raise DuplicateElementError(
+                f"tenant already registered: {tenant.tenant_id!r}"
+            )
+        self._tenants[tenant.tenant_id] = tenant
+        return tenant
+
+    def create(self, tenant_id: str, name: str = "", priority: int = 1,
+               malicious: bool = False) -> Tenant:
+        """Build and register a tenant in one call."""
+        return self.register(
+            Tenant(tenant_id=tenant_id, name=name or tenant_id,
+                   priority=priority, malicious=malicious)
+        )
+
+    def remove(self, tenant_id: str) -> Tenant:
+        """Remove and return a tenant."""
+        tenant = self.get(tenant_id)
+        del self._tenants[tenant_id]
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """Look up a tenant or raise :class:`UnknownTenantError`."""
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise UnknownTenantError(tenant_id) from None
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    def ids(self) -> List[str]:
+        """All tenant ids, in registration order."""
+        return list(self._tenants)
+
+    def honest(self) -> List[Tenant]:
+        """Tenants not flagged malicious."""
+        return [t for t in self._tenants.values() if not t.malicious]
+
+    def adversaries(self) -> List[Tenant]:
+        """Tenants flagged malicious (ground truth for experiments)."""
+        return [t for t in self._tenants.values() if t.malicious]

@@ -1,0 +1,221 @@
+"""Synthetic trace generation and replay.
+
+The paper's vision needs realistic multi-tenant churn (tenants "come and
+go", §3.2).  Since production traces are proprietary, we synthesize them:
+a :class:`TraceGenerator` draws tenant sessions (arrival time, duration,
+application mix, intensity) from seeded distributions, producing a
+:class:`Trace` that can be replayed deterministically against any policy —
+so every baseline sees byte-identical load.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import WorkloadError
+from ..sim.rng import make_rng
+from ..units import Gbps, mib
+
+
+class AppKind(enum.Enum):
+    """Application archetypes a trace can schedule."""
+
+    KV_STORE = "kv_store"
+    ML_TRAINING = "ml_training"
+    NVME_SCAN = "nvme_scan"
+    RDMA_LOOPBACK = "rdma_loopback"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One tenant session in a trace.
+
+    Attributes:
+        tenant_id: Session owner.
+        app_kind: Which archetype to run.
+        start: Session start (seconds).
+        duration: Session length (seconds).
+        intensity: Archetype-specific load scale in (0, 1]; 1.0 is the
+            archetype's full configured demand.
+    """
+
+    tenant_id: str
+    app_kind: AppKind
+    start: float
+    duration: float
+    intensity: float
+
+    @property
+    def end(self) -> float:
+        """Session end time."""
+        return self.start + self.duration
+
+
+@dataclass
+class Trace:
+    """An ordered collection of tenant sessions."""
+
+    events: List[TraceEvent]
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.start, e.tenant_id))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time at which the last session ends."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def tenants(self) -> List[str]:
+        """Distinct tenant ids, sorted."""
+        return sorted({e.tenant_id for e in self.events})
+
+    def concurrent_at(self, t: float) -> int:
+        """Number of sessions active at time *t*."""
+        return sum(1 for e in self.events if e.start <= t < e.end)
+
+    def to_json(self) -> str:
+        """Serialize to JSON (for EXPERIMENTS.md artifacts)."""
+        payload = [
+            {**asdict(e), "app_kind": e.app_kind.value} for e in self.events
+        ]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Rebuild a trace serialized with :meth:`to_json`."""
+        raw = json.loads(text)
+        events = [
+            TraceEvent(
+                tenant_id=item["tenant_id"],
+                app_kind=AppKind(item["app_kind"]),
+                start=float(item["start"]),
+                duration=float(item["duration"]),
+                intensity=float(item["intensity"]),
+            )
+            for item in raw
+        ]
+        return cls(events=events)
+
+
+class TraceGenerator:
+    """Draws deterministic synthetic tenant-churn traces.
+
+    Args:
+        seed: Base seed; every generated trace is a pure function of the
+            seed and the arguments.
+        mix: Probability weight per :class:`AppKind` (defaults to uniform).
+    """
+
+    def __init__(self, seed: int = 0,
+                 mix: Optional[Dict[AppKind, float]] = None) -> None:
+        self._seed = seed
+        if mix is None:
+            mix = {kind: 1.0 for kind in AppKind}
+        if not mix or any(w < 0 for w in mix.values()):
+            raise WorkloadError("mix must be non-empty with weights >= 0")
+        total = sum(mix.values())
+        if total <= 0:
+            raise WorkloadError("mix weights must sum to > 0")
+        self._kinds = list(mix)
+        self._weights = [mix[k] / total for k in self._kinds]
+
+    def generate(
+        self,
+        tenant_count: int = 8,
+        horizon: float = 10.0,
+        mean_sessions_per_tenant: float = 2.0,
+        mean_duration: float = 2.0,
+    ) -> Trace:
+        """Generate a trace of tenant sessions over *horizon* seconds."""
+        if tenant_count < 1:
+            raise WorkloadError("tenant_count must be >= 1")
+        rng = make_rng(self._seed, "trace")
+        events: List[TraceEvent] = []
+        for t in range(tenant_count):
+            tenant_id = f"tenant{t}"
+            sessions = max(1, int(round(rng.expovariate(
+                1.0 / mean_sessions_per_tenant
+            ))))
+            for _ in range(sessions):
+                start = rng.uniform(0.0, horizon * 0.8)
+                duration = min(
+                    max(rng.expovariate(1.0 / mean_duration), horizon * 0.02),
+                    horizon - start,
+                )
+                kind = rng.choices(self._kinds, weights=self._weights, k=1)[0]
+                events.append(
+                    TraceEvent(
+                        tenant_id=tenant_id,
+                        app_kind=kind,
+                        start=start,
+                        duration=duration,
+                        intensity=rng.uniform(0.3, 1.0),
+                    )
+                )
+        return Trace(events=events)
+
+
+class TraceReplayer:
+    """Replays a :class:`Trace` by invoking start/stop callbacks on time.
+
+    The caller supplies ``make_app(event)`` returning an object with
+    ``start()``/``stop()`` (any :class:`~repro.workloads.apps.Application`
+    qualifies); the replayer schedules those calls on the engine.
+    """
+
+    def __init__(self, engine, trace: Trace,
+                 make_app: Callable[[TraceEvent], object]) -> None:
+        self._engine = engine
+        self._trace = trace
+        self._make_app = make_app
+        self.active: Dict[int, object] = {}
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every session's start/stop on the engine (once)."""
+        if self._armed:
+            raise WorkloadError("trace already armed")
+        self._armed = True
+        for index, event in enumerate(self._trace):
+            self._engine.schedule_at(
+                event.start, self._starter(index, event), label="trace-start"
+            )
+            self._engine.schedule_at(
+                event.end, self._stopper(index), label="trace-stop"
+            )
+
+    def _starter(self, index: int, event: TraceEvent) -> Callable[[], None]:
+        def run() -> None:
+            app = self._make_app(event)
+            self.active[index] = app
+            app.start()
+
+        return run
+
+    def _stopper(self, index: int) -> Callable[[], None]:
+        def run() -> None:
+            app = self.active.pop(index, None)
+            if app is not None:
+                app.stop()
+
+        return run
+
+
+#: Default archetype parameters used by trace-driven experiments: the
+#: intensity field scales these.
+ARCHETYPE_DEFAULTS = {
+    AppKind.KV_STORE: {"request_rate": 100_000.0},
+    AppKind.ML_TRAINING: {"batch_bytes": mib(256)},
+    AppKind.NVME_SCAN: {"chunk_bytes": mib(64)},
+    AppKind.RDMA_LOOPBACK: {"offered_rate": Gbps(100)},
+}

@@ -1,0 +1,37 @@
+"""Shared fixtures for the hostnet test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, FabricNetwork
+from repro.topology import cascade_lake_2s, dgx_like, minimal_host
+
+
+@pytest.fixture
+def engine():
+    """A fresh discrete-event engine at t=0."""
+    return Engine()
+
+
+@pytest.fixture
+def minimal_net(engine):
+    """A FabricNetwork over the minimal single-socket preset."""
+    return FabricNetwork(minimal_host(), engine)
+
+
+@pytest.fixture
+def cascade_net(engine):
+    """A FabricNetwork over the dual-socket Cascade-Lake-like preset."""
+    return FabricNetwork(cascade_lake_2s(), engine)
+
+
+@pytest.fixture
+def dgx_net(engine):
+    """A FabricNetwork over the 8-GPU/8-NIC DGX-like preset."""
+    return FabricNetwork(dgx_like(), engine)
+
+
+def run_for(network: FabricNetwork, duration: float) -> None:
+    """Advance a network's engine by *duration* seconds."""
+    network.engine.run_until(network.engine.now + duration)

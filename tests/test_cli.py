@@ -1,0 +1,76 @@
+"""The operator CLI: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_presets(capsys):
+    code, out = run_cli(capsys, "presets")
+    assert code == 0
+    assert "cascade_lake_2s" in out
+    assert "dgx_like" in out
+
+
+def test_describe(capsys):
+    code, out = run_cli(capsys, "describe")
+    assert code == 0
+    assert "HostTopology" in out
+
+
+def test_describe_other_preset(capsys):
+    code, out = run_cli(capsys, "--preset", "minimal", "describe")
+    assert code == 0
+    assert "minimal" in out
+
+
+def test_ping(capsys):
+    code, out = run_cli(capsys, "ping", "nic0", "dimm0-0", "--count", "3")
+    assert code == 0
+    assert "HOSTPING" in out
+    assert "3 probes sent" in out
+
+
+def test_ping_with_load(capsys):
+    code, out = run_cli(capsys, "ping", "nic0", "dimm0-0", "--load")
+    assert code == 0
+    assert "HOSTPING" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(capsys, "trace", "nic0", "dimm1-0")
+    assert code == 0
+    assert "HOSTTRACE" in out
+    assert "hops" in out
+
+
+def test_perf(capsys):
+    code, out = run_cli(capsys, "perf", "gpu0", "dimm0-0",
+                        "--duration", "0.01")
+    assert code == 0
+    assert "HOSTPERF" in out
+    assert "Gbps" in out
+
+
+@pytest.mark.parametrize("failure", ["switch", "link-degrade", "link-down"])
+def test_drill(capsys, failure):
+    code, out = run_cli(capsys, "drill", "--failure", failure)
+    assert code == 0
+    assert "[injected]" in out
+    assert "ANOMALOUS" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_unknown_preset_exits():
+    with pytest.raises(SystemExit):
+        main(["--preset", "bogus", "describe"])

@@ -1,0 +1,101 @@
+"""Configured hosts and the misconfiguration advisor."""
+
+import pytest
+
+from repro.devices import (
+    MISCONFIGURATIONS,
+    RECOMMENDED_CONFIG,
+    NumaPolicy,
+    build_configured_host,
+)
+from repro.diagnostics import advise, measure_signature
+from repro.topology import LinkClass, cascade_lake_2s
+from repro.units import us
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return cascade_lake_2s()
+
+
+@pytest.fixture(scope="module")
+def baseline(topology):
+    return measure_signature(
+        build_configured_host(topology, RECOMMENDED_CONFIG)
+    )
+
+
+class TestConfiguredHost:
+    def test_input_topology_not_mutated(self, topology):
+        before = topology.link("pcie-nic0").capacity
+        build_configured_host(
+            topology, RECOMMENDED_CONFIG.with_changes(relaxed_ordering=False)
+        )
+        assert topology.link("pcie-nic0").capacity == before
+
+    def test_strict_ordering_scales_pcie_only(self, topology):
+        host = build_configured_host(
+            topology, RECOMMENDED_CONFIG.with_changes(relaxed_ordering=False)
+        )
+        adjusted = host.network.topology
+        assert adjusted.link("pcie-nic0").capacity == pytest.approx(
+            topology.link("pcie-nic0").capacity * 0.85
+        )
+        assert adjusted.link("membus0-0").capacity == \
+            topology.link("membus0-0").capacity
+
+    def test_moderation_adds_pcie_latency(self, topology):
+        host = build_configured_host(
+            topology,
+            RECOMMENDED_CONFIG.with_changes(interrupt_moderation=us(50)),
+        )
+        adjusted = host.network.topology
+        assert adjusted.link("pcie-nic0").base_latency == pytest.approx(
+            topology.link("pcie-nic0").base_latency + us(50)
+        )
+
+    def test_numa_local_target(self, topology):
+        host = build_configured_host(topology, RECOMMENDED_CONFIG)
+        assert host.dma_target_dimm("nic0").startswith("dimm0")
+
+    def test_numa_remote_target(self, topology):
+        host = build_configured_host(
+            topology,
+            RECOMMENDED_CONFIG.with_changes(numa_policy=NumaPolicy.REMOTE),
+        )
+        assert host.dma_target_dimm("nic0").startswith("dimm1")
+
+    def test_ddio_model_follows_config(self, topology):
+        host = build_configured_host(
+            topology, RECOMMENDED_CONFIG.with_changes(ddio_enabled=False)
+        )
+        assert not host.ddio.enabled
+        assert host.membus_amplification() == 2.0
+
+
+class TestAdvisor:
+    def test_healthy_host_no_findings(self, baseline):
+        assert advise(baseline, baseline) == []
+
+    @pytest.mark.parametrize("name", sorted(MISCONFIGURATIONS))
+    def test_every_misconfiguration_identified(self, topology, baseline,
+                                               name):
+        config = MISCONFIGURATIONS[name]
+        signature = measure_signature(
+            build_configured_host(topology, config)
+        )
+        findings = advise(signature, baseline)
+        assert findings, f"{name}: no findings at all"
+        assert findings[0].suspected == name
+
+    def test_findings_sorted_by_severity(self, topology, baseline):
+        config = RECOMMENDED_CONFIG.with_changes(
+            ddio_enabled=False, relaxed_ordering=False
+        )
+        signature = measure_signature(
+            build_configured_host(topology, config)
+        )
+        findings = advise(signature, baseline)
+        assert len(findings) >= 2
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities, reverse=True)

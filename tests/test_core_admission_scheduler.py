@@ -1,0 +1,191 @@
+"""Reservation ledger, admission control, and scheduler strategies."""
+
+import pytest
+
+from repro.core import (
+    AdmissionController,
+    FirstFitScheduler,
+    RandomScheduler,
+    ReservationLedger,
+    TopologyAwareScheduler,
+    interpret,
+    make_scheduler,
+    pipe,
+)
+from repro.errors import AdmissionError, ScheduleError
+from repro.topology import cascade_lake_2s, dgx_like
+from repro.units import Gbps
+
+
+@pytest.fixture
+def cascade():
+    return cascade_lake_2s()
+
+
+@pytest.fixture
+def dgx():
+    return dgx_like()
+
+
+def compiled_pipe(topo, intent_id, src, dst, bandwidth, **kw):
+    return interpret(topo, pipe(intent_id, "t", src, dst, bandwidth, **kw))
+
+
+class TestLedger:
+    def test_commit_and_release(self, cascade):
+        ledger = ReservationLedger(cascade)
+        compiled = compiled_pipe(cascade, "i", "nic0", "dimm0-0", Gbps(50))
+        candidate = compiled.candidates[0]
+        ledger.commit("i", candidate)
+        assert ledger.reserved_total("pcie-nic0") == pytest.approx(Gbps(50))
+        assert ledger.committed_intents() == ["i"]
+        ledger.release("i")
+        assert ledger.reserved_total("pcie-nic0") == 0.0
+
+    def test_double_commit_rejected(self, cascade):
+        ledger = ReservationLedger(cascade)
+        candidate = compiled_pipe(cascade, "i", "nic0", "dimm0-0",
+                                  Gbps(10)).candidates[0]
+        ledger.commit("i", candidate)
+        with pytest.raises(AdmissionError):
+            ledger.commit("i", candidate)
+
+    def test_release_unknown_rejected(self, cascade):
+        with pytest.raises(AdmissionError):
+            ReservationLedger(cascade).release("ghost")
+
+    def test_reservations_accumulate(self, cascade):
+        ledger = ReservationLedger(cascade)
+        for i in range(3):
+            candidate = compiled_pipe(cascade, f"i{i}", "nic0", "dimm0-0",
+                                      Gbps(20)).candidates[0]
+            ledger.commit(f"i{i}", candidate)
+        assert ledger.reserved_total("pcie-nic0") == pytest.approx(Gbps(60))
+
+    def test_utilization(self, cascade):
+        ledger = ReservationLedger(cascade)
+        candidate = compiled_pipe(cascade, "i", "nic0", "dimm0-0",
+                                  Gbps(128)).candidates[0]
+        ledger.commit("i", candidate)
+        demand = candidate.demands[0]
+        assert ledger.utilization(demand.link_id, demand.direction) == \
+            pytest.approx(0.5)
+
+    def test_fits_respects_headroom(self, cascade):
+        ledger = ReservationLedger(cascade)
+        big = compiled_pipe(cascade, "i", "nic0", "dimm0-0",
+                            Gbps(250)).candidates[0]
+        assert ledger.fits(big, headroom=1.0)
+        assert not ledger.fits(big, headroom=0.9)
+
+
+class TestAdmission:
+    def test_admit_until_full(self, cascade):
+        ledger = ReservationLedger(cascade)
+        admission = AdmissionController(ledger, headroom=1.0)
+        admitted = 0
+        for i in range(10):
+            compiled = compiled_pipe(cascade, f"i{i}", "nic0", "dimm0-0",
+                                     Gbps(64))
+            feasible = admission.feasible(compiled)
+            if not feasible:
+                break
+            decision = admission.admit(compiled, feasible[0])
+            assert decision.admitted
+            admitted += 1
+        # 256 Gbps bottleneck / 64 Gbps floors = exactly 4 fit
+        assert admitted == 4
+        assert admission.admitted_count == 4
+
+    def test_reject_records_reason(self, cascade):
+        ledger = ReservationLedger(cascade)
+        admission = AdmissionController(ledger)
+        compiled = compiled_pipe(cascade, "i", "nic0", "dimm0-0", Gbps(10))
+        decision = admission.reject(compiled, "testing")
+        assert not decision.admitted
+        assert admission.rejected_count == 1
+
+    def test_invalid_headroom(self, cascade):
+        with pytest.raises(ValueError):
+            AdmissionController(ReservationLedger(cascade), headroom=0.0)
+
+    def test_overcommit_headroom_admits_more(self, cascade):
+        strict = AdmissionController(ReservationLedger(cascade),
+                                     headroom=1.0)
+        loose = AdmissionController(ReservationLedger(cascade),
+                                    headroom=2.0)
+        counts = []
+        for admission in (strict, loose):
+            n = 0
+            for i in range(20):
+                compiled = compiled_pipe(cascade, f"i{i}", "nic0",
+                                         "dimm0-0", Gbps(64))
+                feasible = admission.feasible(compiled)
+                if not feasible:
+                    break
+                admission.admit(compiled, feasible[0])
+                n += 1
+            counts.append(n)
+        assert counts[1] == 2 * counts[0]
+
+
+class TestSchedulers:
+    def test_topology_aware_balances(self, dgx):
+        """Successive gpu0->dimm1-0 pipes should spread across UPI links /
+        root complexes rather than stacking on one."""
+        ledger = ReservationLedger(dgx)
+        admission = AdmissionController(ledger, headroom=1.0)
+        scheduler = TopologyAwareScheduler()
+        chosen_links = []
+        for i in range(3):
+            compiled = interpret(dgx, pipe(f"i{i}", "t", "gpu0", "dimm1-0",
+                                           Gbps(15)), k=6)
+            candidate = scheduler.choose(compiled, admission)
+            admission.admit(compiled, candidate)
+            chosen_links.append(frozenset(candidate.links()))
+        assert len(set(chosen_links)) > 1, "scheduler never diversified"
+
+    def test_first_fit_always_first(self, dgx):
+        ledger = ReservationLedger(dgx)
+        admission = AdmissionController(ledger, headroom=1.0)
+        scheduler = FirstFitScheduler()
+        compiled = interpret(dgx, pipe("i", "t", "gpu0", "dimm1-0",
+                                       Gbps(10)), k=6)
+        candidate = scheduler.choose(compiled, admission)
+        assert candidate == admission.feasible(compiled)[0]
+
+    def test_random_deterministic_by_seed(self, dgx):
+        compiled = interpret(dgx, pipe("i", "t", "gpu0", "dimm1-0",
+                                       Gbps(10)), k=6)
+        picks = []
+        for _ in range(2):
+            admission = AdmissionController(ReservationLedger(dgx))
+            picks.append(RandomScheduler(seed=7).choose(compiled, admission))
+        assert picks[0] == picks[1]
+
+    def test_no_feasible_candidate_raises(self, cascade):
+        ledger = ReservationLedger(cascade)
+        admission = AdmissionController(ledger, headroom=1.0)
+        filler = compiled_pipe(cascade, "fill", "nic0", "dimm0-0", Gbps(250))
+        admission.admit(filler, filler.candidates[0])
+        starved = compiled_pipe(cascade, "late", "nic0", "dimm0-0", Gbps(50))
+        with pytest.raises(ScheduleError):
+            TopologyAwareScheduler().choose(starved, admission)
+
+    def test_factory(self):
+        assert make_scheduler("topology_aware").name == "topology_aware"
+        assert make_scheduler("first_fit").name == "first_fit"
+        assert make_scheduler("random").name == "random"
+        with pytest.raises(ScheduleError):
+            make_scheduler("magic")
+
+    def test_topology_aware_min_max_objective(self, cascade):
+        """With a fresh ledger it picks the candidate whose worst link is
+        least utilized after placement."""
+        ledger = ReservationLedger(cascade)
+        admission = AdmissionController(ledger, headroom=1.0)
+        compiled = compiled_pipe(cascade, "i", "nic0", "dimm0-0", Gbps(10))
+        candidate = TopologyAwareScheduler().choose(compiled, admission)
+        best_post = min(ledger.post_utilization(c)
+                        for c in compiled.candidates)
+        assert ledger.post_utilization(candidate) == pytest.approx(best_post)

@@ -1,0 +1,134 @@
+"""Edge cases across the resource-management pipeline."""
+
+import pytest
+
+from repro.core import (
+    HostNetworkManager,
+    compute_caps,
+    hose,
+    interpret,
+    migrate_tenant,
+    pipe,
+)
+from repro.errors import InterpretationError
+from repro.sim import Engine, FabricNetwork
+from repro.topology import epyc_like_1s, minimal_host
+from repro.units import Gbps
+
+
+class TestHoseEdges:
+    def test_hose_on_single_socket_host(self):
+        """EPYC-like host: hose anchors resolve without a second socket."""
+        topology = epyc_like_1s()
+        compiled = interpret(topology, hose("h", "t", "gpu0", Gbps(20)))
+        assert compiled.candidates
+        dsts = {p.dst for c in compiled.candidates for p in c.paths}
+        assert any(d.startswith("dimm0") for d in dsts)
+        assert "external" in dsts
+
+    def test_hose_from_nic_excludes_self_as_anchor(self):
+        topology = minimal_host()
+        compiled = interpret(topology, hose("h", "t", "nic0", Gbps(20)))
+        for candidate in compiled.candidates:
+            for path in candidate.paths:
+                assert path.dst != "nic0"
+
+    def test_hose_virtual_view(self):
+        network = FabricNetwork(minimal_host(), Engine())
+        manager = HostNetworkManager(network, decision_latency=0.0)
+        manager.submit(hose("h", "t", "nic0", Gbps(20)))
+        view = manager.tenant_view("t")
+        # the hose reserves both directions; visible capacity is the
+        # busier direction's reservation
+        assert view.allocated_capacity("pcie-nic0") == \
+            pytest.approx(Gbps(20))
+
+    def test_hose_migrates_between_shapes(self):
+        source_net = FabricNetwork(minimal_host(), Engine())
+        destination_net = FabricNetwork(epyc_like_1s(), Engine())
+        source = HostNetworkManager(source_net, decision_latency=0.0)
+        destination = HostNetworkManager(destination_net,
+                                         decision_latency=0.0)
+        source.submit(hose("h", "t", "nic0", Gbps(20)))
+        result = migrate_tenant(source, destination, "t")
+        assert result.complete
+        assert destination.intents_of("t")[0].kind.value == "hose"
+
+
+class TestComputeCapsAblationFlags:
+    FLOORS = {"owner": 40.0}
+
+    def test_lending_flag_off_reserves_hard(self):
+        caps = compute_caps(
+            capacity=100.0, floors=self.FLOORS,
+            usages={"owner": 0.0, "worker": 90.0}, best_effort={"worker"},
+            work_conserving=True, lend_parked_floors=False,
+        )
+        assert caps["worker"] <= 60.0 + 2.0
+
+    def test_lending_flag_on_lends(self):
+        caps = compute_caps(
+            capacity=100.0, floors=self.FLOORS,
+            usages={"owner": 0.0, "worker": 90.0}, best_effort={"worker"},
+            work_conserving=True, lend_parked_floors=True,
+        )
+        assert caps["worker"] > 80.0
+
+    def test_equal_split_ignores_demand(self):
+        caps = compute_caps(
+            capacity=100.0, floors=self.FLOORS,
+            usages={"owner": 40.0, "hungry": 55.0, "mouse": 2.0},
+            best_effort={"hungry", "mouse"},
+            work_conserving=True, demand_aware=False,
+        )
+        assert caps["hungry"] == pytest.approx(caps["mouse"])
+
+    def test_demand_aware_follows_demand(self):
+        caps = compute_caps(
+            capacity=100.0, floors=self.FLOORS,
+            usages={"owner": 40.0, "hungry": 55.0, "mouse": 2.0},
+            best_effort={"hungry", "mouse"},
+            work_conserving=True, demand_aware=True,
+        )
+        assert caps["hungry"] > 2 * caps["mouse"]
+
+    def test_floors_inviolable_in_every_variant(self):
+        for lending in (True, False):
+            for aware in (True, False):
+                caps = compute_caps(
+                    capacity=100.0, floors=self.FLOORS,
+                    usages={"owner": 40.0, "worker": 60.0},
+                    best_effort={"worker"}, work_conserving=True,
+                    lend_parked_floors=lending, demand_aware=aware,
+                )
+                assert caps["owner"] >= 40.0, (lending, aware)
+
+
+class TestManagerMisc:
+    def test_register_twice_is_idempotent(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        manager.register_tenant("t")
+        manager.register_tenant("t")
+        assert "t" in manager.tenants
+
+    def test_shutdown_then_resubmission_fails_cleanly(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        manager.submit(pipe("p", "t", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(10)))
+        manager.shutdown()
+        # floors are still booked in the ledger; a duplicate id is refused
+        from repro.errors import AdmissionError
+
+        with pytest.raises(AdmissionError):
+            manager.submit(pipe("p", "t", src="nic0", dst="dimm0-0",
+                                bandwidth=Gbps(10)))
+
+    def test_intent_exactly_filling_headroom(self, minimal_net):
+        manager = HostNetworkManager(minimal_net, headroom=1.0,
+                                     decision_latency=0.0)
+        # exactly the bottleneck capacity fits at headroom 1.0
+        placement = manager.submit(
+            pipe("p", "t", src="nic0", dst="dimm0-0",
+                 bandwidth=Gbps(256))
+        )
+        assert placement is not None

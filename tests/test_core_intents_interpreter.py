@@ -1,0 +1,135 @@
+"""Intents and the performance-targets interpreter."""
+
+import pytest
+
+from repro.core import IntentKind, PerformanceTarget, hose, interpret, pipe
+from repro.errors import InterpretationError
+from repro.topology import cascade_lake_2s, dgx_like
+from repro.units import Gbps, us
+
+
+@pytest.fixture(scope="module")
+def cascade():
+    return cascade_lake_2s()
+
+
+@pytest.fixture(scope="module")
+def dgx():
+    return dgx_like()
+
+
+class TestIntentValidation:
+    def test_pipe_constructor(self):
+        intent = pipe("i", "t", "a", "b", Gbps(10))
+        assert intent.kind is IntentKind.PIPE
+        assert intent.dst == "b"
+
+    def test_hose_constructor(self):
+        intent = hose("i", "t", "nic0", Gbps(10))
+        assert intent.kind is IntentKind.HOSE
+        assert intent.dst is None
+
+    def test_pipe_requires_dst(self):
+        with pytest.raises(ValueError):
+            PerformanceTarget("i", "t", IntentKind.PIPE, Gbps(1), "a")
+
+    def test_hose_forbids_dst(self):
+        with pytest.raises(ValueError):
+            PerformanceTarget("i", "t", IntentKind.HOSE, Gbps(1), "a",
+                              dst="b")
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            pipe("i", "t", "a", "b", 0.0)
+
+    def test_invalid_slo_rejected(self):
+        with pytest.raises(ValueError):
+            pipe("i", "t", "a", "b", Gbps(1), latency_slo=0.0)
+
+
+class TestPipeInterpretation:
+    def test_single_path_candidate(self, cascade):
+        compiled = interpret(cascade, pipe("i", "t", "nic0", "dimm0-0",
+                                           Gbps(50)))
+        assert len(compiled.candidates) >= 1
+        candidate = compiled.candidates[0]
+        assert len(candidate.paths) == 1
+        assert candidate.paths[0].src == "nic0"
+        # every demand is the full floor, one direction
+        assert all(d.bandwidth == pytest.approx(Gbps(50))
+                   for d in candidate.demands)
+        assert len(candidate.demands) == candidate.paths[0].hop_count
+
+    def test_multiple_candidates_on_dgx(self, dgx):
+        compiled = interpret(dgx, pipe("i", "t", "gpu0", "dimm1-0",
+                                       Gbps(10)), k=4)
+        assert len(compiled.candidates) >= 2
+
+    def test_floor_above_bottleneck_rejected(self, cascade):
+        with pytest.raises(InterpretationError):
+            interpret(cascade, pipe("i", "t", "nic0", "dimm0-0", Gbps(999)))
+
+    def test_latency_slo_filters_candidates(self, dgx):
+        strict = interpret(dgx, pipe("i", "t", "gpu0", "dimm0-0", Gbps(10),
+                                     latency_slo=us(1)))
+        loose = interpret(dgx, pipe("i2", "t", "gpu0", "dimm0-0", Gbps(10),
+                                    latency_slo=us(100)))
+        assert len(strict.candidates) <= len(loose.candidates)
+
+    def test_impossible_slo_rejected(self, cascade):
+        with pytest.raises(InterpretationError):
+            interpret(cascade, pipe("i", "t", "nic0", "dimm1-0", Gbps(10),
+                                    latency_slo=1e-9))
+
+    def test_no_path_rejected(self, cascade):
+        broken = cascade.copy()
+        broken.link("pcie-nic0").up = False
+        with pytest.raises(InterpretationError):
+            interpret(broken, pipe("i", "t", "nic0", "dimm0-0", Gbps(10)))
+
+    def test_demand_directions_consistent(self, cascade):
+        compiled = interpret(cascade, pipe("i", "t", "nic0", "dimm0-0",
+                                           Gbps(10)))
+        candidate = compiled.candidates[0]
+        path = candidate.paths[0]
+        for i, demand in enumerate(candidate.demands):
+            link = cascade.link(demand.link_id)
+            expected = "fwd" if path.devices[i] == link.src else "rev"
+            assert demand.direction == expected
+
+
+class TestHoseInterpretation:
+    def test_merged_candidates_cover_anchors(self, cascade):
+        compiled = interpret(cascade, hose("h", "t", "nic0", Gbps(50)))
+        assert len(compiled.candidates) >= 1
+        for candidate in compiled.candidates:
+            # anchors: local DIMM and external -> two paths per candidate
+            assert len(candidate.paths) == 2
+            dsts = {p.dst for p in candidate.paths}
+            assert "external" in dsts
+
+    def test_bidirectional_demands(self, cascade):
+        compiled = interpret(cascade, hose("h", "t", "nic0", Gbps(50)))
+        candidate = compiled.candidates[0]
+        by_link = {}
+        for demand in candidate.demands:
+            by_link.setdefault(demand.link_id, set()).add(demand.direction)
+        assert all(dirs == {"fwd", "rev"} for dirs in by_link.values())
+
+    def test_shared_links_reserved_once(self, cascade):
+        """Hose semantics: the same floor covers any peer mix."""
+        compiled = interpret(cascade, hose("h", "t", "nic0", Gbps(50)))
+        candidate = compiled.candidates[0]
+        keys = [(d.link_id, d.direction) for d in candidate.demands]
+        assert len(keys) == len(set(keys))
+        assert all(d.bandwidth == pytest.approx(Gbps(50))
+                   for d in candidate.demands)
+
+    def test_hose_from_gpu_anchors_memory(self, cascade):
+        compiled = interpret(cascade, hose("h", "t", "gpu0", Gbps(10)))
+        dsts = {p.dst for p in compiled.candidates[0].paths}
+        assert "dimm0-0" in dsts
+
+    def test_hose_excessive_floor_rejected(self, cascade):
+        with pytest.raises(InterpretationError):
+            interpret(cascade, hose("h", "t", "nic0", Gbps(999)))

@@ -1,0 +1,177 @@
+"""HostNetworkManager pipeline, virtual views, and migration."""
+
+import pytest
+
+from repro.core import HostNetworkManager, hose, migrate_tenant, pipe
+from repro.errors import AdmissionError, HostNetError, UnknownTenantError
+from repro.sim import Engine, FabricNetwork
+from repro.topology import cascade_lake_2s, dgx_like, shortest_path
+from repro.units import Gbps, to_Gbps
+from repro.workloads import MaliciousFloodApp
+
+
+@pytest.fixture
+def manager(cascade_net):
+    return HostNetworkManager(cascade_net, decision_latency=0.0)
+
+
+class TestPipeline:
+    def test_submit_places_and_enforces(self, cascade_net, manager):
+        placement = manager.submit(
+            pipe("p", "kv", src="nic0", dst="dimm0-0", bandwidth=Gbps(100))
+        )
+        assert "pcie-nic0" in placement.links()
+        assert manager.arbiter.floors_on("pcie-nic0")["kv"] == \
+            pytest.approx(Gbps(100))
+
+    def test_duplicate_intent_rejected(self, manager):
+        intent = pipe("p", "kv", src="nic0", dst="dimm0-0",
+                      bandwidth=Gbps(10))
+        manager.submit(intent)
+        with pytest.raises(AdmissionError):
+            manager.submit(intent)
+
+    def test_capacity_exhaustion_rejected(self, manager):
+        manager.submit(pipe("p1", "a", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(200)))
+        with pytest.raises(HostNetError):
+            manager.submit(pipe("p2", "b", src="nic0", dst="dimm0-0",
+                                bandwidth=Gbps(100)))
+
+    def test_try_submit_returns_none(self, manager):
+        assert manager.try_submit(
+            pipe("p", "a", src="nic0", dst="dimm0-0", bandwidth=Gbps(999))
+        ) is None
+
+    def test_release_frees_capacity(self, manager):
+        manager.submit(pipe("p1", "a", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(200)))
+        manager.release("p1")
+        assert manager.submit(pipe("p2", "b", src="nic0", dst="dimm0-0",
+                                   bandwidth=Gbps(200)))
+
+    def test_release_unknown_rejected(self, manager):
+        with pytest.raises(AdmissionError):
+            manager.release("ghost")
+
+    def test_hose_submission(self, manager):
+        placement = manager.submit(hose("h", "kv", endpoint="nic0",
+                                        bandwidth=Gbps(50)))
+        assert len(placement.links()) >= 2
+
+    def test_unregister_tenant_cleans_up(self, cascade_net, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        manager.unregister_tenant("kv")
+        assert manager.arbiter.managed_links() == []
+        assert "kv" not in manager.tenants
+        with pytest.raises(UnknownTenantError):
+            manager.intents_of("kv")
+
+    def test_describe(self, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(10)))
+        text = manager.describe()
+        assert "1 intents" in text and "kv" in text
+
+
+class TestEndToEndIsolation:
+    def test_guarantee_protects_victim_goodput(self, cascade_net, manager):
+        net = cascade_net
+        manager.register_tenant("evil")
+        manager.submit(pipe("p", "victim", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        path = shortest_path(net.topology, "nic0", "dimm0-0")
+        victim = net.start_transfer("victim", path, demand=Gbps(100))
+        MaliciousFloodApp(net, "evil", src="nic0", dst="dimm0-0",
+                          flow_count=16).start()
+        net.engine.run_until(0.05)
+        assert to_Gbps(victim.current_rate) >= 99.0
+
+    def test_unmanaged_victim_starves(self, cascade_net):
+        net = cascade_net
+        path = shortest_path(net.topology, "nic0", "dimm0-0")
+        victim = net.start_transfer("victim", path, demand=Gbps(100))
+        MaliciousFloodApp(net, "evil", src="nic0", dst="dimm0-0",
+                          flow_count=16).start()
+        net.engine.run_until(0.05)
+        assert to_Gbps(victim.current_rate) < 30.0
+
+
+class TestVirtualViews:
+    def test_view_shows_allocation_as_capacity(self, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        view = manager.tenant_view("kv")
+        assert view.allocated_capacity("pcie-nic0") == \
+            pytest.approx(Gbps(100))
+        assert view.allocated_capacity("eth0") == 0.0
+
+    def test_view_topology_only_reserved_links(self, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        view = manager.tenant_view("kv")
+        assert len(view.topology.links()) == 4
+
+    def test_view_sums_intents_per_direction(self, manager):
+        manager.submit(pipe("p1", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(50)))
+        manager.submit(pipe("p2", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(30)))
+        view = manager.tenant_view("kv")
+        assert view.allocated_capacity("pcie-nic0") == \
+            pytest.approx(Gbps(80))
+
+    def test_unknown_tenant_view_rejected(self, manager):
+        with pytest.raises(UnknownTenantError):
+            manager.tenant_view("ghost")
+
+    def test_guaranteed_bandwidth_map(self, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(10)))
+        view = manager.tenant_view("kv")
+        assert view.guaranteed_bandwidth() == {"p": pytest.approx(Gbps(10))}
+
+
+class TestMigration:
+    def _second_host(self, preset):
+        engine = Engine()
+        network = FabricNetwork(preset(), engine)
+        return HostNetworkManager(network, decision_latency=0.0)
+
+    def test_migrate_preserves_guarantees(self, manager):
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        destination = self._second_host(cascade_lake_2s)
+        result = migrate_tenant(manager, destination, "kv")
+        assert result.complete
+        # tenant-visible guarantee unchanged, zero reconfiguration
+        assert result.destination_view.guaranteed_bandwidth() == \
+            result.source_view.guaranteed_bandwidth()
+        # source fully released
+        assert manager.intents_of("kv") == []
+        assert destination.intents_of("kv")
+
+    def test_migrate_to_different_shape(self, manager):
+        """cascade -> DGX: device ids remapped by type/index."""
+        manager.submit(pipe("p", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(50)))
+        destination = self._second_host(dgx_like)
+        result = migrate_tenant(manager, destination, "kv")
+        assert result.complete
+        moved = destination.intents_of("kv")[0]
+        assert moved.bandwidth == pytest.approx(Gbps(50))
+
+    def test_migrate_rolls_back_on_failure(self, manager):
+        manager.submit(pipe("p1", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        destination = self._second_host(cascade_lake_2s)
+        # fill the destination so the migration cannot fit
+        destination.submit(pipe("blocker", "other", src="nic0",
+                                dst="dimm0-0", bandwidth=Gbps(200)))
+        result = migrate_tenant(manager, destination, "kv")
+        assert not result.complete
+        assert result.failed
+        # source untouched, destination has nothing of kv's
+        assert manager.intents_of("kv")
+        assert destination.intents_of("kv") == []

@@ -1,0 +1,119 @@
+"""Property tests over the resource-management pipeline.
+
+Random intent batches against the manager must preserve the admission
+invariants regardless of order, kind, or floor sizes:
+
+* the ledger never reserves more than ``capacity * headroom`` on any
+  directed link;
+* release returns the ledger to exactly its prior state;
+* every admitted intent's floors are installed in the arbiter and torn
+  down on release.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HostNetworkManager, hose, pipe
+from repro.sim import Engine, FabricNetwork
+from repro.topology import cascade_lake_2s
+from repro.units import Gbps
+
+ENDPOINTS = ["nic0", "nic1", "gpu0", "gpu1", "nvme0", "nvme1"]
+DIMMS = ["dimm0-0", "dimm0-1", "dimm1-0", "dimm1-1"]
+
+
+@st.composite
+def intent_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    intents = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["pipe", "hose"]))
+        tenant = f"t{draw(st.integers(min_value=0, max_value=3))}"
+        bandwidth = Gbps(draw(st.sampled_from([10, 25, 50, 90, 150])))
+        if kind == "pipe":
+            src = draw(st.sampled_from(ENDPOINTS))
+            dst = draw(st.sampled_from(DIMMS))
+            bidirectional = draw(st.booleans())
+            intents.append(pipe(f"i{i}", tenant, src=src, dst=dst,
+                                bandwidth=bandwidth,
+                                bidirectional=bidirectional))
+        else:
+            endpoint = draw(st.sampled_from(ENDPOINTS))
+            intents.append(hose(f"i{i}", tenant, endpoint=endpoint,
+                                bandwidth=bandwidth))
+    return intents
+
+
+HEADROOM = 0.9
+
+
+def fresh_manager():
+    network = FabricNetwork(cascade_lake_2s(), Engine())
+    return HostNetworkManager(network, headroom=HEADROOM,
+                              decision_latency=0.0,
+                              auto_start_arbiter=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=intent_batches())
+def test_ledger_never_overcommitted(batch):
+    manager = fresh_manager()
+    for intent in batch:
+        manager.try_submit(intent)
+    topology = manager.network.topology
+    for link in topology.links():
+        for direction in ("fwd", "rev"):
+            reserved = manager.ledger.reserved(link.link_id, direction)
+            assert reserved <= link.capacity * HEADROOM * (1 + 1e-9), (
+                f"{link.link_id}/{direction} overcommitted: {reserved}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=intent_batches())
+def test_release_restores_ledger(batch):
+    manager = fresh_manager()
+    placed = [intent for intent in batch
+              if manager.try_submit(intent) is not None]
+    if not placed:
+        return
+    for intent in placed:
+        manager.release(intent.intent_id)
+    topology = manager.network.topology
+    for link in topology.links():
+        for direction in ("fwd", "rev"):
+            assert manager.ledger.reserved(link.link_id, direction) == \
+                pytest.approx(0.0, abs=1e-6)
+    assert manager.arbiter.managed_links() == []
+    assert manager.ledger.committed_intents() == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=intent_batches())
+def test_floors_match_ledger(batch):
+    """The arbiter's per-direction floors mirror the ledger exactly."""
+    manager = fresh_manager()
+    for intent in batch:
+        manager.try_submit(intent)
+    topology = manager.network.topology
+    for link in topology.links():
+        for direction in ("fwd", "rev"):
+            floors = manager.arbiter.floors_on(link.link_id, direction)
+            assert sum(floors.values()) == pytest.approx(
+                manager.ledger.reserved(link.link_id, direction), rel=1e-9,
+                abs=1e-6,
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=intent_batches(), seed=st.integers(min_value=0, max_value=99))
+def test_admission_deterministic(batch, seed):
+    """The same batch admits identically on identical fresh hosts."""
+    outcomes = []
+    for _ in range(2):
+        manager = fresh_manager()
+        outcomes.append(tuple(
+            manager.try_submit(intent) is not None for intent in batch
+        ))
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,163 @@
+"""Latency-SLO ceilings and floor lending: the arbiter's newer features."""
+
+import pytest
+
+from repro.core import DynamicArbiter, HostNetworkManager, compute_caps, pipe
+from repro.errors import ArbiterError
+from repro.topology import shortest_path
+from repro.units import Gbps, to_us, us
+from repro.workloads import KvStoreApp, MaliciousFloodApp
+
+
+class TestUtilizationCeiling:
+    def test_compute_caps_respects_ceiling(self):
+        caps = compute_caps(
+            capacity=100.0, floors={"a": 30.0}, usages={"a": 30.0, "b": 90.0},
+            best_effort={"b"}, work_conserving=True,
+            utilization_ceiling=0.6,
+        )
+        # budget 60: floor 30 + spare 30 distributed; b bounded well below
+        # the raw capacity
+        assert caps["a"] >= 30.0
+        assert caps["a"] + caps["b"] <= 60.0 + 2.0  # + ramp allowance
+
+    def test_floors_beat_ceiling(self):
+        caps = compute_caps(
+            capacity=100.0, floors={"a": 80.0}, usages={"a": 80.0},
+            best_effort=set(), work_conserving=True,
+            utilization_ceiling=0.5,
+        )
+        assert caps["a"] >= 80.0
+
+    def test_invalid_ceiling(self):
+        with pytest.raises(ValueError):
+            compute_caps(100.0, {}, {}, set(), True, utilization_ceiling=0.0)
+
+    def test_arbiter_strictest_ceiling_wins(self, cascade_net):
+        arbiter = DynamicArbiter(cascade_net)
+        arbiter.set_utilization_ceiling("i1", "pcie-nic0", 0.9)
+        arbiter.set_utilization_ceiling("i2", "pcie-nic0", 0.7)
+        assert arbiter.ceiling_on("pcie-nic0") == pytest.approx(0.7)
+        arbiter.clear_utilization_ceiling("i2", "pcie-nic0")
+        assert arbiter.ceiling_on("pcie-nic0") == pytest.approx(0.9)
+        arbiter.clear_utilization_ceiling("i1", "pcie-nic0")
+        assert arbiter.ceiling_on("pcie-nic0") == 1.0
+
+    def test_arbiter_invalid_ceiling(self, cascade_net):
+        arbiter = DynamicArbiter(cascade_net)
+        with pytest.raises(ArbiterError):
+            arbiter.set_utilization_ceiling("i", "pcie-nic0", 1.5)
+
+
+class TestSloCompilation:
+    def test_slo_installs_ceilings(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        placement = manager.submit(
+            pipe("p", "kv", src="nic0", dst="dimm0-0",
+                 bandwidth=Gbps(50), latency_slo=us(12))
+        )
+        for link_id in placement.links():
+            assert manager.arbiter.ceiling_on(link_id) < 1.0
+
+    def test_no_slo_no_ceiling(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        placement = manager.submit(
+            pipe("p", "kv", src="nic0", dst="dimm0-0", bandwidth=Gbps(50))
+        )
+        for link_id in placement.links():
+            assert manager.arbiter.ceiling_on(link_id) == 1.0
+
+    def test_release_clears_ceilings(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        placement = manager.submit(
+            pipe("p", "kv", src="nic0", dst="dimm0-0",
+                 bandwidth=Gbps(50), latency_slo=us(12))
+        )
+        manager.release("p")
+        for link_id in placement.links():
+            assert manager.arbiter.ceiling_on(link_id) == 1.0
+
+    def test_tighter_slo_tighter_ceiling(self, cascade_net):
+        manager = HostNetworkManager(cascade_net, decision_latency=0.0)
+        loose = manager.submit(
+            pipe("loose", "a", src="nic0", dst="dimm0-0",
+                 bandwidth=Gbps(20), latency_slo=us(50))
+        )
+        loose_ceiling = manager.arbiter.ceiling_on(loose.links()[0])
+        manager.release("loose")
+        tight = manager.submit(
+            pipe("tight", "a", src="nic0", dst="dimm0-0",
+                 bandwidth=Gbps(20), latency_slo=us(3))
+        )
+        tight_ceiling = manager.arbiter.ceiling_on(tight.links()[0])
+        assert tight_ceiling < loose_ceiling
+
+    def test_slo_holds_under_attack(self, cascade_net):
+        """End to end: the p99 a tenant sees stays near its admitted SLO."""
+        net = cascade_net
+        slo = us(12)
+        manager = HostNetworkManager(net, decision_latency=0.0,
+                                     arbiter_period=0.001)
+        manager.register_tenant("evil")
+        manager.submit(pipe("kv-slo", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(50), latency_slo=slo,
+                            bidirectional=True))
+        kv = KvStoreApp(net, "kv", nic="nic0", dimm="dimm0-0",
+                        request_rate=20_000, seed=4)
+        kv.start()
+        MaliciousFloodApp(net, "evil", src="nic0", dst="dimm0-0",
+                          flow_count=32).start()
+        net.engine.run_until(0.02)
+        kv.stats.latencies.clear()  # discard pre-enforcement transient
+        net.engine.run_until(0.2)
+        p99 = kv.stats.latency_summary().p99
+        assert p99 <= slo * 1.2
+
+
+class TestFloorLending:
+    def test_parked_floor_is_lent(self):
+        caps = compute_caps(
+            capacity=100.0, floors={"sleeper": 40.0},
+            usages={"sleeper": 0.0, "worker": 80.0},
+            best_effort={"worker"}, work_conserving=True,
+        )
+        # sleeper is parked; its 40 joins the 60 spare -> worker can
+        # approach the full link
+        assert caps["worker"] > 80.0
+
+    def test_active_floor_not_lent(self):
+        caps = compute_caps(
+            capacity=100.0, floors={"owner": 40.0},
+            usages={"owner": 39.0, "worker": 80.0},
+            best_effort={"worker"}, work_conserving=True,
+        )
+        # owner is using its floor: only the true spare is distributable
+        assert caps["worker"] <= 60.0 + 2.0
+
+    def test_barely_active_floor_not_lent(self):
+        """Usage above the park threshold blocks lending (no deadlock)."""
+        caps = compute_caps(
+            capacity=100.0, floors={"owner": 40.0},
+            usages={"owner": 5.0, "worker": 80.0},  # 12.5% of floor
+            best_effort={"worker"}, work_conserving=True,
+        )
+        assert caps["owner"] >= 40.0
+        assert caps["worker"] <= 60.0 + 2.0
+
+    def test_reclaim_after_burst(self, cascade_net):
+        """A returning guarantee-holder recovers within ~one round."""
+        net = cascade_net
+        arbiter = DynamicArbiter(net, period=0.001, decision_latency=0.0,
+                                 work_conserving=True)
+        path = shortest_path(net.topology, "nic0", "dimm0-0")
+        for link_id in path.links:
+            arbiter.add_floor("owner", link_id, Gbps(100))
+        arbiter.register_best_effort("borrower")
+        arbiter.start()
+        borrower = net.start_transfer("borrower", path)
+        net.engine.run_until(0.02)
+        # owner idle: borrower grew past the non-lending bound
+        assert borrower.current_rate > Gbps(160)
+        owner = net.start_transfer("owner", path, demand=Gbps(100))
+        net.engine.run_until(0.025)  # a few arbiter rounds
+        assert owner.current_rate >= Gbps(99)

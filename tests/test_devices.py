@@ -1,0 +1,302 @@
+"""Device behavioural models: PCIe, DDIO cache, NIC cache, IOMMU, config."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    MISCONFIGURATIONS,
+    RECOMMENDED_CONFIG,
+    CpuModel,
+    CxlDeviceModel,
+    DdioCache,
+    DeviceCache,
+    GpuModel,
+    HostConfig,
+    IommuModel,
+    MemoryModel,
+    NumaPolicy,
+    NvmeModel,
+    PcieSwitchModel,
+    RdmaNicModel,
+    effective_pcie_bandwidth,
+    tlp_efficiency,
+)
+from repro.units import GBps, Gbps, kib, mib, ms, us
+
+
+class TestPcieProtocol:
+    def test_efficiency_below_one(self):
+        assert 0 < tlp_efficiency(256) < 1
+
+    def test_small_payloads_less_efficient(self):
+        assert tlp_efficiency(64) < tlp_efficiency(256) < tlp_efficiency(4096,
+                                                                         4096)
+
+    def test_payload_chunked_at_mps(self):
+        # a 4 KiB transfer with MPS=256 behaves like 256B TLPs
+        assert tlp_efficiency(4096, 256) == pytest.approx(tlp_efficiency(256, 256))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            tlp_efficiency(0)
+        with pytest.raises(ValueError):
+            tlp_efficiency(256, 0)
+
+    def test_effective_bandwidth(self):
+        raw = Gbps(256)
+        eff = effective_pcie_bandwidth(raw, 256)
+        assert eff == pytest.approx(raw * tlp_efficiency(256))
+
+    @given(st.integers(min_value=1, max_value=8192))
+    def test_efficiency_in_unit_interval(self, payload):
+        assert 0 < tlp_efficiency(payload) < 1
+
+
+class TestPcieSwitch:
+    def test_healthy_latency(self):
+        sw = PcieSwitchModel("sw0")
+        assert sw.effective_latency == sw.forwarding_latency
+        assert sw.capacity_factor() == 1.0
+
+    def test_failure_degrades(self):
+        sw = PcieSwitchModel("sw0")
+        sw.inject_failure(degrade_factor=0.1)
+        assert sw.capacity_factor() == pytest.approx(0.1)
+        assert sw.effective_latency > sw.forwarding_latency
+
+    def test_repair(self):
+        sw = PcieSwitchModel("sw0")
+        sw.inject_failure()
+        sw.repair()
+        assert sw.capacity_factor() == 1.0
+
+    def test_invalid_degrade_factor(self):
+        sw = PcieSwitchModel("sw0")
+        with pytest.raises(ValueError):
+            sw.inject_failure(degrade_factor=0.0)
+
+
+class TestDdioCache:
+    def test_no_io_no_thrash(self):
+        report = DdioCache().steady_state(0.0, consume_delay=1e-3)
+        assert report.hit_rate == 1.0
+        assert report.membus_extra_rate == 0.0
+
+    def test_below_threshold_all_hits(self):
+        cache = DdioCache(ways=2, way_size=mib(1.5))
+        threshold = cache.thrash_threshold(consume_delay=1e-4)
+        report = cache.steady_state(threshold * 0.5, consume_delay=1e-4)
+        assert report.hit_rate == 1.0
+        assert report.spill_rate == 0.0
+
+    def test_above_threshold_spills(self):
+        cache = DdioCache(ways=2, way_size=mib(1.5))
+        threshold = cache.thrash_threshold(consume_delay=1e-4)
+        report = cache.steady_state(threshold * 4, consume_delay=1e-4)
+        assert report.hit_rate == pytest.approx(0.25)
+        assert report.spill_rate == pytest.approx(threshold * 3)
+        assert report.membus_extra_rate == pytest.approx(2 * report.spill_rate)
+
+    def test_disabled_cache_all_misses(self):
+        cache = DdioCache(enabled=False)
+        report = cache.steady_state(GBps(10), consume_delay=1e-4)
+        assert report.hit_rate == 0.0
+        assert report.membus_extra_rate == pytest.approx(2 * GBps(10))
+
+    def test_more_ways_raise_threshold(self):
+        small = DdioCache(ways=2).thrash_threshold(1e-4)
+        large = DdioCache(ways=8).thrash_threshold(1e-4)
+        assert large == pytest.approx(4 * small)
+
+    def test_zero_consume_delay_never_thrashes(self):
+        report = DdioCache().steady_state(GBps(100), consume_delay=0.0)
+        assert report.hit_rate == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DdioCache(ways=0)
+        with pytest.raises(ValueError):
+            DdioCache().steady_state(-1.0, 1e-3)
+
+    @given(rate=st.floats(min_value=1.0, max_value=1e12),
+           delay=st.floats(min_value=1e-7, max_value=1e-1))
+    @settings(max_examples=100)
+    def test_hit_rate_bounded_property(self, rate, delay):
+        report = DdioCache().steady_state(rate, delay)
+        assert 0.0 <= report.hit_rate <= 1.0
+        assert report.spill_rate <= rate * (1 + 1e-9)
+
+
+class TestDeviceCache:
+    def test_fits_no_misses(self):
+        cache = DeviceCache(entries=100)
+        assert cache.miss_rate(100) == 0.0
+        assert cache.miss_rate(50) == 0.0
+
+    def test_overflow_miss_rate(self):
+        cache = DeviceCache(entries=100)
+        assert cache.miss_rate(200) == pytest.approx(0.5)
+        assert cache.miss_rate(400) == pytest.approx(0.75)
+
+    def test_expected_costs(self):
+        cache = DeviceCache(entries=10, miss_penalty=us(1),
+                            miss_extra_bytes=kib(4))
+        assert cache.expected_penalty(20) == pytest.approx(us(0.5))
+        assert cache.expected_extra_bytes(20) == pytest.approx(kib(2))
+
+    def test_negative_active_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceCache(entries=10).miss_rate(-1)
+
+
+class TestRdmaNic:
+    def test_goodput_flat_within_cache(self):
+        nic = RdmaNicModel("nic0")
+        pcie = Gbps(256)
+        in_cache = nic.goodput(kib(4), active_connections=100,
+                               pcie_capacity=pcie)
+        at_capacity = nic.goodput(kib(4),
+                                  active_connections=nic.saturating_connections(),
+                                  pcie_capacity=pcie)
+        assert in_cache == pytest.approx(at_capacity)
+
+    def test_goodput_cliff_beyond_cache(self):
+        nic = RdmaNicModel("nic0")
+        pcie = Gbps(256)
+        healthy = nic.goodput(kib(4), 512, pcie)
+        thrashing = nic.goodput(kib(4), 16384, pcie)
+        assert thrashing < healthy * 0.5
+
+    def test_latency_grows_with_misses(self):
+        nic = RdmaNicModel("nic0")
+        assert nic.message_latency(100) == nic.base_latency
+        assert nic.message_latency(10000) > nic.base_latency
+
+    def test_extra_pcie_traffic(self):
+        nic = RdmaNicModel("nic0")
+        assert nic.extra_pcie_rate(1e6, 100) == 0.0
+        assert nic.extra_pcie_rate(1e6, 4096) > 0.0
+
+    def test_goodput_bounded_by_line_rate(self):
+        nic = RdmaNicModel("nic0", line_rate=Gbps(100))
+        assert nic.goodput(mib(1), 10, Gbps(256)) <= Gbps(100) * (1 + 1e-9)
+
+    def test_invalid_message_size(self):
+        with pytest.raises(ValueError):
+            RdmaNicModel("nic0").goodput(0, 10, Gbps(1))
+
+
+class TestIommu:
+    def test_disabled_is_free(self):
+        iommu = IommuModel(enabled=False)
+        assert iommu.translation_latency(mib(100)) == 0.0
+        assert iommu.miss_rate(mib(100)) == 0.0
+
+    def test_small_buffer_hits(self):
+        iommu = IommuModel(iotlb_entries=256)
+        assert iommu.miss_rate(kib(4) * 256) == 0.0
+        assert iommu.translation_latency(kib(4)) == iommu.hit_latency
+
+    def test_large_buffer_misses(self):
+        iommu = IommuModel(iotlb_entries=256)
+        buffer = kib(4) * 2560  # 10x the IOTLB reach
+        assert iommu.miss_rate(buffer) == pytest.approx(0.9)
+        assert iommu.translation_latency(buffer) > iommu.hit_latency
+
+    def test_walk_traffic_scales_with_rate(self):
+        iommu = IommuModel(iotlb_entries=16)
+        buffer = kib(4) * 160
+        assert iommu.walk_traffic(2e6, buffer) == \
+            pytest.approx(2 * iommu.walk_traffic(1e6, buffer))
+
+    def test_working_set_pages_ceiling(self):
+        iommu = IommuModel()
+        assert iommu.working_set_pages(1.0) == 1
+        assert iommu.working_set_pages(kib(4) + 1) == 2
+
+
+class TestHostConfig:
+    def test_default_is_recommended(self):
+        assert HostConfig() == RECOMMENDED_CONFIG
+
+    def test_invalid_payload(self):
+        with pytest.raises(ValueError):
+            HostConfig(max_payload_size=100)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            HostConfig(ddio_ways=0)
+
+    def test_with_changes(self):
+        cfg = RECOMMENDED_CONFIG.with_changes(iommu_enabled=True)
+        assert cfg.iommu_enabled
+        assert RECOMMENDED_CONFIG.iommu_enabled is False
+
+    def test_latency_penalty_accumulates(self):
+        base = RECOMMENDED_CONFIG.small_op_latency_penalty()
+        heavy = RECOMMENDED_CONFIG.with_changes(
+            iommu_enabled=True, acs_enabled=True,
+            interrupt_moderation=us(10),
+        ).small_op_latency_penalty()
+        assert heavy > base + us(10)
+
+    def test_efficiency_factor(self):
+        strict = RECOMMENDED_CONFIG.with_changes(relaxed_ordering=False)
+        assert strict.pcie_efficiency_factor() < \
+            RECOMMENDED_CONFIG.pcie_efficiency_factor()
+
+    def test_membus_amplification(self):
+        assert RECOMMENDED_CONFIG.membus_amplification() == 1.0
+        no_ddio = RECOMMENDED_CONFIG.with_changes(ddio_enabled=False)
+        assert no_ddio.membus_amplification() == 2.0
+
+    def test_describe_differences(self):
+        cfg = RECOMMENDED_CONFIG.with_changes(numa_policy=NumaPolicy.REMOTE)
+        diffs = cfg.describe_differences(RECOMMENDED_CONFIG)
+        assert len(diffs) == 1 and "numa_policy" in diffs[0]
+
+    def test_misconfigurations_registry(self):
+        assert "remote_numa" in MISCONFIGURATIONS
+        for name, cfg in MISCONFIGURATIONS.items():
+            assert cfg.describe_differences(RECOMMENDED_CONFIG), name
+
+
+class TestEndpointModels:
+    def test_cpu_op_rate(self):
+        cpu = CpuModel(socket=0, cores=4, ops_per_core=1e6)
+        assert cpu.max_op_rate(2) == pytest.approx(2e6)
+        with pytest.raises(ValueError):
+            cpu.max_op_rate(5)
+
+    def test_memory_bandwidth(self):
+        mem = MemoryModel(channels=6, per_channel_bandwidth=GBps(21.8))
+        assert mem.bandwidth == pytest.approx(GBps(130.8))
+
+    def test_gpu_dma_rate(self):
+        gpu = GpuModel("gpu0", copy_engines=2, per_engine_bandwidth=GBps(26))
+        assert gpu.max_dma_rate() == pytest.approx(GBps(52))
+        assert gpu.max_dma_rate(1) == pytest.approx(GBps(26))
+        with pytest.raises(ValueError):
+            gpu.max_dma_rate(3)
+
+    def test_nvme_offered_rate_iops_bound(self):
+        nvme = NvmeModel("nvme0", max_iops=1e6)
+        # 512B ops: IOPS-bound at 512 MB/s
+        assert nvme.offered_rate(512.0) == pytest.approx(512e6)
+
+    def test_nvme_offered_rate_bandwidth_bound(self):
+        nvme = NvmeModel("nvme0")
+        assert nvme.offered_rate(mib(1)) == pytest.approx(nvme.read_bandwidth)
+
+    def test_nvme_mixed_rw(self):
+        nvme = NvmeModel("nvme0", read_bandwidth=GBps(6),
+                         write_bandwidth=GBps(4))
+        assert nvme.offered_rate(mib(1), read_fraction=0.5) == \
+            pytest.approx(GBps(5))
+
+    def test_cxl_defaults(self):
+        cxl = CxlDeviceModel("cxl0")
+        assert cxl.access_latency == pytest.approx(150e-9)

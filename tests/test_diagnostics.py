@@ -1,0 +1,199 @@
+"""Diagnostic tools: hostping, hosttrace, hostperf, hostshark, troubleshoot."""
+
+import pytest
+
+from repro.diagnostics import (
+    CauseClass,
+    HostShark,
+    hostperf,
+    hostping,
+    hosttrace,
+    troubleshoot,
+)
+from repro.errors import MonitorError
+from repro.monitor import FailureInjector
+from repro.topology import shortest_path
+from repro.units import Gbps, us
+from repro.workloads import RdmaLoopbackApp
+
+
+class TestHostping:
+    def test_idle_rtt_near_spec(self, cascade_net):
+        report = hostping(cascade_net, "nic0", "dimm0-0", count=5)
+        spec = 2 * report.path.base_latency
+        assert report.received == 5
+        assert report.summary.p50 == pytest.approx(spec, rel=0.1)
+
+    def test_congestion_inflates(self, cascade_net):
+        idle = hostping(cascade_net, "nic0", "dimm0-0", count=3)
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        loaded = hostping(cascade_net, "nic0", "dimm0-0", count=3)
+        assert loaded.summary.p50 > 5 * idle.summary.p50
+
+    def test_loss_on_down_path(self, cascade_net):
+        cascade_net.set_link_up("pcie-nic0", False)
+        # hostping probes the physical path; the dead hop loses every probe
+        report = hostping(cascade_net, "nic0", "dimm0-0", count=4)
+        assert report.loss_rate == 1.0
+        assert report.summary is None
+        assert "100% loss" in report.describe()
+
+    def test_invalid_count(self, cascade_net):
+        with pytest.raises(MonitorError):
+            hostping(cascade_net, "nic0", "dimm0-0", count=0)
+
+    def test_advances_time(self, cascade_net):
+        before = cascade_net.engine.now
+        hostping(cascade_net, "nic0", "dimm0-0", count=5, interval=0.01)
+        assert cascade_net.engine.now == pytest.approx(before + 0.05)
+
+
+class TestHosttrace:
+    def test_hop_count_matches_path(self, cascade_net):
+        report = hosttrace(cascade_net, "nic0", "dimm1-0")
+        assert len(report.hops) == report.path.hop_count == 5
+
+    def test_total_is_sum_of_hops(self, cascade_net):
+        report = hosttrace(cascade_net, "nic0", "dimm0-0")
+        assert report.total_latency == pytest.approx(
+            sum(h.measured_latency for h in report.hops)
+        )
+
+    def test_worst_hop_under_congestion(self, cascade_net):
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        report = hosttrace(cascade_net, "nic0", "dimm0-0")
+        worst = report.worst_hop()
+        assert worst.utilization == pytest.approx(1.0)
+        assert worst.inflation > 10
+
+    def test_describe_format(self, cascade_net):
+        text = hosttrace(cascade_net, "nic0", "dimm0-0").describe()
+        assert "HOSTTRACE" in text
+        assert "pcie-nic0" in text
+
+    def test_degraded_flag_shown(self, cascade_net):
+        FailureInjector(cascade_net).degrade_link("pcie-up0")
+        report = hosttrace(cascade_net, "nic0", "dimm0-0")
+        assert any(not h.healthy for h in report.hops)
+        assert "DEGRADED" in report.describe()
+
+
+class TestHostperf:
+    def test_idle_path_achieves_bottleneck(self, cascade_net):
+        report = hostperf(cascade_net, "gpu0", "dimm0-0", duration=0.02)
+        assert report.efficiency == pytest.approx(1.0, rel=1e-3)
+
+    def test_probe_is_removed_after(self, cascade_net):
+        hostperf(cascade_net, "gpu0", "dimm0-0", duration=0.02)
+        assert cascade_net.active_flows() == []
+
+    def test_shares_with_background(self, cascade_net):
+        RdmaLoopbackApp(cascade_net, "bg", nic="nic0",
+                        dimm="dimm0-0").start()
+        report = hostperf(cascade_net, "nic0", "dimm0-0", duration=0.02)
+        # probe and one background flow split the direction fairly
+        assert report.achieved_rate == pytest.approx(Gbps(128), rel=0.05)
+
+    def test_demand_limited_probe(self, cascade_net):
+        report = hostperf(cascade_net, "gpu0", "dimm0-0", duration=0.02,
+                          demand=Gbps(10))
+        assert report.achieved_rate == pytest.approx(Gbps(10), rel=1e-3)
+
+    def test_invalid_duration(self, cascade_net):
+        with pytest.raises(MonitorError):
+            hostperf(cascade_net, "gpu0", "dimm0-0", duration=0.0)
+
+    def test_describe(self, cascade_net):
+        text = hostperf(cascade_net, "gpu0", "dimm0-0",
+                        duration=0.01).describe()
+        assert "HOSTPERF" in text and "Gbps" in text
+
+
+class TestHostShark:
+    def test_capture_start_and_complete(self, cascade_net):
+        shark = HostShark(cascade_net)
+        shark.start_capture()
+        p = shortest_path(cascade_net.topology, "nic0", "dimm0-0")
+        cascade_net.start_transfer("t", p, size=1e6, tags={"app": "x"})
+        cascade_net.engine.run()
+        events = [r.event for r in shark.records()]
+        assert events == ["start", "complete"]
+
+    def test_not_capturing_by_default(self, cascade_net):
+        shark = HostShark(cascade_net)
+        p = shortest_path(cascade_net.topology, "nic0", "dimm0-0")
+        cascade_net.start_transfer("t", p, size=1e6)
+        cascade_net.engine.run()
+        assert len(shark) == 0
+
+    def test_filters(self, cascade_net):
+        shark = HostShark(cascade_net)
+        shark.start_capture()
+        p1 = shortest_path(cascade_net.topology, "nic0", "dimm0-0")
+        p2 = shortest_path(cascade_net.topology, "gpu0", "dimm0-0")
+        cascade_net.start_transfer("a", p1, size=1e6, tags={"app": "kv"})
+        cascade_net.start_transfer("b", p2, size=1e6, tags={"app": "ml"})
+        cascade_net.engine.run()
+        assert len(shark.records(tenant="a")) == 2
+        assert len(shark.records(device="gpu0")) == 2
+        assert len(shark.records(link="pcie-nic0")) == 2
+        assert len(shark.records(tag={"app": "ml"})) == 2
+        assert len(shark.records(event="start")) == 2
+        assert len(shark.records(predicate=lambda r: r.size == 1e6)) == 4
+
+    def test_ring_bound(self, cascade_net):
+        shark = HostShark(cascade_net, max_records=4)
+        shark.start_capture()
+        p = shortest_path(cascade_net.topology, "nic0", "dimm0-0")
+        for _ in range(5):
+            cascade_net.start_transfer("t", p, size=1e3)
+            cascade_net.engine.run()
+        assert len(shark) == 4
+
+    def test_summary_by_tenant(self, cascade_net):
+        shark = HostShark(cascade_net)
+        shark.start_capture()
+        p = shortest_path(cascade_net.topology, "nic0", "dimm0-0")
+        cascade_net.start_transfer("a", p, size=1e3)
+        cascade_net.engine.run()
+        assert shark.summary_by_tenant() == {"a": 2}
+
+
+class TestTroubleshoot:
+    def test_healthy_verdict(self, cascade_net):
+        diagnosis = troubleshoot(cascade_net, "nic0", "dimm0-0")
+        assert diagnosis.cause is CauseClass.HEALTHY
+        assert diagnosis.culprit_link is None
+
+    def test_congestion_verdict(self, cascade_net):
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        diagnosis = troubleshoot(cascade_net, "nic0", "dimm0-0")
+        assert diagnosis.cause is CauseClass.CONGESTION
+        assert diagnosis.culprit_link in diagnosis.trace.path.links
+
+    def test_degraded_verdict(self, cascade_net):
+        FailureInjector(cascade_net).degrade_link("pcie-up0",
+                                                  capacity_factor=0.1,
+                                                  extra_latency=us(2))
+        diagnosis = troubleshoot(cascade_net, "nic0", "dimm0-0")
+        assert diagnosis.cause is CauseClass.DEGRADED_LINK
+        assert diagnosis.culprit_link == "pcie-up0"
+
+    def test_path_down_verdict(self, cascade_net):
+        cascade_net.set_link_up("pcie-nic0", False)
+        diagnosis = troubleshoot(cascade_net, "nic0", "dimm0-0")
+        assert diagnosis.cause is CauseClass.PATH_DOWN
+        assert diagnosis.culprit_link == "pcie-nic0"
+
+    def test_bandwidth_measurement_optional(self, cascade_net):
+        diagnosis = troubleshoot(cascade_net, "nic0", "dimm0-0",
+                                 measure_bandwidth=True)
+        assert diagnosis.perf is not None
+        assert any("hostperf" in n for n in diagnosis.notes)
+
+    def test_describe(self, cascade_net):
+        text = troubleshoot(cascade_net, "nic0", "dimm0-0").describe()
+        assert "DIAGNOSIS" in text

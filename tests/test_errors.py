@@ -1,0 +1,71 @@
+"""The exception hierarchy: everything derives from HostNetError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.TopologyError,
+    errors.UnknownDeviceError,
+    errors.UnknownLinkError,
+    errors.DuplicateElementError,
+    errors.InvalidTopologyError,
+    errors.NoPathError,
+    errors.SimulationError,
+    errors.ClockError,
+    errors.FlowError,
+    errors.TelemetryError,
+    errors.UnknownMetricError,
+    errors.MonitorError,
+    errors.ResourceError,
+    errors.AdmissionError,
+    errors.InterpretationError,
+    errors.ScheduleError,
+    errors.ArbiterError,
+    errors.UnknownTenantError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_derives_from_hostneterror(error_class):
+    assert issubclass(error_class, errors.HostNetError)
+
+
+def test_unknown_device_carries_id():
+    err = errors.UnknownDeviceError("gpu9")
+    assert err.device_id == "gpu9"
+    assert "gpu9" in str(err)
+
+
+def test_unknown_link_carries_id():
+    err = errors.UnknownLinkError("pcie-x")
+    assert err.link_id == "pcie-x"
+
+
+def test_no_path_carries_endpoints():
+    err = errors.NoPathError("a", "b", "isolated")
+    assert err.src == "a" and err.dst == "b"
+    assert "isolated" in str(err)
+
+
+def test_admission_error_carries_reason():
+    err = errors.AdmissionError("intent-1", "no capacity")
+    assert err.intent_id == "intent-1"
+    assert err.reason == "no capacity"
+
+
+def test_unknown_metric_carries_name():
+    err = errors.UnknownMetricError("link_util.x")
+    assert err.metric == "link_util.x"
+
+
+def test_unknown_tenant_carries_id():
+    err = errors.UnknownTenantError("t0")
+    assert err.tenant_id == "t0"
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(errors.HostNetError):
+        raise errors.ScheduleError("nope")

@@ -1,0 +1,192 @@
+"""Full-stack integration: the paper's scenarios end to end.
+
+Each test stitches several subsystems together exactly the way the
+benchmarks do — workloads on the fabric, the monitor watching, the manager
+enforcing — and asserts the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.baselines import (
+    HostnetPolicy,
+    RdtLikePolicy,
+    StaticPartitionPolicy,
+    UnmanagedPolicy,
+)
+from repro.core import HostNetworkManager, migrate_tenant, pipe
+from repro.diagnostics import CauseClass, troubleshoot
+from repro.monitor import FailureInjector, HostMonitor
+from repro.sim import Engine, FabricNetwork
+from repro.topology import cascade_lake_2s, shortest_path
+from repro.units import Gbps, to_us, us
+from repro.workloads import (
+    AppKind,
+    KvStoreApp,
+    MlTrainingApp,
+    RdmaLoopbackApp,
+    TraceGenerator,
+    TraceReplayer,
+)
+
+
+def fresh_net():
+    return FabricNetwork(cascade_lake_2s(), Engine())
+
+
+class TestInterferenceMatrix:
+    """E2's shape: per-policy victim QoS under co-location."""
+
+    def run_policy(self, policy):
+        net = fresh_net()
+        tenants = ["kv", "ml"]
+        policy.setup(net, tenants)
+        kv = KvStoreApp(net, "kv", nic="nic0", dimm="dimm0-0",
+                        request_rate=20000, seed=1)
+        ml = MlTrainingApp(net, "ml", dimm="dimm0-0", gpu="gpu0")
+        # GPUDirect-style NIC<->GPU loopback: PCIe pressure on kv's path
+        # that memory-only RDT throttling cannot see (mirrors bench E2)
+        loop = RdmaLoopbackApp(net, "ml", nic="nic0", dimm="gpu0",
+                               streams=4)
+        kv.start()
+        ml.start()
+        loop.start()  # the aggressor sharing kv's path
+        net.engine.run_until(0.3)
+        policy.teardown(net, tenants)
+        return kv.stats.latency_summary().p99
+
+    def test_policy_ordering(self):
+        def factory(tenant):
+            if tenant == "kv":
+                # bidirectional (request/response) with a latency SLO:
+                # bandwidth floors alone don't protect tails on a
+                # work-conserving fabric
+                return [pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                             bandwidth=Gbps(50), latency_slo=us(6),
+                             bidirectional=True)]
+            return []
+
+        p99 = {
+            "unmanaged": self.run_policy(UnmanagedPolicy()),
+            "rdt": self.run_policy(RdtLikePolicy()),
+            "hostnet": self.run_policy(
+                HostnetPolicy(factory, decision_latency=0.0)
+            ),
+            "static": self.run_policy(StaticPartitionPolicy()),
+        }
+        # who wins: hostnet and static protect; unmanaged and rdt do not
+        assert p99["hostnet"] < p99["unmanaged"] / 2
+        assert p99["static"] < p99["unmanaged"] / 2
+        assert p99["rdt"] > p99["hostnet"] * 2
+
+
+class TestDetectThenDiagnose:
+    def test_monitor_flags_then_toolkit_names_culprit(self):
+        net = fresh_net()
+        monitor = HostMonitor(net, probers=["nic0", "gpu0", "dimm0-0",
+                                            "nvme0"])
+        monitor.start()
+        KvStoreApp(net, "kv", nic="nic0", dimm="dimm0-0",
+                   request_rate=5000, seed=2).start()
+        net.engine.run_until(0.05)
+        monitor.record_baseline()
+
+        FailureInjector(net).degrade_link("pcie-up0", capacity_factor=0.1,
+                                          extra_latency=us(3))
+        net.engine.run_until(0.15)
+        report = monitor.check()
+        assert not report.healthy
+
+        suspect = report.top_link_suspect()
+        assert suspect is not None
+        diagnosis = troubleshoot(net, "nic0", "dimm0-0")
+        assert diagnosis.cause is CauseClass.DEGRADED_LINK
+        assert diagnosis.culprit_link == "pcie-up0"
+
+
+class TestManagedHostUnderChurn:
+    def test_trace_replay_with_manager(self):
+        """Tenants come and go (§3.2); the manager and fabric stay sane."""
+        net = fresh_net()
+        manager = HostNetworkManager(net, decision_latency=0.0)
+        trace = TraceGenerator(seed=5).generate(
+            tenant_count=4, horizon=2.0, mean_duration=0.5
+        )
+
+        def make_app(event):
+            manager.register_tenant(event.tenant_id)
+            if event.app_kind is AppKind.KV_STORE:
+                return KvStoreApp(net, event.tenant_id, nic="nic0",
+                                  dimm="dimm0-0",
+                                  request_rate=20000 * event.intensity,
+                                  seed=7)
+            if event.app_kind is AppKind.ML_TRAINING:
+                return MlTrainingApp(net, event.tenant_id, dimm="dimm0-0",
+                                     gpu="gpu0")
+            return RdmaLoopbackApp(net, event.tenant_id, nic="nic1",
+                                   dimm="dimm1-0",
+                                   offered_rate=Gbps(100 * event.intensity))
+
+        replayer = TraceReplayer(net.engine, trace, make_app)
+        replayer.arm()
+        net.engine.run_until(trace.horizon + 0.1)
+        # everything wound down cleanly
+        assert replayer.active == {}
+        app_flows = [f for f in net.active_flows()
+                     if f.tenant_id != "_system"]
+        assert app_flows == []
+
+    def test_guarantee_survives_churn(self):
+        net = fresh_net()
+        manager = HostNetworkManager(net, decision_latency=0.0,
+                                     arbiter_period=0.001)
+        manager.submit(pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                            bandwidth=Gbps(100)))
+        kv_path = shortest_path(net.topology, "nic0", "dimm0-0")
+        victim = net.start_transfer("kv", kv_path, demand=Gbps(100))
+        # churn: best-effort tenants arrive and leave repeatedly
+        for i in range(5):
+            tenant = f"churn{i}"
+            manager.register_tenant(tenant)
+            flows = [net.start_transfer(tenant, kv_path) for _ in range(4)]
+            net.engine.run_until(net.engine.now + 0.02)
+            assert victim.current_rate >= Gbps(100) * 0.98, (
+                f"guarantee violated during wave {i}"
+            )
+            for flow in flows:
+                net.cancel_flow(flow.flow_id)
+
+
+class TestMigrationEndToEnd:
+    def test_live_migration_preserves_victim_protection(self):
+        source_net = fresh_net()
+        destination_net = fresh_net()
+        source = HostNetworkManager(source_net, decision_latency=0.0)
+        destination = HostNetworkManager(destination_net,
+                                         decision_latency=0.0)
+        source.submit(pipe("kv-pipe", "kv", src="nic0", dst="dimm0-0",
+                           bandwidth=Gbps(100)))
+        result = migrate_tenant(source, destination, "kv")
+        assert result.complete
+
+        # protection is active on the destination
+        destination.register_tenant("evil")
+        path = shortest_path(destination_net.topology, "nic0", "dimm0-0")
+        victim = destination_net.start_transfer("kv", path,
+                                                demand=Gbps(100))
+        for _ in range(8):
+            destination_net.start_transfer("evil", path)
+        destination_net.engine.run_until(0.05)
+        assert victim.current_rate >= Gbps(100) * 0.98
+
+
+class TestMonitoringCostVisibility:
+    def test_shipped_telemetry_is_attributed_to_system(self):
+        net = fresh_net()
+        monitor = HostMonitor(net, probers=["nic0", "dimm0-0"],
+                              processing="ship", telemetry_period=0.001)
+        monitor.start()
+        net.engine.run_until(0.2)
+        overhead = monitor.monitoring_overhead_rate()
+        assert overhead > 0
+        # the overhead is real fabric traffic, attributed to _system
+        assert net.tenant_link_bytes("_system", "pcie-nic0") > 0

@@ -1,0 +1,143 @@
+"""Focused tests for smaller behaviours: scheduling failures, CSV export,
+flow metadata, hostshark lifecycle, and engine queries."""
+
+import pytest
+
+from repro.diagnostics import HostShark
+from repro.monitor import FailureInjector
+from repro.sim import Engine, FlowState
+from repro.telemetry import MetricStore, TelemetryCollector
+from repro.topology import shortest_path
+from repro.units import Gbps, us
+
+
+class TestScheduledFailures:
+    def test_inject_and_auto_repair(self, cascade_net):
+        injector = FailureInjector(cascade_net)
+        injector.schedule(
+            lambda inj: inj.degrade_link("pcie-up0", capacity_factor=0.1),
+            at=0.05, clear_after=0.05,
+        )
+        link = cascade_net.topology.link("pcie-up0")
+        cascade_net.engine.run_until(0.04)
+        assert link.healthy
+        cascade_net.engine.run_until(0.06)
+        assert not link.healthy
+        cascade_net.engine.run_until(0.11)
+        assert link.healthy
+
+    def test_inject_without_repair(self, cascade_net):
+        injector = FailureInjector(cascade_net)
+        injector.schedule(lambda inj: inj.fail_link("eth0"), at=0.01)
+        cascade_net.engine.run_until(0.02)
+        assert not cascade_net.topology.link("eth0").up
+        cascade_net.engine.run_until(0.5)
+        assert not cascade_net.topology.link("eth0").up
+
+    def test_scheduled_flap_cycle(self, cascade_net):
+        """A scripted incident: flap for a while, then auto-repair."""
+        injector = FailureInjector(cascade_net)
+        injector.schedule(
+            lambda inj: inj.flap_link("pcie-nvme0", period=0.01),
+            at=0.02, clear_after=0.05,
+        )
+        cascade_net.engine.run_until(0.2)
+        assert cascade_net.topology.link("pcie-nvme0").up
+        assert not injector.failures(active_only=True)
+
+
+class TestCsvExport:
+    def test_roundtrippable_header_and_rows(self):
+        store = MetricStore()
+        store.record("a", 0.0, 1.0)
+        store.record("a", 1.0, 2.0)
+        store.record("b", 0.5, 9.0)
+        csv = store.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "metric,time,value"
+        assert lines[1] == "a,0.0,1.0"
+        assert len(lines) == 4
+
+    def test_metric_subset(self):
+        store = MetricStore()
+        store.record("a", 0.0, 1.0)
+        store.record("b", 0.0, 1.0)
+        csv = store.to_csv(metrics=["b"])
+        assert "a," not in csv
+
+    def test_collector_output_is_exportable(self, minimal_net):
+        collector = TelemetryCollector(minimal_net, period=0.01)
+        collector.start()
+        minimal_net.engine.run_until(0.05)
+        csv = collector.store.to_csv()
+        assert "link_util.pcie-nic0" in csv
+
+
+class TestFlowMetadata:
+    def test_tags_preserved_through_lifecycle(self, minimal_net):
+        path = shortest_path(minimal_net.topology, "nic0", "dimm0-0")
+        flow = minimal_net.start_transfer("t", path, size=1e6,
+                                          tags={"app": "x", "op": "read"})
+        minimal_net.engine.run()
+        assert flow.state is FlowState.COMPLETED
+        assert flow.tags == {"app": "x", "op": "read"}
+
+    def test_str_forms(self, minimal_net):
+        path = shortest_path(minimal_net.topology, "nic0", "dimm0-0")
+        flow = minimal_net.start_transfer("t", path)
+        assert "nic0" in str(flow)
+        assert "active" in str(flow)
+
+    def test_new_flow_id_prefix(self, minimal_net):
+        assert minimal_net.new_flow_id("probe").startswith("probe-")
+
+    def test_recompute_count_increases(self, minimal_net):
+        before = minimal_net.recompute_count
+        path = shortest_path(minimal_net.topology, "nic0", "dimm0-0")
+        minimal_net.start_transfer("t", path, demand=Gbps(1))
+        assert minimal_net.recompute_count > before
+
+
+class TestHostSharkLifecycle:
+    def test_stop_capture_keeps_existing(self, minimal_net):
+        shark = HostShark(minimal_net)
+        shark.start_capture()
+        path = shortest_path(minimal_net.topology, "nic0", "dimm0-0")
+        minimal_net.start_transfer("t", path, size=1e3)
+        minimal_net.engine.run()
+        shark.stop_capture()
+        count = len(shark)
+        minimal_net.start_transfer("t", path, size=1e3)
+        minimal_net.engine.run()
+        assert len(shark) == count
+
+    def test_clear(self, minimal_net):
+        shark = HostShark(minimal_net)
+        shark.start_capture()
+        path = shortest_path(minimal_net.topology, "nic0", "dimm0-0")
+        minimal_net.start_transfer("t", path, size=1e3)
+        minimal_net.engine.run()
+        shark.clear()
+        assert len(shark) == 0
+
+
+class TestEngineQueries:
+    def test_peek_time(self):
+        engine = Engine()
+        assert engine.peek_time() is None
+        engine.schedule_at(3.0, lambda: None)
+        assert engine.peek_time() == 3.0
+
+    def test_peek_skips_cancelled(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_pending_events(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i), lambda: None)
+                  for i in range(3)]
+        events[0].cancel()
+        assert engine.pending_events() == 2

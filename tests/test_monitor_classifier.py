@@ -1,0 +1,153 @@
+"""The ML failure classifier: features, fitting, and modality masks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import (
+    FEATURE_NAMES,
+    MODALITY_MASKS,
+    FailureClassifier,
+    FailureInjector,
+    HostMonitor,
+    extract_features,
+)
+from repro.telemetry import CounterSource
+from repro.units import us
+from repro.workloads import KvStoreApp
+
+PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0"]
+
+
+def observe(cascade_net, inject=None, seed=0):
+    """Run a monitored window, optionally injecting, and extract features."""
+    monitor = HostMonitor(cascade_net, probers=PROBERS,
+                          telemetry_period=0.005, heartbeat_period=0.005,
+                          source=CounterSource.SOFTWARE, seed=seed)
+    monitor.start()
+    KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+               request_rate=10_000, seed=seed).start()
+    cascade_net.engine.run_until(0.1)
+    monitor.record_baseline()
+    if inject is not None:
+        inject(FailureInjector(cascade_net))
+    cascade_net.engine.run_until(0.3)
+    return extract_features(monitor.store, monitor.heartbeats,
+                            window=0.1, now=cascade_net.engine.now)
+
+
+class TestFeatureExtraction:
+    def test_vector_shape_and_names(self, cascade_net):
+        features = observe(cascade_net)
+        assert features.shape == (len(FEATURE_NAMES),)
+        assert len(FEATURE_NAMES) == 10
+
+    def test_healthy_features_quiet(self, cascade_net):
+        features = observe(cascade_net)
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["missed_fraction"] == 0.0
+        assert named["rtt_inflation_mean"] == pytest.approx(1.0, abs=0.1)
+
+    def test_link_down_shows_missed_probes(self, cascade_net):
+        features = observe(cascade_net,
+                           inject=lambda i: i.fail_link("pcie-gpu0"))
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["missed_fraction"] > 0.0
+
+    def test_degrade_shows_inflation(self, cascade_net):
+        features = observe(
+            cascade_net,
+            inject=lambda i: i.degrade_link("pcie-up0", 0.1, us(4)),
+        )
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["rtt_inflation_max"] > 3.0
+
+    def test_modality_masks_cover_all_features(self):
+        combined = MODALITY_MASKS["combined"]
+        counters = MODALITY_MASKS["counters"]
+        heartbeats = MODALITY_MASKS["heartbeats"]
+        assert all(combined)
+        assert [a or b for a, b in zip(counters, heartbeats)] == \
+            list(combined)
+        assert not any(a and b for a, b in zip(counters, heartbeats))
+
+
+class TestClassifier:
+    def _toy_examples(self):
+        rng = np.random.default_rng(0)
+        examples = []
+        for _ in range(10):
+            healthy = np.zeros(len(FEATURE_NAMES))
+            healthy += rng.normal(0, 0.01, size=len(FEATURE_NAMES))
+            examples.append(("healthy", healthy))
+            broken = np.ones(len(FEATURE_NAMES))
+            broken += rng.normal(0, 0.01, size=len(FEATURE_NAMES))
+            examples.append(("broken", broken))
+        return examples
+
+    def test_fit_predict_separable(self):
+        clf = FailureClassifier()
+        clf.fit(self._toy_examples())
+        assert clf.predict(np.zeros(len(FEATURE_NAMES))) == "healthy"
+        assert clf.predict(np.ones(len(FEATURE_NAMES))) == "broken"
+        assert clf.labels == ["broken", "healthy"]
+
+    def test_accuracy_and_confusion(self):
+        clf = FailureClassifier()
+        examples = self._toy_examples()
+        clf.fit(examples)
+        assert clf.accuracy(examples) == 1.0
+        confusion = clf.confusion(examples)
+        assert confusion[("healthy", "healthy")] == 10
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(MonitorError):
+            FailureClassifier().predict(np.zeros(len(FEATURE_NAMES)))
+
+    def test_bad_modality_rejected(self):
+        with pytest.raises(MonitorError):
+            FailureClassifier(modality="psychic")
+
+    def test_bad_feature_shape_rejected(self):
+        with pytest.raises(MonitorError):
+            FailureClassifier().fit([("x", np.zeros(3))])
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(MonitorError):
+            FailureClassifier().fit([])
+
+    def test_modality_restriction_changes_decisions(self):
+        """A difference visible only in heartbeat features is invisible to
+        the counters-only classifier."""
+        base = np.zeros(len(FEATURE_NAMES))
+        hb_only = base.copy()
+        hb_only[5:] = 5.0  # heartbeat block
+        examples = [("healthy", base + 0.01), ("healthy", base - 0.01),
+                    ("hb_issue", hb_only + 0.01), ("hb_issue", hb_only - 0.01)]
+        counters_clf = FailureClassifier(modality="counters")
+        counters_clf.fit(examples)
+        hb_clf = FailureClassifier(modality="heartbeats")
+        hb_clf.fit(examples)
+        probe = hb_only.copy()
+        assert hb_clf.predict(probe) == "hb_issue"
+        scores = counters_clf.decision_scores(probe)
+        # counters cannot separate: both classes equidistant
+        assert scores["healthy"] == pytest.approx(scores["hb_issue"],
+                                                  abs=1e-6)
+
+    def test_end_to_end_separation(self, cascade_net):
+        """Real simulated incidents are separable with combined features."""
+        from repro.sim import Engine, FabricNetwork
+        from repro.topology import cascade_lake_2s
+
+        examples = []
+        for seed in range(2):
+            for label, inject in (
+                ("healthy", None),
+                ("down", lambda i: i.fail_link("pcie-gpu0")),
+            ):
+                net = FabricNetwork(cascade_lake_2s(), Engine())
+                examples.append((label, observe(net, inject, seed=seed)))
+        clf = FailureClassifier()
+        clf.fit(examples)
+        assert clf.accuracy(examples) == 1.0

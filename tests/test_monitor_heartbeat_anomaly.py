@@ -1,0 +1,190 @@
+"""Heartbeat mesh and anomaly detectors."""
+
+import math
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import (
+    AnomalyKind,
+    CusumDetector,
+    EwmaDetector,
+    HeartbeatMesh,
+    ThresholdDetector,
+    scan_store,
+)
+from repro.sim.rng import make_rng
+from repro.telemetry import MetricStore
+from repro.units import Gbps
+from repro.workloads import RdmaLoopbackApp
+
+PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0"]
+
+
+class TestHeartbeatMesh:
+    def test_all_pairs_probed(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS)
+        results = mesh.probe_all()
+        assert len(results) == len(PROBERS) * (len(PROBERS) - 1)
+        assert all(not r.missed for r in results)
+
+    def test_periodic_probing(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS, period=0.01)
+        mesh.start()
+        cascade_net.engine.run_until(0.05)
+        assert mesh.probes_sent == 5 * len(mesh.pairs())
+
+    def test_needs_two_probers(self, cascade_net):
+        with pytest.raises(MonitorError):
+            HeartbeatMesh(cascade_net, ["nic0"])
+
+    def test_rtt_reflects_congestion(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS)
+        idle = mesh.probe_pair("nic0", "dimm0-0").rtt
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        loaded = mesh.probe_pair("nic0", "dimm0-0").rtt
+        assert loaded > 5 * idle
+
+    def test_missed_on_down_path(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS)
+        cascade_net.set_link_up("pcie-nic0", False)
+        result = mesh.probe_pair("nic0", "dimm0-0")
+        assert result.missed
+        assert math.isinf(result.rtt)
+
+    def test_baseline_and_anomalous_probes(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS, rng=make_rng(1))
+        mesh.record_baseline()
+        mesh.probe_all()
+        assert mesh.anomalous_probes() == []
+        # silently degrade the switch uplink and add latency
+        link = cascade_net.topology.link("pcie-up0")
+        link.extra_latency = 5e-6
+        cascade_net.degrade_link("pcie-up0", Gbps(25))
+        mesh.probe_all()
+        flagged = mesh.anomalous_probes(inflation_factor=3.0)
+        assert flagged
+        assert all("pcie-up0" in p.path.links for p in flagged)
+
+    def test_history_bounded(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0"], history=5)
+        for _ in range(10):
+            mesh.probe_pair("nic0", "dimm0-0")
+        assert len(mesh.results("nic0", "dimm0-0")) == 5
+
+    def test_unknown_pair_rejected(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, PROBERS)
+        with pytest.raises(MonitorError):
+            mesh.probe_pair("nic0", "external")
+
+
+class TestThresholdDetector:
+    def test_flags_above(self):
+        d = ThresholdDetector(threshold=0.9)
+        assert d.observe("m", 0.0, 0.95) is not None
+        assert d.observe("m", 0.0, 0.85) is None
+
+    def test_flags_below_mode(self):
+        d = ThresholdDetector(threshold=0.1, above=False)
+        assert d.observe("m", 0.0, 0.05) is not None
+        assert d.observe("m", 0.0, 0.5) is None
+
+    def test_prefix_filter(self):
+        d = ThresholdDetector(threshold=0.9, metric_prefix="link_util.")
+        assert d.observe("other.metric", 0.0, 5.0) is None
+        assert d.observe("link_util.x", 0.0, 5.0) is not None
+
+    def test_anomaly_fields(self):
+        d = ThresholdDetector(threshold=1.0)
+        anomaly = d.observe("m", 3.0, 2.0)
+        assert anomaly.kind is AnomalyKind.THRESHOLD_EXCEEDED
+        assert anomaly.time == 3.0
+        assert anomaly.value == 2.0
+        assert anomaly.expected == 1.0
+        assert anomaly.severity == pytest.approx(1.0)
+
+
+class TestEwmaDetector:
+    def test_quiet_during_warmup(self):
+        d = EwmaDetector(warmup=10)
+        for i in range(9):
+            assert d.observe("m", float(i), 1000.0) is None
+
+    def test_flags_spike_after_warmup(self):
+        d = EwmaDetector(zscore_threshold=6.0, warmup=5)
+        for i in range(20):
+            d.observe("m", float(i), 10.0 + (i % 2) * 0.5)
+        anomaly = d.observe("m", 21.0, 500.0)
+        assert anomaly is not None
+        assert anomaly.kind is AnomalyKind.DEVIATION
+        assert anomaly.severity > 6.0
+
+    def test_stable_signal_not_flagged(self):
+        d = EwmaDetector(warmup=5)
+        anomalies = [d.observe("m", float(i), 10.0) for i in range(50)]
+        assert all(a is None for a in anomalies)
+
+    def test_per_metric_baselines(self):
+        d = EwmaDetector(warmup=3)
+        for i in range(10):
+            d.observe("low", float(i), 1.0)
+            d.observe("high", float(i), 1000.0)
+        # 1000 is normal for "high" but a spike for "low"
+        assert d.observe("low", 11.0, 1000.0) is not None
+        assert d.observe("high", 11.0, 1000.0) is None
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(warmup=1)
+
+
+class TestCusumDetector:
+    def test_flags_level_shift(self):
+        d = CusumDetector(drift=0.05, threshold=1.0, warmup=10)
+        found = []
+        for i in range(10):
+            d.observe("m", float(i), 10.0)
+        for i in range(10, 40):
+            anomaly = d.observe("m", float(i), 13.0)  # persistent +30%
+            if anomaly:
+                found.append(anomaly)
+        assert found
+        assert found[0].kind is AnomalyKind.LEVEL_SHIFT
+
+    def test_noise_within_drift_ignored(self):
+        d = CusumDetector(drift=0.2, threshold=2.0, warmup=5)
+        values = [10.0, 10.5, 9.5, 10.2, 9.9] * 10
+        anomalies = [d.observe("m", float(i), v)
+                     for i, v in enumerate(values)]
+        assert all(a is None for a in anomalies)
+
+    def test_resets_after_alarm(self):
+        d = CusumDetector(drift=0.01, threshold=0.5, warmup=5)
+        for i in range(5):
+            d.observe("m", float(i), 10.0)
+        alarms = 0
+        for i in range(5, 60):
+            if d.observe("m", float(i), 14.0):
+                alarms += 1
+        assert alarms >= 2  # alarm, reset, alarm again
+
+
+class TestScanStore:
+    def test_scan_in_time_order(self):
+        store = MetricStore()
+        store.record("util", 0.0, 0.1)
+        store.record("util", 1.0, 0.95)
+        store.record("util", 2.0, 0.1)
+        anomalies = scan_store(store, [ThresholdDetector(0.9)])
+        assert len(anomalies) == 1
+        assert anomalies[0].time == 1.0
+
+    def test_metric_subset(self):
+        store = MetricStore()
+        store.record("a", 0.0, 5.0)
+        store.record("b", 0.0, 5.0)
+        anomalies = scan_store(store, [ThresholdDetector(1.0)],
+                               metrics=["a"])
+        assert len(anomalies) == 1
+        assert anomalies[0].metric == "a"

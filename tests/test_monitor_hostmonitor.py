@@ -1,0 +1,135 @@
+"""HostMonitor facade: end-to-end detection of the paper's failure cases."""
+
+import pytest
+
+from repro.monitor import AnomalyKind, FailureInjector, HostMonitor
+from repro.telemetry import CounterSource
+from repro.units import Gbps, us
+from repro.workloads import KvStoreApp, RdmaLoopbackApp
+
+PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0", "nic1"]
+
+
+@pytest.fixture
+def monitor(cascade_net):
+    m = HostMonitor(cascade_net, probers=PROBERS, telemetry_period=0.005,
+                    heartbeat_period=0.005)
+    m.start()
+    return m
+
+
+def settle(net, monitor, t=0.05):
+    net.engine.run_until(t)
+    monitor.record_baseline()
+    report = monitor.check()
+    return report
+
+
+class TestHealthyOperation:
+    def test_idle_host_healthy(self, cascade_net, monitor):
+        report = settle(cascade_net, monitor)
+        assert report.healthy
+        assert "HEALTHY" in report.describe()
+
+    def test_steady_workload_healthy(self, cascade_net, monitor):
+        KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                   request_rate=5000, seed=1).start()
+        report = settle(cascade_net, monitor, t=0.1)
+        assert not report.bad_probes
+
+
+class TestFailureDetection:
+    def test_silent_switch_failure_detected_and_localized(self, cascade_net,
+                                                          monitor):
+        """§3.1's motivating case end to end."""
+        settle(cascade_net, monitor)
+        truth = FailureInjector(cascade_net).degrade_switch(
+            "pcisw0", capacity_factor=0.1, extra_latency=us(5)
+        )
+        cascade_net.engine.run_until(0.1)
+        report = monitor.check()
+        assert not report.healthy
+        assert report.bad_probes
+        top = report.top_link_suspect()
+        assert top is not None
+        assert top.element_id in truth.affected_links or \
+            top.suspicion == 1.0
+
+    def test_link_down_raises_missed_heartbeats(self, cascade_net, monitor):
+        settle(cascade_net, monitor)
+        FailureInjector(cascade_net).fail_link("pcie-nic0")
+        cascade_net.engine.run_until(0.1)
+        report = monitor.check()
+        missed = [a for a in report.anomalies
+                  if a.kind is AnomalyKind.MISSED_HEARTBEAT]
+        assert missed
+
+    def test_congestion_flagged_by_threshold(self, cascade_net, monitor):
+        settle(cascade_net, monitor)
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        cascade_net.engine.run_until(0.3)
+        report = monitor.check()
+        exceeded = [a for a in report.anomalies
+                    if a.kind is AnomalyKind.THRESHOLD_EXCEEDED]
+        assert any("pcie" in a.metric for a in exceeded)
+
+    def test_detection_time_bounded_by_periods(self, cascade_net):
+        """Time-to-detect is a few probing periods, not seconds (E4)."""
+        monitor = HostMonitor(cascade_net, probers=PROBERS,
+                              telemetry_period=0.002,
+                              heartbeat_period=0.002)
+        monitor.start()
+        cascade_net.engine.run_until(0.02)
+        monitor.record_baseline()
+        injected_at = cascade_net.engine.now
+        FailureInjector(cascade_net).degrade_switch(
+            "pcisw0", capacity_factor=0.1, extra_latency=us(5))
+        detected_at = None
+        t = injected_at
+        while t < injected_at + 0.05:
+            t += 0.002
+            cascade_net.engine.run_until(t)
+            if monitor.check().bad_probes:
+                detected_at = t
+                break
+        assert detected_at is not None
+        assert detected_at - injected_at <= 0.01
+
+
+class TestMonitorConfig:
+    def test_default_probers_are_endpoints(self, cascade_net):
+        monitor = HostMonitor(cascade_net)
+        probed = {d for pair in monitor.heartbeats.pairs() for d in pair}
+        assert "external" not in probed
+        assert "nic0" in probed
+
+    def test_overhead_zero_in_local_mode(self, cascade_net, monitor):
+        cascade_net.engine.run_until(0.1)
+        assert monitor.monitoring_overhead_rate() == 0.0
+
+    def test_ship_mode_reports_overhead(self, cascade_net):
+        monitor = HostMonitor(cascade_net, probers=PROBERS,
+                              processing="ship")
+        monitor.start()
+        cascade_net.engine.run_until(0.1)
+        assert monitor.monitoring_overhead_rate() > 0
+
+    def test_stop_is_idempotent(self, cascade_net, monitor):
+        monitor.stop()
+        monitor.stop()
+
+    def test_check_consumes_samples_once(self, cascade_net, monitor):
+        settle(cascade_net, monitor)
+        RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                        dimm="dimm0-0").start()
+        cascade_net.engine.run_until(0.3)
+        first = monitor.check()
+        # the loopback stays on, but already-scanned samples don't re-flag
+        second = monitor.check()
+        threshold_first = [a for a in first.anomalies
+                           if a.kind is AnomalyKind.THRESHOLD_EXCEEDED]
+        threshold_second = [a for a in second.anomalies
+                            if a.kind is AnomalyKind.THRESHOLD_EXCEEDED]
+        assert len(threshold_first) > 0
+        assert len(threshold_second) <= len(threshold_first)

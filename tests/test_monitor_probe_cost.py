@@ -1,0 +1,48 @@
+"""Heartbeat probes that consume real fabric bandwidth (§3.1 Q2)."""
+
+import pytest
+
+from repro.monitor import HeartbeatMesh
+from repro.sim import SYSTEM_TENANT
+
+
+class TestProbeFabricCost:
+    def test_default_probes_are_free(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0", "gpu0"],
+                             period=0.001)
+        mesh.start()
+        cascade_net.engine.run_until(0.1)
+        assert mesh.probe_bytes_sent == 0.0
+        assert cascade_net.tenant_link_bytes(SYSTEM_TENANT,
+                                             "pcie-nic0") == 0.0
+
+    def test_consuming_probes_cost_the_fabric(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0", "gpu0"],
+                             period=0.001, consume_fabric=True)
+        mesh.start()
+        cascade_net.engine.run_until(0.1)
+        assert mesh.probe_bytes_sent > 0
+        assert cascade_net.tenant_link_bytes(SYSTEM_TENANT,
+                                             "pcie-nic0") > 0
+
+    def test_probe_cost_scales_with_rate_and_size(self, cascade_net):
+        slow = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0"],
+                             period=0.01, consume_fabric=True)
+        slow.start()
+        cascade_net.engine.run_until(0.2)
+        slow.stop()
+        slow_bytes = slow.probe_bytes_sent
+        fast = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0"],
+                             period=0.001, probe_bytes=1024.0,
+                             consume_fabric=True)
+        fast.start()
+        cascade_net.engine.run_until(0.4)
+        assert fast.probe_bytes_sent > 50 * slow_bytes
+
+    def test_down_path_probe_costs_nothing(self, cascade_net):
+        mesh = HeartbeatMesh(cascade_net, ["nic0", "dimm0-0"],
+                             consume_fabric=True)
+        cascade_net.set_link_up("pcie-nic0", False)
+        result = mesh.probe_pair("nic0", "dimm0-0")
+        assert result.missed
+        assert mesh.probe_bytes_sent == 0.0

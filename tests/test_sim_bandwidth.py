@@ -1,0 +1,216 @@
+"""Max-min fair solver: fairness, demand limits, weights, constraints."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.bandwidth import (
+    Constraint,
+    FlowDemand,
+    link_utilizations,
+    max_min_fair_rates,
+)
+
+
+def solve(flows, caps, extra=()):
+    return max_min_fair_rates(flows, caps, extra)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert solve([], {}) == {}
+
+    def test_single_elastic_flow_gets_bottleneck(self):
+        flows = [FlowDemand("f", ("a", "b"))]
+        rates = solve(flows, {"a": 10.0, "b": 4.0})
+        assert rates["f"] == pytest.approx(4.0)
+
+    def test_two_equal_flows_split(self):
+        flows = [FlowDemand("f1", ("l",)), FlowDemand("f2", ("l",))]
+        rates = solve(flows, {"l": 10.0})
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+
+    def test_demand_limited_flow_frees_capacity(self):
+        flows = [FlowDemand("small", ("l",), demand=2.0),
+                 FlowDemand("big", ("l",))]
+        rates = solve(flows, {"l": 10.0})
+        assert rates["small"] == pytest.approx(2.0)
+        assert rates["big"] == pytest.approx(8.0)
+
+    def test_weights_proportional(self):
+        flows = [FlowDemand("w1", ("l",), weight=1.0),
+                 FlowDemand("w3", ("l",), weight=3.0)]
+        rates = solve(flows, {"l": 8.0})
+        assert rates["w1"] == pytest.approx(2.0)
+        assert rates["w3"] == pytest.approx(6.0)
+
+    def test_zero_demand_gets_zero(self):
+        flows = [FlowDemand("idle", ("l",), demand=0.0),
+                 FlowDemand("busy", ("l",))]
+        rates = solve(flows, {"l": 10.0})
+        assert rates["idle"] == 0.0
+        assert rates["busy"] == pytest.approx(10.0)
+
+    def test_failed_link_gives_zero(self):
+        flows = [FlowDemand("f", ("dead",))]
+        rates = solve(flows, {"dead": 0.0})
+        assert rates["f"] == 0.0
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError):
+            solve([FlowDemand("f", ("ghost",))], {"l": 1.0})
+
+    def test_duplicate_flow_ids_raise(self):
+        flows = [FlowDemand("f", ("l",)), FlowDemand("f", ("l",))]
+        with pytest.raises(ValueError):
+            solve(flows, {"l": 1.0})
+
+    def test_elastic_flow_with_no_constraint_raises(self):
+        with pytest.raises(ValueError):
+            solve([FlowDemand("f", ())], {})
+
+
+class TestMultiHop:
+    def test_classic_parking_lot(self):
+        """Long flow crosses both links; short flows cross one each."""
+        flows = [
+            FlowDemand("long", ("l1", "l2")),
+            FlowDemand("s1", ("l1",)),
+            FlowDemand("s2", ("l2",)),
+        ]
+        rates = solve(flows, {"l1": 10.0, "l2": 10.0})
+        assert rates["long"] == pytest.approx(5.0)
+        assert rates["s1"] == pytest.approx(5.0)
+        assert rates["s2"] == pytest.approx(5.0)
+
+    def test_bottleneck_migration(self):
+        """Narrow second hop binds the long flow; short flow takes slack."""
+        flows = [
+            FlowDemand("long", ("wide", "narrow")),
+            FlowDemand("short", ("wide",)),
+        ]
+        rates = solve(flows, {"wide": 10.0, "narrow": 2.0})
+        assert rates["long"] == pytest.approx(2.0)
+        assert rates["short"] == pytest.approx(8.0)
+
+
+class TestVirtualConstraints:
+    def test_tenant_cap_binds(self):
+        flows = [FlowDemand("t1a", ("l",)), FlowDemand("t1b", ("l",)),
+                 FlowDemand("t2", ("l",))]
+        cap = Constraint("cap:t1", capacity=2.0,
+                         member_flows=frozenset({"t1a", "t1b"}))
+        rates = solve(flows, {"l": 12.0}, [cap])
+        assert rates["t1a"] + rates["t1b"] == pytest.approx(2.0)
+        assert rates["t2"] == pytest.approx(10.0)
+
+    def test_constraint_without_members_rejected(self):
+        with pytest.raises(ValueError):
+            solve([FlowDemand("f", ("l",))], {"l": 1.0},
+                  [Constraint("c", 1.0)])
+
+    def test_constraint_id_collision_rejected(self):
+        with pytest.raises(ValueError):
+            solve([FlowDemand("f", ("l",))], {"l": 1.0},
+                  [Constraint("l", 1.0, member_flows=frozenset({"f"}))])
+
+    def test_constraint_over_absent_flows_ignored(self):
+        flows = [FlowDemand("f", ("l",))]
+        cap = Constraint("cap:x", 0.5, member_flows=frozenset({"ghost"}))
+        rates = solve(flows, {"l": 4.0}, [cap])
+        assert rates["f"] == pytest.approx(4.0)
+
+
+class TestInvalidInputs:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FlowDemand("f", ("l",), weight=-1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            FlowDemand("f", ("l",), demand=-1.0)
+
+    def test_negative_capacity_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("c", capacity=-1.0)
+
+
+class TestUtilizations:
+    def test_utilization_computation(self):
+        flows = [FlowDemand("f1", ("l",)), FlowDemand("f2", ("l",))]
+        rates = solve(flows, {"l": 10.0})
+        utils = link_utilizations(flows, rates, {"l": 10.0})
+        assert utils["l"] == pytest.approx(1.0)
+
+    def test_zero_capacity_link(self):
+        flows = [FlowDemand("f", ("dead",))]
+        utils = link_utilizations(flows, {"f": 0.0}, {"dead": 0.0})
+        assert utils["dead"] == 0.0
+
+
+# -- property-based invariants ------------------------------------------------
+
+link_names = ["a", "b", "c", "d"]
+
+
+@st.composite
+def solver_instances(draw):
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    caps = {
+        name: draw(st.floats(min_value=0.5, max_value=100.0))
+        for name in link_names
+    }
+    flows = []
+    for i in range(n_flows):
+        links = tuple(draw(st.sets(st.sampled_from(link_names), min_size=1,
+                                   max_size=4)))
+        demand = draw(st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=0.0, max_value=50.0),
+        ))
+        weight = draw(st.floats(min_value=0.1, max_value=10.0))
+        flows.append(FlowDemand(f"f{i}", links, demand=demand, weight=weight))
+    return flows, caps
+
+
+@settings(max_examples=200, deadline=None)
+@given(solver_instances())
+def test_solver_invariants(instance):
+    """No link oversubscribed; no demand exceeded; no negative rates;
+    and the allocation is maximal (some constraint or demand binds every
+    flow)."""
+    flows, caps = instance
+    rates = max_min_fair_rates(flows, caps)
+    tol = 1e-6
+
+    for f in flows:
+        assert rates[f.flow_id] >= -tol
+        assert rates[f.flow_id] <= f.demand * (1 + tol) + tol
+
+    for link, cap in caps.items():
+        load = sum(rates[f.flow_id] for f in flows if link in f.links)
+        assert load <= cap * (1 + 1e-6) + tol
+
+    # Maximality: every flow is bound by its demand or by a saturated link.
+    for f in flows:
+        at_demand = rates[f.flow_id] >= f.demand * (1 - 1e-6) - tol
+        on_saturated = any(
+            sum(rates[g.flow_id] for g in flows if link in g.links)
+            >= caps[link] * (1 - 1e-6) - tol
+            for link in f.links
+        )
+        assert at_demand or on_saturated, (
+            f"flow {f.flow_id} is not maximal: rate={rates[f.flow_id]}"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(solver_instances())
+def test_solver_deterministic(instance):
+    flows, caps = instance
+    first = max_min_fair_rates(flows, caps)
+    second = max_min_fair_rates(flows, caps)
+    assert first == second

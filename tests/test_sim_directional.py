@@ -1,0 +1,114 @@
+"""Directional caps, counters, and rates: the full-duplex enforcement API."""
+
+import pytest
+
+from repro.sim import FabricNetwork
+from repro.topology import shortest_path
+from repro.units import Gbps
+
+
+def paths(net):
+    fwdish = shortest_path(net.topology, "nic0", "dimm0-0")
+    revish = shortest_path(net.topology, "dimm0-0", "nic0")
+    return fwdish, revish
+
+
+def direction_of(net, path, link_id):
+    """The fwd/rev tag this path uses when crossing link_id."""
+    link = net.topology.link(link_id)
+    index = path.links.index(link_id)
+    return "fwd" if path.devices[index] == link.src else "rev"
+
+
+class TestDirectionalCaps:
+    def test_cap_binds_only_its_direction(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        inbound = net.start_transfer("t", into)
+        outbound = net.start_transfer("t", outof)
+        d = direction_of(net, into, "pcie-nic0")
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(16), direction=d)
+        assert inbound.current_rate == pytest.approx(Gbps(16), rel=1e-6)
+        assert outbound.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_aggregate_cap_binds_both(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        inbound = net.start_transfer("t", into)
+        outbound = net.start_transfer("t", outof)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(16))
+        assert inbound.current_rate + outbound.current_rate == \
+            pytest.approx(Gbps(16), rel=1e-6)
+
+    def test_directional_and_aggregate_coexist(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        inbound = net.start_transfer("t", into)
+        outbound = net.start_transfer("t", outof)
+        d = direction_of(net, into, "pcie-nic0")
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(8), direction=d)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(12))  # aggregate
+        assert inbound.current_rate <= Gbps(8) * (1 + 1e-6)
+        assert inbound.current_rate + outbound.current_rate <= \
+            Gbps(12) * (1 + 1e-6)
+
+    def test_clear_directional_cap(self, minimal_net):
+        net = minimal_net
+        into, _ = paths(net)
+        flow = net.start_transfer("t", into)
+        d = direction_of(net, into, "pcie-nic0")
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(8), direction=d)
+        assert flow.current_rate == pytest.approx(Gbps(8), rel=1e-6)
+        net.clear_tenant_link_cap("t", "pcie-nic0", direction=d)
+        assert flow.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_clear_tenant_caps_clears_all_directions(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        inbound = net.start_transfer("t", into)
+        outbound = net.start_transfer("t", outof)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(4), direction="fwd")
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(4), direction="rev")
+        net.clear_tenant_caps("t")
+        assert inbound.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+        assert outbound.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_invalid_direction_rejected(self, minimal_net):
+        with pytest.raises(ValueError):
+            minimal_net.set_tenant_link_cap("t", "pcie-nic0", Gbps(1),
+                                            direction="sideways")
+
+    def test_cap_query_by_direction(self, minimal_net):
+        net = minimal_net
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(8), direction="fwd")
+        assert net.tenant_link_cap("t", "pcie-nic0", "fwd") == \
+            pytest.approx(Gbps(8))
+        assert net.tenant_link_cap("t", "pcie-nic0", "rev") is None
+        assert net.tenant_link_cap("t", "pcie-nic0") is None
+
+
+class TestDirectionalQueries:
+    def test_tenant_link_rate_by_direction(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        net.start_transfer("t", into, demand=Gbps(10))
+        net.start_transfer("t", outof, demand=Gbps(20))
+        d_in = direction_of(net, into, "pcie-nic0")
+        d_out = "rev" if d_in == "fwd" else "fwd"
+        assert net.tenant_link_rate("t", "pcie-nic0", d_in) == \
+            pytest.approx(Gbps(10), rel=1e-6)
+        assert net.tenant_link_rate("t", "pcie-nic0", d_out) == \
+            pytest.approx(Gbps(20), rel=1e-6)
+        assert net.tenant_link_rate("t", "pcie-nic0") == \
+            pytest.approx(Gbps(30), rel=1e-6)
+
+    def test_link_rate_by_direction(self, minimal_net):
+        net = minimal_net
+        into, outof = paths(net)
+        net.start_transfer("a", into, demand=Gbps(10))
+        net.start_transfer("b", outof, demand=Gbps(20))
+        total = net.link_rate("pcie-nic0")
+        fwd = net.link_rate("pcie-nic0", "fwd")
+        rev = net.link_rate("pcie-nic0", "rev")
+        assert fwd + rev == pytest.approx(total)
+        assert {round(fwd / Gbps(10)), round(rev / Gbps(10))} == {1, 2}

@@ -1,0 +1,191 @@
+"""Clock and discrete-event engine: ordering, determinism, periodics."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.sim import Engine, SimClock
+from repro.sim.rng import make_rng
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_no_backwards(self):
+        c = SimClock(10.0)
+        with pytest.raises(ClockError):
+            c.advance_to(9.0)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance_by(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(2.0, lambda: fired.append("b"))
+        eng.schedule_at(1.0, lambda: fired.append("a"))
+        eng.schedule_at(3.0, lambda: fired.append("c"))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        eng = Engine()
+        fired = []
+        for i in range(5):
+            eng.schedule_at(1.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.clock.advance_to(5.0)
+        with pytest.raises(ClockError):
+            eng.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            Engine().schedule_in(-0.1, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        fired = []
+        event = eng.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        eng = Engine()
+        fired = []
+
+        def chain():
+            fired.append(eng.now)
+            if eng.now < 3.0:
+                eng.schedule_in(1.0, chain)
+
+        eng.schedule_at(1.0, chain)
+        eng.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_target(self):
+        eng = Engine()
+        eng.run_until(7.5)
+        assert eng.now == 7.5
+
+    def test_future_events_not_fired(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(10.0, lambda: fired.append("late"))
+        eng.run_until(5.0)
+        assert fired == []
+        assert eng.pending_events() == 1
+
+    def test_boundary_event_fires(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(5.0, lambda: fired.append("edge"))
+        eng.run_until(5.0)
+        assert fired == ["edge"]
+
+    def test_backwards_rejected(self):
+        eng = Engine()
+        eng.run_until(5.0)
+        with pytest.raises(ClockError):
+            eng.run_until(4.0)
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def storm():
+            eng.schedule_in(0.0, storm)
+
+        eng.schedule_at(0.0, storm)
+        with pytest.raises(SimulationError):
+            eng.run_until(1.0, max_events=100)
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule_at(float(i), lambda: None)
+        eng.run()
+        assert eng.events_processed == 4
+
+
+class TestPeriodic:
+    def test_fires_every_period(self):
+        eng = Engine()
+        times = []
+        eng.schedule_every(1.0, lambda: times.append(eng.now))
+        eng.run_until(3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_first_delay_override(self):
+        eng = Engine()
+        times = []
+        eng.schedule_every(1.0, lambda: times.append(eng.now),
+                           first_delay=0.25)
+        eng.run_until(2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_cancel_stops(self):
+        eng = Engine()
+        times = []
+        task = eng.schedule_every(1.0, lambda: times.append(eng.now))
+        eng.run_until(2.0)
+        task.cancel()
+        eng.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_reschedule_changes_period(self):
+        """The new period applies after the already-armed firing."""
+        eng = Engine()
+        times = []
+        task = eng.schedule_every(1.0, lambda: times.append(eng.now))
+        eng.run_until(1.0)
+        task.reschedule(0.5)
+        eng.run_until(3.0)
+        assert times == [1.0, 2.0, 2.5, 3.0]
+
+    def test_jitter_requires_rng(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule_every(1.0, lambda: None, jitter=0.1)
+
+    def test_jitter_varies_periods(self):
+        eng = Engine()
+        times = []
+        eng.schedule_every(1.0, lambda: times.append(eng.now),
+                           jitter=0.5, rng=make_rng(42))
+        eng.run_until(10.0)
+        gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_every(0.0, lambda: None)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_decorrelated(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

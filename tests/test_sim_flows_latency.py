@@ -1,0 +1,125 @@
+"""Flow lifecycle objects and the analytic latency model."""
+
+import math
+
+import pytest
+
+from repro.errors import FlowError
+from repro.sim import LatencyModel
+from repro.sim.flows import Flow, FlowState
+from repro.topology import cascade_lake_2s, shortest_path
+from repro.units import Gbps, kib, ns
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return cascade_lake_2s()
+
+
+@pytest.fixture
+def path(topo):
+    return shortest_path(topo, "nic0", "dimm0-0")
+
+
+def make_flow(path, **overrides):
+    defaults = dict(flow_id="f0", tenant_id="t0", path=path)
+    defaults.update(overrides)
+    return Flow(**defaults)
+
+
+class TestFlow:
+    def test_initial_state(self, path):
+        f = make_flow(path)
+        assert f.state is FlowState.PENDING
+        assert f.bytes_sent == 0.0
+        assert f.remaining_bytes == math.inf
+
+    def test_finite_remaining(self, path):
+        f = make_flow(path, size=100.0)
+        f.bytes_sent = 30.0
+        assert f.remaining_bytes == pytest.approx(70.0)
+        assert f.is_finite
+
+    def test_effective_demand_combines_cap(self, path):
+        f = make_flow(path, demand=10.0, rate_cap=4.0)
+        assert f.effective_demand == 4.0
+
+    def test_duration_and_throughput(self, path):
+        f = make_flow(path, size=100.0)
+        f.started_at, f.finished_at, f.bytes_sent = 1.0, 3.0, 100.0
+        assert f.duration == pytest.approx(2.0)
+        assert f.throughput() == pytest.approx(50.0)
+
+    def test_duration_none_before_finish(self, path):
+        f = make_flow(path)
+        f.started_at = 1.0
+        assert f.duration is None
+        assert f.throughput() is None
+
+    def test_invalid_size(self, path):
+        with pytest.raises(FlowError):
+            make_flow(path, size=0.0)
+
+    def test_invalid_weight(self, path):
+        with pytest.raises(FlowError):
+            make_flow(path, weight=0.0)
+
+    def test_invalid_demand(self, path):
+        with pytest.raises(FlowError):
+            make_flow(path, demand=-1.0)
+
+
+class TestLatencyModel:
+    def test_zero_load_is_base(self, topo, path):
+        model = LatencyModel()
+        latency = model.path_latency(topo, path, lambda _: 0.0)
+        assert latency == pytest.approx(path.base_latency)
+
+    def test_inflation_monotone_in_utilization(self, topo, path):
+        model = LatencyModel()
+        lats = [
+            model.path_latency(topo, path, lambda _, r=rho: r)
+            for rho in (0.0, 0.5, 0.9, 0.99)
+        ]
+        assert lats == sorted(lats)
+
+    def test_inflation_bounded_by_rho_cap(self):
+        model = LatencyModel(alpha=1.0, rho_cap=0.98)
+        assert model.inflation(5.0) == model.inflation(0.98)
+        assert model.inflation(0.98) == pytest.approx(49.0)
+
+    def test_negative_utilization_clamped(self):
+        model = LatencyModel()
+        assert model.inflation(-0.5) == 0.0
+
+    def test_message_size_adds_serialization(self, topo, path):
+        model = LatencyModel()
+        small = model.path_latency(topo, path, lambda _: 0.0, 0.0)
+        big = model.path_latency(topo, path, lambda _: 0.0, kib(64))
+        expected_serialization = kib(64) / path.bottleneck_capacity
+        assert big - small == pytest.approx(expected_serialization)
+
+    def test_down_link_infinite(self, topo, path):
+        broken = topo.copy()
+        broken.link(path.links[0]).up = False
+        model = LatencyModel()
+        assert math.isinf(model.path_latency(broken, path, lambda _: 0.0))
+
+    def test_round_trip_is_two_one_ways(self, topo, path):
+        model = LatencyModel()
+        one = model.path_latency(topo, path, lambda _: 0.0)
+        rt = model.round_trip(topo, path, lambda _: 0.0)
+        assert rt == pytest.approx(2 * one)
+
+    def test_extra_latency_included(self, topo, path):
+        broken = topo.copy()
+        broken.link(path.links[0]).extra_latency = ns(500)
+        model = LatencyModel()
+        healthy = model.path_latency(topo, path, lambda _: 0.0)
+        degraded = model.path_latency(broken, path, lambda _: 0.0)
+        assert degraded - healthy == pytest.approx(ns(500))
+
+    def test_residual_floor_keeps_latency_finite(self, topo, path):
+        model = LatencyModel(min_residual_fraction=0.02)
+        latency = model.path_latency(topo, path, lambda _: 1.0, kib(4))
+        assert math.isfinite(latency)

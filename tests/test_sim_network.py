@@ -1,0 +1,245 @@
+"""FabricNetwork: flow lifecycle, fairness, accounting, failures."""
+
+import math
+
+import pytest
+
+from repro.errors import FlowError, UnknownLinkError
+from repro.sim import FabricNetwork, FlowState
+from repro.topology import shortest_path
+from repro.units import Gbps
+
+
+def path_of(net, src, dst):
+    return shortest_path(net.topology, src, dst)
+
+
+class TestLifecycle:
+    def test_start_and_complete(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        done = []
+        flow = net.start_transfer("t", p, size=1e9,
+                                  on_complete=lambda f: done.append(f))
+        assert flow.state is FlowState.ACTIVE
+        net.engine.run()
+        assert flow.state is FlowState.COMPLETED
+        assert done == [flow]
+        assert flow.bytes_sent == pytest.approx(1e9)
+        assert not net.has_flow(flow.flow_id)
+
+    def test_completion_time_matches_rate(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        flow = net.start_transfer("t", p, size=Gbps(256))  # 1s at line rate
+        net.engine.run()
+        assert flow.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_cancel(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        flow = net.start_transfer("t", p)
+        net.engine.run_until(0.5)
+        cancelled = net.cancel_flow(flow.flow_id)
+        assert cancelled.state is FlowState.CANCELLED
+        assert cancelled.bytes_sent > 0
+        assert not net.has_flow(flow.flow_id)
+
+    def test_duplicate_id_rejected(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        net.start_transfer("t", p, flow_id="dup")
+        with pytest.raises(FlowError):
+            net.start_transfer("t", p, flow_id="dup")
+
+    def test_cancel_unknown_rejected(self, minimal_net):
+        with pytest.raises(FlowError):
+            minimal_net.cancel_flow("ghost")
+
+    def test_unknown_link_in_path_rejected(self, minimal_net, cascade_net):
+        foreign = path_of(cascade_net, "nic0", "dimm1-0")
+        with pytest.raises(UnknownLinkError):
+            minimal_net.start_transfer("t", foreign)
+
+    def test_flow_listeners(self, minimal_net):
+        net = minimal_net
+        events = []
+        net.on_flow_start(lambda f: events.append(("start", f.flow_id)))
+        net.on_flow_complete(lambda f: events.append(("done", f.flow_id)))
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p, size=1e6)
+        net.engine.run()
+        assert events == [("start", f.flow_id), ("done", f.flow_id)]
+
+
+class TestFairness:
+    def test_two_tenants_share_bottleneck(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f1 = net.start_transfer("a", p)
+        f2 = net.start_transfer("b", p)
+        assert f1.current_rate == pytest.approx(f2.current_rate)
+        assert f1.current_rate + f2.current_rate == \
+            pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_full_duplex_directions_independent(self, minimal_net):
+        net = minimal_net
+        fwd = net.start_transfer("a", path_of(net, "nic0", "dimm0-0"))
+        rev = net.start_transfer("b", path_of(net, "dimm0-0", "nic0"))
+        assert fwd.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+        assert rev.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_tenant_weight_shifts_share(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f1 = net.start_transfer("heavy", p)
+        f2 = net.start_transfer("light", p)
+        net.set_tenant_weight("heavy", 3.0)
+        assert f1.current_rate == pytest.approx(3 * f2.current_rate, rel=1e-6)
+
+    def test_demand_limited_flow(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p, demand=Gbps(10))
+        assert f.current_rate == pytest.approx(Gbps(10))
+
+    def test_rates_rebalance_on_completion(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        small = net.start_transfer("a", p, size=1e6)
+        big = net.start_transfer("b", p)
+        assert big.current_rate == pytest.approx(Gbps(256) / 2, rel=1e-6)
+        net.engine.run_until(1.0)
+        assert small.state is FlowState.COMPLETED
+        assert big.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+
+class TestCapsAndWeights:
+    def test_tenant_link_cap(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(32))
+        assert f.current_rate == pytest.approx(Gbps(32), rel=1e-6)
+        net.clear_tenant_link_cap("t", "pcie-nic0")
+        assert f.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_cap_applies_to_tenant_aggregate(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f1 = net.start_transfer("t", p)
+        f2 = net.start_transfer("t", p)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(32))
+        assert f1.current_rate + f2.current_rate == \
+            pytest.approx(Gbps(32), rel=1e-6)
+
+    def test_clear_tenant_caps(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p)
+        net.set_tenant_link_cap("t", "pcie-nic0", Gbps(8))
+        net.set_tenant_link_cap("t", "pcie-up0", Gbps(8)) \
+            if net.topology.has_link("pcie-up0") else None
+        net.clear_tenant_caps("t")
+        assert f.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_flow_rate_cap(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p)
+        net.set_flow_rate_cap(f.flow_id, Gbps(16))
+        assert f.current_rate == pytest.approx(Gbps(16), rel=1e-6)
+
+    def test_set_flow_demand(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p, demand=Gbps(10))
+        net.set_flow_demand(f.flow_id, Gbps(40))
+        assert f.current_rate == pytest.approx(Gbps(40), rel=1e-6)
+
+    def test_invalid_cap_rejected(self, minimal_net):
+        net = minimal_net
+        with pytest.raises(ValueError):
+            net.set_tenant_link_cap("t", "pcie-nic0", -1.0)
+        with pytest.raises(UnknownLinkError):
+            net.set_tenant_link_cap("t", "ghost", 1.0)
+
+
+class TestAccounting:
+    def test_link_bytes_integrates_rate(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        net.start_transfer("t", p, demand=Gbps(80))
+        net.engine.run_until(1.0)
+        assert net.link_bytes("pcie-nic0") == pytest.approx(Gbps(80),
+                                                            rel=1e-6)
+
+    def test_per_direction_bytes(self, minimal_net):
+        net = minimal_net
+        net.start_transfer("t", path_of(net, "nic0", "dimm0-0"),
+                           demand=Gbps(80))
+        net.engine.run_until(1.0)
+        fwd = net.link_bytes("pcie-nic0", "fwd")
+        rev = net.link_bytes("pcie-nic0", "rev")
+        assert fwd + rev == pytest.approx(net.link_bytes("pcie-nic0"))
+        # only one direction carries traffic
+        assert min(fwd, rev) == 0.0
+        assert max(fwd, rev) == pytest.approx(Gbps(80), rel=1e-6)
+
+    def test_tenant_attribution(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        net.start_transfer("a", p, demand=Gbps(40))
+        net.start_transfer("b", p, demand=Gbps(40))
+        net.engine.run_until(0.5)
+        a = net.tenant_link_bytes("a", "pcie-nic0")
+        b = net.tenant_link_bytes("b", "pcie-nic0")
+        assert a == pytest.approx(b)
+        assert a + b == pytest.approx(net.link_bytes("pcie-nic0"))
+
+    def test_bytes_conserved_on_completion(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        net.start_transfer("t", p, size=5e9)
+        net.engine.run()
+        for link_id in p.links:
+            assert net.link_bytes(link_id) == pytest.approx(5e9, rel=1e-9)
+
+    def test_utilization(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        net.start_transfer("t", p, demand=Gbps(128))
+        assert net.link_utilization("pcie-nic0") == pytest.approx(0.5,
+                                                                  rel=1e-6)
+
+
+class TestFailures:
+    def test_degraded_link_shrinks_rates(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p)
+        net.degrade_link("pcie-nic0", Gbps(64))
+        assert f.current_rate == pytest.approx(Gbps(64), rel=1e-6)
+        net.degrade_link("pcie-nic0", None)
+        assert f.current_rate == pytest.approx(Gbps(256), rel=1e-6)
+
+    def test_down_link_stalls_flow(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        f = net.start_transfer("t", p, size=1e9)
+        net.set_link_up("pcie-nic0", False)
+        assert f.current_rate == 0.0
+        net.engine.run_until(1.0)
+        assert f.state is FlowState.ACTIVE  # stalled, not completed
+        net.set_link_up("pcie-nic0", True)
+        net.engine.run()
+        assert f.state is FlowState.COMPLETED
+
+    def test_latency_queries(self, minimal_net):
+        net = minimal_net
+        p = path_of(net, "nic0", "dimm0-0")
+        idle = net.path_latency(p)
+        net.start_transfer("x", p)
+        loaded = net.path_latency(p)
+        assert loaded > idle
+        assert net.round_trip_latency(p) >= 2 * idle

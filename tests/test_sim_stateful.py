@@ -1,0 +1,149 @@
+"""Stateful property testing of the fabric under random operation sequences.
+
+Hypothesis drives random interleavings of flow starts/cancels, cap
+changes, failures, and time advances against a live FabricNetwork, and
+checks the global invariants after every step:
+
+* no directed link carries more than its effective capacity;
+* no flow exceeds its effective demand;
+* per-tenant caps are respected;
+* byte accounting is conserved (per-link totals equal the sum of per-
+  tenant attributions, and directions sum to the total);
+* the clock never moves backwards.
+"""
+
+import math
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sim import Engine, FabricNetwork
+from repro.topology import minimal_host, shortest_path
+from repro.units import Gbps
+
+TENANTS = ["t0", "t1", "t2"]
+ENDPOINT_PAIRS = [("nic0", "dimm0-0"), ("dimm0-0", "nic0"),
+                  ("nvme0", "dimm0-0"), ("nic0", "nvme0")]
+CAPPABLE_LINKS = ["pcie-nic0", "pcie-nvme0", "membus0-0"]
+
+_TOL = 1 + 1e-6
+
+
+class FabricMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.network = FabricNetwork(minimal_host(), Engine())
+        self.flow_ids = []
+        self.last_now = 0.0
+
+    # -- operations --------------------------------------------------------
+
+    @rule(pair=st.sampled_from(ENDPOINT_PAIRS),
+          tenant=st.sampled_from(TENANTS),
+          size=st.one_of(st.none(),
+                         st.floats(min_value=1e3, max_value=1e9)),
+          demand_gbps=st.one_of(st.just(math.inf),
+                                st.floats(min_value=0.1, max_value=300)))
+    def start_flow(self, pair, tenant, size, demand_gbps):
+        demand = demand_gbps if math.isinf(demand_gbps) else Gbps(demand_gbps)
+        path = shortest_path(self.network.topology, *pair)
+        flow = self.network.start_transfer(tenant, path, size=size,
+                                           demand=demand)
+        self.flow_ids.append(flow.flow_id)
+
+    @rule()
+    def cancel_some_flow(self):
+        active = [f for f in self.flow_ids if self.network.has_flow(f)]
+        if active:
+            self.network.cancel_flow(active[0])
+
+    @rule(tenant=st.sampled_from(TENANTS),
+          link=st.sampled_from(CAPPABLE_LINKS),
+          cap_gbps=st.floats(min_value=0.1, max_value=300),
+          direction=st.sampled_from([None, "fwd", "rev"]))
+    def set_cap(self, tenant, link, cap_gbps, direction):
+        self.network.set_tenant_link_cap(tenant, link, Gbps(cap_gbps),
+                                         direction=direction)
+
+    @rule(tenant=st.sampled_from(TENANTS))
+    def clear_caps(self, tenant):
+        self.network.clear_tenant_caps(tenant)
+
+    @rule(link=st.sampled_from(CAPPABLE_LINKS),
+          factor=st.one_of(st.none(),
+                           st.floats(min_value=0.05, max_value=1.0)))
+    def degrade(self, link, factor):
+        capacity = self.network.topology.link(link).capacity
+        self.network.degrade_link(
+            link, None if factor is None else capacity * factor
+        )
+
+    @rule(dt=st.floats(min_value=1e-6, max_value=0.05))
+    def advance(self, dt):
+        self.network.engine.run_until(self.network.engine.now + dt)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def clock_monotone(self):
+        now = self.network.engine.now
+        assert now >= self.last_now
+        self.last_now = now
+
+    @invariant()
+    def no_link_oversubscribed(self):
+        for link in self.network.topology.links():
+            cap = link.effective_capacity
+            for direction in ("fwd", "rev"):
+                rate = self.network.link_rate(link.link_id, direction)
+                assert rate <= cap * _TOL + 1e-6, (
+                    f"{link.link_id}/{direction}: {rate} > {cap}"
+                )
+
+    @invariant()
+    def no_flow_exceeds_demand(self):
+        for flow in self.network.active_flows():
+            assert flow.current_rate <= flow.effective_demand * _TOL + 1e-6
+
+    @invariant()
+    def caps_respected(self):
+        for tenant in TENANTS:
+            for link in CAPPABLE_LINKS:
+                for direction in (None, "fwd", "rev"):
+                    cap = self.network.tenant_link_cap(tenant, link,
+                                                       direction)
+                    if cap is None:
+                        continue
+                    rate = self.network.tenant_link_rate(tenant, link,
+                                                         direction)
+                    assert rate <= cap * _TOL + 1e-6, (
+                        f"{tenant}@{link}/{direction}: {rate} > cap {cap}"
+                    )
+
+    @invariant()
+    def accounting_consistent(self):
+        for link in self.network.topology.links():
+            total = self.network.link_bytes(link.link_id)
+            by_direction = (
+                self.network.link_bytes(link.link_id, "fwd")
+                + self.network.link_bytes(link.link_id, "rev")
+            )
+            assert by_direction == pytest.approx(total, rel=1e-9, abs=1e-3)
+            by_tenant = sum(
+                self.network.tenant_link_bytes(t, link.link_id)
+                for t in TENANTS + ["_system"]
+            )
+            assert by_tenant == pytest.approx(total, rel=1e-9, abs=1e-3)
+
+
+FabricMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None,
+)
+TestFabricStateful = FabricMachine.TestCase

@@ -1,0 +1,143 @@
+"""Statistics helpers: percentiles, summaries, EWMA, time series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import (
+    EwmaTracker,
+    TimeSeries,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_p0_is_min_p100_is_max(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1),
+           st.floats(min_value=0, max_value=100))
+    def test_bounded_by_min_max(self, data, p):
+        result = percentile(data, p)
+        assert min(data) <= result <= max(data)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+    def test_monotone_in_p(self, data):
+        assert percentile(data, 25) <= percentile(data, 75)
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev_constant_is_zero(self):
+        assert stddev([4.0, 4.0, 4.0]) == 0.0
+
+    def test_stddev_short_is_zero(self):
+        assert stddev([4.0]) == 0.0
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+        assert s.mean == pytest.approx(2.5)
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0]).as_dict()
+        assert set(d) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestEwmaTracker:
+    def test_first_observation_sets_mean(self):
+        t = EwmaTracker()
+        t.update(10.0)
+        assert t.value == 10.0
+
+    def test_converges_toward_level(self):
+        t = EwmaTracker(alpha=0.5)
+        for _ in range(50):
+            t.update(100.0)
+        assert t.value == pytest.approx(100.0, rel=1e-6)
+
+    def test_zscore_zero_before_baseline(self):
+        t = EwmaTracker()
+        assert t.zscore(123.0) == 0.0
+        t.update(1.0)
+        assert t.zscore(123.0) == 0.0  # still only 1 observation
+
+    def test_zscore_flags_outlier(self):
+        t = EwmaTracker(alpha=0.2)
+        for v in [10.0, 10.5, 9.5, 10.2, 9.8, 10.1]:
+            t.update(v)
+        assert abs(t.zscore(10.0)) < 3
+        assert t.zscore(100.0) > 10
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaTracker(alpha=1.5)
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert ts.last() == (1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 2.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert ts.values() == [1.0, 2.0]
+
+    def test_window(self):
+        ts = TimeSeries()
+        for i in range(10):
+            ts.append(float(i), float(i * i))
+        window = ts.window(2.0, 4.0)
+        assert [t for t, _ in window] == [2.0, 3.0, 4.0]
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()

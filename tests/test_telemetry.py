@@ -1,0 +1,242 @@
+"""Telemetry: counter fidelity (Q1), storage, collection cost (Q2), views."""
+
+import pytest
+
+from repro.errors import TelemetryError, UnknownMetricError
+from repro.sim import SYSTEM_TENANT
+from repro.telemetry import (
+    SOURCE_SPECS,
+    CounterBank,
+    CounterSource,
+    MetricStore,
+    TelemetryCollector,
+    hottest_links,
+    link_util_metric,
+    per_tenant_usage,
+    tenant_rate_metric,
+    top_talkers,
+    utilization_table,
+)
+from repro.topology import shortest_path
+from repro.units import Gbps, ms
+
+
+def drive_traffic(net, tenant="t1", demand=Gbps(100)):
+    p = shortest_path(net.topology, "nic0", "dimm0-0")
+    return net.start_transfer(tenant, p, demand=demand)
+
+
+class TestCounterBank:
+    def test_hardware_is_tenant_blind(self, minimal_net):
+        bank = CounterBank(minimal_net, CounterSource.HARDWARE)
+        assert not bank.supports_per_tenant()
+        with pytest.raises(TelemetryError):
+            bank.tenant_link_bytes("t1", "pcie-nic0")
+
+    def test_software_sees_tenants_but_underreports(self, minimal_net):
+        drive_traffic(minimal_net)
+        minimal_net.engine.run_until(1.0)
+        bank = CounterBank(minimal_net, CounterSource.SOFTWARE)
+        truth = minimal_net.tenant_link_bytes("t1", "pcie-nic0")
+        seen = bank.tenant_link_bytes("t1", "pcie-nic0")
+        visibility = SOURCE_SPECS[CounterSource.SOFTWARE].visibility
+        assert seen == pytest.approx(truth * visibility, rel=1e-3)
+
+    def test_hardware_latches_fast_reads(self, minimal_net):
+        drive_traffic(minimal_net)
+        bank = CounterBank(minimal_net, CounterSource.HARDWARE)
+        minimal_net.engine.run_until(0.2)
+        first = bank.link_bytes("pcie-nic0")
+        # advance less than the 100ms min read interval: stale value
+        minimal_net.engine.run_until(0.25)
+        assert bank.link_bytes("pcie-nic0") == first
+        # advance beyond it: fresh value
+        minimal_net.engine.run_until(0.35)
+        assert bank.link_bytes("pcie-nic0") > first
+
+    def test_future_hardware_fast_and_attributed(self, minimal_net):
+        drive_traffic(minimal_net)
+        bank = CounterBank(minimal_net, CounterSource.FUTURE_HARDWARE)
+        assert bank.supports_per_tenant()
+        minimal_net.engine.run_until(0.001)
+        a = bank.link_bytes("pcie-nic0")
+        minimal_net.engine.run_until(0.002)
+        assert bank.link_bytes("pcie-nic0") > a
+
+    def test_quantization(self, minimal_net):
+        drive_traffic(minimal_net)
+        minimal_net.engine.run_until(0.5)
+        bank = CounterBank(minimal_net, CounterSource.HARDWARE)
+        value = bank.link_bytes("pcie-nic0")
+        assert value % 64 == 0
+
+
+class TestMetricStore:
+    def test_record_and_series(self):
+        store = MetricStore()
+        store.record("m", 0.0, 1.0)
+        store.record("m", 1.0, 2.0)
+        assert store.series("m") == [(0.0, 1.0), (1.0, 2.0)]
+        assert store.latest("m") == (1.0, 2.0)
+        assert store.values("m") == [1.0, 2.0]
+
+    def test_ring_eviction(self):
+        store = MetricStore(capacity=3)
+        for i in range(5):
+            store.record("m", float(i), float(i))
+        assert store.values("m") == [2.0, 3.0, 4.0]
+        assert store.samples_evicted == 2
+
+    def test_unknown_metric(self):
+        with pytest.raises(UnknownMetricError):
+            MetricStore().series("ghost")
+
+    def test_window(self):
+        store = MetricStore()
+        for i in range(10):
+            store.record("m", float(i), float(i))
+        assert len(store.window("m", 2.0, 5.0)) == 4
+
+    def test_metrics_sorted(self):
+        store = MetricStore()
+        store.record("b", 0, 0)
+        store.record("a", 0, 0)
+        assert store.metrics() == ["a", "b"]
+
+    def test_memory_accounting(self):
+        store = MetricStore(capacity=10)
+        store.record("m", 0, 0)
+        assert store.memory_bytes(16.0) == 16.0
+
+
+class TestCollector:
+    def test_samples_utilization(self, minimal_net):
+        collector = TelemetryCollector(minimal_net, period=0.01,
+                                       source=CounterSource.SOFTWARE)
+        collector.start()
+        drive_traffic(minimal_net, demand=Gbps(128))
+        minimal_net.engine.run_until(0.1)
+        util = collector.latest_utilization("pcie-nic0")
+        # software interception sees 90% of the true 0.5 utilization
+        assert util == pytest.approx(0.45, abs=0.05)
+
+    def test_hardware_sampling_below_read_interval_goes_stale(self,
+                                                              minimal_net):
+        """Polling PCM-style counters faster than they refresh reads zeros."""
+        collector = TelemetryCollector(minimal_net, period=0.01,
+                                       source=CounterSource.HARDWARE)
+        collector.start()
+        drive_traffic(minimal_net, demand=Gbps(128))
+        minimal_net.engine.run_until(0.05)
+        assert collector.latest_utilization("pcie-nic0") == 0.0
+
+    def test_local_mode_costs_nothing(self, minimal_net):
+        collector = TelemetryCollector(minimal_net, period=0.01,
+                                       processing="local")
+        collector.start()
+        minimal_net.engine.run_until(0.5)
+        assert collector.overhead_rate() == 0.0
+
+    def test_ship_mode_consumes_fabric(self, minimal_net):
+        collector = TelemetryCollector(minimal_net, period=0.01,
+                                       processing="ship")
+        collector.start()
+        minimal_net.engine.run_until(0.5)
+        assert collector.shipped_bytes > 0
+        assert minimal_net.link_bytes("pcie-nic0") > 0  # system flows ran
+        assert minimal_net.tenant_link_bytes(
+            SYSTEM_TENANT, "pcie-nic0") == pytest.approx(
+                minimal_net.link_bytes("pcie-nic0"))
+
+    def test_faster_sampling_ships_more(self, minimal_net):
+        fast = TelemetryCollector(minimal_net, period=0.001,
+                                  processing="ship")
+        fast.start()
+        minimal_net.engine.run_until(0.2)
+        fast.stop()
+        fast_bytes = fast.shipped_bytes
+        slow = TelemetryCollector(minimal_net, period=0.05,
+                                  processing="ship")
+        slow.start()
+        minimal_net.engine.run_until(0.4)
+        assert fast_bytes > slow.shipped_bytes * 5
+
+    def test_per_tenant_metrics_with_software_source(self, minimal_net):
+        collector = TelemetryCollector(
+            minimal_net, source=CounterSource.SOFTWARE, period=0.01,
+            tenants=["t1"],
+        )
+        collector.start()
+        drive_traffic(minimal_net)
+        minimal_net.engine.run_until(0.1)
+        metric = tenant_rate_metric("t1", "pcie-nic0")
+        assert collector.store.has_metric(metric)
+        assert collector.store.latest(metric)[1] > 0
+
+    def test_hardware_source_no_tenant_metrics(self, minimal_net):
+        collector = TelemetryCollector(
+            minimal_net, source=CounterSource.HARDWARE, period=0.01,
+            tenants=["t1"],
+        )
+        collector.start()
+        drive_traffic(minimal_net)
+        minimal_net.engine.run_until(0.1)
+        assert not collector.store.has_metric(
+            tenant_rate_metric("t1", "pcie-nic0")
+        )
+
+    def test_double_start_rejected(self, minimal_net):
+        collector = TelemetryCollector(minimal_net)
+        collector.start()
+        with pytest.raises(TelemetryError):
+            collector.start()
+
+    def test_set_period(self, minimal_net):
+        collector = TelemetryCollector(minimal_net, period=0.1)
+        collector.start()
+        collector.set_period(0.01)
+        minimal_net.engine.run_until(0.5)
+        assert collector.cycles > 10
+
+    def test_degraded_link_looks_underutilized(self, minimal_net):
+        """The E4 premise: counters divide by advertised capacity."""
+        collector = TelemetryCollector(minimal_net, period=0.01,
+                                       source=CounterSource.SOFTWARE)
+        collector.start()
+        drive_traffic(minimal_net, demand=Gbps(999))  # elastic saturation
+        minimal_net.degrade_link("pcie-nic0", Gbps(25.6))  # silent 10x loss
+        minimal_net.engine.run_until(0.2)
+        util = collector.latest_utilization("pcie-nic0")
+        assert util < 0.15  # looks idle although the link is saturated
+
+
+class TestViews:
+    def test_utilization_table_sorted(self, cascade_net):
+        drive_traffic(cascade_net)
+        rows = utilization_table(cascade_net)
+        utils = [r.utilization for r in rows]
+        assert utils == sorted(utils, reverse=True)
+        assert rows[0].utilization > 0
+
+    def test_row_format_mentions_degraded(self, cascade_net):
+        cascade_net.degrade_link("pcie-nic0", Gbps(10))
+        rows = [r for r in utilization_table(cascade_net)
+                if r.link_id == "pcie-nic0"]
+        assert "DEGRADED" in rows[0].format_row()
+
+    def test_per_tenant_usage(self, cascade_net):
+        drive_traffic(cascade_net, tenant="a")
+        usage = per_tenant_usage(cascade_net, ["a", "idle"])
+        assert usage["a"]
+        assert usage["idle"] == {}
+
+    def test_top_talkers(self, cascade_net):
+        drive_traffic(cascade_net, tenant="big", demand=Gbps(100))
+        drive_traffic(cascade_net, tenant="small", demand=Gbps(1))
+        talkers = top_talkers(cascade_net, ["big", "small"], "pcie-nic0")
+        assert talkers[0][0] == "big"
+
+    def test_hottest_links(self, cascade_net):
+        drive_traffic(cascade_net)
+        hot = hottest_links(cascade_net, k=3)
+        assert len(hot) == 3

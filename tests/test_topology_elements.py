@@ -1,0 +1,95 @@
+"""Device and Link element semantics."""
+
+import pytest
+
+from repro.topology.elements import (
+    Device,
+    DeviceType,
+    ENDPOINT_TYPES,
+    FABRIC_TYPES,
+    Link,
+    LinkClass,
+)
+from repro.units import Gbps, ns
+
+
+def make_link(**overrides):
+    defaults = dict(
+        link_id="l0", src="a", dst="b",
+        link_class=LinkClass.PCIE_DOWNSTREAM,
+        capacity=Gbps(256), base_latency=ns(70),
+    )
+    defaults.update(overrides)
+    return Link(**defaults)
+
+
+class TestDevice:
+    def test_endpoint_classification(self):
+        nic = Device("nic0", DeviceType.NIC, socket=0)
+        assert nic.is_endpoint and not nic.is_fabric
+
+    def test_fabric_classification(self):
+        sw = Device("sw0", DeviceType.PCIE_SWITCH, socket=0)
+        assert sw.is_fabric and not sw.is_endpoint
+
+    def test_endpoint_and_fabric_sets_disjoint(self):
+        assert not (ENDPOINT_TYPES & FABRIC_TYPES)
+
+    def test_str_mentions_type(self):
+        d = Device("gpu1", DeviceType.GPU, socket=1)
+        assert "gpu1" in str(d) and "gpu" in str(d)
+
+    def test_frozen(self):
+        d = Device("x", DeviceType.NIC)
+        with pytest.raises(AttributeError):
+            d.device_id = "y"
+
+
+class TestLink:
+    def test_effective_capacity_healthy(self):
+        link = make_link()
+        assert link.effective_capacity == link.capacity
+        assert link.healthy
+
+    def test_effective_capacity_degraded(self):
+        link = make_link(degraded_capacity=Gbps(10))
+        assert link.effective_capacity == pytest.approx(Gbps(10))
+        assert not link.healthy
+
+    def test_degraded_never_exceeds_capacity(self):
+        link = make_link(degraded_capacity=Gbps(999))
+        assert link.effective_capacity == link.capacity
+
+    def test_down_link_zero_capacity(self):
+        link = make_link(up=False)
+        assert link.effective_capacity == 0.0
+        assert not link.healthy
+
+    def test_extra_latency_unhealthy(self):
+        link = make_link(extra_latency=ns(500))
+        assert not link.healthy
+        assert link.effective_latency == pytest.approx(ns(570))
+
+    def test_other_end(self):
+        link = make_link()
+        assert link.other_end("a") == "b"
+        assert link.other_end("b") == "a"
+
+    def test_other_end_invalid(self):
+        with pytest.raises(ValueError):
+            make_link().other_end("c")
+
+    def test_endpoints(self):
+        assert make_link().endpoints() == ("a", "b")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_link(capacity=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_link(base_latency=-1e-9)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            make_link(src="a", dst="a")

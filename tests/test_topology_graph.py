@@ -1,0 +1,149 @@
+"""HostTopology graph container semantics."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateElementError,
+    UnknownDeviceError,
+    UnknownLinkError,
+)
+from repro.topology import (
+    Device,
+    DeviceType,
+    HostTopology,
+    Link,
+    LinkClass,
+    cascade_lake_2s,
+)
+from repro.units import GBps, Gbps, ns
+
+
+@pytest.fixture
+def tiny():
+    t = HostTopology("tiny")
+    t.add_device(Device("socket0", DeviceType.CPU_SOCKET, socket=0))
+    t.add_device(Device("dimm0", DeviceType.DIMM, socket=0))
+    t.add_device(Device("rc0", DeviceType.PCIE_ROOT_COMPLEX, socket=0))
+    t.add_device(Device("nic0", DeviceType.NIC, socket=0))
+    t.add_link(Link("membus", "socket0", "dimm0", LinkClass.INTRA_SOCKET,
+                    GBps(131), ns(85)))
+    t.add_link(Link("mesh", "socket0", "rc0", LinkClass.INTRA_SOCKET,
+                    GBps(150), ns(50)))
+    t.add_link(Link("pcie", "rc0", "nic0", LinkClass.PCIE_DOWNSTREAM,
+                    Gbps(256), ns(70)))
+    return t
+
+
+class TestConstruction:
+    def test_duplicate_device_rejected(self, tiny):
+        with pytest.raises(DuplicateElementError):
+            tiny.add_device(Device("socket0", DeviceType.CPU_SOCKET))
+
+    def test_duplicate_link_rejected(self, tiny):
+        with pytest.raises(DuplicateElementError):
+            tiny.add_link(Link("membus", "socket0", "dimm0",
+                               LinkClass.INTRA_SOCKET, GBps(1), 0.0))
+
+    def test_link_to_unknown_device_rejected(self, tiny):
+        with pytest.raises(UnknownDeviceError):
+            tiny.add_link(Link("x", "socket0", "ghost",
+                               LinkClass.INTRA_SOCKET, GBps(1), 0.0))
+
+    def test_remove_link(self, tiny):
+        tiny.remove_link("pcie")
+        assert not tiny.has_link("pcie")
+        assert tiny.degree("nic0") == 0
+
+
+class TestLookup:
+    def test_unknown_device_raises(self, tiny):
+        with pytest.raises(UnknownDeviceError):
+            tiny.device("nope")
+
+    def test_unknown_link_raises(self, tiny):
+        with pytest.raises(UnknownLinkError):
+            tiny.link("nope")
+
+    def test_contains_and_len(self, tiny):
+        assert "nic0" in tiny
+        assert len(tiny) == 4
+
+    def test_filter_by_type(self, tiny):
+        nics = tiny.devices(DeviceType.NIC)
+        assert [d.device_id for d in nics] == ["nic0"]
+
+    def test_filter_links_by_class(self, tiny):
+        intra = tiny.links(LinkClass.INTRA_SOCKET)
+        assert {l.link_id for l in intra} == {"membus", "mesh"}
+
+    def test_endpoints(self, tiny):
+        ids = {d.device_id for d in tiny.endpoints()}
+        assert ids == {"socket0", "dimm0", "nic0"}
+
+
+class TestAdjacency:
+    def test_incident_links(self, tiny):
+        ids = {l.link_id for l in tiny.incident_links("socket0")}
+        assert ids == {"membus", "mesh"}
+
+    def test_neighbors(self, tiny):
+        assert set(tiny.neighbors("socket0")) == {"dimm0", "rc0"}
+
+    def test_links_between_empty(self, tiny):
+        assert tiny.links_between("nic0", "dimm0") == []
+
+    def test_parallel_links(self):
+        t = HostTopology()
+        t.add_device(Device("s0", DeviceType.CPU_SOCKET, socket=0))
+        t.add_device(Device("s1", DeviceType.CPU_SOCKET, socket=1))
+        t.add_link(Link("upi0", "s0", "s1", LinkClass.INTER_SOCKET,
+                        GBps(23), ns(140)))
+        t.add_link(Link("upi1", "s0", "s1", LinkClass.INTER_SOCKET,
+                        GBps(23), ns(140)))
+        assert len(t.links_between("s0", "s1")) == 2
+        assert t.degree("s0") == 2
+
+
+class TestNuma:
+    def test_socket_of(self, tiny):
+        assert tiny.socket_of("nic0") == 0
+
+    def test_same_socket(self, tiny):
+        assert tiny.same_socket("nic0", "dimm0")
+
+    def test_sockets_list(self):
+        topo = cascade_lake_2s()
+        assert topo.sockets() == [0, 1]
+
+    def test_same_socket_none_is_false(self):
+        topo = cascade_lake_2s()
+        assert not topo.same_socket("external", "nic0")
+
+
+class TestHealthAndCopy:
+    def test_connected(self, tiny):
+        assert tiny.is_connected()
+
+    def test_disconnected_after_link_down(self, tiny):
+        tiny.link("pcie").up = False
+        assert not tiny.is_connected()
+
+    def test_total_capacity_by_class(self, tiny):
+        assert tiny.total_capacity(LinkClass.PCIE_DOWNSTREAM) == \
+            pytest.approx(Gbps(256))
+
+    def test_copy_is_independent(self, tiny):
+        clone = tiny.copy()
+        clone.link("pcie").up = False
+        assert tiny.link("pcie").up
+
+    def test_copy_preserves_degradation(self, tiny):
+        tiny.link("pcie").degraded_capacity = Gbps(10)
+        tiny.link("pcie").extra_latency = ns(100)
+        clone = tiny.copy()
+        assert clone.link("pcie").degraded_capacity == pytest.approx(Gbps(10))
+        assert clone.link("pcie").extra_latency == pytest.approx(ns(100))
+
+    def test_describe_mentions_counts(self, tiny):
+        text = tiny.describe()
+        assert "4 devices" in text and "3 links" in text

@@ -1,0 +1,91 @@
+"""Presets must validate and stay within Figure 1's calibration ranges."""
+
+import pytest
+
+from repro.topology import (
+    FIGURE1_RANGES,
+    PRESETS,
+    DeviceType,
+    LinkClass,
+    load_preset,
+    validate_topology,
+)
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_preset_validates(name):
+    validate_topology(load_preset(name))
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_preset_links_within_figure1_ranges(name):
+    """Every link's capacity and latency lands in the paper's table."""
+    topo = load_preset(name)
+    for link in topo.links():
+        if link.link_class not in FIGURE1_RANGES:
+            continue  # CXL is outside the Figure-1 table
+        (cap_lo, cap_hi), (lat_lo, lat_hi) = FIGURE1_RANGES[link.link_class]
+        assert cap_lo <= link.capacity <= cap_hi, (
+            f"{name}:{link.link_id} capacity outside Figure-1 range"
+        )
+        assert lat_lo <= link.base_latency <= lat_hi, (
+            f"{name}:{link.link_id} latency outside Figure-1 range"
+        )
+
+
+def test_unknown_preset_lists_choices():
+    with pytest.raises(KeyError, match="cascade_lake_2s"):
+        load_preset("nonsense")
+
+
+class TestCascadeLake:
+    def test_device_census(self):
+        topo = load_preset("cascade_lake_2s")
+        assert len(topo.devices(DeviceType.CPU_SOCKET)) == 2
+        assert len(topo.devices(DeviceType.NIC)) == 2
+        assert len(topo.devices(DeviceType.GPU)) == 2
+        assert len(topo.devices(DeviceType.NVME_SSD)) == 2
+        assert len(topo.devices(DeviceType.PCIE_SWITCH)) == 1
+
+    def test_two_upi_links(self):
+        topo = load_preset("cascade_lake_2s")
+        assert len(topo.links(LinkClass.INTER_SOCKET)) == 2
+
+    def test_multi_level_pcie(self):
+        """nic0 hangs below a switch below a root complex (Figure 1)."""
+        topo = load_preset("cascade_lake_2s")
+        assert len(topo.links(LinkClass.PCIE_UPSTREAM)) == 1
+        incident = {l.link_class for l in topo.incident_links("pcisw0")}
+        assert LinkClass.PCIE_UPSTREAM in incident
+        assert LinkClass.PCIE_DOWNSTREAM in incident
+
+
+class TestDgxLike:
+    def test_eight_gpus_eight_nics(self):
+        topo = load_preset("dgx_like")
+        assert len(topo.devices(DeviceType.GPU)) == 8
+        assert len(topo.devices(DeviceType.NIC)) == 8
+
+    def test_four_switches(self):
+        topo = load_preset("dgx_like")
+        assert len(topo.devices(DeviceType.PCIE_SWITCH)) == 4
+
+    def test_three_upi_links(self):
+        topo = load_preset("dgx_like")
+        assert len(topo.links(LinkClass.INTER_SOCKET)) == 3
+
+
+class TestOtherPresets:
+    def test_epyc_single_socket(self):
+        topo = load_preset("epyc_like_1s")
+        assert topo.sockets() == [0]
+        assert len(topo.links(LinkClass.INTER_SOCKET)) == 0
+
+    def test_cxl_host_has_cxl_link(self):
+        topo = load_preset("cxl_host")
+        assert len(topo.links(LinkClass.CXL)) == 1
+        assert len(topo.devices(DeviceType.CXL_DEVICE)) == 1
+
+    def test_minimal_is_small(self):
+        topo = load_preset("minimal")
+        assert len(topo) <= 7

@@ -1,0 +1,131 @@
+"""Property tests over randomly generated (but valid) host topologies.
+
+A hypothesis strategy assembles random commodity-server shapes with the
+same conventions the presets use; every library invariant that should hold
+for *any* valid host is then checked against them:
+
+* validation passes;
+* every endpoint pair is connected and routing finds simple paths;
+* serialization round-trips;
+* the renderer mentions every device;
+* the simulator can carry a flow between random endpoints.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FabricNetwork
+from repro.topology import (
+    LinkClass,
+    TopologyBuilder,
+    enumerate_paths,
+    render_tree,
+    shortest_path,
+    topology_diff,
+    topology_from_json,
+    topology_to_json,
+    validate_topology,
+)
+from repro.units import GBps, Gbps, ns, us
+
+
+@st.composite
+def random_hosts(draw):
+    """A random valid host: 1-2 sockets, random device fan-out."""
+    sockets = draw(st.integers(min_value=1, max_value=2))
+    builder = TopologyBuilder("random")
+    socket_ids = []
+    for s in range(sockets):
+        socket_id = builder.add_socket(s)
+        socket_ids.append(socket_id)
+        for d in range(draw(st.integers(min_value=1, max_value=2))):
+            dimm = builder.add_dimm(s, device_id=f"dimm{s}-{d}")
+            builder.connect(socket_id, dimm, LinkClass.INTRA_SOCKET,
+                            GBps(draw(st.sampled_from([100, 131, 180]))),
+                            ns(draw(st.sampled_from([50, 85, 100]))))
+        rc_count = draw(st.integers(min_value=1, max_value=2))
+        for r in range(rc_count):
+            rc = builder.add_root_complex(s, device_id=f"rc{s}-{r}")
+            builder.connect(socket_id, rc, LinkClass.INTRA_SOCKET,
+                            GBps(150), ns(50))
+            use_switch = draw(st.booleans())
+            attach = rc
+            if use_switch:
+                switch = builder.add_pcie_switch(
+                    s, device_id=f"sw{s}-{r}"
+                )
+                builder.connect(rc, switch, LinkClass.PCIE_UPSTREAM,
+                                Gbps(256), ns(105))
+                attach = switch
+            for kind in draw(st.lists(
+                st.sampled_from(["nic", "gpu", "nvme"]),
+                min_size=1, max_size=3,
+            )):
+                if kind == "nic":
+                    device = builder.add_nic(s)
+                elif kind == "gpu":
+                    device = builder.add_gpu(s)
+                else:
+                    device = builder.add_nvme(s)
+                builder.connect(attach, device, LinkClass.PCIE_DOWNSTREAM,
+                                Gbps(256), ns(70))
+    if sockets == 2:
+        for i in range(draw(st.integers(min_value=1, max_value=3))):
+            builder.connect(socket_ids[0], socket_ids[1],
+                            LinkClass.INTER_SOCKET, GBps(23.3), ns(140),
+                            link_id=f"upi{i}")
+    return builder.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(topology=random_hosts())
+def test_random_hosts_validate(topology):
+    validate_topology(topology)
+    assert topology.is_connected()
+
+
+@settings(max_examples=30, deadline=None)
+@given(topology=random_hosts(), data=st.data())
+def test_random_hosts_routable(topology, data):
+    endpoints = [d.device_id for d in topology.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    if src == dst:
+        return
+    path = shortest_path(topology, src, dst)
+    assert path.src == src and path.dst == dst
+    assert len(set(path.devices)) == len(path.devices)
+    for candidate in enumerate_paths(topology, src, dst, max_paths=8):
+        assert candidate.base_latency >= path.base_latency - 1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(topology=random_hosts())
+def test_random_hosts_serialize_roundtrip(topology):
+    rebuilt = topology_from_json(topology_to_json(topology))
+    assert topology_diff(topology, rebuilt) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(topology=random_hosts())
+def test_random_hosts_render_complete(topology):
+    text = render_tree(topology)
+    for device in topology.devices():
+        assert device.device_id in text
+
+
+@settings(max_examples=20, deadline=None)
+@given(topology=random_hosts(), data=st.data())
+def test_random_hosts_carry_flows(topology, data):
+    endpoints = [d.device_id for d in topology.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    if src == dst:
+        return
+    network = FabricNetwork(topology, Engine())
+    path = shortest_path(topology, src, dst)
+    flow = network.start_transfer("t", path, size=1e6)
+    network.engine.run_until(1.0)
+    assert flow.state.value == "completed"
+    assert flow.bytes_sent == pytest.approx(1e6)

@@ -1,0 +1,51 @@
+"""ASCII topology rendering."""
+
+import pytest
+
+from repro.topology import (
+    PRESETS,
+    cascade_lake_2s,
+    load_preset,
+    render_tree,
+)
+from repro.units import Gbps
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_every_device_appears(name):
+    topology = load_preset(name)
+    text = render_tree(topology)
+    for device in topology.devices():
+        assert device.device_id in text, device.device_id
+    assert "(unreached)" not in text
+
+
+def test_inter_socket_links_listed_first():
+    text = render_tree(cascade_lake_2s())
+    lines = text.splitlines()
+    assert "<=>" in lines[1]
+    assert "upi-socket0-socket1-0" in lines[1]
+
+
+def test_link_specs_annotated():
+    text = render_tree(cascade_lake_2s())
+    assert "256.0Gbps" in text
+    assert "70.0ns" in text
+
+
+def test_external_leaf_under_each_nic():
+    text = render_tree(cascade_lake_2s())
+    assert text.count("external (external)") == 2  # once per NIC
+
+
+def test_degraded_link_flagged():
+    topology = cascade_lake_2s()
+    topology.link("pcie-nic0").degraded_capacity = Gbps(10)
+    text = render_tree(topology)
+    assert "[DEGRADED]" in text
+
+
+def test_parallel_links_counted():
+    text = render_tree(load_preset("dgx_like"))
+    # three UPI links are listed individually in the header
+    assert text.count("<=>") == 3

@@ -1,0 +1,102 @@
+"""Topology serialization: dict/JSON round trips and structural diff."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    PRESETS,
+    load_preset,
+    topology_diff,
+    topology_from_dict,
+    topology_from_json,
+    topology_to_dict,
+    topology_to_json,
+    validate_topology,
+)
+from repro.units import Gbps, ns
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_roundtrip_every_preset(name):
+    original = load_preset(name)
+    rebuilt = topology_from_json(topology_to_json(original))
+    assert topology_diff(original, rebuilt) == []
+    validate_topology(rebuilt)
+    assert rebuilt.name == original.name
+
+
+def test_roundtrip_preserves_failure_state():
+    topo = load_preset("minimal")
+    topo.link("pcie-nic0").degraded_capacity = Gbps(10)
+    topo.link("pcie-nic0").extra_latency = ns(500)
+    topo.link("eth0").up = False
+    rebuilt = topology_from_dict(topology_to_dict(topo))
+    link = rebuilt.link("pcie-nic0")
+    assert link.degraded_capacity == pytest.approx(Gbps(10))
+    assert link.extra_latency == pytest.approx(ns(500))
+    assert not rebuilt.link("eth0").up
+
+
+def test_attrs_preserved():
+    topo = load_preset("minimal")
+    payload = topology_to_dict(topo)
+    payload["devices"][0]["attrs"] = {"model": "test"}
+    rebuilt = topology_from_dict(payload)
+    device_id = payload["devices"][0]["device_id"]
+    assert rebuilt.device(device_id).attrs == {"model": "test"}
+
+
+def test_wrong_version_rejected():
+    payload = topology_to_dict(load_preset("minimal"))
+    payload["format_version"] = 999
+    with pytest.raises(TopologyError, match="version"):
+        topology_from_dict(payload)
+
+
+def test_malformed_payload_rejected():
+    payload = topology_to_dict(load_preset("minimal"))
+    del payload["links"][0]["capacity"]
+    with pytest.raises(TopologyError, match="malformed"):
+        topology_from_dict(payload)
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(TopologyError, match="invalid"):
+        topology_from_json("{nope")
+
+
+class TestDiff:
+    def test_identical_is_empty(self):
+        a = load_preset("cascade_lake_2s")
+        assert topology_diff(a, a.copy()) == []
+
+    def test_parameter_change_reported(self):
+        a = load_preset("minimal")
+        b = a.copy()
+        b.link("pcie-nic0").up = False
+        changes = topology_diff(a, b)
+        assert changes == ["~ link pcie-nic0.up: True -> False"]
+
+    def test_removed_link_reported(self):
+        a = load_preset("minimal")
+        b = a.copy()
+        b.remove_link("eth0")
+        assert "- link eth0" in topology_diff(a, b)
+
+    def test_added_device_reported(self):
+        from repro.topology import Device, DeviceType
+
+        a = load_preset("minimal")
+        b = a.copy()
+        b.add_device(Device("gpu9", DeviceType.GPU, socket=0))
+        assert "+ device gpu9" in topology_diff(a, b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(name=st.sampled_from(sorted(PRESETS)))
+def test_double_roundtrip_stable_property(name):
+    once = topology_to_json(load_preset(name))
+    twice = topology_to_json(topology_from_json(once))
+    assert once == twice

@@ -1,0 +1,84 @@
+"""Unit-conversion helpers: the 8x bit/byte trap and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTime:
+    def test_ns_us_ms_chain(self):
+        assert units.ns(1000) == pytest.approx(units.us(1))
+        assert units.us(1000) == pytest.approx(units.ms(1))
+        assert units.ms(1000) == pytest.approx(units.seconds(1))
+
+    def test_roundtrip_to_ns(self):
+        assert units.to_ns(units.ns(130)) == pytest.approx(130)
+
+    def test_roundtrip_to_us(self):
+        assert units.to_us(units.us(2)) == pytest.approx(2)
+
+    def test_roundtrip_to_ms(self):
+        assert units.to_ms(units.ms(7.5)) == pytest.approx(7.5)
+
+
+class TestBandwidth:
+    def test_gbps_is_bits(self):
+        # 200 Gbps = 25 GB/s
+        assert units.Gbps(200) == pytest.approx(25e9)
+
+    def test_GBps_is_bytes(self):
+        assert units.GBps(25) == pytest.approx(25e9)
+
+    def test_gbps_GBps_factor_of_8(self):
+        assert units.GBps(1) == pytest.approx(units.Gbps(8))
+
+    def test_to_Gbps_roundtrip(self):
+        assert units.to_Gbps(units.Gbps(256)) == pytest.approx(256)
+
+    def test_to_GBps_roundtrip(self):
+        assert units.to_GBps(units.GBps(23.3)) == pytest.approx(23.3)
+
+    def test_mbps_kbps(self):
+        assert units.Mbps(1000) == pytest.approx(units.Gbps(1))
+        assert units.Kbps(1000) == pytest.approx(units.Mbps(1))
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_gbps_roundtrip_property(self, value):
+        assert units.to_Gbps(units.Gbps(value)) == pytest.approx(value)
+
+
+class TestSizes:
+    def test_kib_mib_gib(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024 ** 2
+        assert units.gib(1) == 1024 ** 3
+
+
+class TestFormatting:
+    def test_format_time_ns(self):
+        assert units.format_time(units.ns(130)) == "130.0ns"
+
+    def test_format_time_us(self):
+        assert units.format_time(units.us(2)) == "2.0us"
+
+    def test_format_time_ms(self):
+        assert "ms" in units.format_time(units.ms(5))
+
+    def test_format_time_seconds(self):
+        assert units.format_time(2.0) == "2.000s"
+
+    def test_format_time_negative(self):
+        assert units.format_time(-units.us(3)).startswith("-")
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(units.Gbps(200)) == "200.0Gbps"
+
+    def test_format_bytes_scales(self):
+        assert units.format_bytes(512) == "512B"
+        assert "KiB" in units.format_bytes(units.kib(2))
+        assert "MiB" in units.format_bytes(units.mib(3))
+        assert "GiB" in units.format_bytes(units.gib(4))

@@ -1,0 +1,187 @@
+"""Applications: the paper's co-location scenarios drive the fabric."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import Gbps, mib, to_Gbps
+from repro.workloads import (
+    GpuAllReduceApp,
+    KvStoreApp,
+    MaliciousFloodApp,
+    MlTrainingApp,
+    NvmeScanApp,
+    RdmaLoopbackApp,
+)
+
+
+class TestRdmaLoopback:
+    def test_consumes_both_directions(self, cascade_net):
+        app = RdmaLoopbackApp(cascade_net, "t", nic="nic0", dimm="dimm0-0")
+        app.start()
+        assert app.achieved_rate() == pytest.approx(2 * Gbps(256), rel=1e-6)
+
+    def test_exhausts_pcie_link(self, cascade_net):
+        """§2: loopback can exhaust PCIe bandwidth."""
+        app = RdmaLoopbackApp(cascade_net, "t", nic="nic0", dimm="dimm0-0")
+        app.start()
+        assert cascade_net.link_utilization("pcie-nic0") == pytest.approx(1.0)
+
+    def test_offered_rate_cap(self, cascade_net):
+        app = RdmaLoopbackApp(cascade_net, "t", nic="nic0", dimm="dimm0-0",
+                              offered_rate=Gbps(10))
+        app.start()
+        assert app.achieved_rate() == pytest.approx(2 * Gbps(10), rel=1e-6)
+
+    def test_stop_releases_bandwidth(self, cascade_net):
+        app = RdmaLoopbackApp(cascade_net, "t", nic="nic0", dimm="dimm0-0")
+        app.start()
+        app.stop()
+        assert cascade_net.link_utilization("pcie-nic0") == 0.0
+        assert app.achieved_rate() == 0.0
+
+
+class TestMlTraining:
+    def test_iterations_complete(self, cascade_net):
+        app = MlTrainingApp(cascade_net, "ml", dimm="dimm0-0", gpu="gpu0",
+                            batch_bytes=mib(64), concurrency=2)
+        app.start()
+        cascade_net.engine.run_until(0.2)
+        assert app.stats.ops_completed > 10
+        assert app.stats.bytes_moved == \
+            pytest.approx(app.stats.ops_completed * mib(64))
+
+    def test_congestion_slows_iterations(self, cascade_net):
+        app = MlTrainingApp(cascade_net, "ml", dimm="dimm0-0", gpu="gpu0",
+                            batch_bytes=mib(64))
+        app.start()
+        cascade_net.engine.run_until(0.2)
+        alone = app.stats.latency_summary().p50
+        # saturate the shared mesh/membus path
+        flood = MaliciousFloodApp(cascade_net, "x", src="dimm0-0", dst="gpu0",
+                                  flow_count=8)
+        flood.start()
+        app.stats.latencies.clear()
+        cascade_net.engine.run_until(0.5)
+        congested = app.stats.latency_summary().p50
+        assert congested > alone * 2
+
+    def test_invalid_batch(self, cascade_net):
+        with pytest.raises(WorkloadError):
+            MlTrainingApp(cascade_net, "ml", dimm="dimm0-0", gpu="gpu0",
+                          batch_bytes=0)
+
+
+class TestKvStore:
+    def test_latency_recorded(self, cascade_net):
+        app = KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                         request_rate=10000, seed=1)
+        app.start()
+        cascade_net.engine.run_until(0.1)
+        assert app.stats.ops_completed > 500
+        summary = app.stats.latency_summary()
+        assert summary.p50 > 0
+        assert summary.p99 >= summary.p50
+
+    def test_interference_inflates_tail(self, cascade_net):
+        """The paper's KV-victim scenario: unrelated PCIe load hurts it."""
+        app = KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                         request_rate=10000, seed=1)
+        app.start()
+        cascade_net.engine.run_until(0.1)
+        alone = app.stats.latency_summary().p99
+        aggressor = RdmaLoopbackApp(cascade_net, "agg", nic="nic0",
+                                    dimm="dimm0-0")
+        aggressor.start()
+        app.stats.latencies.clear()
+        cascade_net.engine.run_until(0.2)
+        congested = app.stats.latency_summary().p99
+        assert congested > 3 * alone
+
+    def test_demand_flows_load_fabric(self, cascade_net):
+        app = KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                         request_rate=100000, response_bytes=4096, seed=1)
+        app.start()
+        assert cascade_net.tenant_link_rate("kv", "pcie-nic0") > 0
+
+    def test_set_request_rate(self, cascade_net):
+        app = KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                         request_rate=1000, seed=1)
+        app.start()
+        before = cascade_net.tenant_link_rate("kv", "pcie-nic0")
+        app.set_request_rate(100000)
+        after = cascade_net.tenant_link_rate("kv", "pcie-nic0")
+        assert after > before * 10
+
+    def test_down_path_drops_requests(self, cascade_net):
+        app = KvStoreApp(cascade_net, "kv", nic="nic0", dimm="dimm0-0",
+                         request_rate=10000, seed=1)
+        app.start()
+        cascade_net.set_link_up("pcie-nic0", False)
+        cascade_net.engine.run_until(0.05)
+        done_during_outage = app.stats.ops_completed
+        # a few in-flight completions may land, but arrivals are dropped
+        assert done_during_outage < 50
+
+
+class TestNvmeScan:
+    def test_chunks_complete(self, cascade_net):
+        app = NvmeScanApp(cascade_net, "scan", nvme="nvme0", dimm="dimm0-0",
+                          chunk_bytes=mib(32))
+        app.start()
+        cascade_net.engine.run_until(0.2)
+        assert app.stats.ops_completed > 5
+
+    def test_device_rate_respected(self, cascade_net):
+        app = NvmeScanApp(cascade_net, "scan", nvme="nvme0", dimm="dimm0-0",
+                          device_rate=Gbps(10))
+        app.start()
+        cascade_net.engine.run_until(0.5)
+        achieved = app.stats.throughput(cascade_net.engine.now)
+        assert to_Gbps(achieved) <= 11.0
+
+
+class TestGpuAllReduce:
+    def test_ring_rounds(self, dgx_net):
+        app = GpuAllReduceApp(dgx_net, "train",
+                              gpus=["gpu0", "gpu2", "gpu4", "gpu6"],
+                              shard_bytes=mib(32))
+        app.start()
+        dgx_net.engine.run_until(0.2)
+        assert app.stats.ops_completed > 2
+        assert app.stats.bytes_moved == \
+            pytest.approx(app.stats.ops_completed * 4 * mib(32), rel=0.5)
+
+    def test_needs_two_gpus(self, dgx_net):
+        with pytest.raises(WorkloadError):
+            GpuAllReduceApp(dgx_net, "t", gpus=["gpu0"])
+
+
+class TestMaliciousFlood:
+    def test_flow_count_steals_share(self, cascade_net):
+        victim = cascade_net.start_transfer(
+            "victim",
+            __import__("repro.topology", fromlist=["shortest_path"])
+            .shortest_path(cascade_net.topology, "nic0", "dimm0-0"),
+        )
+        flood = MaliciousFloodApp(cascade_net, "evil", src="nic0",
+                                  dst="dimm0-0", flow_count=9)
+        flood.start()
+        # 9 attacker flows vs 1 victim flow: victim gets ~1/10
+        assert victim.current_rate == pytest.approx(Gbps(256) / 10, rel=0.01)
+        assert flood.attack_rate() == pytest.approx(Gbps(256) * 0.9, rel=0.01)
+
+    def test_stop_restores(self, cascade_net):
+        flood = MaliciousFloodApp(cascade_net, "evil", src="nic0",
+                                  dst="dimm0-0", flow_count=4)
+        flood.start()
+        flood.stop()
+        assert cascade_net.link_utilization("pcie-nic0") == 0.0
+
+    def test_app_stats_lifecycle(self, cascade_net):
+        flood = MaliciousFloodApp(cascade_net, "evil", src="nic0",
+                                  dst="dimm0-0")
+        assert not flood.running
+        flood.start()
+        assert flood.running and flood.stats.started_at is not None
+        flood.stop()
+        assert flood.stats.stopped_at is not None

@@ -1,0 +1,174 @@
+"""Tenant registry and arrival generators."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateElementError,
+    UnknownTenantError,
+    WorkloadError,
+)
+from repro.sim import Engine
+from repro.sim.rng import make_rng
+from repro.workloads import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    Tenant,
+    TenantRegistry,
+)
+
+
+class TestTenants:
+    def test_create_and_get(self):
+        reg = TenantRegistry()
+        reg.create("t1", priority=2)
+        assert reg.get("t1").priority == 2
+        assert "t1" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = TenantRegistry()
+        reg.create("t1")
+        with pytest.raises(DuplicateElementError):
+            reg.create("t1")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTenantError):
+            TenantRegistry().get("ghost")
+
+    def test_remove(self):
+        reg = TenantRegistry()
+        reg.create("t1")
+        reg.remove("t1")
+        assert "t1" not in reg
+
+    def test_malicious_partition(self):
+        reg = TenantRegistry()
+        reg.create("good")
+        reg.create("evil", malicious=True)
+        assert [t.tenant_id for t in reg.honest()] == ["good"]
+        assert [t.tenant_id for t in reg.adversaries()] == ["evil"]
+
+    def test_invalid_priority(self):
+        with pytest.raises(ValueError):
+            Tenant("t", priority=0)
+
+    def test_iteration_order(self):
+        reg = TenantRegistry()
+        for name in ("a", "b", "c"):
+            reg.create(name)
+        assert reg.ids() == ["a", "b", "c"]
+
+
+class TestOpenLoop:
+    def test_periodic_when_no_rng(self):
+        eng = Engine()
+        times = []
+        gen = OpenLoopGenerator(eng, lambda: times.append(eng.now), rate=10.0)
+        gen.start()
+        eng.run_until(0.35)
+        assert times == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_poisson_mean_rate(self):
+        eng = Engine()
+        count = [0]
+        gen = OpenLoopGenerator(eng, lambda: count.__setitem__(0, count[0] + 1),
+                                rate=1000.0, rng=make_rng(1))
+        gen.start()
+        eng.run_until(2.0)
+        assert count[0] == pytest.approx(2000, rel=0.1)
+
+    def test_stop(self):
+        eng = Engine()
+        times = []
+        gen = OpenLoopGenerator(eng, lambda: times.append(eng.now), rate=10.0)
+        gen.start()
+        eng.run_until(0.25)
+        gen.stop()
+        eng.run_until(1.0)
+        assert len(times) == 2
+
+    def test_set_rate(self):
+        eng = Engine()
+        times = []
+        gen = OpenLoopGenerator(eng, lambda: times.append(eng.now), rate=10.0)
+        gen.start()
+        eng.run_until(0.1)
+        gen.set_rate(100.0)
+        # the already-armed arrival fires at 0.2; the new rate applies after
+        eng.run_until(0.3)
+        assert len(times) > 5
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            OpenLoopGenerator(Engine(), lambda: None, rate=0.0)
+
+    def test_invalid_process(self):
+        with pytest.raises(WorkloadError):
+            OpenLoopGenerator(Engine(), lambda: None, rate=1.0,
+                              process="weird")
+
+    def test_uniform_process(self):
+        eng = Engine()
+        count = [0]
+        gen = OpenLoopGenerator(eng, lambda: count.__setitem__(0, count[0] + 1),
+                                rate=100.0, rng=make_rng(2), process="uniform")
+        gen.start()
+        eng.run_until(1.0)
+        assert count[0] == pytest.approx(100, rel=0.3)
+
+    def test_idempotent_start(self):
+        eng = Engine()
+        times = []
+        gen = OpenLoopGenerator(eng, lambda: times.append(eng.now), rate=10.0)
+        gen.start()
+        gen.start()
+        eng.run_until(0.15)
+        assert len(times) == 1
+
+
+class TestClosedLoop:
+    def test_keeps_window_full(self):
+        eng = Engine()
+        state = {"running": 0, "peak": 0}
+
+        def launch():
+            state["running"] += 1
+            state["peak"] = max(state["peak"], state["running"])
+            eng.schedule_in(0.01, finish)
+
+        gen = ClosedLoopGenerator(eng, launch, concurrency=3)
+
+        def finish():
+            state["running"] -= 1
+            gen.operation_done()
+
+        gen.start()
+        eng.run_until(0.1)
+        assert state["peak"] == 3
+        assert gen.in_flight == 3
+        assert gen.completed >= 9
+
+    def test_think_time_slows_relaunch(self):
+        eng = Engine()
+        launches = []
+
+        gen = ClosedLoopGenerator(eng, lambda: launches.append(eng.now),
+                                  concurrency=1, think_time=0.5)
+        gen.start()
+        gen.operation_done()
+        eng.run_until(1.0)
+        assert launches == [0.0, 0.5]
+
+    def test_stop_drains(self):
+        eng = Engine()
+        launches = []
+        gen = ClosedLoopGenerator(eng, lambda: launches.append(eng.now),
+                                  concurrency=2)
+        gen.start()
+        gen.stop()
+        gen.operation_done()
+        assert len(launches) == 2  # no relaunch after stop
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(WorkloadError):
+            ClosedLoopGenerator(Engine(), lambda: None, concurrency=0)

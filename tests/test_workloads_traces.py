@@ -1,0 +1,135 @@
+"""Trace generation, serialization, and replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim import Engine
+from repro.workloads import (
+    AppKind,
+    Trace,
+    TraceEvent,
+    TraceGenerator,
+    TraceReplayer,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = TraceGenerator(seed=42).generate()
+        b = TraceGenerator(seed=42).generate()
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator(seed=1).generate()
+        b = TraceGenerator(seed=2).generate()
+        assert a.events != b.events
+
+    def test_horizon_respected(self):
+        trace = TraceGenerator(seed=7).generate(horizon=5.0)
+        assert trace.horizon <= 5.0 + 1e-9
+        for event in trace:
+            assert 0.0 <= event.start <= event.end <= 5.0 + 1e-9
+
+    def test_tenant_count(self):
+        trace = TraceGenerator(seed=3).generate(tenant_count=5)
+        assert len(trace.tenants()) == 5
+
+    def test_intensity_range(self):
+        trace = TraceGenerator(seed=3).generate()
+        for event in trace:
+            assert 0.3 <= event.intensity <= 1.0
+
+    def test_mix_restriction(self):
+        gen = TraceGenerator(seed=3, mix={AppKind.KV_STORE: 1.0})
+        trace = gen.generate()
+        assert all(e.app_kind is AppKind.KV_STORE for e in trace)
+
+    def test_invalid_mix(self):
+        with pytest.raises(WorkloadError):
+            TraceGenerator(mix={AppKind.KV_STORE: -1.0})
+
+    def test_events_sorted_by_start(self):
+        trace = TraceGenerator(seed=9).generate()
+        starts = [e.start for e in trace]
+        assert starts == sorted(starts)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        trace = TraceGenerator(seed=11).generate()
+        rebuilt = Trace.from_json(trace.to_json())
+        assert rebuilt.events == trace.events
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_json_roundtrip_property(self, seed):
+        trace = TraceGenerator(seed=seed).generate(tenant_count=3,
+                                                   horizon=4.0)
+        assert Trace.from_json(trace.to_json()).events == trace.events
+
+
+class TestTraceQueries:
+    def test_concurrent_at(self):
+        trace = Trace(events=[
+            TraceEvent("a", AppKind.KV_STORE, start=0.0, duration=2.0,
+                       intensity=1.0),
+            TraceEvent("b", AppKind.NVME_SCAN, start=1.0, duration=2.0,
+                       intensity=1.0),
+        ])
+        assert trace.concurrent_at(0.5) == 1
+        assert trace.concurrent_at(1.5) == 2
+        assert trace.concurrent_at(2.5) == 1
+        assert trace.concurrent_at(5.0) == 0
+
+    def test_empty_trace(self):
+        trace = Trace(events=[])
+        assert trace.horizon == 0.0
+        assert len(trace) == 0
+
+
+class FakeApp:
+    def __init__(self):
+        self.started = False
+        self.stopped = False
+
+    def start(self):
+        self.started = True
+
+    def stop(self):
+        self.stopped = True
+
+
+class TestReplayer:
+    def test_sessions_start_and_stop_on_time(self):
+        engine = Engine()
+        trace = Trace(events=[
+            TraceEvent("a", AppKind.KV_STORE, start=1.0, duration=2.0,
+                       intensity=1.0),
+        ])
+        apps = []
+
+        def make_app(event):
+            app = FakeApp()
+            apps.append(app)
+            return app
+
+        replayer = TraceReplayer(engine, trace, make_app)
+        replayer.arm()
+        engine.run_until(0.5)
+        assert apps == []
+        engine.run_until(1.5)
+        assert apps[0].started and not apps[0].stopped
+        assert replayer.active
+        engine.run_until(3.5)
+        assert apps[0].stopped
+        assert not replayer.active
+
+    def test_double_arm_rejected(self):
+        engine = Engine()
+        trace = Trace(events=[])
+        replayer = TraceReplayer(engine, trace, lambda e: FakeApp())
+        replayer.arm()
+        with pytest.raises(WorkloadError):
+            replayer.arm()
