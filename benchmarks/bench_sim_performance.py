@@ -5,10 +5,13 @@ with real repeated timing (pytest-benchmark's bread and butter), so
 regressions in the solver, engine, or router show up in CI:
 
 * max-min solve with 100 flows over the cascade topology;
+* churn on 500 flows: incremental component re-solve vs from-scratch;
 * discrete-event engine throughput (events/second);
 * path enumeration on the DGX-like host;
 * one full co-location second (KV + loopback + arbiter) of simulated time.
 """
+
+import time
 
 import sys
 from pathlib import Path
@@ -17,7 +20,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from common import fresh_network
 
 from repro.core import HostNetworkManager, pipe
-from repro.sim import Engine, FabricNetwork
+from repro.sim import Engine, FabricNetwork, IncrementalMaxMinSolver
 from repro.sim.bandwidth import FlowDemand, max_min_fair_rates
 from repro.sim.rng import make_rng
 from repro.topology import cascade_lake_2s, dgx_like, k_shortest_paths
@@ -28,11 +31,7 @@ from repro.workloads import KvStoreApp, RdmaLoopbackApp
 def _solver_instance(n_flows=100, seed=1):
     topology = cascade_lake_2s()
     link_ids = [l.link_id for l in topology.links()]
-    capacities = {}
-    for link_id in link_ids:
-        cap = topology.link(link_id).capacity
-        capacities[f"{link_id}|fwd"] = cap
-        capacities[f"{link_id}|rev"] = cap
+    capacities = topology.directed_capacities()
     rng = make_rng(seed, "perf")
     flows = []
     for i in range(n_flows):
@@ -49,6 +48,99 @@ def test_solver_100_flows(benchmark):
     flows, capacities = _solver_instance()
     rates = benchmark(max_min_fair_rates, flows, capacities)
     assert len(rates) == 100
+
+
+def _churn_instance(groups=50, flows_per_group=10, links_per_group=8, seed=7):
+    """500 flows across 50 disjoint link groups.
+
+    Tenants on a managed host cluster on their own device neighbourhoods
+    (socket-local NIC<->DIMM paths), so the flow/constraint graph decomposes;
+    disjoint groups model that, and are exactly what lets the incremental
+    solver skip the other 49 components when one flow churns.
+    """
+    rng = make_rng(seed, "churn")
+    capacities = {}
+    flows = []
+    for g in range(groups):
+        group_links = [f"g{g}-l{j}|fwd" for j in range(links_per_group)]
+        for link_id in group_links:
+            capacities[link_id] = Gbps(100)
+        for i in range(flows_per_group):
+            links = tuple(rng.choice(group_links)
+                          for _ in range(rng.randint(2, 4)))
+            flows.append(FlowDemand(f"g{g}-f{i}", links,
+                                    demand=Gbps(rng.uniform(1, 80))))
+    return flows, capacities
+
+
+def _loaded_incremental_solver(flows, capacities):
+    solver = IncrementalMaxMinSolver()
+    for cid, cap in capacities.items():
+        solver.set_capacity(cid, cap)
+    for f in flows:
+        solver.set_flow(f)
+    solver.solve()  # pay the initial full solve outside the timed region
+    return solver
+
+
+def test_churn_500_flows_incremental(benchmark):
+    flows, capacities = _churn_instance()
+    solver = _loaded_incremental_solver(flows, capacities)
+    victim = flows[0]
+
+    def churn_once():
+        solver.remove_flow(victim.flow_id)
+        solver.solve()
+        solver.set_flow(victim)
+        return solver.solve()
+
+    rates = benchmark(churn_once)
+    assert len(rates) == len(flows)
+    assert solver.stats.full_solves == 1  # only the warm-up
+
+
+def test_churn_500_flows_from_scratch(benchmark):
+    flows, capacities = _churn_instance()
+    without_victim = flows[1:]
+
+    def churn_once():
+        max_min_fair_rates(without_victim, capacities)
+        return max_min_fair_rates(flows, capacities)
+
+    rates = benchmark(churn_once)
+    assert len(rates) == len(flows)
+
+
+def test_churn_incremental_speedup():
+    """CI-enforced floor: incremental churn beats from-scratch >= 3x."""
+    flows, capacities = _churn_instance()
+    solver = _loaded_incremental_solver(flows, capacities)
+    victim = flows[0]
+    without_victim = flows[1:]
+    rounds = 30
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        solver.remove_flow(victim.flow_id)
+        solver.solve()
+        solver.set_flow(victim)
+        incremental_rates = solver.solve()
+    incremental_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        max_min_fair_rates(without_victim, capacities)
+        scratch_rates = max_min_fair_rates(flows, capacities)
+    scratch_elapsed = time.perf_counter() - start
+
+    for fid, rate in scratch_rates.items():
+        assert abs(incremental_rates[fid] - rate) < 1e-6 * max(rate, 1.0)
+    speedup = scratch_elapsed / incremental_elapsed
+    assert speedup >= 3.0, (
+        f"incremental churn only {speedup:.1f}x faster than from-scratch "
+        f"({incremental_elapsed * 1e3 / rounds:.3f}ms vs "
+        f"{scratch_elapsed * 1e3 / rounds:.3f}ms per churn)"
+    )
 
 
 def test_engine_event_throughput(benchmark):

@@ -12,10 +12,8 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    Engine,
-    FabricNetwork,
     Gbps,
-    HostNetworkManager,
+    Host,
     KvStoreApp,
     RdmaLoopbackApp,
     cascade_lake_2s,
@@ -26,50 +24,48 @@ from repro.units import to_us, us as us_
 
 def main() -> None:
     # --- 1. a simulated commodity server -------------------------------
-    topology = cascade_lake_2s()
-    print(topology.describe())
-    engine = Engine()
-    network = FabricNetwork(topology, engine)
+    # One Host session bundles engine + fabric + resource manager.
+    host = Host(cascade_lake_2s(), decision_latency=0.0)
+    print(host.topology.describe())
 
     # --- 2. the paper's §2 interference problem ------------------------
-    kv = KvStoreApp(network, "kv-tenant", nic="nic0", dimm="dimm0-0",
+    kv = KvStoreApp(host.network, "kv-tenant", nic="nic0", dimm="dimm0-0",
                     request_rate=20_000, seed=1)
     kv.start()
-    engine.run_until(0.1)
+    host.run_until(0.1)
     alone = kv.stats.latency_summary()
     print(f"\nKV store alone:        p50={to_us(alone.p50):7.1f}us  "
           f"p99={to_us(alone.p99):7.1f}us")
 
-    aggressor = RdmaLoopbackApp(network, "loopback-tenant",
+    aggressor = RdmaLoopbackApp(host.network, "loopback-tenant",
                                 nic="nic0", dimm="dimm0-0")
     aggressor.start()
     kv.stats.latencies.clear()
-    engine.run_until(0.2)
+    host.run_until(0.2)
     squeezed = kv.stats.latency_summary()
     print(f"KV store + loopback:   p50={to_us(squeezed.p50):7.1f}us  "
           f"p99={to_us(squeezed.p99):7.1f}us   <- interference (§2)")
 
     # --- 3. the fix: a performance intent through the manager ----------
-    manager = HostNetworkManager(network, decision_latency=0.0)
-    manager.register_tenant("loopback-tenant")
+    host.register_tenant("loopback-tenant")
     # the intent carries both halves of what the KV store needs: a
     # bandwidth floor AND a round-trip latency SLO (a floor alone would
     # hold the rate while the work-conserving fabric runs the path hot)
-    manager.submit(
+    host.submit(
         pipe("kv-guarantee", "kv-tenant", src="nic0", dst="dimm0-0",
              bandwidth=Gbps(100), latency_slo=us_(8), bidirectional=True)
     )
     kv.stats.latencies.clear()
-    engine.run_until(0.3)
+    host.run_until(0.3)
     protected = kv.stats.latency_summary()
     print(f"KV store managed:      p50={to_us(protected.p50):7.1f}us  "
           f"p99={to_us(protected.p99):7.1f}us   <- guarantee enforced (§3.2)")
 
-    view = manager.tenant_view("kv-tenant")
+    view = host.manager.tenant_view("kv-tenant")
     print(f"\nkv-tenant's virtual intra-host network: "
           f"{len(view.topology.links())} links, "
           f"{view.guaranteed_bandwidth()}")
-    print(manager.describe())
+    print(host.describe())
 
 
 if __name__ == "__main__":

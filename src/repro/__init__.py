@@ -11,16 +11,16 @@ two building blocks the paper proposes —
 
 Quick start::
 
-    from repro import (Engine, FabricNetwork, cascade_lake_2s,
-                       HostNetworkManager, pipe, Gbps)
+    from repro import Host, cascade_lake_2s, pipe, Gbps
 
-    topology = cascade_lake_2s()
-    engine = Engine()
-    network = FabricNetwork(topology, engine)
-    manager = HostNetworkManager(network)
-    manager.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
-                        bandwidth=Gbps(100)))
-    engine.run_until(1.0)
+    host = Host(cascade_lake_2s())
+    host.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
+                     bandwidth=Gbps(100)))
+    host.run_until(1.0)
+
+(The constituent ``Engine`` / ``FabricNetwork`` / ``HostNetworkManager``
+objects remain public — ``host.engine`` etc. — and can still be wired by
+hand.)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 experiment suite.
@@ -63,6 +63,7 @@ from .diagnostics import (
     troubleshoot,
 )
 from .errors import HostNetError
+from .host import Host
 from .monitor import (
     FailureInjector,
     HeartbeatMesh,
@@ -75,7 +76,9 @@ from .sim import (
     FabricNetwork,
     Flow,
     FlowState,
+    IncrementalMaxMinSolver,
     LatencyModel,
+    SolverStats,
 )
 from .stats import percentile, summarize
 from .telemetry import (
@@ -142,8 +145,12 @@ __all__ = [
     "FabricNetwork",
     "Flow",
     "FlowState",
+    "IncrementalMaxMinSolver",
+    "SolverStats",
     "LatencyModel",
     "SYSTEM_TENANT",
+    # session facade
+    "Host",
     # devices
     "HostConfig",
     "NumaPolicy",

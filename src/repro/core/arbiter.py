@@ -359,9 +359,10 @@ class DynamicArbiter:
             self._task.cancel()
             self._task = None
         if lift_caps:
-            for tenant_id, link_id, direction in list(self._capped):
-                self.network.clear_tenant_link_cap(tenant_id, link_id,
-                                                   direction=direction)
+            with self.network.batch():
+                for tenant_id, link_id, direction in list(self._capped):
+                    self.network.clear_tenant_link_cap(tenant_id, link_id,
+                                                       direction=direction)
             self._capped.clear()
 
     # -- the control loop -------------------------------------------------------
@@ -414,22 +415,28 @@ class DynamicArbiter:
         return allocations
 
     def _apply(self, batch: List[tuple]) -> None:
-        for tenant, link_id, direction, cap in batch:
-            self.network.set_tenant_link_cap(tenant, link_id, cap,
-                                             direction=direction)
-            self._capped.add((tenant, link_id, direction))
+        # One enforcement round programs every cap in a single fabric
+        # re-solve; the incremental solver then only re-solves the
+        # components whose caps actually changed since last round.
+        with self.network.batch():
+            for tenant, link_id, direction, cap in batch:
+                self.network.set_tenant_link_cap(tenant, link_id, cap,
+                                                 direction=direction)
+                self._capped.add((tenant, link_id, direction))
 
     def _lift_tenant_caps(self, tenant_id: str) -> None:
         stale = [key for key in self._capped if key[0] == tenant_id]
-        for tenant, link_id, direction in stale:
-            self.network.clear_tenant_link_cap(tenant, link_id,
-                                               direction=direction)
-            self._capped.discard((tenant, link_id, direction))
+        with self.network.batch():
+            for tenant, link_id, direction in stale:
+                self.network.clear_tenant_link_cap(tenant, link_id,
+                                                   direction=direction)
+                self._capped.discard((tenant, link_id, direction))
 
     def lift_link_caps(self, link_id: str) -> None:
         """Lift every cap on *link_id* (after its last floor is released)."""
         stale = [key for key in self._capped if key[1] == link_id]
-        for tenant, link, direction in stale:
-            self.network.clear_tenant_link_cap(tenant, link,
-                                               direction=direction)
-            self._capped.discard((tenant, link, direction))
+        with self.network.batch():
+            for tenant, link, direction in stale:
+                self.network.clear_tenant_link_cap(tenant, link,
+                                                   direction=direction)
+                self._capped.discard((tenant, link, direction))

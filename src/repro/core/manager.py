@@ -202,10 +202,12 @@ class HostNetworkManager:
         bucket = self._intents_by_tenant.get(tenant_id, [])
         if intent_id in bucket:
             bucket.remove(intent_id)
-        # Lift caps on links the arbiter no longer manages.
-        for link_id in placement.links():
-            if link_id not in self.arbiter.managed_links():
-                self.arbiter.lift_link_caps(link_id)
+        # Lift caps on links the arbiter no longer manages; one batched
+        # re-solve covers every lifted cap.
+        with self.network.batch():
+            for link_id in placement.links():
+                if link_id not in self.arbiter.managed_links():
+                    self.arbiter.lift_link_caps(link_id)
         self.arbiter.adjust_once()
 
     # -- queries ---------------------------------------------------------------------

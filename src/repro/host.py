@@ -1,0 +1,155 @@
+"""The :class:`Host` session facade: one object for a managed host.
+
+The historical quickstart wired four objects by hand::
+
+    topology = cascade_lake_2s()
+    engine = Engine()
+    network = FabricNetwork(topology, engine)
+    manager = HostNetworkManager(network)
+
+:class:`Host` bundles that construction behind keyword-only configuration
+and delegates the common verbs (``run_until``, ``submit``, ``release``,
+``shutdown``), so a session is::
+
+    host = Host(cascade_lake_2s())
+    host.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
+                     bandwidth=Gbps(100)))
+    host.run_until(1.0)
+
+The constituent objects stay public attributes (``host.engine``,
+``host.network``, ``host.manager``, ``host.topology``) — the facade adds
+no state of its own, so advanced code can keep reaching inside.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core.intents import PerformanceTarget
+from .core.manager import HostNetworkManager, Placement
+from .core.scheduler import Scheduler
+from .sim.engine import Engine
+from .sim.latency import LatencyModel
+from .sim.network import FabricNetwork
+from .topology.graph import HostTopology
+from .units import us
+
+
+class Host:
+    """A simulated managed host: engine + fabric + resource manager.
+
+    Args:
+        topology: The host topology to simulate.
+        start: Initial simulated time (seconds).
+        latency_model: Queueing model override for the fabric.
+        coalesce_recompute: Coalesce same-instant fabric re-solves (see
+            :class:`~repro.sim.network.FabricNetwork`).
+        managed: Construct the :class:`HostNetworkManager` (default).
+            ``managed=False`` gives a bare engine + fabric for unmanaged
+            experiments; ``manager`` access then raises.
+        scheduler / headroom / work_conserving / arbiter_period /
+        decision_latency / candidate_paths / auto_start_arbiter:
+            Forwarded to :class:`HostNetworkManager`.
+    """
+
+    def __init__(
+        self,
+        topology: HostTopology,
+        *,
+        start: float = 0.0,
+        latency_model: Optional[LatencyModel] = None,
+        coalesce_recompute: bool = False,
+        managed: bool = True,
+        scheduler: Optional[Scheduler] = None,
+        headroom: float = 0.9,
+        work_conserving: bool = True,
+        arbiter_period: float = 0.001,
+        decision_latency: float = us(10),
+        candidate_paths: int = 4,
+        auto_start_arbiter: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.engine = Engine(start=start)
+        self.network = FabricNetwork(
+            topology, self.engine,
+            latency_model=latency_model,
+            coalesce_recompute=coalesce_recompute,
+        )
+        self._manager: Optional[HostNetworkManager] = None
+        if managed:
+            self._manager = HostNetworkManager(
+                self.network,
+                scheduler=scheduler,
+                headroom=headroom,
+                work_conserving=work_conserving,
+                arbiter_period=arbiter_period,
+                decision_latency=decision_latency,
+                candidate_paths=candidate_paths,
+                auto_start_arbiter=auto_start_arbiter,
+            )
+
+    # -- constituent access --------------------------------------------------
+
+    @property
+    def manager(self) -> HostNetworkManager:
+        """The resource manager (raises when built with ``managed=False``)."""
+        if self._manager is None:
+            raise RuntimeError(
+                "Host was created with managed=False; no manager exists"
+            )
+        return self._manager
+
+    @property
+    def is_managed(self) -> bool:
+        """Whether this host carries a resource manager."""
+        return self._manager is not None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.engine.now
+
+    # -- delegation ----------------------------------------------------------
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> int:
+        """Advance simulated time to *t* (see :meth:`Engine.run_until`)."""
+        return self.engine.run_until(t, max_events=max_events)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue (see :meth:`Engine.run`)."""
+        return self.engine.run(max_events=max_events)
+
+    def submit(self, intent: PerformanceTarget) -> Placement:
+        """Submit a performance intent to the manager."""
+        return self.manager.submit(intent)
+
+    def try_submit(self, intent: PerformanceTarget) -> Optional[Placement]:
+        """Like :meth:`submit` but returns ``None`` instead of raising."""
+        return self.manager.try_submit(intent)
+
+    def release(self, intent_id: str) -> None:
+        """Withdraw an admitted intent."""
+        self.manager.release(intent_id)
+
+    def register_tenant(self, tenant_id: str) -> None:
+        """Register a tenant with the manager."""
+        self.manager.register_tenant(tenant_id)
+
+    def placements(self) -> List[Placement]:
+        """All current placements."""
+        return self.manager.placements()
+
+    def shutdown(self) -> None:
+        """Stop the arbiter and lift every cap (end of session)."""
+        if self._manager is not None:
+            self._manager.shutdown()
+
+    def describe(self) -> str:
+        """Human-readable session summary."""
+        lines = [f"Host on {self.topology.name!r} @ t={self.now:.6f}s: "
+                 f"{len(self.network.active_flows())} active flows"]
+        if self._manager is not None:
+            lines.append(self._manager.describe())
+        else:
+            lines.append("  (unmanaged: no resource manager)")
+        return "\n".join(lines)

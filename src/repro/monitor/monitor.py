@@ -118,10 +118,13 @@ class HostMonitor:
     ) -> None:
         self.network = network
         self.store = MetricStore()
+        # Anomaly scoring wants the *unclamped* utilization: a clamped 1.0
+        # hides how far past capacity a link was driven, flattening
+        # threshold margins and CUSUM drift exactly when they matter most.
         self.collector = TelemetryCollector(
             network, store=self.store, source=source,
             period=telemetry_period, processing=processing,
-            tenants=list(tenants or []),
+            tenants=list(tenants or []), clamp_utilization=False,
         )
         if probers is None:
             from ..topology.elements import DeviceType

@@ -8,6 +8,7 @@ from .flows import Flow, FlowState
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
 from .network import SYSTEM_TENANT, FabricNetwork
 from .rng import bounded_normal, exponential_interarrivals, make_rng
+from .solver import IncrementalMaxMinSolver, SolverStats
 
 __all__ = [
     "SimClock",
@@ -20,6 +21,8 @@ __all__ = [
     "Constraint",
     "max_min_fair_rates",
     "link_utilizations",
+    "IncrementalMaxMinSolver",
+    "SolverStats",
     "LatencyModel",
     "DEFAULT_LATENCY_MODEL",
     "FabricNetwork",

@@ -75,31 +75,20 @@ class Constraint:
             )
 
 
-def max_min_fair_rates(
+def build_problem(
     flows: Sequence[FlowDemand],
     capacities: Mapping[str, float],
     extra_constraints: Iterable[Constraint] = (),
-) -> Dict[str, float]:
-    """Compute weighted max-min fair rates.
+) -> Tuple[Dict[str, List[int]], Dict[str, float]]:
+    """Validate inputs and build the constraint-membership structures.
 
-    Args:
-        flows: The active flows.
-        capacities: Capacity (bytes/s) per physical link id.  Every link id
-            referenced by a flow must be present.
-        extra_constraints: Additional constraints (e.g. the arbiter's
-            per-tenant-per-link caps).  A constraint with ``member_flows``
-            binds only the listed flows *and* only where the flow's link
-            set contains the constraint id — virtual ids are matched by
-            membership alone.
-
-    Returns:
-        Mapping flow id -> allocated rate (bytes/s).  Flows with zero demand
-        get rate 0.  A flow crossing a zero-capacity (failed) link gets 0.
+    Returns ``(members, caps)``: constraint id -> flow indices (with
+    multiplicity — a flow crossing a link twice consumes double capacity on
+    it), and constraint id -> capacity.  Only constraints actually crossed
+    by some flow appear.  Shared by the stateless entry point and every
+    solve path of :class:`~repro.sim.solver.IncrementalMaxMinSolver`, so
+    all of them agree on validation and ordering.
     """
-    if not flows:
-        return {}
-
-    # Build constraint membership: constraint id -> set of flow indices.
     flow_index = {f.flow_id: i for i, f in enumerate(flows)}
     if len(flow_index) != len(flows):
         raise ValueError("duplicate flow ids passed to solver")
@@ -128,7 +117,15 @@ def max_min_fair_rates(
         if bound:
             members[cid] = bound
             caps[cid] = float(constraint.capacity)
+    return members, caps
 
+
+def progressive_fill(
+    flows: Sequence[FlowDemand],
+    members: Mapping[str, List[int]],
+    caps: Mapping[str, float],
+) -> List[float]:
+    """The water-filling core: rates (by flow index) for a built problem."""
     rates = [0.0 for _ in flows]
     frozen = [f.demand <= _ABS_EPSILON for f in flows]
 
@@ -179,18 +176,55 @@ def max_min_fair_rates(
                 for i in flow_ids:
                     frozen[i] = True
 
-    return {flows[i].flow_id: rates[i] for i in range(len(flows))}
+    return rates
+
+
+def max_min_fair_rates(
+    flows: Sequence[FlowDemand],
+    capacities: Mapping[str, float],
+    extra_constraints: Iterable[Constraint] = (),
+) -> Dict[str, float]:
+    """Compute weighted max-min fair rates (stateless entry point).
+
+    A thin wrapper over :class:`~repro.sim.solver.IncrementalMaxMinSolver`'s
+    from-scratch path; callers with churning flow sets should hold a solver
+    instance instead and use its mutation API, which re-solves only the
+    connected component a change touches.
+
+    Args:
+        flows: The active flows.
+        capacities: Capacity (bytes/s) per physical link id.  Every link id
+            referenced by a flow must be present.
+        extra_constraints: Additional constraints (e.g. the arbiter's
+            per-tenant-per-link caps).  A constraint with ``member_flows``
+            binds only the listed flows *and* only where the flow's link
+            set contains the constraint id — virtual ids are matched by
+            membership alone.
+
+    Returns:
+        Mapping flow id -> allocated rate (bytes/s).  Flows with zero demand
+        get rate 0.  A flow crossing a zero-capacity (failed) link gets 0.
+    """
+    from .solver import IncrementalMaxMinSolver
+
+    return IncrementalMaxMinSolver.solve_once(flows, capacities,
+                                              extra_constraints)
 
 
 def link_utilizations(
     flows: Sequence[FlowDemand],
     rates: Mapping[str, float],
     capacities: Mapping[str, float],
+    clamp: bool = True,
 ) -> Dict[str, float]:
-    """Per-link utilization in [0, 1] implied by *rates*.
+    """Per-link utilization implied by *rates*.
 
-    Links with zero capacity report utilization 1.0 when any flow is mapped
-    onto them (they are fully degraded), else 0.0.
+    With ``clamp`` (the default) values are capped at 1.0, matching what a
+    dashboard shows.  Diagnostics pass ``clamp=False`` to observe
+    oversubscription: rates supplied by callers (measured counters, stale
+    caps) may legitimately exceed capacity, and the overshoot magnitude is
+    signal.  Links with zero capacity report utilization 1.0 when any flow
+    is mapped onto them (they are fully degraded), else 0.0.
     """
     load: Dict[str, float] = {link_id: 0.0 for link_id in capacities}
     for f in flows:
@@ -203,5 +237,6 @@ def link_utilizations(
         if cap <= 0:
             result[link_id] = 1.0 if load[link_id] > 0 else 0.0
         else:
-            result[link_id] = min(load[link_id] / cap, 1.0)
+            utilization = load[link_id] / cap
+            result[link_id] = min(utilization, 1.0) if clamp else utilization
     return result

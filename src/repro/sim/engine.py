@@ -63,6 +63,16 @@ class Engine:
             raise ClockError(f"cannot schedule with negative delay {delay}")
         return self.schedule_at(self.now + delay, callback, label=label)
 
+    def schedule_now(self, callback: Callable[[], None],
+                     label: str = "") -> Event:
+        """Schedule *callback* at the current timestamp.
+
+        It fires after every event already queued at this instant —
+        the coalescing primitive: same-instant work is deferred to the end
+        of the timestamp without advancing simulated time.
+        """
+        return self.schedule_at(self.now, callback, label=label)
+
     def schedule_every(
         self,
         period: float,

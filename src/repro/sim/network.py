@@ -11,16 +11,18 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import FlowError, UnknownLinkError
 from ..topology.graph import HostTopology
 from ..topology.routing import Path
-from .bandwidth import Constraint, FlowDemand, max_min_fair_rates
+from .bandwidth import Constraint, FlowDemand
 from .engine import Engine
 from .events import Event
 from .flows import Flow, FlowState
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from .solver import IncrementalMaxMinSolver, SolverStats
 
 #: Tenant id used for infrastructure traffic (telemetry, heartbeats).
 SYSTEM_TENANT = "_system"
@@ -51,6 +53,12 @@ class FabricNetwork:
         topology: The host topology to run on.
         engine: The discrete-event engine driving simulated time.
         latency_model: Queueing model for analytic small-op latencies.
+        coalesce_recompute: When ``True``, re-solves triggered by flow or
+            cap events are deferred to a single engine event at the same
+            simulated timestamp, so N same-instant events cost one solve
+            instead of N.  Rate queries flush the pending solve, keeping
+            observable rates consistent; only ``Flow.current_rate`` read
+            directly between same-instant events can be stale.
     """
 
     def __init__(
@@ -58,16 +66,34 @@ class FabricNetwork:
         topology: HostTopology,
         engine: Engine,
         latency_model: Optional[LatencyModel] = None,
+        coalesce_recompute: bool = False,
     ) -> None:
         self.topology = topology
         self.engine = engine
         self.latency_model = latency_model or DEFAULT_LATENCY_MODEL
+        self.coalesce_recompute = coalesce_recompute
 
         self._flows: Dict[str, Flow] = {}
         self._directed_links: Dict[str, Tuple[str, ...]] = {}
         self._flow_seq = itertools.count()
         self._last_sync = engine.now
         self._completion_event: Optional[Event] = None
+
+        # The resident incremental solver: flow/constraint mutations mark
+        # components dirty; _solve() re-solves only those.
+        self._solver = IncrementalMaxMinSolver()
+        for link_id in topology.link_ids():
+            cap = topology.link(link_id).effective_capacity
+            self._solver.set_capacity(directed_id(link_id, FORWARD), cap)
+            self._solver.set_capacity(directed_id(link_id, REVERSE), cap)
+        # Cached membership of each tenant-cap virtual constraint, so flow
+        # add/remove maintains it in O(caps-of-tenant) instead of O(flows).
+        self._cap_members: Dict[Tuple[str, str, Optional[str]], Set[str]] = {}
+
+        # Recompute batching/coalescing.
+        self._batch_depth = 0
+        self._solve_pending = False
+        self._pending_solve_event: Optional[Event] = None
 
         # Ground-truth accounting (telemetry samples these).
         self._link_bytes: Dict[str, float] = {
@@ -107,6 +133,8 @@ class FabricNetwork:
         flow.started_at = self.engine.now
         self._directed_links[flow.flow_id] = self._direct_path(flow.path)
         self._flows[flow.flow_id] = flow
+        self._solver_set_flow(flow)
+        self._caps_track_flow(flow, active=True)
         self._recompute()
         for listener in self._start_listeners:
             listener(flow)
@@ -143,8 +171,10 @@ class FabricNetwork:
         flow.state = FlowState.CANCELLED
         flow.finished_at = self.engine.now
         flow.current_rate = 0.0
+        self._caps_track_flow(flow, active=False)
         del self._flows[flow_id]
         del self._directed_links[flow_id]
+        self._solver.remove_flow(flow_id)
         self._recompute()
         return flow
 
@@ -203,7 +233,9 @@ class FabricNetwork:
         if direction not in (None, FORWARD, REVERSE):
             raise ValueError(f"direction must be fwd/rev/None, "
                              f"got {direction!r}")
-        self._tenant_link_caps[(tenant_id, link_id, direction)] = cap
+        key = (tenant_id, link_id, direction)
+        self._tenant_link_caps[key] = cap
+        self._install_cap_constraint(key)
         self._recompute()
 
     def clear_tenant_link_cap(self, tenant_id: str, link_id: str,
@@ -211,6 +243,8 @@ class FabricNetwork:
         """Remove a previously set per-tenant link cap (no-op if absent)."""
         key = (tenant_id, link_id, direction)
         if self._tenant_link_caps.pop(key, None) is not None:
+            self._cap_members.pop(key, None)
+            self._solver.remove_constraint(self._cap_cid(key))
             self._recompute()
 
     def clear_tenant_caps(self, tenant_id: str) -> None:
@@ -218,6 +252,8 @@ class FabricNetwork:
         stale = [k for k in self._tenant_link_caps if k[0] == tenant_id]
         for key in stale:
             del self._tenant_link_caps[key]
+            self._cap_members.pop(key, None)
+            self._solver.remove_constraint(self._cap_cid(key))
         if stale:
             self._recompute()
 
@@ -277,6 +313,7 @@ class FabricNetwork:
         """
         if link_id not in self._link_bytes:
             raise UnknownLinkError(link_id)
+        self.flush_recompute()
         if direction is None:
             wanted = {directed_id(link_id, FORWARD),
                       directed_id(link_id, REVERSE)}
@@ -311,6 +348,7 @@ class FabricNetwork:
         """
         if link_id not in self._link_bytes:
             raise UnknownLinkError(link_id)
+        self.flush_recompute()
         if direction is None:
             wanted = {directed_id(link_id, FORWARD),
                       directed_id(link_id, REVERSE)}
@@ -390,55 +428,167 @@ class FabricNetwork:
                 )
         self._last_sync = now
 
-    def _solve(self) -> None:
-        """Run the max-min solver over directed constraints."""
-        flows = list(self._flows.values())
-        demands = [
+    # -- solver plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _cap_cid(key: Tuple[str, str, Optional[str]]) -> str:
+        """Virtual constraint id for one tenant-cap key."""
+        tenant_id, link_id, direction = key
+        return f"cap:{tenant_id}:{link_id}:{direction or 'any'}"
+
+    @staticmethod
+    def _cap_wanted(key: Tuple[str, str, Optional[str]]) -> Set[str]:
+        """Directed constraint ids a tenant-cap key binds against."""
+        _tenant_id, link_id, direction = key
+        if direction is None:
+            return {directed_id(link_id, FORWARD),
+                    directed_id(link_id, REVERSE)}
+        return {directed_id(link_id, direction)}
+
+    def _solver_set_flow(self, flow: Flow) -> None:
+        """Mirror one fabric flow into the resident solver."""
+        self._solver.set_flow(
             FlowDemand(
-                flow_id=f.flow_id,
-                links=self._directed_links[f.flow_id],
-                demand=f.effective_demand,
-                weight=f.weight * self._tenant_weights.get(f.tenant_id, 1.0),
+                flow_id=flow.flow_id,
+                links=self._directed_links[flow.flow_id],
+                demand=flow.effective_demand,
+                weight=flow.weight * self._tenant_weights.get(
+                    flow.tenant_id, 1.0
+                ),
             )
-            for f in flows
-        ]
-        capacities = {}
+        )
+
+    def _push_cap_constraint(self, key: Tuple[str, str, Optional[str]]
+                             ) -> None:
+        """Sync one cap's membership set into the solver."""
+        member = self._cap_members.get(key) or ()
+        cid = self._cap_cid(key)
+        if member:
+            self._solver.set_constraint(
+                Constraint(
+                    constraint_id=cid,
+                    capacity=self._tenant_link_caps[key],
+                    member_flows=frozenset(member),
+                )
+            )
+        else:
+            self._solver.remove_constraint(cid)
+
+    def _install_cap_constraint(self, key: Tuple[str, str, Optional[str]]
+                                ) -> None:
+        """(Re)build a cap's membership from scratch (cap set/changed)."""
+        tenant_id = key[0]
+        wanted = self._cap_wanted(key)
+        self._cap_members[key] = {
+            f.flow_id for f in self._flows.values()
+            if f.tenant_id == tenant_id
+            and wanted.intersection(self._directed_links[f.flow_id])
+        }
+        self._push_cap_constraint(key)
+
+    def _caps_track_flow(self, flow: Flow, active: bool) -> None:
+        """Maintain cap memberships as *flow* joins/leaves the fabric."""
+        directed = self._directed_links[flow.flow_id]
+        for key in self._tenant_link_caps:
+            if key[0] != flow.tenant_id:
+                continue
+            if not self._cap_wanted(key).intersection(directed):
+                continue
+            members = self._cap_members.setdefault(key, set())
+            if active:
+                members.add(flow.flow_id)
+            else:
+                members.discard(flow.flow_id)
+            self._push_cap_constraint(key)
+
+    def _refresh_solver_inputs(self) -> None:
+        """Re-sync capacities and flow parameters into the solver.
+
+        Cheap O(links + flows) comparison scan (the solver ignores writes
+        of unchanged values); it keeps the incremental path correct even
+        when topology links or flow demands are mutated directly rather
+        than through the network's mutation methods.
+        """
+        solver = self._solver
         for link_id in self._link_bytes:
             cap = self.topology.link(link_id).effective_capacity
-            capacities[directed_id(link_id, FORWARD)] = cap
-            capacities[directed_id(link_id, REVERSE)] = cap
-        constraints = []
-        for (tenant_id, link_id, direction), cap in \
-                self._tenant_link_caps.items():
-            if direction is None:
-                wanted = {directed_id(link_id, FORWARD),
-                          directed_id(link_id, REVERSE)}
-            else:
-                wanted = {directed_id(link_id, direction)}
-            member = frozenset(
-                f.flow_id for f in flows
-                if f.tenant_id == tenant_id
-                and wanted & set(self._directed_links[f.flow_id])
+            solver.set_capacity(directed_id(link_id, FORWARD), cap)
+            solver.set_capacity(directed_id(link_id, REVERSE), cap)
+        weights = self._tenant_weights
+        for f in self._flows.values():
+            solver.set_flow_params(
+                f.flow_id,
+                demand=f.effective_demand,
+                weight=f.weight * weights.get(f.tenant_id, 1.0),
             )
-            if member:
-                constraints.append(
-                    Constraint(
-                        constraint_id=(f"cap:{tenant_id}:{link_id}:"
-                                       f"{direction or 'any'}"),
-                        capacity=cap,
-                        member_flows=member,
-                    )
-                )
-        rates = max_min_fair_rates(demands, capacities, constraints)
-        for f in flows:
+
+    def _solve(self) -> None:
+        """Re-solve dirty components and push rates onto the flows."""
+        self._refresh_solver_inputs()
+        rates = self._solver.solve()
+        for f in self._flows.values():
             f.current_rate = rates.get(f.flow_id, 0.0)
 
+    @property
+    def solver_stats(self) -> SolverStats:
+        """The resident solver's cost counters (benchmark/test hook)."""
+        return self._solver.stats
+
+    # -- recompute batching -------------------------------------------------------
+
+    @contextmanager
+    def batch(self) -> Iterator["FabricNetwork"]:
+        """Defer re-solves: N mutations inside the block cost one solve.
+
+        Nestable; the single recompute happens when the outermost block
+        exits (and only if something inside requested one).  Time must not
+        advance inside a batch — mutate state, don't run the engine.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._solve_pending:
+                self._solve_pending = False
+                self._recompute_now()
+
     def _recompute(self) -> None:
+        """Request a re-solve, honouring batching/coalescing modes."""
+        if self._batch_depth > 0:
+            self._sync()
+            self._solve_pending = True
+            return
+        if self.coalesce_recompute:
+            self._sync()
+            if self._pending_solve_event is None:
+                self._pending_solve_event = self.engine.schedule_now(
+                    self._fire_pending_solve, label="coalesced-recompute",
+                )
+            return
+        self._recompute_now()
+
+    def _recompute_now(self) -> None:
         """Sync accounting, re-solve rates, reschedule completion."""
+        self._cancel_pending_solve()
         self._sync()
         self._solve()
         self._recompute_count += 1
         self._schedule_completion()
+
+    def _fire_pending_solve(self) -> None:
+        self._pending_solve_event = None
+        self._recompute_now()
+
+    def _cancel_pending_solve(self) -> None:
+        if self._pending_solve_event is not None:
+            self._pending_solve_event.cancel()
+            self._pending_solve_event = None
+
+    def flush_recompute(self) -> None:
+        """Force a deferred (coalesced) re-solve to run immediately."""
+        if self._pending_solve_event is not None:
+            self._recompute_now()  # cancels the queued event itself
 
     def _schedule_completion(self) -> None:
         """Schedule the next finite-flow completion, if any."""
@@ -471,8 +621,10 @@ class FabricNetwork:
             flow.finished_at = self.engine.now
             flow.current_rate = 0.0
             flow.bytes_sent = float(flow.size)
+            self._caps_track_flow(flow, active=False)
             del self._flows[flow.flow_id]
             del self._directed_links[flow.flow_id]
+            self._solver.remove_flow(flow.flow_id)
         self._recompute()
         for flow in finished:
             if flow.on_complete is not None:

@@ -54,6 +54,10 @@ class TelemetryCollector:
         ship_from / ship_to: Endpoints of the shipping flow when
             ``processing="ship"`` (defaults: first NIC -> first DIMM).
         tenants: Tenant ids to attribute when the source supports it.
+        clamp_utilization: Clamp recorded ``link_util.*`` samples at 1.0
+            (dashboard convention).  Anomaly scoring passes ``False`` so
+            oversubscription — stale caps, counter skew — stays visible to
+            the detectors instead of saturating at 1.0.
     """
 
     def __init__(
@@ -66,6 +70,7 @@ class TelemetryCollector:
         ship_from: Optional[str] = None,
         ship_to: Optional[str] = None,
         tenants: Optional[List[str]] = None,
+        clamp_utilization: bool = True,
     ) -> None:
         if period <= 0:
             raise TelemetryError(f"period must be > 0, got {period}")
@@ -77,6 +82,7 @@ class TelemetryCollector:
         self.period = period
         self.processing = processing
         self.tenants = list(tenants or [])
+        self.clamp_utilization = clamp_utilization
         self._task: Optional[PeriodicTask] = None
         self._last_bytes: Dict[str, float] = {}
         self._last_tenant_bytes: Dict[str, float] = {}
@@ -155,9 +161,11 @@ class TelemetryCollector:
             # counters alone cannot localize such failures (E4).
             busiest = max(rates.values())
             utilization = busiest / link.capacity if link.capacity else 0.0
+            if self.clamp_utilization:
+                utilization = min(utilization, 1.0)
             self.store.record(link_rate_metric(link.link_id), now, total_rate)
             self.store.record(link_util_metric(link.link_id), now,
-                              min(utilization, 1.0))
+                              utilization)
             record_count += 2
 
         if self.tenants and self.bank.supports_per_tenant():

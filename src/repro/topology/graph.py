@@ -191,6 +191,21 @@ class HostTopology:
         """Sum of effective capacities (bytes/s), optionally per link class."""
         return sum(l.effective_capacity for l in self.links(link_class))
 
+    def directed_capacities(self, advertised: bool = False) -> Dict[str, float]:
+        """Per-direction constraint capacities, keyed ``<link_id>|fwd/rev``.
+
+        Links are full duplex, so the flow layer enforces capacity per
+        direction under these ids (the solver's physical constraint
+        namespace).  By default effective (degradation-aware) capacities
+        are returned; ``advertised=True`` uses the spec-sheet values.
+        """
+        capacities: Dict[str, float] = {}
+        for link in self._links.values():
+            cap = link.capacity if advertised else link.effective_capacity
+            capacities[f"{link.link_id}|fwd"] = cap
+            capacities[f"{link.link_id}|rev"] = cap
+        return capacities
+
     def describe(self) -> str:
         """Multi-line human-readable summary of the topology."""
         lines = [f"HostTopology {self.name!r}: "
