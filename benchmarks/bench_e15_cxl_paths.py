@@ -25,7 +25,7 @@ from common import print_table
 from repro.diagnostics import hostperf, hostping
 from repro.sim import Engine, FabricNetwork
 from repro.topology import cxl_host
-from repro.units import ns, to_Gbps, to_us
+from repro.units import ns, to_Gbps
 from repro.workloads import RdmaLoopbackApp
 
 PATHS = {

@@ -24,7 +24,6 @@ sys.path.insert(0, str(Path(__file__).parent))
 from common import fresh_network, print_table
 
 from repro.telemetry import CounterSource, TelemetryCollector
-from repro.topology import shortest_path
 from repro.units import Gbps, ms, to_Gbps
 from repro.workloads import MlTrainingApp
 

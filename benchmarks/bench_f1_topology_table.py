@@ -10,7 +10,6 @@ measurement lands inside the paper's published range.
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 from common import fresh_network, print_table

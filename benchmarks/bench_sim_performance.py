@@ -8,9 +8,14 @@ regressions in the solver, engine, or router show up in CI:
 * churn on 500 flows: incremental component re-solve vs from-scratch;
 * discrete-event engine throughput (events/second);
 * path enumeration on the DGX-like host;
-* one full co-location second (KV + loopback + arbiter) of simulated time.
+* one full co-location second (KV + loopback + arbiter) of simulated time;
+* tracing overhead: the ``repro.trace`` disabled fast path must cost
+  <= 2% on engine dispatch vs an uninstrumented engine (CI-enforced),
+  and enabled tracing is timed for the record.
 """
 
+import gc
+import heapq
 import time
 
 import sys
@@ -20,7 +25,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from common import fresh_network
 
 from repro.core import HostNetworkManager, pipe
-from repro.sim import Engine, FabricNetwork, IncrementalMaxMinSolver
+from repro.sim import Engine, IncrementalMaxMinSolver
 from repro.sim.bandwidth import FlowDemand, max_min_fair_rates
 from repro.sim.rng import make_rng
 from repro.topology import cascade_lake_2s, dgx_like, k_shortest_paths
@@ -165,6 +170,96 @@ def test_path_enumeration_dgx(benchmark):
     topology = dgx_like()
     paths = benchmark(k_shortest_paths, topology, "gpu0", "dimm1-0", 6)
     assert paths
+
+
+class _UninstrumentedEngine(Engine):
+    """`Engine.step` exactly as it was before `repro.trace` existed.
+
+    The "no-tracer baseline" for the overhead contract: same heappop /
+    cancelled-skip / clock-advance / dispatch sequence, minus the
+    ``TRACER.enabled`` guard.
+    """
+
+    def step(self):
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+
+def _run_event_chain(engine, n_events):
+    state = {"count": 0}
+
+    def tick():
+        state["count"] += 1
+        if state["count"] < n_events:
+            engine.schedule_in(1e-6, tick)
+
+    engine.schedule_in(1e-6, tick)
+    engine.run()
+    assert state["count"] == n_events
+
+
+def _min_chain_time(engine_factory, n_events, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        _run_event_chain(engine_factory(), n_events)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tracing_disabled_overhead():
+    """CI-enforced contract: tracing-disabled overhead <= 2%.
+
+    Interleaved min-of-rounds timing (min is the stable statistic for a
+    CPU-bound loop; interleaving decorrelates frequency/GC drift).  The
+    instrumented engine with the tracer disabled must stay within 2% of
+    the uninstrumented baseline on pure event dispatch — the hottest
+    instrumented path in the simulator.
+    """
+    from repro.trace import TRACER
+
+    assert not TRACER.enabled, "tracer must be disabled for this benchmark"
+    n_events, rounds = 40_000, 9
+    # Warm both paths (bytecode caches, allocator) outside the timing.
+    _run_event_chain(_UninstrumentedEngine(), 1000)
+    _run_event_chain(Engine(), 1000)
+    baseline = _min_chain_time(_UninstrumentedEngine, n_events, rounds)
+    instrumented = _min_chain_time(Engine, n_events, rounds)
+    overhead = instrumented / baseline - 1.0
+    assert overhead <= 0.02, (
+        f"tracing-disabled dispatch is {overhead * 100:.2f}% slower than "
+        f"the no-tracer baseline ({instrumented * 1e3:.2f}ms vs "
+        f"{baseline * 1e3:.2f}ms for {n_events} events); the disabled "
+        f"fast path must stay within 2%"
+    )
+
+
+def test_tracing_enabled_event_throughput(benchmark):
+    """Dispatch throughput with tracing ON (for the perf trajectory).
+
+    Not a contract — enabled tracing pays for span + counter recording on
+    every event; this keeps its cost visible in BENCH_sim_performance.
+    """
+    from repro.trace import TRACER, TraceConfig, start_tracing, stop_tracing
+
+    def run_10k_traced():
+        start_tracing(TraceConfig(capacity=4096))
+        try:
+            _run_event_chain(Engine(), 10_000)
+        finally:
+            stop_tracing()
+        return len(TRACER)
+
+    records = benchmark(run_10k_traced)
+    assert records == 4096  # ring stayed bounded while recording 20k+
 
 
 def test_managed_colocation_second(benchmark):

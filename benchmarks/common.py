@@ -8,7 +8,7 @@ experiments share.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.sim import Engine, FabricNetwork
 from repro.topology import cascade_lake_2s

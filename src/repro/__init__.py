@@ -105,6 +105,14 @@ from .topology import (
     shortest_path,
     widest_path,
 )
+from .trace import (
+    TRACER,
+    TraceConfig,
+    Tracer,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
 from .units import GBps, Gbps, ms, ns, us
 from .workloads import (
     KvStoreApp,
@@ -202,6 +210,13 @@ __all__ = [
     "NvmeScanApp",
     "MaliciousFloodApp",
     "TraceGenerator",
+    # trace
+    "TRACER",
+    "Tracer",
+    "TraceConfig",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
     # stats & units
     "percentile",
     "summarize",

@@ -6,7 +6,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.manager import HostNetworkManager
-from ..sim.network import FabricNetwork
 from ..topology.elements import LinkClass
 from ..units import to_Gbps
 

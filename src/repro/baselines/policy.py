@@ -8,7 +8,7 @@ interface is deliberately tiny: ``setup`` before the workload starts,
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ..sim.network import FabricNetwork
 

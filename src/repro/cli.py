@@ -6,6 +6,9 @@ paper's tooling would be driven in production:
 * ``describe [--preset P]`` — print a preset's topology summary;
 * ``ping SRC DST`` — hostping between two devices;
 * ``trace SRC DST`` — hosttrace with per-hop latency attribution;
+* ``trace SCENARIO`` — run a canned scenario with the
+  :mod:`repro.trace` profiler enabled and write a Perfetto-loadable
+  ``trace_event`` JSON (open it at ``ui.perfetto.dev``);
 * ``perf SRC DST`` — hostperf achievable-bandwidth probe;
 * ``drill [--failure ...]`` — inject a failure under load, run the
   monitor, print detection + localization + diagnosis;
@@ -73,11 +76,112 @@ def cmd_ping(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Canned workloads for ``trace SCENARIO`` (profiling-trace mode).
+TRACE_SCENARIOS = ("quickstart", "churn")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    """hosttrace with per-hop latency attribution."""
-    network = _build_network(args.preset, args.load)
-    print(hosttrace(network, args.src, args.dst).describe())
+    """Two modes sharing one verb, like ``perf trace``:
+
+    * ``trace SRC DST`` — hosttrace per-hop latency attribution;
+    * ``trace SCENARIO`` — record a profiling trace of the simulator
+      itself while it runs a canned scenario.
+    """
+    if args.dst is not None:
+        network = _build_network(args.preset, args.load)
+        print(hosttrace(network, args.src, args.dst).describe())
+        return 0
+    if args.src not in TRACE_SCENARIOS:
+        print(f"trace: {args.src!r} is neither 'SRC DST' devices nor a "
+              f"scenario ({'/'.join(TRACE_SCENARIOS)})", file=sys.stderr)
+        return 2
+    return _cmd_trace_scenario(args)
+
+
+def _cmd_trace_scenario(args: argparse.Namespace) -> int:
+    """Run a scenario under the tracer; write Perfetto JSON + summaries."""
+    from .host import Host
+    from .monitor import HostMonitor
+    from .topology.elements import DeviceType
+    from .topology.routing import shortest_path
+    from .trace import (
+        TRACER,
+        TraceConfig,
+        flame_summary,
+        profile,
+        render_profile,
+        stop_tracing,
+        write_chrome_trace,
+    )
+    from .units import Gbps
+
+    topology = load_preset(args.preset)
+    nics = topology.devices(DeviceType.NIC)
+    dimms = topology.devices(DeviceType.DIMM)
+    if not nics or not dimms:
+        print(f"preset {args.preset!r} lacks a NIC/DIMM pair to load",
+              file=sys.stderr)
+        return 1
+    nic, dimm = nics[0].device_id, dimms[0].device_id
+
+    TRACER.configure(TraceConfig())
+    host = Host(topology, coalesce_recompute=True, decision_latency=0.0,
+                trace=True)
+    monitor = HostMonitor(host.network)
+    monitor.start()
+    try:
+        from .workloads import KvStoreApp, RdmaLoopbackApp
+
+        if args.src == "quickstart":
+            # The README walkthrough: a KV store, a loopback aggressor,
+            # and the intent that protects the former from the latter.
+            KvStoreApp(host.network, "kv-tenant", nic=nic, dimm=dimm,
+                       request_rate=20_000, seed=1).start()
+            RdmaLoopbackApp(host.network, "loopback-tenant",
+                            nic=nic, dimm=dimm).start()
+            host.register_tenant("loopback-tenant")
+            host.submit(pipe_intent("kv-guarantee", "kv-tenant",
+                                    nic, dimm, Gbps(100)))
+        else:  # churn: short finite transfers arriving every millisecond
+            path = shortest_path(topology, nic, dimm)
+            host.submit(pipe_intent("churn-floor", "churn-tenant",
+                                    nic, dimm, Gbps(50)))
+
+            def spawn() -> None:
+                host.network.start_transfer(
+                    "churn-tenant", path, size=500_000.0,
+                    demand=Gbps(80), tags={"app": "churn"},
+                )
+
+            host.engine.schedule_every(0.001, spawn, label="churn-spawn",
+                                       first_delay=0.0)
+        host.run_until(args.sim_seconds)
+        monitor.check()
+    finally:
+        stop_tracing()
+        monitor.stop()
+        host.shutdown()
+
+    out = args.out or f"trace-{args.src}.json"
+    events = write_chrome_trace(TRACER, out)
+    categories = ", ".join(sorted(TRACER.categories()))
+    print(f"recorded {len(TRACER)} records ({events} trace events) "
+          f"over {args.sim_seconds}s simulated; categories: {categories}")
+    print(f"wrote {out} — open it at https://ui.perfetto.dev")
+    print()
+    print(flame_summary(TRACER))
+    print()
+    print(render_profile(profile(TRACER)))
     return 0
+
+
+def pipe_intent(intent_id: str, tenant: str, src: str, dst: str,
+                bandwidth: float):
+    """A bidirectional pipe intent (tiny helper for the scenarios)."""
+    from .core import pipe
+
+    return pipe(intent_id, tenant, src=src, dst=dst, bandwidth=bandwidth,
+                bidirectional=True)
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -145,17 +249,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="render as an ASCII tree with link specs")
 
     for name, helptext in (("ping", "round-trip latency probe"),
-                           ("trace", "per-hop latency breakdown"),
+                           ("trace", "per-hop latency breakdown (SRC DST) "
+                                     "or profile a scenario (quickstart|"
+                                     "churn) into Perfetto JSON"),
                            ("perf", "achievable bandwidth probe")):
         p = sub.add_parser(name, help=helptext)
-        p.add_argument("src")
-        p.add_argument("dst")
+        if name == "trace":
+            p.add_argument("src", help="source device (with DST), "
+                                       "or a scenario name")
+            p.add_argument("dst", nargs="?")
+        else:
+            p.add_argument("src")
+            p.add_argument("dst")
         p.add_argument("--load", action="store_true",
                        help="add background KV load first")
         if name == "ping":
             p.add_argument("--count", type=int, default=8)
         if name == "perf":
             p.add_argument("--duration", type=float, default=0.05)
+        if name == "trace":
+            p.add_argument("--out", default=None,
+                           help="profiling-trace output path "
+                                "(default trace-<scenario>.json)")
+            p.add_argument("--sim-seconds", type=float, default=0.15,
+                           help="simulated seconds to run the scenario")
 
     drill = sub.add_parser("drill", help="failure-injection drill")
     drill.add_argument("--failure", default="switch",

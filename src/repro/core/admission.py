@@ -10,7 +10,7 @@ work-conserving tenants that rarely peak together).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ArbiterError
 from ..sim.engine import PeriodicTask
+from ..trace.recorder import TRACER
 from ..sim.network import SYSTEM_TENANT, FabricNetwork
 from ..units import us
 
@@ -369,6 +370,17 @@ class DynamicArbiter:
 
     def adjust_once(self) -> List[LinkAllocation]:
         """One sense-decide round; caps apply after ``decision_latency``."""
+        if not TRACER.enabled:
+            return self._adjust_once_untracked()
+        with TRACER.span("arbiter", "adjust", {
+            "directed_links": len(self._floors),
+            "best_effort_tenants": len(self._best_effort),
+        }):
+            allocations = self._adjust_once_untracked()
+            TRACER.annotate(allocations=len(allocations))
+            return allocations
+
+    def _adjust_once_untracked(self) -> List[LinkAllocation]:
         self.adjustments += 1
         allocations: List[LinkAllocation] = []
         pending: List[tuple] = []
@@ -418,11 +430,20 @@ class DynamicArbiter:
         # One enforcement round programs every cap in a single fabric
         # re-solve; the incremental solver then only re-solves the
         # components whose caps actually changed since last round.
-        with self.network.batch():
-            for tenant, link_id, direction, cap in batch:
-                self.network.set_tenant_link_cap(tenant, link_id, cap,
-                                                 direction=direction)
-                self._capped.add((tenant, link_id, direction))
+        if TRACER.enabled:
+            TRACER.begin("arbiter", "enforce", {
+                "caps": len(batch),
+                "tenants": len({entry[0] for entry in batch}),
+            })
+        try:
+            with self.network.batch():
+                for tenant, link_id, direction, cap in batch:
+                    self.network.set_tenant_link_cap(tenant, link_id, cap,
+                                                     direction=direction)
+                    self._capped.add((tenant, link_id, direction))
+        finally:
+            if TRACER.enabled:
+                TRACER.end()
 
     def _lift_tenant_caps(self, tenant_id: str) -> None:
         stale = [key for key in self._capped if key[0] == tenant_id]

@@ -17,13 +17,14 @@ registry; it is the single object examples and benchmarks interact with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..errors import AdmissionError, UnknownTenantError
 from ..sim.network import FabricNetwork
+from ..trace.recorder import TRACER
 from ..units import us
-from .admission import AdmissionController, AdmissionDecision, ReservationLedger
+from .admission import AdmissionController, ReservationLedger
 from .arbiter import DynamicArbiter
 from .intents import PerformanceTarget
 from .interpreter import CandidateRequirement, interpret
@@ -119,6 +120,22 @@ class HostNetworkManager:
         :class:`~repro.errors.ScheduleError`, or
         :class:`~repro.errors.AdmissionError` at the stage that failed.
         """
+        if not TRACER.enabled:
+            return self._submit_untracked(intent)
+        with TRACER.span("manager", "admit", {
+            "tenant": intent.tenant_id,
+            "intent": intent.intent_id,
+        }):
+            try:
+                placement = self._submit_untracked(intent)
+            except Exception as exc:
+                TRACER.annotate(outcome=type(exc).__name__)
+                raise
+            TRACER.annotate(outcome="admitted",
+                            links=len(placement.links()))
+            return placement
+
+    def _submit_untracked(self, intent: PerformanceTarget) -> Placement:
         if intent.tenant_id not in self.tenants:
             self.register_tenant(intent.tenant_id)
         if intent.intent_id in self._placements:
@@ -187,6 +204,15 @@ class HostNetworkManager:
 
     def release(self, intent_id: str) -> None:
         """Withdraw an intent: drop reservations, floors, and stale caps."""
+        if not TRACER.enabled:
+            return self._release_untracked(intent_id)
+        placement = self._placements.get(intent_id)
+        tenant = placement.intent.tenant_id if placement else "?"
+        with TRACER.span("manager", "release",
+                         {"tenant": tenant, "intent": intent_id}):
+            self._release_untracked(intent_id)
+
+    def _release_untracked(self, intent_id: str) -> None:
         placement = self._placements.pop(intent_id, None)
         if placement is None:
             raise AdmissionError(intent_id, "not placed")

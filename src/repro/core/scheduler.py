@@ -18,7 +18,7 @@ Three strategies, so the benefit of topology awareness is measurable (E8):
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from ..errors import ScheduleError
 from .admission import AdmissionController

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..units import GBps, Gbps, ns, us
+from ..units import GBps, ns, us
 
 
 @dataclass

@@ -10,7 +10,6 @@ throughput cliff as connection count crosses cache capacity (E12).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from ..units import Gbps, kib, ns, us

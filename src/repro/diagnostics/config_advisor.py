@@ -18,7 +18,7 @@ Signature components (all measured, not read from the config):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from ..devices.configured import ConfiguredHost

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..sim.flows import Flow, FlowState
+from ..sim.flows import Flow
 from ..sim.network import FabricNetwork
 
 

@@ -23,7 +23,7 @@ no state of its own, so advanced code can keep reaching inside.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from .core.intents import PerformanceTarget
 from .core.manager import HostNetworkManager, Placement
@@ -31,7 +31,9 @@ from .core.scheduler import Scheduler
 from .sim.engine import Engine
 from .sim.latency import LatencyModel
 from .sim.network import FabricNetwork
+from .sim.solver import SolverStats
 from .topology.graph import HostTopology
+from .trace import TraceConfig, Tracer, start_tracing
 from .units import us
 
 
@@ -47,6 +49,11 @@ class Host:
         managed: Construct the :class:`HostNetworkManager` (default).
             ``managed=False`` gives a bare engine + fabric for unmanaged
             experiments; ``manager`` access then raises.
+        trace: Tracing for this session: ``True`` enables the process-wide
+            tracer (:data:`repro.trace.TRACER`) with its current
+            configuration; a :class:`~repro.trace.TraceConfig` reconfigures
+            it first.  The tracer is process-global (one trace per run, as
+            with Perfetto); it is exposed as :attr:`tracer`.
         scheduler / headroom / work_conserving / arbiter_period /
         decision_latency / candidate_paths / auto_start_arbiter:
             Forwarded to :class:`HostNetworkManager`.
@@ -60,6 +67,7 @@ class Host:
         latency_model: Optional[LatencyModel] = None,
         coalesce_recompute: bool = False,
         managed: bool = True,
+        trace: Union[bool, TraceConfig, None] = None,
         scheduler: Optional[Scheduler] = None,
         headroom: float = 0.9,
         work_conserving: bool = True,
@@ -69,6 +77,11 @@ class Host:
         auto_start_arbiter: bool = True,
     ) -> None:
         self.topology = topology
+        self.tracer: Optional[Tracer] = None
+        if trace:
+            self.tracer = start_tracing(
+                trace if isinstance(trace, TraceConfig) else None
+            )
         self.engine = Engine(start=start)
         self.network = FabricNetwork(
             topology, self.engine,
@@ -108,6 +121,17 @@ class Host:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self.engine.now
+
+    @property
+    def solver_stats(self) -> SolverStats:
+        """The fabric's resident-solver cost counters (no reaching into
+        ``host.network`` needed)."""
+        return self.network.solver_stats
+
+    @property
+    def recompute_count(self) -> int:
+        """How many times the fabric re-solved rates this session."""
+        return self.network.recompute_count
 
     # -- delegation ----------------------------------------------------------
 
@@ -153,3 +177,12 @@ class Host:
         else:
             lines.append("  (unmanaged: no resource manager)")
         return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        managed = (f"tenants={len(self._manager.tenants)}, "
+                   f"intents={len(self._manager.placements())}"
+                   if self._manager is not None else "unmanaged")
+        traced = ", traced" if self.tracer is not None else ""
+        return (f"Host({self.topology.name!r}, t={self.now:.6f}s, "
+                f"flows={len(self.network.active_flows())}, "
+                f"recomputes={self.recompute_count}, {managed}{traced})")

@@ -22,7 +22,6 @@ This module implements that pipeline end to end:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 

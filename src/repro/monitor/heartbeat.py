@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MonitorError, NoPathError
 from ..sim.engine import PeriodicTask
+from ..trace.recorder import TRACER
 from ..sim.network import SYSTEM_TENANT, FabricNetwork
 from ..topology.routing import Path, shortest_path
 from ..units import ns
@@ -152,7 +153,15 @@ class HeartbeatMesh:
 
     def probe_all(self) -> List[ProbeResult]:
         """Probe every pair once; returns this round's results."""
-        return [self.probe_pair(src, dst) for src, dst in self._paths]
+        if not TRACER.enabled:
+            return [self.probe_pair(src, dst) for src, dst in self._paths]
+        with TRACER.span("monitor", "probe_round",
+                         {"pairs": len(self._paths)}):
+            results = [self.probe_pair(src, dst) for src, dst in self._paths]
+            TRACER.annotate(
+                missed=sum(1 for r in results if r.missed)
+            )
+            return results
 
     # -- queries -----------------------------------------------------------------
 

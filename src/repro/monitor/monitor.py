@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from ..sim.network import FabricNetwork
 from ..telemetry.collector import TelemetryCollector
+from ..trace.recorder import TRACER
 from ..telemetry.counters import CounterSource
 from ..telemetry.storage import MetricStore
 from .anomaly import (
@@ -171,6 +172,15 @@ class HostMonitor:
 
     def check(self, rtt_inflation_factor: float = 3.0) -> MonitorReport:
         """Run detection over everything observed since the last check."""
+        if not TRACER.enabled:
+            return self._check_untracked(rtt_inflation_factor)
+        with TRACER.span("monitor", "check"):
+            report = self._check_untracked(rtt_inflation_factor)
+            TRACER.annotate(anomalies=len(report.anomalies),
+                            bad_probes=len(report.bad_probes))
+            return report
+
+    def _check_untracked(self, rtt_inflation_factor: float) -> MonitorReport:
         now = self.network.engine.now
         anomalies: List[Anomaly] = []
         for metric in self.store.metrics():

@@ -16,7 +16,7 @@ NetBouncer recipe ([23], [52]) applied inside the host.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..topology.graph import HostTopology
 from .heartbeat import ProbeResult

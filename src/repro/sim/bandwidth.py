@@ -19,7 +19,7 @@ the QoS literature the paper cites).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Relative tolerance for saturation checks.

@@ -18,6 +18,7 @@ import heapq
 from typing import Callable, List, Optional
 
 from ..errors import ClockError, SimulationError
+from ..trace.recorder import TRACER
 from .clock import SimClock
 from .events import Event
 
@@ -113,9 +114,21 @@ class Engine:
                 continue
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            if TRACER.enabled:
+                self._dispatch_traced(event)
+            else:
+                event.callback()
             return True
         return False
+
+    def _dispatch_traced(self, event: Event) -> None:
+        """Dispatch one event under a span plus a queue-depth sample."""
+        TRACER.begin("engine", event.label or "event", {"t": event.time})
+        try:
+            event.callback()
+        finally:
+            TRACER.end()
+            TRACER.counter("engine", "engine.queue_depth", len(self._queue))
 
     def run_until(self, t: float, max_events: Optional[int] = None) -> int:
         """Process events up to and including time *t*; advance clock to *t*.

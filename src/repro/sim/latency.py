@@ -17,7 +17,7 @@ of magnitude (Agarwal'22, Hostping'23) rather than diverging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import Callable
 
 from ..topology.graph import HostTopology
 from ..topology.routing import Path

@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import FlowError, UnknownLinkError
+from ..trace.recorder import TRACER
 from ..topology.graph import HostTopology
 from ..topology.routing import Path
 from .bandwidth import Constraint, FlowDemand
@@ -339,6 +340,38 @@ class FabricNetwork:
             return 1.0 if busiest > 0 else 0.0
         return min(busiest / cap, 1.0)
 
+    def link_utilizations(self, clamp: bool = True) -> Dict[str, float]:
+        """Instantaneous utilization of *every* link in one pass.
+
+        Like the other rate queries, this flushes any pending coalesced
+        re-solve first, so a burst of same-instant flow events can never
+        yield stale utilizations.  One O(flows x hops + links) sweep
+        replaces ``len(links)`` :meth:`link_utilization` calls (each of
+        which scans every flow).  With ``clamp`` (the default) values are
+        capped at 1.0; ``clamp=False`` exposes oversubscription.
+        """
+        self.flush_recompute()
+        directed_rates: Dict[str, float] = {}
+        for flow in self._flows.values():
+            rate = flow.current_rate
+            if rate <= 0:
+                continue
+            for dlink in self._directed_links[flow.flow_id]:
+                directed_rates[dlink] = directed_rates.get(dlink, 0.0) + rate
+        utilizations: Dict[str, float] = {}
+        for link_id in self._link_bytes:
+            busiest = max(
+                directed_rates.get(directed_id(link_id, FORWARD), 0.0),
+                directed_rates.get(directed_id(link_id, REVERSE), 0.0),
+            )
+            cap = self.topology.link(link_id).effective_capacity
+            if cap <= 0:
+                utilizations[link_id] = 1.0 if busiest > 0 else 0.0
+            else:
+                value = busiest / cap
+                utilizations[link_id] = min(value, 1.0) if clamp else value
+        return utilizations
+
     def tenant_link_rate(self, tenant_id: str, link_id: str,
                          direction: Optional[str] = None) -> float:
         """Instantaneous rate of one tenant on one link.
@@ -551,6 +584,9 @@ class FabricNetwork:
             self._batch_depth -= 1
             if self._batch_depth == 0 and self._solve_pending:
                 self._solve_pending = False
+                if TRACER.enabled:
+                    TRACER.instant("network", "batch_flush",
+                                   {"t": self.engine.now})
                 self._recompute_now()
 
     def _recompute(self) -> None:
@@ -571,13 +607,25 @@ class FabricNetwork:
     def _recompute_now(self) -> None:
         """Sync accounting, re-solve rates, reschedule completion."""
         self._cancel_pending_solve()
-        self._sync()
-        self._solve()
+        if TRACER.enabled:
+            with TRACER.span("network", "recompute",
+                             {"t": self.engine.now,
+                              "active_flows": len(self._flows)}):
+                self._sync()
+                self._solve()
+            TRACER.counter("network", "network.active_flows",
+                           len(self._flows))
+        else:
+            self._sync()
+            self._solve()
         self._recompute_count += 1
         self._schedule_completion()
 
     def _fire_pending_solve(self) -> None:
         self._pending_solve_event = None
+        if TRACER.enabled:
+            TRACER.instant("network", "coalesced_flush",
+                           {"t": self.engine.now})
         self._recompute_now()
 
     def _cancel_pending_solve(self) -> None:

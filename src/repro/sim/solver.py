@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
+from ..trace.recorder import TRACER
 from .bandwidth import (
     Constraint,
     FlowDemand,
@@ -280,6 +281,28 @@ class IncrementalMaxMinSolver:
         The returned dict is a snapshot owned by the caller.
         """
         self.stats.solve_calls += 1
+        if not TRACER.enabled:
+            return self._solve_untracked()
+        with TRACER.span("solver", "solve", {
+            "flows": len(self._flows),
+            "dirty_flows": len(self._touched_flows),
+            "dirty_constraints": len(self._touched_cids),
+        }):
+            before = (self.stats.noop_solves, self.stats.full_solves,
+                      self.stats.component_solves, self.stats.flows_resolved)
+            rates = self._solve_untracked()
+            if self.stats.noop_solves > before[0]:
+                TRACER.annotate(kind="noop")
+            else:
+                TRACER.annotate(
+                    kind=("full" if self.stats.full_solves > before[1]
+                          else "incremental"),
+                    components=self.stats.component_solves - before[2],
+                    flows_resolved=self.stats.flows_resolved - before[3],
+                )
+            return rates
+
+    def _solve_untracked(self) -> Dict[str, float]:
         if self._loaded_clean:
             self._full_solve()
             self._loaded_clean = False

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from ..errors import TelemetryError
 from ..sim.engine import PeriodicTask
+from ..trace.recorder import TRACER
 from ..sim.network import SYSTEM_TENANT, FabricNetwork
 from ..topology.routing import shortest_path
 from .counters import CounterBank, CounterSource
@@ -138,6 +139,13 @@ class TelemetryCollector:
     # -- sampling ------------------------------------------------------------
 
     def _sample(self) -> None:
+        if not TRACER.enabled:
+            return self._sample_untracked()
+        with TRACER.span("telemetry", "sample",
+                         {"links": len(self.network.topology.links())}):
+            self._sample_untracked()
+
+    def _sample_untracked(self) -> None:
         now = self.network.engine.now
         elapsed = (now - self._last_sample_time
                    if self._last_sample_time is not None else self.period)

@@ -8,7 +8,7 @@ and class-based filtering.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 import networkx as nx
 

@@ -1,0 +1,88 @@
+"""``repro.trace`` — always-on tracing & profiling of the simulator itself.
+
+Distinct from :mod:`repro.telemetry`, which *models* in-fabric hardware
+counters as part of the reproduction: this package instruments the
+reproduction's own hot paths (engine dispatch, solver re-solves, arbiter
+rounds, monitor probes) so a slow run can be explained, not guessed at.
+
+Three pieces:
+
+* :mod:`~repro.trace.recorder` — the process-wide :data:`TRACER`
+  (nestable spans, instant events, counter tracks) over a bounded ring
+  buffer, with a disabled fast path cheap enough to leave compiled in;
+* :mod:`~repro.trace.export` — Chrome/Perfetto ``trace_event`` JSON
+  (loadable in ``ui.perfetto.dev``) and a text flamegraph;
+* :mod:`~repro.trace.profile` — flat per-span-kind aggregates
+  (count, total/self time, p50/p99).
+
+Entry points: ``Host(topology, trace=True)``, the
+``python -m repro trace <scenario>`` CLI, or :func:`start_tracing`.
+"""
+
+from .export import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    flame_summary,
+    write_chrome_trace,
+)
+from .profile import (
+    SpanStats,
+    category_totals,
+    profile,
+    profile_spans,
+    render_profile,
+)
+from .recorder import (
+    TRACER,
+    TraceConfig,
+    Tracer,
+    get_tracer,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+from .spans import (
+    CAT_ARBITER,
+    CAT_ENGINE,
+    CAT_MANAGER,
+    CAT_MONITOR,
+    CAT_NETWORK,
+    CAT_SOLVER,
+    CAT_TELEMETRY,
+    CounterRecord,
+    InstantRecord,
+    SpanRecord,
+)
+
+__all__ = [
+    # recorder
+    "TRACER",
+    "Tracer",
+    "TraceConfig",
+    "get_tracer",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    # records
+    "SpanRecord",
+    "InstantRecord",
+    "CounterRecord",
+    "CAT_ENGINE",
+    "CAT_SOLVER",
+    "CAT_NETWORK",
+    "CAT_ARBITER",
+    "CAT_MANAGER",
+    "CAT_MONITOR",
+    "CAT_TELEMETRY",
+    # export
+    "chrome_trace_events",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "flame_summary",
+    # profile
+    "SpanStats",
+    "profile",
+    "profile_spans",
+    "category_totals",
+    "render_profile",
+]

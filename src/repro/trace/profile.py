@@ -1,0 +1,100 @@
+"""Aggregate profiling statistics over the recorded span stream.
+
+Where :func:`repro.trace.export.flame_summary` answers "*where* does the
+time go" (tree-shaped), this module answers "*what* is expensive"
+(flat, per span kind): count, total/self time, mean, p50/p99/max — the
+numbers a perf PR quotes before and after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..stats import percentile
+from .recorder import Tracer
+from .spans import SpanRecord
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate cost of one (category, name) span kind.
+
+    Durations are wall-clock seconds; ``self_total`` excludes time spent
+    in child spans, so summing ``self_total`` across kinds never double
+    counts nested work.
+    """
+
+    category: str
+    name: str
+    count: int
+    total: float
+    self_total: float
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+
+def profile_spans(
+    spans: Iterable[SpanRecord],
+) -> Dict[Tuple[str, str], SpanStats]:
+    """Per-(category, name) aggregates over *spans*."""
+    durations: Dict[Tuple[str, str], List[float]] = {}
+    self_totals: Dict[Tuple[str, str], float] = {}
+    for span in spans:
+        key = (span.category, span.name)
+        durations.setdefault(key, []).append(span.duration)
+        self_totals[key] = self_totals.get(key, 0.0) + span.self_time
+    result: Dict[Tuple[str, str], SpanStats] = {}
+    for key, values in durations.items():
+        total = sum(values)
+        result[key] = SpanStats(
+            category=key[0],
+            name=key[1],
+            count=len(values),
+            total=total,
+            self_total=self_totals[key],
+            mean=total / len(values),
+            p50=percentile(values, 50),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+    return result
+
+
+def profile(tracer: Tracer) -> Dict[Tuple[str, str], SpanStats]:
+    """Per-(category, name) aggregates over the tracer's retained spans."""
+    return profile_spans(tracer.spans())
+
+
+def category_totals(tracer: Tracer) -> Dict[str, float]:
+    """Self-time per category (sums to total traced time, no overlap)."""
+    totals: Dict[str, float] = {}
+    for span in tracer.spans():
+        totals[span.category] = totals.get(span.category, 0.0) + span.self_time
+    return totals
+
+
+def render_profile(stats: Dict[Tuple[str, str], SpanStats],
+                   limit: int = 15) -> str:
+    """Fixed-width table of the *limit* most expensive span kinds."""
+    if not stats:
+        return "(no spans recorded)"
+    rows = sorted(stats.values(), key=lambda s: s.self_total, reverse=True)
+    lines = [
+        f"{'category:name':<34} {'count':>7} {'total':>10} {'self':>10} "
+        f"{'p50':>9} {'p99':>9}"
+    ]
+    for row in rows[:limit]:
+        label = f"{row.category}:{row.name}"
+        if len(label) > 34:
+            label = label[:31] + "..."
+        lines.append(
+            f"{label:<34} {row.count:>7} {row.total * 1e3:>8.3f}ms "
+            f"{row.self_total * 1e3:>8.3f}ms {row.p50 * 1e6:>7.1f}us "
+            f"{row.p99 * 1e6:>7.1f}us"
+        )
+    if len(rows) > limit:
+        lines.append(f"... and {len(rows) - limit} more span kinds")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Trace record types: spans, instants, and counter samples.
+
+The recorder (:mod:`repro.trace.recorder`) stores raw tuples in its ring
+buffer for speed; these dataclasses are the *materialized* view handed to
+exporters, the profiler, and tests.  All timestamps are wall-clock seconds
+relative to the tracer's start (``time.perf_counter`` deltas) — the trace
+subsystem profiles the simulator's own execution cost, not simulated time.
+Spans that want to correlate with simulated time carry it in ``args``
+(conventionally under the key ``"t"``).
+
+Record kinds mirror the Chrome ``trace_event`` phases we export:
+
+* ``SpanRecord`` — a completed duration ("X" phase): one nestable unit of
+  work with total and *self* time (total minus time spent in child spans);
+* ``InstantRecord`` — a point event ("i" phase): batch flushes, coalesced
+  re-solve firings, admission rejections;
+* ``CounterRecord`` — one sample on a counter track ("C" phase): engine
+  queue depth, active flow count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Well-known categories used by the built-in instrumentation.  Categories
+#: are open-ended — these constants just keep the hook sites consistent.
+CAT_ENGINE = "engine"
+CAT_SOLVER = "solver"
+CAT_NETWORK = "network"
+CAT_ARBITER = "arbiter"
+CAT_MANAGER = "manager"
+CAT_MONITOR = "monitor"
+CAT_TELEMETRY = "telemetry"
+
+#: Ring-buffer kind tags (first tuple element; match trace_event phases).
+KIND_SPAN = "X"
+KIND_INSTANT = "I"
+KIND_COUNTER = "C"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        category: Instrumentation category (e.g. ``"engine"``).
+        name: Span name (e.g. ``"solve"``, an event label).
+        start: Start time in seconds since the tracer started.
+        duration: Wall-clock total duration in seconds.
+        self_time: Duration minus time spent inside child spans.
+        depth: Nesting depth at entry (0 = top level).
+        args: Optional key/value annotations (tenant, dirty counts, ...).
+    """
+
+    category: str
+    name: str
+    start: float
+    duration: float
+    self_time: float
+    depth: int
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    @property
+    def end(self) -> float:
+        """Span end time in seconds since the tracer started."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """A point-in-time event (no duration)."""
+
+    category: str
+    name: str
+    time: float
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """One sample on a named counter track."""
+
+    category: str
+    track: str
+    time: float
+    value: float

@@ -10,8 +10,8 @@ truth for evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
 
 from ..errors import DuplicateElementError, UnknownTenantError
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import enum
 import json
-import random
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional
 

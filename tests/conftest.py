@@ -6,6 +6,25 @@ import pytest
 
 from repro.sim import Engine, FabricNetwork
 from repro.topology import cascade_lake_2s, dgx_like, minimal_host
+from repro.trace import TRACER, TraceConfig
+
+
+@pytest.fixture(autouse=True)
+def _tracer_hygiene():
+    """Keep the process-wide tracer quiescent across tests.
+
+    Any test may enable or reconfigure tracing (Host(trace=True), the
+    CLI trace scenario, a tiny-capacity TraceConfig); this guarantees
+    the next test starts with it disabled, empty, and on the default
+    config, so timing-sensitive tests never pay for a leaked tracer and
+    ring-capacity changes never bleed across tests.
+    """
+    yield
+    if TRACER.enabled or len(TRACER):
+        TRACER.disable()
+        TRACER.clear()
+    if TRACER.config != TraceConfig():
+        TRACER.configure()
 
 
 @pytest.fixture

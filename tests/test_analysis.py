@@ -19,7 +19,7 @@ from repro.analysis import (
 )
 from repro.core import HostNetworkManager, pipe
 from repro.topology import shortest_path
-from repro.units import Gbps, us
+from repro.units import Gbps
 
 
 class TestJain:

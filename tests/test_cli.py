@@ -11,6 +11,12 @@ def run_cli(capsys, *argv):
     return code, captured.out
 
 
+def run_cli_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
 def test_presets(capsys):
     code, out = run_cli(capsys, "presets")
     assert code == 0
@@ -43,11 +49,43 @@ def test_ping_with_load(capsys):
     assert "HOSTPING" in out
 
 
+def test_describe_tree(capsys):
+    code, out = run_cli(capsys, "describe", "--tree")
+    assert code == 0
+    assert out.strip()
+
+
 def test_trace(capsys):
     code, out = run_cli(capsys, "trace", "nic0", "dimm1-0")
     assert code == 0
     assert "HOSTTRACE" in out
     assert "hops" in out
+
+
+@pytest.mark.parametrize("scenario", ["quickstart", "churn"])
+def test_trace_scenario(capsys, tmp_path, scenario):
+    out_path = tmp_path / f"trace-{scenario}.json"
+    code, out = run_cli(capsys, "trace", scenario,
+                        "--out", str(out_path), "--sim-seconds", "0.02")
+    assert code == 0
+    assert "ui.perfetto.dev" in out
+    assert "categories:" in out
+    # The written file is valid Perfetto/Chrome trace_event JSON with
+    # spans from the required categories and at least one counter track.
+    import json
+
+    payload = json.loads(out_path.read_text())
+    events = payload["traceEvents"]
+    assert events
+    span_cats = {e["cat"] for e in events if e["ph"] == "X"}
+    assert {"engine", "solver", "arbiter", "monitor"} <= span_cats
+    assert any(e["ph"] == "C" for e in events)
+
+
+def test_trace_unknown_scenario(capsys):
+    code, out, err = run_cli_err(capsys, "trace", "not-a-scenario")
+    assert code == 2
+    assert "neither" in err and "quickstart" in err
 
 
 def test_perf(capsys):

@@ -9,7 +9,7 @@ from repro.devices import (
     build_configured_host,
 )
 from repro.diagnostics import advise, measure_signature
-from repro.topology import LinkClass, cascade_lake_2s
+from repro.topology import cascade_lake_2s
 from repro.units import us
 
 

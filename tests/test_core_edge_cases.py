@@ -10,7 +10,6 @@ from repro.core import (
     migrate_tenant,
     pipe,
 )
-from repro.errors import InterpretationError
 from repro.sim import Engine, FabricNetwork
 from repro.topology import epyc_like_1s, minimal_host
 from repro.units import Gbps

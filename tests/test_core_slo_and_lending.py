@@ -5,7 +5,7 @@ import pytest
 from repro.core import DynamicArbiter, HostNetworkManager, compute_caps, pipe
 from repro.errors import ArbiterError
 from repro.topology import shortest_path
-from repro.units import Gbps, to_us, us
+from repro.units import Gbps, us
 from repro.workloads import KvStoreApp, MaliciousFloodApp
 
 

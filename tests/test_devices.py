@@ -1,6 +1,5 @@
 """Device behavioural models: PCIe, DDIO cache, NIC cache, IOMMU, config."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -5,7 +5,6 @@ benchmarks do — workloads on the fabric, the monitor watching, the manager
 enforcing — and asserts the paper's qualitative claims.
 """
 
-import pytest
 
 from repro.baselines import (
     HostnetPolicy,
@@ -18,7 +17,7 @@ from repro.diagnostics import CauseClass, troubleshoot
 from repro.monitor import FailureInjector, HostMonitor
 from repro.sim import Engine, FabricNetwork
 from repro.topology import cascade_lake_2s, shortest_path
-from repro.units import Gbps, to_us, us
+from repro.units import Gbps, us
 from repro.workloads import (
     AppKind,
     KvStoreApp,

@@ -1,7 +1,6 @@
 """Focused tests for smaller behaviours: scheduling failures, CSV export,
 flow metadata, hostshark lifecycle, and engine queries."""
 
-import pytest
 
 from repro.diagnostics import HostShark
 from repro.monitor import FailureInjector

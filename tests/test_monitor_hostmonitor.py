@@ -3,8 +3,7 @@
 import pytest
 
 from repro.monitor import AnomalyKind, FailureInjector, HostMonitor
-from repro.telemetry import CounterSource
-from repro.units import Gbps, us
+from repro.units import us
 from repro.workloads import KvStoreApp, RdmaLoopbackApp
 
 PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0", "nic1"]

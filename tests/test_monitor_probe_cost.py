@@ -1,6 +1,5 @@
 """Heartbeat probes that consume real fabric bandwidth (§3.1 Q2)."""
 
-import pytest
 
 from repro.monitor import HeartbeatMesh
 from repro.sim import SYSTEM_TENANT

@@ -12,7 +12,7 @@ from repro.monitor import (
     top_suspect,
 )
 from repro.sim.rng import make_rng
-from repro.units import Gbps, us
+from repro.units import us
 
 PROBERS = ["nic0", "gpu0", "nvme0", "dimm0-0", "nic1", "gpu1", "dimm1-0"]
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import FabricNetwork
 from repro.topology import shortest_path
 from repro.units import Gbps
 

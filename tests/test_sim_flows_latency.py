@@ -8,7 +8,7 @@ from repro.errors import FlowError
 from repro.sim import LatencyModel
 from repro.sim.flows import Flow, FlowState
 from repro.topology import cascade_lake_2s, shortest_path
-from repro.units import Gbps, kib, ns
+from repro.units import kib, ns
 
 
 @pytest.fixture(scope="module")

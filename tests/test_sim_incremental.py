@@ -6,7 +6,6 @@ import random
 import pytest
 
 from repro import Host
-from repro.errors import FlowError
 from repro.sim import Engine, FabricNetwork, IncrementalMaxMinSolver
 from repro.sim.bandwidth import (
     Constraint,

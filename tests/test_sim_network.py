@@ -1,6 +1,5 @@
 """FabricNetwork: flow lifecycle, fairness, accounting, failures."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ from repro.telemetry import (
     MetricStore,
     TelemetryCollector,
     hottest_links,
-    link_util_metric,
     per_tenant_usage,
     tenant_rate_metric,
     top_talkers,

@@ -11,7 +11,6 @@ from repro.topology import (
     enumerate_paths,
     k_shortest_paths,
     make_path,
-    minimal_host,
     shortest_path,
     widest_path,
 )

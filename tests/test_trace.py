@@ -1,0 +1,285 @@
+"""The `repro.trace` subsystem: recorder, exporters, and profiler."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    TRACER,
+    TraceConfig,
+    Tracer,
+    category_totals,
+    chrome_trace_dict,
+    chrome_trace_events,
+    flame_summary,
+    profile,
+    profile_spans,
+    render_profile,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    write_chrome_trace,
+)
+from repro.trace.spans import SpanRecord
+
+
+# -- recorder ---------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        tracer.begin("cat", "work")
+        tracer.end()
+        tracer.instant("cat", "evt")
+        tracer.counter("cat", "track", 1.0)
+        with tracer.span("cat", "more"):
+            pass
+        assert len(tracer) == 0
+        assert not tracer.enabled
+
+    def test_span_recording_and_nesting(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer_cat", "outer"):
+            with tracer.span("inner_cat", "inner"):
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # completion order
+        inner, outer = spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.duration >= inner.duration
+        # Parent self-time excludes the child's duration.
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration
+        )
+        assert inner.self_time == pytest.approx(inner.duration)
+
+    def test_begin_end_args_and_annotate(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.begin("solver", "solve", {"flows": 3})
+        tracer.annotate(kind="full")
+        tracer.end()
+        (span,) = tracer.spans()
+        assert span.args == {"flows": 3, "kind": "full"}
+
+    def test_annotate_without_initial_args(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.begin("c", "n")
+        tracer.annotate(outcome="ok")
+        tracer.end()
+        assert tracer.spans()[0].args == {"outcome": "ok"}
+
+    def test_instants_and_counters(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("network", "batch_flush", {"t": 1.0})
+        tracer.counter("engine", "queue_depth", 17)
+        (instant,) = tracer.instants()
+        (sample,) = tracer.counters()
+        assert instant.name == "batch_flush" and instant.args == {"t": 1.0}
+        assert sample.track == "queue_depth" and sample.value == 17
+
+    def test_ring_buffer_bound(self):
+        tracer = Tracer(TraceConfig(capacity=8))
+        tracer.enable()
+        for i in range(20):
+            tracer.counter("c", "t", i)
+        assert len(tracer) == 8
+        assert tracer.dropped_records == 12
+        assert tracer.records_recorded == 20
+        # Oldest evicted first: the ring holds the last 8 samples.
+        assert [s.value for s in tracer.counters()] == list(range(12, 20))
+
+    def test_category_filter(self):
+        tracer = Tracer(TraceConfig(categories={"keep"}))
+        tracer.enable()
+        with tracer.span("keep", "a"):
+            with tracer.span("drop", "b"):
+                pass
+        tracer.instant("drop", "x")
+        tracer.counter("keep", "t", 1)
+        assert {r.name for r in tracer.spans()} == {"a"}
+        assert tracer.instants() == []
+        assert len(tracer.counters()) == 1
+        # Filtered spans still nest: the kept parent's self-time excludes
+        # nothing (the dropped child's time stays attributed to it).
+        (kept,) = tracer.spans()
+        assert kept.self_time <= kept.duration
+
+    def test_unbalanced_end_is_harmless(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.end()  # no open span
+        assert len(tracer) == 0
+
+    def test_clear_resets(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("c", "n"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.records_recorded == 0
+
+    def test_disable_abandons_open_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.begin("c", "open")
+        tracer.disable()
+        tracer.enable()
+        tracer.end()  # stack was cleared; this must not record garbage
+        assert tracer.spans() == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity=0)
+
+    def test_repr(self):
+        tracer = Tracer()
+        assert "enabled=False" in repr(tracer)
+
+    def test_categories_query(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a", "x"):
+            pass
+        tracer.counter("b", "t", 0)
+        assert tracer.categories() == {"a", "b"}
+
+
+class TestGlobalTracer:
+    def test_start_stop_tracing(self):
+        tracer = start_tracing()
+        assert tracer is TRACER and TRACER.enabled
+        stop_tracing()
+        assert not TRACER.enabled
+
+    def test_tracing_context_manager(self):
+        with tracing() as tracer:
+            assert tracer is TRACER and TRACER.enabled
+            with tracer.span("c", "n"):
+                pass
+        assert not TRACER.enabled
+        assert len(TRACER.spans()) == 1
+
+    def test_tracing_reconfigures(self):
+        with tracing(TraceConfig(capacity=4)) as tracer:
+            assert tracer.config.capacity == 4
+
+
+# -- export -----------------------------------------------------------------
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("engine", "dispatch", {"t": 0.5}):
+        with tracer.span("solver", "solve"):
+            pass
+    tracer.instant("network", "coalesced_flush")
+    tracer.counter("engine", "engine.queue_depth", 3)
+    return tracer
+
+
+class TestChromeExport:
+    def test_event_structure(self):
+        events = chrome_trace_events(_sample_tracer())
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 2  # process + thread names
+        assert phases.count("X") == 2
+        assert phases.count("i") == 1
+        assert phases.count("C") == 1
+        complete = [e for e in events if e["ph"] == "X"]
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0  # microseconds
+            assert event["pid"] == 1 and event["tid"] == 1
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"value": 3}
+        assert counter["name"] == "engine.queue_depth"
+
+    def test_dict_and_json_roundtrip(self):
+        payload = chrome_trace_dict(_sample_tracer())
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["displayTimeUnit"] == "ms"
+        assert len(decoded["traceEvents"]) == 6
+
+    def test_write_to_file_object(self):
+        buffer = io.StringIO()
+        count = write_chrome_trace(_sample_tracer(), buffer)
+        assert count == 6
+        assert json.loads(buffer.getvalue())["traceEvents"]
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_tracer(), str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestFlameSummary:
+    def test_tree_rendering(self):
+        text = flame_summary(_sample_tracer())
+        assert "engine:dispatch" in text
+        assert "solver:solve" in text
+        # The child is indented under its parent.
+        parent_line = next(line for line in text.splitlines()
+                           if "engine:dispatch" in line)
+        child_line = next(line for line in text.splitlines()
+                          if "solver:solve" in line)
+        parent_indent = len(parent_line) - len(parent_line.lstrip())
+        child_indent = len(child_line) - len(child_line.lstrip())
+        assert child_indent > parent_indent
+
+    def test_empty(self):
+        assert "no spans" in flame_summary(Tracer())
+
+
+# -- profile ----------------------------------------------------------------
+
+
+def _span(category, name, start, duration, self_time=None, depth=0):
+    return SpanRecord(category=category, name=name, start=start,
+                      duration=duration,
+                      self_time=duration if self_time is None else self_time,
+                      depth=depth)
+
+
+class TestProfile:
+    def test_aggregates(self):
+        spans = [
+            _span("solver", "solve", 0.0, 0.010),
+            _span("solver", "solve", 0.1, 0.030),
+            _span("engine", "dispatch", 0.2, 0.005, self_time=0.002),
+        ]
+        stats = profile_spans(spans)
+        solve = stats[("solver", "solve")]
+        assert solve.count == 2
+        assert solve.total == pytest.approx(0.040)
+        assert solve.mean == pytest.approx(0.020)
+        assert solve.p50 == pytest.approx(0.020)
+        assert solve.max == pytest.approx(0.030)
+        dispatch = stats[("engine", "dispatch")]
+        assert dispatch.self_total == pytest.approx(0.002)
+
+    def test_profile_of_tracer_and_render(self):
+        tracer = _sample_tracer()
+        stats = profile(tracer)
+        assert ("engine", "dispatch") in stats
+        table = render_profile(stats)
+        assert "engine:dispatch" in table and "p99" in table
+        assert render_profile({}) == "(no spans recorded)"
+
+    def test_category_totals_partition_time(self):
+        tracer = _sample_tracer()
+        totals = category_totals(tracer)
+        spans = tracer.spans()
+        assert sum(totals.values()) == pytest.approx(
+            sum(s.self_time for s in spans)
+        )
+        # Self-times never exceed the root span's inclusive duration.
+        root = max(spans, key=lambda s: s.duration)
+        assert sum(totals.values()) <= root.duration * 1.0001

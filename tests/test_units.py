@@ -1,6 +1,5 @@
 """Unit-conversion helpers: the 8x bit/byte trap and formatting."""
 
-import math
 
 import pytest
 from hypothesis import given
