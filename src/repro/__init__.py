@@ -80,6 +80,15 @@ from .sim import (
     LatencyModel,
     SolverStats,
 )
+from .resilience import (
+    AdmissionRetryQueue,
+    ChaosConfig,
+    ChaosReport,
+    RecoveryConfig,
+    RecoveryController,
+    check_invariants,
+    run_campaign,
+)
 from .stats import percentile, summarize
 from .telemetry import (
     CounterBank,
@@ -195,6 +204,14 @@ __all__ = [
     "DynamicArbiter",
     "VirtualHostView",
     "migrate_tenant",
+    # resilience
+    "AdmissionRetryQueue",
+    "ChaosConfig",
+    "ChaosReport",
+    "RecoveryConfig",
+    "RecoveryController",
+    "check_invariants",
+    "run_campaign",
     # baselines
     "IsolationPolicy",
     "UnmanagedPolicy",

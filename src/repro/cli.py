@@ -12,6 +12,9 @@ paper's tooling would be driven in production:
 * ``perf SRC DST`` — hostperf achievable-bandwidth probe;
 * ``drill [--failure ...]`` — inject a failure under load, run the
   monitor, print detection + localization + diagnosis;
+* ``chaos run [--seed N --faults K]`` — seeded randomized fault campaign
+  against a resilient host, audited by the invariant oracle (exit 1 on
+  any violation);
 * ``presets`` — list available host presets.
 
 All commands run against a freshly built simulated host (optionally with
@@ -232,6 +235,33 @@ def cmd_drill(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos run``: a seeded fault campaign with the invariant oracle.
+
+    Exit code 0 when every invariant held and the fabric restored
+    bit-exact; 1 when the campaign found violations; 2 on bad arguments.
+    """
+    if args.faults < 1:
+        print(f"chaos: --faults must be >= 1, got {args.faults}",
+              file=sys.stderr)
+        return 2
+    if args.intents < 1:
+        print(f"chaos: --intents must be >= 1, got {args.intents}",
+              file=sys.stderr)
+        return 2
+    from .resilience import ChaosConfig, run_campaign
+
+    config = ChaosConfig(seed=args.seed, faults=args.faults,
+                         workload_intents=args.intents)
+    report = run_campaign(load_preset(args.preset), config)
+    print(report.describe())
+    if args.events:
+        for event in report.events:
+            print(f"  {event.time:.6f}s {event.kind:<7} "
+                  f"{event.failure_kind} on {event.target}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -277,6 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
     drill = sub.add_parser("drill", help="failure-injection drill")
     drill.add_argument("--failure", default="switch",
                        choices=["switch", "link-degrade", "link-down"])
+
+    chaos = sub.add_parser("chaos", help="chaos campaign harness")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one seeded fault campaign with invariant checks"
+    )
+    chaos_run.add_argument("--seed", type=int, default=0,
+                           help="campaign seed (fully deterministic)")
+    chaos_run.add_argument("--faults", type=int, default=20,
+                           help="number of failures to inject")
+    chaos_run.add_argument("--intents", type=int, default=6,
+                           help="base workload size")
+    chaos_run.add_argument("--events", action="store_true",
+                           help="print the full inject/repair timeline")
     return parser
 
 
@@ -290,6 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "perf": cmd_perf,
         "drill": cmd_drill,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

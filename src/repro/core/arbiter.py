@@ -212,6 +212,7 @@ class DynamicArbiter:
         work_conserving: bool = True,
         lend_parked_floors: bool = True,
         demand_aware: bool = True,
+        degradation_aware: bool = False,
     ) -> None:
         if period <= 0:
             raise ArbiterError(f"period must be > 0, got {period}")
@@ -223,6 +224,12 @@ class DynamicArbiter:
         self.work_conserving = work_conserving
         self.lend_parked_floors = lend_parked_floors
         self.demand_aware = demand_aware
+        #: Allocate against *effective* (degradation-aware) capacity rather
+        #: than the spec sheet.  Off by default — the baseline arbiter
+        #: trusts the datasheet, which is exactly the blind spot §3.1's
+        #: silent-degradation case exploits; the recovery controller flips
+        #: this on so caps stop overcommitting degraded links.
+        self.degradation_aware = degradation_aware
 
         # (link, direction) -> tenant -> floor.  Links are full duplex, so
         # guarantees are enforced per direction (a 50 Gbps ingress floor
@@ -386,7 +393,11 @@ class DynamicArbiter:
         pending: List[tuple] = []
         for (link_id, direction), floors in self._floors.items():
             link = self.network.topology.link(link_id)
-            capacity = link.capacity  # the arbiter believes the spec sheet
+            # By default the arbiter believes the spec sheet; in
+            # degradation-aware mode it allocates what the link can
+            # actually carry right now.
+            capacity = (link.effective_capacity if self.degradation_aware
+                        else link.capacity)
             tenants = set(floors) | self._best_effort
             tenants.discard(SYSTEM_TENANT)
             usages = {

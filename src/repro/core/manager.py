@@ -18,16 +18,16 @@ registry; it is the single object examples and benchmarks interact with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
-from ..errors import AdmissionError, UnknownTenantError
+from ..errors import AdmissionError, ScheduleError, UnknownTenantError
 from ..sim.network import FabricNetwork
 from ..trace.recorder import TRACER
 from ..units import us
 from .admission import AdmissionController, ReservationLedger
 from .arbiter import DynamicArbiter
 from .intents import PerformanceTarget
-from .interpreter import CandidateRequirement, interpret
+from .interpreter import CandidateRequirement, CompiledIntent, interpret
 from .scheduler import Scheduler, TopologyAwareScheduler
 from .virtual import VirtualHostView, build_view
 
@@ -88,6 +88,7 @@ class HostNetworkManager:
         self.tenants: Set[str] = set()
         self._placements: Dict[str, Placement] = {}
         self._intents_by_tenant: Dict[str, List[str]] = {}
+        self._release_listeners: List[Callable[[str], None]] = []
         if auto_start_arbiter:
             self.arbiter.start()
 
@@ -148,12 +149,7 @@ class HostNetworkManager:
         if not decision.admitted:
             raise AdmissionError(intent.intent_id, decision.reason)
 
-        for demand in candidate.demands:
-            self.arbiter.add_floor(intent.tenant_id, demand.link_id,
-                                   demand.bandwidth,
-                                   direction=demand.direction)
-        if intent.latency_slo is not None:
-            self._install_slo_ceilings(intent, candidate)
+        self._install_enforcement(intent, candidate)
         placement = Placement(intent=intent, candidate=candidate)
         self._placements[intent.intent_id] = placement
         self._intents_by_tenant.setdefault(intent.tenant_id, []).append(
@@ -164,6 +160,111 @@ class HostNetworkManager:
         # applications come and go").
         self.arbiter.adjust_once()
         return placement
+
+    def _install_enforcement(self, intent: PerformanceTarget,
+                             candidate: CandidateRequirement) -> None:
+        """Install floors and SLO ceilings for an admitted candidate.
+
+        All-or-nothing: a failure mid-install (a misbehaving arbiter,
+        a candidate referencing a removed link) rolls back every floor
+        and ceiling already placed *and* the ledger commit, so a failed
+        submit leaves the fabric exactly as it found it.
+        """
+        installed: List = []
+        try:
+            for demand in candidate.demands:
+                self.arbiter.add_floor(intent.tenant_id, demand.link_id,
+                                       demand.bandwidth,
+                                       direction=demand.direction)
+                installed.append(demand)
+            if intent.latency_slo is not None:
+                self._install_slo_ceilings(intent, candidate)
+        except Exception:
+            for demand in installed:
+                self.arbiter.remove_floor(intent.tenant_id, demand.link_id,
+                                          demand.bandwidth,
+                                          direction=demand.direction)
+            for link_id in candidate.links():
+                self.arbiter.clear_utilization_ceiling(intent.intent_id,
+                                                       link_id)
+            self.ledger.release(intent.intent_id)
+            self.admission.admitted_count -= 1
+            self.admission.rejected_count += 1
+            raise
+
+    def replace(self, intent_id: str,
+                avoid_links: Iterable[str] = ()) -> Placement:
+        """Re-place an admitted intent onto an alternate candidate.
+
+        The failure-recovery path: releases the current placement,
+        re-interprets the intent against the *current* topology (healthy
+        routing excludes down links), and admits a candidate that touches
+        none of *avoid_links* (dead or quarantined links).  If no such
+        candidate exists or admission fails, the original placement is
+        reinstated exactly — floors, ceilings, and ledger — and the error
+        re-raised, so a failed re-placement never strands the intent.
+        """
+        if not TRACER.enabled:
+            return self._replace_untracked(intent_id, avoid_links)
+        with TRACER.span("manager", "replace", {"intent": intent_id}):
+            try:
+                placement = self._replace_untracked(intent_id, avoid_links)
+            except Exception as exc:
+                TRACER.annotate(outcome=type(exc).__name__)
+                raise
+            TRACER.annotate(outcome="replaced",
+                            links=len(placement.links()))
+            return placement
+
+    def _replace_untracked(self, intent_id: str,
+                           avoid_links: Iterable[str]) -> Placement:
+        old = self.placement(intent_id)
+        intent = old.intent
+        avoid = set(avoid_links)
+        self._release_untracked(intent_id)
+        try:
+            compiled = interpret(self.network.topology, intent,
+                                 k=self.candidate_paths)
+            viable = tuple(
+                c for c in compiled.candidates
+                if not avoid.intersection(c.links())
+            )
+            if not viable:
+                raise ScheduleError(
+                    f"intent {intent_id!r}: every candidate crosses an "
+                    f"avoided link"
+                )
+            compiled = CompiledIntent(intent=intent, candidates=viable)
+            candidate = self.scheduler.choose(compiled, self.admission)
+            decision = self.admission.admit(compiled, candidate)
+            if not decision.admitted:
+                raise AdmissionError(intent_id, decision.reason)
+            self._install_enforcement(intent, candidate)
+        except Exception:
+            self._reinstate(old)
+            raise
+        placement = Placement(intent=intent, candidate=candidate)
+        self._placements[intent_id] = placement
+        self._intents_by_tenant.setdefault(intent.tenant_id, []).append(
+            intent_id
+        )
+        self.arbiter.adjust_once()
+        return placement
+
+    def _reinstate(self, placement: Placement) -> None:
+        """Put a just-released placement back (failed-replace rollback).
+
+        Bypasses the capacity check: the reservation was admitted before
+        and nothing else was given its budget in between.
+        """
+        intent = placement.intent
+        self.ledger.commit(intent.intent_id, placement.candidate)
+        self._install_enforcement(intent, placement.candidate)
+        self._placements[intent.intent_id] = placement
+        self._intents_by_tenant.setdefault(intent.tenant_id, []).append(
+            intent.intent_id
+        )
+        self.arbiter.adjust_once()
 
     def _install_slo_ceilings(self, intent: PerformanceTarget,
                               candidate: CandidateRequirement) -> None:
@@ -235,6 +336,16 @@ class HostNetworkManager:
                 if link_id not in self.arbiter.managed_links():
                     self.arbiter.lift_link_caps(link_id)
         self.arbiter.adjust_once()
+        for listener in self._release_listeners:
+            listener(intent_id)
+
+    def on_release(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired after every successful release.
+
+        Capacity just came free; the admission retry queue uses this to
+        re-try parked intents promptly instead of waiting out its backoff.
+        """
+        self._release_listeners.append(listener)
 
     # -- queries ---------------------------------------------------------------------
 

@@ -54,6 +54,14 @@ class Host:
             configuration; a :class:`~repro.trace.TraceConfig` reconfigures
             it first.  The tracer is process-global (one trace per run, as
             with Perfetto); it is exposed as :attr:`tracer`.
+        resilience: Arm closed-loop failure recovery: ``True`` uses
+            default :class:`~repro.resilience.controller.RecoveryConfig`;
+            a config instance tunes it.  Builds and starts a
+            :class:`~repro.monitor.monitor.HostMonitor` (:attr:`monitor`),
+            a :class:`~repro.resilience.controller.RecoveryController`
+            (:attr:`recovery`), and an
+            :class:`~repro.core.admission.AdmissionRetryQueue`
+            (:attr:`retry`) kicked on every release.
         scheduler / headroom / work_conserving / arbiter_period /
         decision_latency / candidate_paths / auto_start_arbiter:
             Forwarded to :class:`HostNetworkManager`.
@@ -68,6 +76,7 @@ class Host:
         coalesce_recompute: bool = False,
         managed: bool = True,
         trace: Union[bool, TraceConfig, None] = None,
+        resilience=None,
         scheduler: Optional[Scheduler] = None,
         headroom: float = 0.9,
         work_conserving: bool = True,
@@ -100,6 +109,44 @@ class Host:
                 candidate_paths=candidate_paths,
                 auto_start_arbiter=auto_start_arbiter,
             )
+        self.monitor = None
+        self.recovery = None
+        self.retry = None
+        if resilience:
+            self._enable_resilience(resilience)
+
+    def _enable_resilience(self, resilience) -> None:
+        """Build and arm the monitor / recovery / retry loop.
+
+        *resilience* is ``True`` (defaults) or a
+        :class:`~repro.resilience.controller.RecoveryConfig`.  Imported
+        lazily: the chaos harness imports :class:`Host`, so a top-level
+        import here would be circular.
+        """
+        from .core.admission import AdmissionRetryQueue
+        from .monitor.monitor import HostMonitor
+        from .resilience.controller import RecoveryConfig, RecoveryController
+
+        if self._manager is None:
+            raise RuntimeError(
+                "resilience requires a managed host (managed=True)"
+            )
+        config = (resilience if isinstance(resilience, RecoveryConfig)
+                  else RecoveryConfig())
+        if config.monitor:
+            self.monitor = HostMonitor(self.network, seed=config.seed)
+            self.monitor.start()
+            self.monitor.schedule_checks(config.monitor_check_period)
+        self.recovery = RecoveryController(
+            self._manager, monitor=self.monitor, config=config,
+        )
+        self.recovery.start()
+        if config.retry:
+            self.retry = AdmissionRetryQueue(
+                self.engine, self._manager.submit,
+                max_parked=config.retry_max_parked, seed=config.seed,
+            )
+            self._manager.on_release(lambda _intent_id: self.retry.kick())
 
     # -- constituent access --------------------------------------------------
 
@@ -151,6 +198,22 @@ class Host:
         """Like :meth:`submit` but returns ``None`` instead of raising."""
         return self.manager.try_submit(intent)
 
+    def submit_with_retry(self, intent: PerformanceTarget,
+                          deadline: Optional[float] = None,
+                          ) -> Optional[Placement]:
+        """Submit via the retry queue: park-and-retry instead of failing.
+
+        Returns the placement on immediate admission, ``None`` when the
+        intent was parked (it will be re-tried on backoff and on every
+        release) or shed.  Requires ``resilience=`` with retry enabled.
+        """
+        if self.retry is None:
+            raise RuntimeError(
+                "no retry queue: construct Host with resilience=True "
+                "(or a RecoveryConfig with retry enabled)"
+            )
+        return self.retry.submit(intent, deadline=deadline)
+
     def release(self, intent_id: str) -> None:
         """Withdraw an admitted intent."""
         self.manager.release(intent_id)
@@ -164,7 +227,13 @@ class Host:
         return self.manager.placements()
 
     def shutdown(self) -> None:
-        """Stop the arbiter and lift every cap (end of session)."""
+        """Stop recovery, retry, monitoring, and the arbiter."""
+        if self.recovery is not None:
+            self.recovery.stop()
+        if self.retry is not None:
+            self.retry.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
         if self._manager is not None:
             self._manager.shutdown()
 

@@ -38,6 +38,8 @@ class InjectedFailure:
         injected_at: Simulated injection time.
         cleared_at: When it was repaired, if it was.
         affected_links: Every link whose behaviour was changed.
+        capacity_factor: Degradation factor for degrade kinds (else None).
+        extra_latency: Injected one-way latency for degrade kinds.
     """
 
     failure_id: str
@@ -46,6 +48,8 @@ class InjectedFailure:
     injected_at: float
     cleared_at: Optional[float] = None
     affected_links: List[str] = field(default_factory=list)
+    capacity_factor: Optional[float] = None
+    extra_latency: float = 0.0
 
     @property
     def active(self) -> bool:
@@ -82,6 +86,8 @@ class FailureInjector:
             target=link_id,
             injected_at=self.network.engine.now,
             affected_links=[link_id],
+            capacity_factor=capacity_factor,
+            extra_latency=extra_latency,
         )
         self._failures[failure.failure_id] = failure
         return failure
@@ -116,6 +122,17 @@ class FailureInjector:
             if not failure.active:
                 return
             link = self.network.topology.link(link_id)
+            hard_down = any(
+                f.active and f.kind is FailureKind.LINK_DOWN
+                and link_id in f.affected_links
+                for f in self._failures.values()
+            )
+            if hard_down:
+                # A concurrent hard failure pins the link down; don't let
+                # the flap raise it while that failure is uncleared.
+                if link.up:
+                    self.network.set_link_up(link_id, False)
+                return
             self.network.set_link_up(link_id, not link.up)
 
         task = self.network.engine.schedule_every(
@@ -149,6 +166,8 @@ class FailureInjector:
             target=switch_id,
             injected_at=self.network.engine.now,
             affected_links=affected,
+            capacity_factor=capacity_factor,
+            extra_latency=extra_latency,
         )
         self._failures[failure.failure_id] = failure
         return failure
@@ -184,18 +203,56 @@ class FailureInjector:
     # -- repair ------------------------------------------------------------------
 
     def clear(self, failure: InjectedFailure) -> None:
-        """Repair an injected failure, restoring healthy behaviour."""
+        """Repair an injected failure, restoring healthy behaviour.
+
+        Failures may overlap on a link (a switch degrade plus a link-down,
+        say); repairing one must leave the others' effects in place, so the
+        link's state is *recomputed* from every still-active failure rather
+        than blindly reset — repairing in any order converges to baseline.
+        """
         if not failure.active:
             return
         task = self._flap_tasks.pop(failure.failure_id, None)
         if task is not None:
             task.cancel()
-        for link_id in failure.affected_links:
-            link = self.network.topology.link(link_id)
-            link.extra_latency = 0.0
-            self.network.degrade_link(link_id, None)
-            self.network.set_link_up(link_id, True)
         failure.cleared_at = self.network.engine.now
+        with self.network.batch():
+            for link_id in failure.affected_links:
+                self._reapply_active(link_id)
+
+    def _reapply_active(self, link_id: str) -> None:
+        """Set *link_id*'s state to the superposition of active failures.
+
+        Healthy unless still-active failures say otherwise: degraded to the
+        strictest active factor, slowed by the largest extra latency, down
+        while any LINK_DOWN persists.  An active LINK_FLAP carries no
+        persistent state — its toggle task keeps driving ``up`` until the
+        flap itself is cleared.
+        """
+        link = self.network.topology.link(link_id)
+        degraded: Optional[float] = None
+        extra = 0.0
+        up = True
+        flapping = False
+        for other in self._failures.values():
+            if not other.active or link_id not in other.affected_links:
+                continue
+            if other.kind in (FailureKind.LINK_DEGRADE,
+                              FailureKind.SWITCH_DEGRADE):
+                cap = link.capacity * (other.capacity_factor or 1.0)
+                degraded = cap if degraded is None else min(degraded, cap)
+                extra = max(extra, other.extra_latency)
+            elif other.kind is FailureKind.LINK_DOWN:
+                up = False
+            elif other.kind is FailureKind.LINK_FLAP:
+                flapping = True
+        link.extra_latency = extra
+        self.network.degrade_link(link_id, degraded)
+        if up and flapping and not link.up:
+            # Mid-flap down phase: leave the toggle task in charge.
+            up = False
+        if link.up != up:
+            self.network.set_link_up(link_id, up)
 
     def clear_all(self) -> None:
         """Repair everything still active."""
@@ -210,3 +267,10 @@ class FailureInjector:
         if active_only:
             items = [f for f in items if f.active]
         return items
+
+    def active_failures_on(self, link_id: str) -> List[InjectedFailure]:
+        """Active failures whose effects include *link_id*."""
+        return [
+            f for f in self._failures.values()
+            if f.active and link_id in f.affected_links
+        ]

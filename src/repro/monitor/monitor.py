@@ -145,6 +145,8 @@ class HostMonitor:
         ]
         self._scanned_through: float = -1.0
         self._running = False
+        self._report_listeners: List = []
+        self._check_task = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -163,6 +165,30 @@ class HostMonitor:
         self._running = False
         self.collector.stop()
         self.heartbeats.stop()
+        if self._check_task is not None:
+            self._check_task.cancel()
+            self._check_task = None
+
+    def on_report(self, listener) -> None:
+        """Register a callback invoked with every :class:`MonitorReport`.
+
+        This is the monitoring system's *reaction* hook: continuous
+        detection only pays off when something subscribes and acts (the
+        recovery controller does).
+        """
+        self._report_listeners.append(listener)
+
+    def schedule_checks(self, period: float) -> None:
+        """Run :meth:`check` every *period* seconds on the engine.
+
+        Reports flow to :meth:`on_report` subscribers; call :meth:`stop`
+        (or re-call with a new period) to cancel.
+        """
+        if self._check_task is not None:
+            self._check_task.cancel()
+        self._check_task = self.network.engine.schedule_every(
+            period, self.check, label="monitor-check"
+        )
 
     def record_baseline(self) -> None:
         """Snapshot current heartbeat RTTs as the healthy baseline."""
@@ -173,12 +199,15 @@ class HostMonitor:
     def check(self, rtt_inflation_factor: float = 3.0) -> MonitorReport:
         """Run detection over everything observed since the last check."""
         if not TRACER.enabled:
-            return self._check_untracked(rtt_inflation_factor)
-        with TRACER.span("monitor", "check"):
             report = self._check_untracked(rtt_inflation_factor)
-            TRACER.annotate(anomalies=len(report.anomalies),
-                            bad_probes=len(report.bad_probes))
-            return report
+        else:
+            with TRACER.span("monitor", "check"):
+                report = self._check_untracked(rtt_inflation_factor)
+                TRACER.annotate(anomalies=len(report.anomalies),
+                                bad_probes=len(report.bad_probes))
+        for listener in self._report_listeners:
+            listener(report)
+        return report
 
     def _check_untracked(self, rtt_inflation_factor: float) -> MonitorReport:
         now = self.network.engine.now

@@ -1,0 +1,49 @@
+"""Closed-loop failure recovery (detection -> reaction).
+
+The monitoring subsystem (:mod:`repro.monitor`) answers *what broke*;
+this package answers *what to do about it*:
+
+* :class:`RecoveryController` — per affected placement: re-place onto an
+  alternate path, gracefully degrade (tenant-visible, restored on
+  repair), or quarantine flapping links under hold-down timers;
+* :class:`~repro.core.admission.AdmissionRetryQueue` (re-exported here) —
+  park intents that fail under transient pressure and re-admit them with
+  backoff or on the first release;
+* :mod:`repro.resilience.chaos` — seeded randomized fault campaigns with
+  an invariant oracle (:mod:`repro.resilience.invariants`).
+
+Enable the whole loop with ``Host(topology, resilience=True)``.
+"""
+
+from ..core.admission import AdmissionRetryQueue, ParkedIntent, ShedRecord
+from .chaos import ChaosConfig, ChaosEvent, ChaosReport, run_campaign
+from .controller import (
+    Degradation,
+    RecoveryAction,
+    RecoveryConfig,
+    RecoveryController,
+)
+from .invariants import (
+    InvariantViolation,
+    check_invariants,
+    diff_snapshots,
+    snapshot_fabric,
+)
+
+__all__ = [
+    "AdmissionRetryQueue",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosReport",
+    "Degradation",
+    "InvariantViolation",
+    "ParkedIntent",
+    "RecoveryAction",
+    "RecoveryConfig",
+    "RecoveryController",
+    "ShedRecord",
+    "check_invariants",
+    "diff_snapshots",
+    "run_campaign",
+    "snapshot_fabric",
+]

@@ -1,0 +1,202 @@
+"""Safety invariants checked between chaos events.
+
+A chaos campaign is only as good as its oracle.  These checks encode what
+"the fabric survived" means, independent of any particular fault sequence:
+
+1. **no traffic over down links** — the fluid solver must starve every
+   flow whose path crosses a down link;
+2. **no stranded placements** — every placement touching a down or
+   quarantined link is either already re-placed (so it no longer touches
+   one) or carries an explicit, tenant-visible
+   :class:`~repro.resilience.controller.Degradation`;
+3. **bandwidth conservation** — per directed link, the summed flow rates
+   never exceed the link's *effective* capacity;
+4. **floor protection** — the arbiter's last allocation round granted
+   every guaranteed tenant at least its floor (clamped to what the link
+   can physically carry);
+5. **ledger consistency** — reservations and placements agree (every
+   placement's demands are in the ledger, nothing reserved for ghosts).
+
+:func:`snapshot_fabric` / :func:`diff_snapshots` add the restore oracle:
+after every fault is repaired, link attributes must be *bit-exact* equal
+to the pre-campaign baseline — not approximately, exactly, because repair
+paths that drift (a forgotten ``extra_latency``, a factor re-applied
+twice) poison every later measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.network import FabricNetwork
+
+#: Rate slack for conservation checks (bytes/s) — the solver is float math.
+_RATE_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant.
+
+    Attributes:
+        name: Which invariant (e.g. ``"flow-over-down-link"``).
+        detail: What exactly was observed.
+        time: Simulated time of the check.
+    """
+
+    name: str
+    detail: str
+    time: float
+
+    def __str__(self) -> str:
+        return f"[{self.name}] @ {self.time:.6f}s: {self.detail}"
+
+
+def check_invariants(
+    network: FabricNetwork,
+    manager=None,
+    controller=None,
+    rate_tol: float = _RATE_TOL,
+) -> List[InvariantViolation]:
+    """Run every applicable invariant; return the violations (empty = ok).
+
+    Args:
+        network: The fabric to audit.
+        manager: Optional :class:`~repro.core.manager.HostNetworkManager`
+            — enables the placement/floor/ledger checks.
+        controller: Optional
+            :class:`~repro.resilience.controller.RecoveryController` —
+            enables the stranded-placement check (it knows quarantines
+            and degradation records).
+        rate_tol: Absolute slack for rate comparisons (bytes/s).
+    """
+    now = network.engine.now
+    violations: List[InvariantViolation] = []
+
+    def fail(name: str, detail: str) -> None:
+        violations.append(InvariantViolation(name=name, detail=detail,
+                                             time=now))
+
+    down = {link.link_id for link in network.topology.links()
+            if not link.up}
+
+    # 1. No traffic over down links.
+    network.flush_recompute()
+    for flow in network.active_flows():
+        dead = [l for l in flow.path.links if l in down]
+        if dead and flow.current_rate > rate_tol:
+            fail("flow-over-down-link",
+                 f"flow {flow.flow_id!r} carries "
+                 f"{flow.current_rate:.4g} B/s across down link(s) {dead}")
+
+    # 3. Bandwidth conservation per directed link.
+    for link in network.topology.links():
+        for direction in ("fwd", "rev"):
+            rate = network.link_rate(link.link_id, direction)
+            if rate > link.effective_capacity + rate_tol:
+                fail("bandwidth-conservation",
+                     f"link {link.link_id!r}/{direction} carries "
+                     f"{rate:.6g} B/s > effective capacity "
+                     f"{link.effective_capacity:.6g} B/s")
+
+    if manager is not None:
+        # 2. No stranded placements.
+        bad = set(down)
+        if controller is not None:
+            bad |= set(controller.quarantined())
+        for placement in manager.placements():
+            intent_id = placement.intent.intent_id
+            hit = sorted(set(placement.links()) & bad)
+            if not hit:
+                continue
+            if controller is None:
+                fail("stranded-placement",
+                     f"intent {intent_id!r} is placed over unusable "
+                     f"link(s) {hit} and no recovery controller is armed")
+                continue
+            covered = {
+                d.link_id for d in controller.degradations(active_only=True)
+                if d.intent_id == intent_id
+            }
+            missing = [l for l in hit if l not in covered]
+            if missing:
+                fail("stranded-placement",
+                     f"intent {intent_id!r} sits on unusable link(s) "
+                     f"{missing} with no re-placement and no explicit "
+                     f"degradation record")
+
+        # 4. Floor protection in the last arbitration round.
+        for allocation in manager.arbiter.last_allocations:
+            for tenant, floor in allocation.floors.items():
+                cap = allocation.caps.get(tenant, 0.0)
+                entitled = min(floor, allocation.capacity)
+                if cap + rate_tol < entitled:
+                    fail("floor-protection",
+                         f"{allocation.link_id}: tenant {tenant!r} capped "
+                         f"at {cap:.6g} B/s below its floor "
+                         f"{entitled:.6g} B/s")
+
+        # 5. Ledger / placement consistency.
+        expected: Dict[Tuple[str, str], float] = {}
+        for placement in manager.placements():
+            for demand in placement.candidate.demands:
+                key = (demand.link_id, demand.direction)
+                expected[key] = expected.get(key, 0.0) + demand.bandwidth
+        for link in network.topology.links():
+            for direction in ("fwd", "rev"):
+                reserved = manager.ledger.reserved(link.link_id, direction)
+                want = expected.get((link.link_id, direction), 0.0)
+                if abs(reserved - want) > rate_tol:
+                    fail("ledger-consistency",
+                         f"link {link.link_id!r}/{direction}: ledger says "
+                         f"{reserved:.6g} B/s reserved, placements sum to "
+                         f"{want:.6g} B/s")
+
+    return violations
+
+
+# --------------------------------------------------------------------------
+# The restore oracle.
+# --------------------------------------------------------------------------
+
+
+def snapshot_fabric(network: FabricNetwork) -> Dict[str, tuple]:
+    """Capture every link's health-relevant attributes, exactly.
+
+    The tuple is compared with ``==`` (no tolerance): repairing every
+    failure must restore these *bit-exact* or repair paths are drifting.
+    """
+    return {
+        link.link_id: (
+            link.capacity,
+            link.degraded_capacity,
+            link.extra_latency,
+            link.up,
+            link.base_latency,
+        )
+        for link in network.topology.links()
+    }
+
+
+def diff_snapshots(
+    baseline: Dict[str, tuple],
+    current: Dict[str, tuple],
+) -> List[str]:
+    """Human-readable differences between two fabric snapshots."""
+    fields = ("capacity", "degraded_capacity", "extra_latency", "up",
+              "base_latency")
+    diffs: List[str] = []
+    for link_id in sorted(set(baseline) | set(current)):
+        before = baseline.get(link_id)
+        after = current.get(link_id)
+        if before == after:
+            continue
+        if before is None or after is None:
+            diffs.append(f"{link_id}: present only "
+                         f"{'before' if after is None else 'after'}")
+            continue
+        for name, b, a in zip(fields, before, after):
+            if b != a:
+                diffs.append(f"{link_id}.{name}: {b!r} -> {a!r}")
+    return diffs

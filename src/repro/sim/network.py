@@ -110,6 +110,7 @@ class FabricNetwork:
         # Observers.
         self._completion_listeners: List[Callable[[Flow], None]] = []
         self._start_listeners: List[Callable[[Flow], None]] = []
+        self._link_state_listeners: List[Callable[[str, bool], None]] = []
         self._recompute_count = 0
 
     # -- flow lifecycle ------------------------------------------------------
@@ -208,6 +209,43 @@ class FabricNetwork:
         """Register a callback fired whenever a flow becomes active."""
         self._start_listeners.append(listener)
 
+    def on_link_state_change(self, listener: Callable[[str, bool], None]) -> None:
+        """Register a callback fired when a link transitions up/down.
+
+        Called as ``listener(link_id, up)`` only on *actual* transitions —
+        re-asserting the current state does not fire.  The recovery layer
+        uses this as its flap-detection signal.
+        """
+        self._link_state_listeners.append(listener)
+
+    def reroute_flow(self, flow_id: str, path: Path) -> Flow:
+        """Move an active flow onto *path*, preserving identity and bytes.
+
+        The flow keeps its id, tenant, demand, weight, remaining size, and
+        byte accounting; only its route changes.  Endpoints must match the
+        current path (a re-route is a path repair, not a new transfer).
+        The failure-recovery layer uses this to migrate traffic off dead or
+        quarantined links without disturbing application state.
+        """
+        flow = self._active_flow(flow_id)
+        for link_id in path.links:
+            if link_id not in self._link_bytes:
+                raise UnknownLinkError(link_id)
+        if (path.src, path.dst) != (flow.path.src, flow.path.dst):
+            raise FlowError(
+                f"reroute of {flow_id!r} must keep endpoints "
+                f"({flow.path.src!r} -> {flow.path.dst!r}), got "
+                f"({path.src!r} -> {path.dst!r})"
+            )
+        self._sync()
+        self._caps_track_flow(flow, active=False)
+        flow.path = path
+        self._directed_links[flow_id] = self._direct_path(path)
+        self._solver_set_flow(flow)
+        self._caps_track_flow(flow, active=True)
+        self._recompute()
+        return flow
+
     # -- arbiter hooks ---------------------------------------------------------
 
     def set_tenant_weight(self, tenant_id: str, weight: float) -> None:
@@ -292,8 +330,12 @@ class FabricNetwork:
     def set_link_up(self, link_id: str, up: bool) -> None:
         """Administratively raise/lower a link."""
         link = self.topology.link(link_id)
+        changed = link.up != up
         link.up = up
         self._recompute()
+        if changed:
+            for listener in self._link_state_listeners:
+                listener(link_id, up)
 
     # -- queries --------------------------------------------------------------
 

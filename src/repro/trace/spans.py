@@ -32,6 +32,8 @@ CAT_ARBITER = "arbiter"
 CAT_MANAGER = "manager"
 CAT_MONITOR = "monitor"
 CAT_TELEMETRY = "telemetry"
+CAT_RECOVERY = "recovery"  # closed-loop failure recovery (replace/degrade)
+CAT_ADMISSION = "admission"  # retry queue parking/retries/shedding
 
 #: Ring-buffer kind tags (first tuple element; match trace_event phases).
 KIND_SPAN = "X"

@@ -112,3 +112,36 @@ def test_unknown_command_exits():
 def test_unknown_preset_exits():
     with pytest.raises(SystemExit):
         main(["--preset", "bogus", "describe"])
+
+
+def test_chaos_run(capsys):
+    code, out = run_cli(capsys, "chaos", "run", "--seed", "3",
+                        "--faults", "6", "--intents", "3")
+    assert code == 0
+    assert "PASSED" in out
+    assert "seed=3" in out
+    assert "re-placements" in out
+
+
+def test_chaos_run_events_timeline(capsys):
+    code, out = run_cli(capsys, "chaos", "run", "--seed", "1",
+                        "--faults", "4", "--events")
+    assert code == 0
+    assert "inject" in out and "repair" in out
+
+
+def test_chaos_run_rejects_bad_faults(capsys):
+    code, out, err = run_cli_err(capsys, "chaos", "run", "--faults", "0")
+    assert code == 2
+    assert "--faults" in err
+
+
+def test_chaos_run_rejects_bad_intents(capsys):
+    code, out, err = run_cli_err(capsys, "chaos", "run", "--intents", "-1")
+    assert code == 2
+    assert "--intents" in err
+
+
+def test_chaos_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["chaos"])

@@ -1,0 +1,164 @@
+"""Submit/replace are all-or-nothing: no partial state leaks on failure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Gbps, Host, cascade_lake_2s, pipe
+from repro.errors import AdmissionError, ArbiterError, ScheduleError
+
+
+def _host() -> Host:
+    return Host(cascade_lake_2s(), coalesce_recompute=True,
+                decision_latency=0.0)
+
+
+def _state_fingerprint(host: Host):
+    """Everything a failed pipeline stage must leave untouched."""
+    manager = host.manager
+    floors = {
+        (link.link_id, d): manager.arbiter.floors_on(link.link_id, d)
+        for link in host.topology.links() for d in ("fwd", "rev")
+    }
+    reserved = {
+        (link.link_id, d): manager.ledger.reserved(link.link_id, d)
+        for link in host.topology.links() for d in ("fwd", "rev")
+    }
+    ceilings = {
+        link.link_id: manager.arbiter.ceiling_on(link.link_id)
+        for link in host.topology.links()
+    }
+    placements = sorted(p.intent.intent_id for p in manager.placements())
+    return (floors, reserved, ceilings, placements,
+            manager.admission.admitted_count)
+
+
+class TestSubmitRollback:
+    def test_failed_floor_install_rolls_back_everything(self, monkeypatch):
+        host = _host()
+        baseline = _state_fingerprint(host)
+        real_add = host.manager.arbiter.add_floor
+        calls = {"n": 0}
+
+        def flaky_add(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:  # fail mid-install, after partial floors
+                raise ArbiterError("synthetic mid-install fault")
+            return real_add(*args, **kwargs)
+
+        monkeypatch.setattr(host.manager.arbiter, "add_floor", flaky_add)
+        with pytest.raises(ArbiterError):
+            host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                             bandwidth=Gbps(50)))
+        assert calls["n"] >= 3  # the failure really was mid-install
+        assert _state_fingerprint(host) == baseline
+        host.shutdown()
+
+    def test_failed_slo_ceiling_install_rolls_back(self, monkeypatch):
+        host = _host()
+        baseline = _state_fingerprint(host)
+
+        def broken_ceiling(*args, **kwargs):
+            raise ArbiterError("synthetic ceiling fault")
+
+        monkeypatch.setattr(host.manager.arbiter,
+                            "set_utilization_ceiling", broken_ceiling)
+        with pytest.raises(ArbiterError):
+            host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                             bandwidth=Gbps(50), latency_slo=1e-4))
+        assert _state_fingerprint(host) == baseline
+        host.shutdown()
+
+    def test_resubmit_succeeds_after_rolled_back_failure(self, monkeypatch):
+        host = _host()
+        real_add = host.manager.arbiter.add_floor
+        calls = {"n": 0}
+
+        def once_flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ArbiterError("synthetic one-shot fault")
+            return real_add(*args, **kwargs)
+
+        monkeypatch.setattr(host.manager.arbiter, "add_floor", once_flaky)
+        intent = pipe("x", "tA", src="nic0", dst="dimm0-0",
+                      bandwidth=Gbps(50))
+        with pytest.raises(ArbiterError):
+            host.submit(intent)
+        # The id was not leaked as "already placed"; retry is clean.
+        placement = host.submit(intent)
+        assert placement.intent.intent_id == "x"
+        host.shutdown()
+
+    def test_admission_reject_leaves_no_state(self):
+        host = _host()
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(140)))
+        baseline = _state_fingerprint(host)
+        with pytest.raises((AdmissionError, ScheduleError)):
+            host.submit(pipe("y", "tB", src="nic0", dst="dimm0-0",
+                             bandwidth=Gbps(140)))
+        assert _state_fingerprint(host) == baseline
+        host.shutdown()
+
+
+class TestReplaceRollback:
+    def test_no_viable_candidate_reinstates_original(self):
+        host = _host()
+        placement = host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                                     bandwidth=Gbps(50)))
+        baseline = _state_fingerprint(host)
+        # Avoiding every link the intent could use makes replace
+        # impossible; the original placement must survive exactly.
+        with pytest.raises(ScheduleError, match="avoided link"):
+            host.manager.replace("x", avoid_links=placement.links())
+        assert _state_fingerprint(host) == baseline
+        assert host.manager.placement("x").links() == placement.links()
+        host.shutdown()
+
+    def test_failed_reinstall_during_replace_reinstates(self, monkeypatch):
+        host = _host()
+        host.submit(pipe("x", "tA", src="dimm0-0", dst="dimm1-0",
+                         bandwidth=Gbps(50)))
+        baseline = _state_fingerprint(host)
+        real_add = host.manager.arbiter.add_floor
+        calls = {"n": 0}
+
+        def flaky_add(*args, **kwargs):
+            # Fail only the *first* install attempt of the replace (the
+            # new candidate); the reinstate path must then succeed.
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ArbiterError("synthetic replace fault")
+            return real_add(*args, **kwargs)
+
+        monkeypatch.setattr(host.manager.arbiter, "add_floor", flaky_add)
+        with pytest.raises(ArbiterError):
+            host.manager.replace("x")
+        monkeypatch.undo()
+        assert _state_fingerprint(host) == baseline
+        host.shutdown()
+
+    def test_replace_not_placed_raises(self):
+        host = _host()
+        with pytest.raises(AdmissionError, match="not placed"):
+            host.manager.replace("ghost")
+        host.shutdown()
+
+    def test_successful_replace_keeps_books_balanced(self):
+        host = _host()
+        host.submit(pipe("x", "tA", src="dimm0-0", dst="dimm1-0",
+                         bandwidth=Gbps(50)))
+        old = host.manager.placement("x")
+        upi = next(l for l in old.links() if l.startswith("upi"))
+        new = host.manager.replace("x", avoid_links=[upi])
+        assert upi not in new.links()
+        # Reservation moved with the placement: old links freed.
+        for demand in old.candidate.demands:
+            if demand.link_id == upi:
+                assert host.manager.ledger.reserved(
+                    demand.link_id, demand.direction) == 0.0
+        for demand in new.candidate.demands:
+            assert host.manager.ledger.reserved(
+                demand.link_id, demand.direction) >= demand.bandwidth - 1e-6
+        host.shutdown()

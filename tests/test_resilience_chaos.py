@@ -1,0 +1,154 @@
+"""Chaos campaigns and the invariant oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Engine,
+    FabricNetwork,
+    Gbps,
+    Host,
+    cascade_lake_2s,
+    check_invariants,
+    pipe,
+    run_campaign,
+)
+from repro.monitor import FailureInjector
+from repro.resilience import (
+    ChaosConfig,
+    RecoveryConfig,
+    diff_snapshots,
+    snapshot_fabric,
+)
+from repro.topology import minimal_host, shortest_path
+
+
+def _report_fingerprint(report):
+    return (
+        report.events,
+        [str(v) for v in report.violations],
+        report.restore_diffs,
+        report.unrestored_degradations,
+        report.checks,
+        report.replacements,
+        report.degradations,
+        report.restores,
+        report.quarantines,
+        report.shed,
+        report.admitted_after_retry,
+        report.duration,
+    )
+
+
+class TestCampaign:
+    def test_fifty_fault_campaign_passes_and_is_deterministic(self):
+        # The acceptance bar: 50 faults on the default preset, zero
+        # invariant violations, every degradation restored, bit-exact
+        # fabric restore — and the same seed twice gives the same report.
+        config = ChaosConfig(seed=7, faults=50)
+        first = run_campaign(config=config)
+        assert first.passed, first.describe()
+        assert first.checks >= 100  # one audit per inject + per repair
+        second = run_campaign(config=config)
+        assert _report_fingerprint(first) == _report_fingerprint(second)
+
+    def test_different_seed_different_storm_still_passes(self):
+        a = run_campaign(config=ChaosConfig(seed=1, faults=12))
+        b = run_campaign(config=ChaosConfig(seed=2, faults=12))
+        assert a.passed, a.describe()
+        assert b.passed, b.describe()
+        assert a.events != b.events
+
+    def test_all_failure_kinds_injected(self):
+        report = run_campaign(config=ChaosConfig(seed=0, faults=8))
+        kinds = {e.failure_kind for e in report.events}
+        assert kinds == {"link_degrade", "link_down", "link_flap",
+                         "switch_degrade"}
+
+    def test_report_describe_mentions_verdict(self):
+        report = run_campaign(config=ChaosConfig(seed=5, faults=6))
+        text = report.describe()
+        assert "PASSED" in text or "FAILED" in text
+        assert f"seed={report.seed}" in text
+
+
+class TestInvariantChecker:
+    def test_clean_fabric_has_no_violations(self):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        assert check_invariants(host.network, manager=host.manager) == []
+        host.shutdown()
+
+    def test_stranded_placement_flagged_without_controller(self):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        FailureInjector(host.network).fail_link("pcie-nic0")
+        violations = check_invariants(host.network, manager=host.manager)
+        assert any(v.name == "stranded-placement" for v in violations)
+        host.shutdown()
+
+    def test_stranded_placement_cleared_by_recovery(self):
+        config = RecoveryConfig(monitor=False, retry=False,
+                                tick_period=0.001)
+        host = Host(cascade_lake_2s(), resilience=config,
+                    coalesce_recompute=True, decision_latency=0.0)
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        FailureInjector(host.network).fail_link("pcie-nic0")
+        host.run_until(host.now + 0.005)
+        assert check_invariants(host.network, manager=host.manager,
+                                controller=host.recovery) == []
+        host.shutdown()
+
+    def test_ledger_inconsistency_flagged(self):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        host.manager.ledger.release("x")  # corrupt: placement survives
+        violations = check_invariants(host.network, manager=host.manager)
+        assert any(v.name == "ledger-consistency" for v in violations)
+        host.shutdown()
+
+    def test_down_link_starves_flows_not_violates(self):
+        topology = minimal_host()
+        network = FabricNetwork(topology, Engine(),
+                                coalesce_recompute=True)
+        path = shortest_path(topology, "nic0", "dimm0-0")
+        network.start_transfer("tA", path, demand=Gbps(10))
+        network.set_link_up("pcie-nic0", False)
+        # The fluid solver zeroes the flow; conservation and the
+        # down-link invariant both hold.
+        assert check_invariants(network) == []
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip_exact(self):
+        network = FabricNetwork(minimal_host(), Engine())
+        baseline = snapshot_fabric(network)
+        injector = FailureInjector(network)
+        f1 = injector.degrade_link("pcie-nic0", capacity_factor=0.5)
+        f2 = injector.fail_link("membus0-0")
+        assert diff_snapshots(baseline, snapshot_fabric(network))
+        injector.clear(f2)
+        injector.clear(f1)
+        assert diff_snapshots(baseline, snapshot_fabric(network)) == []
+
+    def test_diff_names_field_and_link(self):
+        network = FabricNetwork(minimal_host(), Engine())
+        baseline = snapshot_fabric(network)
+        FailureInjector(network).degrade_link("eth0", capacity_factor=0.5)
+        diffs = diff_snapshots(baseline, snapshot_fabric(network))
+        assert any("eth0.degraded_capacity" in d for d in diffs)
+        assert any("eth0.extra_latency" in d for d in diffs)
+
+
+class TestChaosConfigKnobs:
+    def test_small_workload_and_faults(self):
+        report = run_campaign(config=ChaosConfig(
+            seed=11, faults=4, workload_intents=2,
+        ))
+        assert report.passed, report.describe()
+        assert report.faults == 4

@@ -1,0 +1,206 @@
+"""Closed-loop recovery: re-placement, degradation, quarantine, reroute."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Gbps, Host, cascade_lake_2s, pipe
+from repro.monitor import FailureInjector
+from repro.resilience import RecoveryConfig, check_invariants
+from repro.trace import TRACER, stop_tracing
+
+
+CFG = RecoveryConfig(monitor=False, retry=False, tick_period=0.001,
+                     flap_threshold=3, flap_window=0.05,
+                     quarantine_holddown=0.02)
+
+
+def _host() -> Host:
+    return Host(cascade_lake_2s(), resilience=CFG,
+                coalesce_recompute=True, decision_latency=0.0)
+
+
+def _settle(host: Host, rounds: int = 5) -> None:
+    host.run_until(host.now + rounds * CFG.tick_period)
+
+
+class TestReplacement:
+    def test_link_down_moves_intent_to_alternate_path(self):
+        # dimm0-0 -> dimm1-0 crosses one of the two UPI links; killing
+        # the one in use must move the placement onto the other.
+        host = _host()
+        placement = host.submit(pipe("x", "tA", src="dimm0-0",
+                                     dst="dimm1-0", bandwidth=Gbps(50)))
+        upi = next(l for l in placement.links() if l.startswith("upi"))
+        other = ("upi-socket0-socket1-1" if upi.endswith("-0")
+                 else "upi-socket0-socket1-0")
+
+        injector = FailureInjector(host.network)
+        injector.fail_link(upi)
+        _settle(host)
+
+        moved = host.manager.placement("x")
+        assert upi not in moved.links()
+        assert other in moved.links()
+        assert host.recovery.actions_of("replace")
+        assert not check_invariants(host.network, manager=host.manager,
+                                    controller=host.recovery)
+        host.shutdown()
+
+    def test_flow_rerouted_with_placement(self):
+        host = _host()
+        placement = host.submit(pipe("x", "tA", src="dimm0-0",
+                                     dst="dimm1-0", bandwidth=Gbps(50)))
+        flow = host.network.start_transfer(
+            "tA", placement.candidate.paths[0], demand=Gbps(50),
+        )
+        host.recovery.bind_flow("x", flow.flow_id)
+        upi = next(l for l in placement.links() if l.startswith("upi"))
+
+        FailureInjector(host.network).fail_link(upi)
+        _settle(host)
+
+        assert upi not in host.network.flow(flow.flow_id).path.links
+        assert host.network.flow(flow.flow_id).current_rate > 0
+        host.shutdown()
+
+
+class TestDegradation:
+    def test_no_alternate_degrades_and_restores_on_repair(self):
+        # nic0 -> dimm0-0 has no alternate around pcie-nic0.
+        host = _host()
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        injector = FailureInjector(host.network)
+        failure = injector.degrade_link("pcie-nic0", capacity_factor=0.4)
+        _settle(host)
+
+        (record,) = host.recovery.degradations(active_only=True)
+        assert record.intent_id == "x"
+        assert record.link_id == "pcie-nic0"
+        assert record.factor == pytest.approx(0.4, abs=0.01)
+        # Tenant-visible: queryable by owner.
+        assert host.recovery.degradations(tenant_id="tA")
+        assert host.manager.arbiter.ceiling_on("pcie-nic0") < 1.0
+        assert not check_invariants(host.network, manager=host.manager,
+                                    controller=host.recovery)
+
+        injector.clear(failure)
+        _settle(host)
+        assert not host.recovery.degradations(active_only=True)
+        assert record.restored_at is not None
+        assert host.manager.arbiter.ceiling_on("pcie-nic0") == 1.0
+        assert host.recovery.actions_of("restore")
+        host.shutdown()
+
+    def test_down_link_without_alternate_is_explicitly_degraded(self):
+        host = _host()
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        injector = FailureInjector(host.network)
+        failure = injector.fail_link("pcie-nic0")
+        _settle(host)
+
+        # Cannot re-place (single-homed), must not be silently stranded.
+        (record,) = host.recovery.degradations(active_only=True)
+        assert record.factor == CFG.degrade_floor
+        assert not check_invariants(host.network, manager=host.manager,
+                                    controller=host.recovery)
+
+        injector.clear(failure)
+        _settle(host)
+        assert not host.recovery.degradations(active_only=True)
+        host.shutdown()
+
+    def test_release_lifts_degradation_ceilings(self):
+        host = _host()
+        host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                         bandwidth=Gbps(50)))
+        FailureInjector(host.network).degrade_link("pcie-nic0",
+                                                   capacity_factor=0.3)
+        _settle(host)
+        assert host.recovery.degradations(active_only=True)
+
+        host.release("x")
+        assert not host.recovery.degradations(active_only=True)
+        assert host.manager.arbiter.ceiling_on("pcie-nic0") == 1.0
+        host.shutdown()
+
+
+class TestQuarantine:
+    def test_flapping_link_is_quarantined_and_released(self):
+        host = _host()
+        placement = host.submit(pipe("x", "tA", src="dimm0-0",
+                                     dst="dimm1-0", bandwidth=Gbps(50)))
+        upi = next(l for l in placement.links() if l.startswith("upi"))
+
+        injector = FailureInjector(host.network)
+        failure = injector.flap_link(upi, period=0.004)
+        host.run_until(host.now + 0.02)  # >= 3 transitions + ticks
+        assert host.recovery.is_quarantined(upi)
+        assert host.recovery.actions_of("quarantine")
+
+        # The placement must have fled the flapping link even while the
+        # link is momentarily up.
+        assert upi not in host.manager.placement("x").links()
+
+        injector.clear(failure)
+        # Hold-down: stays quarantined until the link is stable.
+        host.run_until(host.now + CFG.quarantine_holddown
+                       + CFG.flap_window + 10 * CFG.tick_period)
+        assert not host.recovery.is_quarantined(upi)
+        assert host.recovery.actions_of("unquarantine")
+        host.shutdown()
+
+
+class TestTraceInstrumentation:
+    def test_recovery_and_admission_spans_recorded(self):
+        config = RecoveryConfig(monitor=False, tick_period=0.001)
+        host = Host(cascade_lake_2s(), resilience=config,
+                    coalesce_recompute=True, decision_latency=0.0,
+                    trace=True)
+        try:
+            host.submit(pipe("x", "tA", src="nic0", dst="dimm0-0",
+                             bandwidth=Gbps(50)))
+            # Park one intent (admission.retry span + parked counter).
+            host.submit_with_retry(pipe("y", "tB", src="nic0",
+                                        dst="dimm0-0",
+                                        bandwidth=Gbps(200)))
+            FailureInjector(host.network).degrade_link(
+                "pcie-nic0", capacity_factor=0.3
+            )
+            host.run_until(host.now + 0.01)
+        finally:
+            host.shutdown()
+            stop_tracing()
+
+        names = {(s.category, s.name) for s in TRACER.spans()}
+        assert ("recovery", "degrade") in names
+        assert ("recovery", "tick") in names
+        assert ("admission", "retry") in names
+        tracks = {(c.category, c.track) for c in TRACER.counters()}
+        assert ("admission", "admission.parked_intents") in tracks
+
+    def test_replace_span_recorded(self):
+        config = RecoveryConfig(monitor=False, retry=False,
+                                tick_period=0.001)
+        host = Host(cascade_lake_2s(), resilience=config,
+                    coalesce_recompute=True, decision_latency=0.0,
+                    trace=True)
+        try:
+            placement = host.submit(pipe("x", "tA", src="dimm0-0",
+                                         dst="dimm1-0",
+                                         bandwidth=Gbps(50)))
+            upi = next(l for l in placement.links()
+                       if l.startswith("upi"))
+            FailureInjector(host.network).fail_link(upi)
+            host.run_until(host.now + 0.01)
+        finally:
+            host.shutdown()
+            stop_tracing()
+
+        spans = [s for s in TRACER.spans()
+                 if (s.category, s.name) == ("recovery", "replace")]
+        assert spans
+        assert any(s.args and s.args.get("outcome") == "replaced"
+                   for s in spans)

@@ -1,0 +1,173 @@
+"""Admission retry queue: backoff, kick-on-release, bounded shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Gbps, Host, cascade_lake_2s, pipe
+from repro.core.admission import AdmissionRetryQueue
+from repro.resilience import RecoveryConfig
+
+
+def _quiet_host(**kwargs) -> Host:
+    """A resilient host without the monitor's background traffic."""
+    config = RecoveryConfig(monitor=False, **kwargs)
+    return Host(cascade_lake_2s(), resilience=config,
+                coalesce_recompute=True, decision_latency=0.0)
+
+
+def _pipe(i: int, bandwidth: float):
+    return pipe(f"r{i}", f"tenant{i}", src="nic0", dst="dimm0-0",
+                bandwidth=bandwidth)
+
+
+class TestImmediateAdmission:
+    def test_submit_passes_through_when_capacity_allows(self):
+        host = _quiet_host()
+        placement = host.submit_with_retry(_pipe(0, Gbps(50)))
+        assert placement is not None
+        assert len(host.retry) == 0
+        host.shutdown()
+
+    def test_requires_resilience(self):
+        host = Host(cascade_lake_2s())
+        with pytest.raises(RuntimeError, match="retry queue"):
+            host.submit_with_retry(_pipe(0, Gbps(10)))
+        host.shutdown()
+
+
+class TestParkAndReadmit:
+    def test_burst_parks_then_admits_when_capacity_frees(self):
+        # pcie-nic0 is 32 GB/s with 0.9 headroom: two 140 Gbps (17.5 GB/s)
+        # pipes cannot coexist, so the second parks.
+        host = _quiet_host()
+        first = host.submit_with_retry(_pipe(0, Gbps(140)))
+        assert first is not None
+        second = host.submit_with_retry(_pipe(1, Gbps(140)))
+        assert second is None
+        assert host.retry.is_parked("r1")
+
+        # Freeing the first placement kicks the queue: the parked intent
+        # is admitted at the release instant, not after a full backoff.
+        t_release = host.now
+        host.release("r0")
+        host.run_until(t_release + 1e-6)
+        assert not host.retry.is_parked("r1")
+        assert host.retry.admitted_after_retry == 1
+        assert any(p.intent.intent_id == "r1"
+                   for p in host.placements())
+        host.shutdown()
+
+    def test_backoff_retries_without_release(self):
+        host = _quiet_host()
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        assert host.submit_with_retry(_pipe(1, Gbps(140))) is None
+
+        # No release: the queue keeps retrying on its own clock; shrink
+        # the blocker by swapping it for a smaller one *without* a release
+        # listener firing for the new capacity (release fires for r0, but
+        # the immediate kick happens before r0b is admitted, so the final
+        # admission comes from a timer retry).
+        host.manager.release("r0")
+        host.manager.submit(_pipe(2, Gbps(40)))
+        host.run_until(host.now + 0.2)
+        assert host.retry.admitted_after_retry == 1
+        assert not host.retry.is_parked("r1")
+        host.shutdown()
+
+    def test_attempts_are_counted(self):
+        host = _quiet_host()
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        host.submit_with_retry(_pipe(1, Gbps(140)))
+        host.run_until(host.now + 0.1)
+        (entry,) = host.retry.parked()
+        assert entry.attempts > 2
+        assert "r" in entry.last_reason or entry.last_reason
+        host.shutdown()
+
+
+class TestShedding:
+    def test_deadline_shed_with_reason(self):
+        host = _quiet_host()
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        deadline = host.now + 0.01
+        assert host.submit_with_retry(_pipe(1, Gbps(140)),
+                                      deadline=deadline) is None
+        host.run_until(deadline + 0.05)
+        assert not host.retry.is_parked("r1")
+        (record,) = host.retry.shed
+        assert record.intent_id == "r1"
+        assert record.reason == "deadline"
+        assert record.time >= deadline
+        assert record.attempts >= 1
+        host.shutdown()
+
+    def test_past_deadline_sheds_immediately(self):
+        host = _quiet_host()
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        host.run_until(0.01)
+        assert host.submit_with_retry(_pipe(1, Gbps(140)),
+                                      deadline=0.005) is None
+        assert not host.retry.is_parked("r1")
+        assert host.retry.shed[0].reason == "deadline"
+        host.shutdown()
+
+    def test_bounded_queue_sheds_overflow(self):
+        config = RecoveryConfig(monitor=False, retry_max_parked=1)
+        host = Host(cascade_lake_2s(), resilience=config,
+                    coalesce_recompute=True, decision_latency=0.0)
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        host.submit_with_retry(_pipe(1, Gbps(140)))  # parks (slot 1/1)
+        host.submit_with_retry(_pipe(2, Gbps(140)))  # overflows
+        assert host.retry.is_parked("r1")
+        assert not host.retry.is_parked("r2")
+        (record,) = host.retry.shed
+        assert record.intent_id == "r2"
+        assert record.reason == "queue_full"
+        host.shutdown()
+
+    def test_stop_sheds_remaining(self):
+        host = _quiet_host()
+        host.submit_with_retry(_pipe(0, Gbps(140)))
+        host.submit_with_retry(_pipe(1, Gbps(140)))
+        host.retry.stop()
+        assert len(host.retry) == 0
+        assert host.retry.shed[-1].reason == "shutdown"
+        host.shutdown()
+
+
+class TestBackoffMath:
+    def test_exponential_growth_capped(self):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        queue = AdmissionRetryQueue(
+            host.engine, host.manager.submit,
+            base_delay=0.001, multiplier=2.0, max_delay=0.01, jitter=0.0,
+        )
+        delays = [queue._backoff(attempts) for attempts in range(1, 8)]
+        assert delays[:4] == [0.001, 0.002, 0.004, 0.008]
+        assert all(d == 0.01 for d in delays[4:])
+        host.shutdown()
+
+    def test_jitter_stays_within_fraction(self):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        queue = AdmissionRetryQueue(
+            host.engine, host.manager.submit,
+            base_delay=0.001, multiplier=1.0, jitter=0.25, seed=42,
+        )
+        for _ in range(100):
+            assert 0.00075 <= queue._backoff(1) <= 0.00125
+        host.shutdown()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_delay": 0.0},
+        {"max_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"max_parked": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        host = Host(cascade_lake_2s(), coalesce_recompute=True)
+        with pytest.raises(ValueError):
+            AdmissionRetryQueue(host.engine, host.manager.submit, **kwargs)
+        host.shutdown()
