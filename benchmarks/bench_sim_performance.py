@@ -55,6 +55,83 @@ def test_solver_100_flows(benchmark):
     assert len(rates) == 100
 
 
+def _large_instance(n_flows=1000, n_cons=200, seed=11):
+    """1k flows over 200 shared constraints: one big connected component,
+    the regime the vectorized water-filling core exists for.
+
+    Demands sit well below fair share for many flows (units are arbitrary;
+    only ratios matter to the solver), so freezing happens level by level
+    across many water-filling rounds — the round count, not the flow
+    count alone, is what the scalar core pays for.
+    """
+    rng = make_rng(seed, "large")
+    cons = [f"c{i}" for i in range(n_cons)]
+    capacities = {c: rng.uniform(50, 500) for c in cons}
+    flows = []
+    for i in range(n_flows):
+        links = tuple(rng.sample(cons, rng.randint(1, 4)))
+        demand = float("inf") if rng.random() < 0.5 else rng.uniform(1, 100)
+        flows.append(FlowDemand(f"f{i}", links, demand=demand,
+                                weight=rng.uniform(0.5, 4.0)))
+    return flows, capacities
+
+
+def _solve_large(flows, capacities, crossover):
+    solver = IncrementalMaxMinSolver(array_crossover=crossover)
+    for cid, cap in capacities.items():
+        solver.set_capacity(cid, cap)
+    for f in flows:
+        solver.set_flow(f)
+    return solver.solve()
+
+
+def test_solver_1k_flows_scalar(benchmark):
+    flows, capacities = _large_instance()
+    rates = benchmark(_solve_large, flows, capacities, 10**9)
+    assert len(rates) == len(flows)
+
+
+def test_solver_1k_flows_array(benchmark):
+    flows, capacities = _large_instance()
+    rates = benchmark(_solve_large, flows, capacities, 0)
+    assert len(rates) == len(flows)
+
+
+def test_array_fill_speedup_floor():
+    """CI-enforced floor: the vectorized core beats the scalar core >= 1.5x
+    on the 1k-flow/200-constraint full solve (and agrees with it).
+
+    The array core typically measures 2-2.5x against the *current* scalar
+    core on this instance; the floor is set with headroom for noisy CI
+    runners.  Against the seed-era scalar solve recorded in
+    BENCH_sim_performance.json (129.47 ms), the array path lands around
+    ~15-20 ms — the scalar core itself got ~3.5x faster in the same
+    change, which is what compresses the core-vs-core ratio here."""
+    flows, capacities = _large_instance()
+    rounds = 5
+
+    def timed(crossover):
+        best = float("inf")
+        result = None
+        for _ in range(rounds):
+            gc.collect()
+            start = time.perf_counter()
+            result = _solve_large(flows, capacities, crossover)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    scalar_elapsed, scalar_rates = timed(10**9)
+    array_elapsed, array_rates = timed(0)
+    for fid, want in scalar_rates.items():
+        assert abs(array_rates[fid] - want) < 1e-6 * max(want, 1.0)
+    speedup = scalar_elapsed / array_elapsed
+    assert speedup >= 1.5, (
+        f"array core only {speedup:.1f}x faster than scalar on the 1k-flow "
+        f"instance ({array_elapsed * 1e3:.1f}ms vs "
+        f"{scalar_elapsed * 1e3:.1f}ms)"
+    )
+
+
 def _churn_instance(groups=50, flows_per_group=10, links_per_group=8, seed=7):
     """500 flows across 50 disjoint link groups.
 
@@ -173,18 +250,23 @@ def test_path_enumeration_dgx(benchmark):
 
 
 class _UninstrumentedEngine(Engine):
-    """`Engine.step` exactly as it was before `repro.trace` existed.
+    """`Engine.step` with the tracing dispatch stripped out.
 
     The "no-tracer baseline" for the overhead contract: same heappop /
-    cancelled-skip / clock-advance / dispatch sequence, minus the
-    ``TRACER.enabled`` guard.
+    cancelled-skip / clock-advance / live-event-accounting / dispatch
+    sequence, minus the ``TRACER.enabled`` guard.  It keeps the
+    ``_cancelled_in_queue`` and ``queued`` bookkeeping so the contract
+    measures *tracing* overhead in isolation, not the (separately
+    measured, ~0.4%) cost of O(1) ``pending_events()`` accounting.
     """
 
     def step(self):
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
+            event.queued = False
             self.clock.advance_to(event.time)
             self._events_processed += 1
             event.callback()

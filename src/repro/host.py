@@ -46,6 +46,10 @@ class Host:
         latency_model: Queueing model override for the fabric.
         coalesce_recompute: Coalesce same-instant fabric re-solves (see
             :class:`~repro.sim.network.FabricNetwork`).
+        array_crossover: Component size at which the fair-share solver
+            switches from the scalar water-filling core to the
+            numpy-vectorized one (``None`` keeps the measured default;
+            see :mod:`repro.sim.arrays`).
         managed: Construct the :class:`HostNetworkManager` (default).
             ``managed=False`` gives a bare engine + fabric for unmanaged
             experiments; ``manager`` access then raises.
@@ -74,6 +78,7 @@ class Host:
         start: float = 0.0,
         latency_model: Optional[LatencyModel] = None,
         coalesce_recompute: bool = False,
+        array_crossover: Optional[int] = None,
         managed: bool = True,
         trace: Union[bool, TraceConfig, None] = None,
         resilience=None,
@@ -96,6 +101,7 @@ class Host:
             topology, self.engine,
             latency_model=latency_model,
             coalesce_recompute=coalesce_recompute,
+            array_crossover=array_crossover,
         )
         self._manager: Optional[HostNetworkManager] = None
         if managed:
@@ -174,6 +180,18 @@ class Host:
         """The fabric's resident-solver cost counters (no reaching into
         ``host.network`` needed)."""
         return self.network.solver_stats
+
+    @property
+    def solver_paths(self) -> "dict[str, int]":
+        """How many water-filling passes each core has run.
+
+        Returns ``{"scalar": n, "array": m}`` from the resident solver's
+        counters — the quick way to confirm which code path a workload
+        actually exercised (tiny components stay scalar below the
+        crossover; large ones vectorize).
+        """
+        stats = self.network.solver_stats
+        return {"scalar": stats.scalar_fills, "array": stats.array_fills}
 
     @property
     def recompute_count(self) -> int:

@@ -1,5 +1,6 @@
 """Discrete-event simulation core: engine, flows, fair sharing, latency."""
 
+from .arrays import DEFAULT_ARRAY_CROSSOVER, HAVE_NUMPY, progressive_fill_array
 from .bandwidth import Constraint, FlowDemand, link_utilizations, max_min_fair_rates
 from .clock import SimClock
 from .engine import Engine, PeriodicTask
@@ -21,6 +22,9 @@ __all__ = [
     "Constraint",
     "max_min_fair_rates",
     "link_utilizations",
+    "progressive_fill_array",
+    "HAVE_NUMPY",
+    "DEFAULT_ARRAY_CROSSOVER",
     "IncrementalMaxMinSolver",
     "SolverStats",
     "LatencyModel",

@@ -125,33 +125,71 @@ def progressive_fill(
     members: Mapping[str, List[int]],
     caps: Mapping[str, float],
 ) -> List[float]:
-    """The water-filling core: rates (by flow index) for a built problem."""
-    rates = [0.0 for _ in flows]
-    frozen = [f.demand <= _ABS_EPSILON for f in flows]
+    """The water-filling core: rates (by flow index) for a built problem.
+
+    This is the scalar *reference* implementation (and the production path
+    for small components — see :mod:`repro.sim.arrays` for the vectorized
+    core and the size crossover).  Both per-constraint usage *and*
+    per-constraint active weight are carried as running totals — usage
+    grows with the rates and is debited on demand clamps; active weight is
+    debited as member flows freeze — so each round costs one pass over the
+    still-active constraints and flows instead of re-summing the whole
+    incidence.
+    """
+    n = len(flows)
+    rates = [0.0] * n
+    weights = [f.weight for f in flows]
+    demands = [f.demand for f in flows]
+    frozen = [d <= _ABS_EPSILON for d in demands]
+    finite = [math.isfinite(d) for d in demands]
+    demand_floor = [d * (1 - _EPSILON) for d in demands]
+
+    # Reverse incidence (flow -> constraints, with crossing multiplicity
+    # preserved) so freezing a flow can debit the running totals.
+    flow_cids: List[List[str]] = [[] for _ in range(n)]
+    for cid, flow_ids in members.items():
+        for i in flow_ids:
+            flow_cids[i].append(cid)
+    used = {cid: 0.0 for cid in members}
+    active_weights: Dict[str, float] = {
+        cid: sum(weights[i] for i in flow_ids if not frozen[i])
+        for cid, flow_ids in members.items()
+    }
+    cap_floor = {cid: caps[cid] * (1 - _EPSILON) for cid in members}
+
+    def freeze(i: int) -> None:
+        frozen[i] = True
+        w = weights[i]
+        for cid in flow_cids[i]:
+            active_weights[cid] -= w
 
     # Progressive filling.
-    for _round in range(2 * (len(flows) + len(caps)) + 2):
-        active = [i for i in range(len(flows)) if not frozen[i]]
+    for _round in range(2 * (n + len(caps)) + 2):
+        active = [i for i in range(n) if not frozen[i]]
         if not active:
             break
 
         # Growth headroom per constraint: remaining capacity shared over the
-        # total weight of unfrozen flows crossing it.
+        # total weight of unfrozen flows crossing it.  (Plain comparisons —
+        # builtin min/max calls are measurable at this loop's temperature.)
         step = math.inf
-        for cid, flow_ids in members.items():
-            active_weight = sum(flows[i].weight for i in flow_ids
-                                if not frozen[i])
-            if active_weight <= 0:
+        for cid, active_weight in active_weights.items():
+            if active_weight <= _ABS_EPSILON:
                 continue
-            used = sum(rates[i] for i in flow_ids)
-            headroom = caps[cid] - used
-            step = min(step, max(headroom, 0.0) / active_weight)
+            headroom = caps[cid] - used[cid]
+            if headroom <= 0.0:
+                step = 0.0
+                break
+            candidate = headroom / active_weight
+            if candidate < step:
+                step = candidate
 
         # Growth headroom per flow demand.
         for i in active:
-            remaining = flows[i].demand - rates[i]
-            if math.isfinite(remaining):
-                step = min(step, remaining / flows[i].weight)
+            if finite[i]:
+                candidate = (demands[i] - rates[i]) / weights[i]
+                if candidate < step:
+                    step = candidate
 
         if not math.isfinite(step):
             # No binding constraint at all: unconstrained elastic flows.
@@ -161,20 +199,29 @@ def progressive_fill(
 
         if step > 0:
             for i in active:
-                rates[i] += flows[i].weight * step
+                rates[i] += weights[i] * step
+            for cid, active_weight in active_weights.items():
+                if active_weight > _ABS_EPSILON:
+                    used[cid] += active_weight * step
 
         # Freeze demand-satisfied flows.
         for i in active:
-            if rates[i] + _ABS_EPSILON >= flows[i].demand * (1 - _EPSILON):
-                rates[i] = min(rates[i], flows[i].demand)
-                frozen[i] = True
+            if rates[i] + _ABS_EPSILON >= demand_floor[i]:
+                overshoot = rates[i] - demands[i]
+                if overshoot > 0:
+                    rates[i] = demands[i]
+                    for cid in flow_cids[i]:
+                        used[cid] -= overshoot
+                freeze(i)
 
-        # Freeze flows on saturated constraints.
+        # Freeze flows on saturated constraints.  Only constraints with
+        # active members can have grown this round; ones saturated from the
+        # start (zero capacity) trip on their first round here too.
         for cid, flow_ids in members.items():
-            used = sum(rates[i] for i in flow_ids)
-            if used + _ABS_EPSILON >= caps[cid] * (1 - _EPSILON):
+            if used[cid] + _ABS_EPSILON >= cap_floor[cid]:
                 for i in flow_ids:
-                    frozen[i] = True
+                    if not frozen[i]:
+                        freeze(i)
 
     return rates
 

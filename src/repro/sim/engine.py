@@ -26,12 +26,21 @@ from .events import Event
 class Engine:
     """Single-threaded discrete-event engine."""
 
+    #: Queues below this size are never compacted: scanning a handful of
+    #: entries at pop time is cheaper than rebuilding the heap.
+    _COMPACT_MIN = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self.clock = SimClock(start)
         self._queue: List[Event] = []
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        # Live-event accounting: cancelled-but-still-queued entries, kept
+        # exact by push/pop/cancel, so pending_events() is O(1) and the
+        # heap can be compacted when cancellations dominate it.
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -52,7 +61,8 @@ class Engine:
             raise ClockError(
                 f"cannot schedule at {t} (now is {self.now})"
             )
-        event = Event(time=t, seq=self._seq, callback=callback, label=label)
+        event = Event(time=t, seq=self._seq, callback=callback, label=label,
+                      queued=True, _engine=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -104,6 +114,7 @@ class Engine:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -111,7 +122,9 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
+            event.queued = False
             self.clock.advance_to(event.time)
             self._events_processed += 1
             if TRACER.enabled:
@@ -174,8 +187,29 @@ class Engine:
         return processed
 
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1)).
+
+        Maintained as a live counter — pushes increment, pops and cancels
+        decrement — instead of the historical full-queue scan, so periodic
+        health checks can poll it without a per-call O(n) cost.
+        """
+        return len(self._queue) - self._cancelled_in_queue
+
+    def _note_cancelled(self, event: Event) -> None:
+        """A queued event was cancelled: update accounting, maybe compact.
+
+        When cancelled entries exceed half the queue the heap is rebuilt
+        without them, bounding queue memory under heavy
+        :class:`PeriodicTask` churn (each rescheduling cancel leaves a
+        tombstone behind otherwise).
+        """
+        self._cancelled_in_queue += 1
+        if (2 * self._cancelled_in_queue > len(self._queue)
+                and len(self._queue) >= self._COMPACT_MIN):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+            self._compactions += 1
 
 
 class PeriodicTask:

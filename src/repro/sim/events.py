@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 
 @dataclass(order=True)
@@ -20,10 +20,20 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: Whether the event currently sits in its engine's queue.  Managed by
+    #: the engine (set on push, cleared on pop) so a cancel can tell the
+    #: engine's live-event accounting apart from cancelling an event whose
+    #: callback already fired.
+    queued: bool = field(default=False, compare=False, repr=False)
+    _engine: Optional[object] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queued and self._engine is not None:
+            self._engine._note_cancelled(self)
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"

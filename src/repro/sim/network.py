@@ -60,6 +60,9 @@ class FabricNetwork:
             instead of N.  Rate queries flush the pending solve, keeping
             observable rates consistent; only ``Flow.current_rate`` read
             directly between same-instant events can be stale.
+        array_crossover: Forwarded to
+            :class:`~repro.sim.solver.IncrementalMaxMinSolver`: component
+            size at which solves take the vectorized array core.
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class FabricNetwork:
         engine: Engine,
         latency_model: Optional[LatencyModel] = None,
         coalesce_recompute: bool = False,
+        array_crossover: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.engine = engine
@@ -82,7 +86,7 @@ class FabricNetwork:
 
         # The resident incremental solver: flow/constraint mutations mark
         # components dirty; _solve() re-solves only those.
-        self._solver = IncrementalMaxMinSolver()
+        self._solver = IncrementalMaxMinSolver(array_crossover=array_crossover)
         for link_id in topology.link_ids():
             cap = topology.link(link_id).effective_capacity
             self._solver.set_capacity(directed_id(link_id, FORWARD), cap)
@@ -387,19 +391,16 @@ class FabricNetwork:
 
         Like the other rate queries, this flushes any pending coalesced
         re-solve first, so a burst of same-instant flow events can never
-        yield stale utilizations.  One O(flows x hops + links) sweep
-        replaces ``len(links)`` :meth:`link_utilization` calls (each of
-        which scans every flow).  With ``clamp`` (the default) values are
-        capped at 1.0; ``clamp=False`` exposes oversubscription.
+        yield stale utilizations.  Per-direction rates come straight from
+        the solver's interned incidence state
+        (:meth:`~repro.sim.solver.IncrementalMaxMinSolver.constraint_usage`,
+        one vectorized segment-sum when numpy is available) instead of a
+        python sweep over every flow's hops.  With ``clamp`` (the
+        default) values are capped at 1.0; ``clamp=False`` exposes
+        oversubscription.
         """
         self.flush_recompute()
-        directed_rates: Dict[str, float] = {}
-        for flow in self._flows.values():
-            rate = flow.current_rate
-            if rate <= 0:
-                continue
-            for dlink in self._directed_links[flow.flow_id]:
-                directed_rates[dlink] = directed_rates.get(dlink, 0.0) + rate
+        directed_rates = self._solver.constraint_usage()
         utilizations: Dict[str, float] = {}
         for link_id in self._link_bytes:
             busiest = max(

@@ -17,24 +17,33 @@ Key properties:
   stamps the constraints/flows it touched.  ``solve()`` re-solves exactly
   the components containing something stamped after the last solve epoch;
   a clean solver returns its cached rates without any work.
-* **Exact from-scratch parity.**  The from-scratch path
-  (:meth:`solve_once`, and the first solve of a freshly loaded instance)
-  runs the identical :func:`~repro.sim.bandwidth.progressive_fill` joint
-  water-filling the stateless function always ran, so
-  ``max_min_fair_rates()`` remains bit-identical with its historical
-  results.  Incremental component solves run the same core restricted to
-  one component; they agree with the joint solve up to floating-point
-  accumulation order (within 1e-6, enforced by a randomized property
-  test).
+* **Two water-filling cores, one algorithm.**  Every solve runs progressive
+  filling; *which* core depends on component size.  Components at or above
+  :data:`~repro.sim.arrays.DEFAULT_ARRAY_CROSSOVER` flows run the
+  numpy-vectorized :mod:`repro.sim.arrays` core against the resident
+  :class:`~repro.sim.arrays.InternedProblem` (stable integer slots, dense
+  vectors, pre-interned incidence — maintained by the mutation API, never
+  rebuilt per solve); smaller components run the scalar reference core,
+  whose per-solve constant costs are lower.  The paths agree within
+  floating-point accumulation order (1e-6, enforced by the seeded property
+  suite in ``tests/test_sim_arrays.py``), and
+  :attr:`SolverStats.scalar_fills` / :attr:`SolverStats.array_fills`
+  report which path each solve took.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..trace.recorder import TRACER
+from .arrays import (
+    DEFAULT_ARRAY_CROSSOVER,
+    HAVE_NUMPY,
+    make_interned_problem,
+    progressive_fill_array,
+)
 from .bandwidth import (
     Constraint,
     FlowDemand,
@@ -55,6 +64,8 @@ class SolverStats:
         component_solves: Individual component sub-solves executed.
         flows_resolved: Flow rates recomputed across all solves.
         flows_reused: Flow rates served from the component cache.
+        scalar_fills: Water-filling runs taken by the scalar core.
+        array_fills: Water-filling runs taken by the vectorized core.
     """
 
     solve_calls: int = 0
@@ -64,6 +75,8 @@ class SolverStats:
     component_solves: int = 0
     flows_resolved: int = 0
     flows_reused: int = 0
+    scalar_fills: int = 0
+    array_fills: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -81,9 +94,20 @@ class IncrementalMaxMinSolver:
     writing a value identical to the current one does not dirty anything,
     so a periodic controller re-applying an unchanged schedule costs no
     re-solve ("arbiter periods reuse unchanged components").
+
+    Args:
+        array_crossover: Component size (flow count) at which solves switch
+            from the scalar core to the vectorized :mod:`repro.sim.arrays`
+            core.  ``None`` uses the measured default; ``0`` forces the
+            array path everywhere (tests), a very large value forces the
+            scalar path.  Ignored when numpy is unavailable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, array_crossover: Optional[int] = None) -> None:
+        self.array_crossover = (DEFAULT_ARRAY_CROSSOVER
+                                if array_crossover is None
+                                else array_crossover)
+        self._interned = make_interned_problem()
         self._flows: Dict[str, FlowDemand] = {}
         self._flow_order: Dict[str, int] = {}
         self._order_seq = itertools.count()
@@ -120,11 +144,18 @@ class IncrementalMaxMinSolver:
         extra_constraints: Iterable[Constraint] = (),
     ) -> Dict[str, float]:
         """One stateless from-scratch solve (what ``max_min_fair_rates``
-        delegates to).  Bit-identical to the historical implementation."""
+        delegates to).  Runs the same progressive filling the stateless
+        function always ran; instances of
+        :data:`~repro.sim.arrays.DEFAULT_ARRAY_CROSSOVER` flows or more
+        take the vectorized core (equivalent within fp accumulation
+        order), smaller ones the scalar reference core."""
         if not flows:
             return {}
         members, caps = build_problem(flows, capacities, extra_constraints)
-        rates = progressive_fill(flows, members, caps)
+        if HAVE_NUMPY and len(flows) >= DEFAULT_ARRAY_CROSSOVER:
+            rates = progressive_fill_array(flows, members, caps)
+        else:
+            rates = progressive_fill(flows, members, caps)
         return {f.flow_id: rates[i] for i, f in enumerate(flows)}
 
     # -- mutation API --------------------------------------------------------
@@ -145,6 +176,7 @@ class IncrementalMaxMinSolver:
         if previous == value:
             return
         self._capacities[constraint_id] = value
+        self._interned.set_capacity(constraint_id, value)
         if previous is not None:
             self._touch_constraint(constraint_id)
 
@@ -156,6 +188,7 @@ class IncrementalMaxMinSolver:
             )
         if self._capacities.pop(constraint_id, None) is not None:
             self._members.pop(constraint_id, None)
+            self._interned.remove_capacity(constraint_id)
             self._touch_constraint(constraint_id)
 
     def set_flow(self, flow: FlowDemand) -> None:
@@ -174,11 +207,15 @@ class IncrementalMaxMinSolver:
             if existing.links != flow.links:
                 self._unlink_flow(fid, existing)
                 self._link_flow(fid, flow)
+                self._interned.set_flow(fid, flow.links,
+                                        flow.demand, flow.weight)
             else:
                 self._touch_flow(fid)
+                self._interned.set_flow_params(fid, flow.demand, flow.weight)
         else:
             self._flow_order[fid] = next(self._order_seq)
             self._link_flow(fid, flow)
+            self._interned.set_flow(fid, flow.links, flow.demand, flow.weight)
         self._flows[fid] = flow
 
     def set_flow_params(self, flow_id: str,
@@ -198,6 +235,7 @@ class IncrementalMaxMinSolver:
             flow_id=flow_id, links=current.links,
             demand=new_demand, weight=new_weight,
         )
+        self._interned.set_flow_params(flow_id, new_demand, new_weight)
         self._touch_flow(flow_id)
 
     def remove_flow(self, flow_id: str) -> None:
@@ -208,6 +246,7 @@ class IncrementalMaxMinSolver:
         self._unlink_flow(flow_id, flow)
         self._flow_order.pop(flow_id, None)
         self._rates.pop(flow_id, None)
+        self._interned.remove_flow(flow_id)
         self._touched_flows.pop(flow_id, None)
 
     def set_constraint(self, constraint: Constraint) -> None:
@@ -232,6 +271,7 @@ class IncrementalMaxMinSolver:
             self._unlink_virtual(cid, existing)
         self._virtual[cid] = constraint
         self._link_virtual(cid, constraint)
+        self._interned.set_constraint_capacity(cid, float(constraint.capacity))
         self._touch_constraint(cid)
 
     def remove_constraint(self, constraint_id: str) -> None:
@@ -242,6 +282,7 @@ class IncrementalMaxMinSolver:
         for fid in self._members.get(constraint_id, set()):
             self._touch_flow(fid)
         self._unlink_virtual(constraint_id, constraint)
+        self._interned.remove_constraint(constraint_id)
         self._touched_cids.pop(constraint_id, None)
 
     # -- queries -------------------------------------------------------------
@@ -289,16 +330,22 @@ class IncrementalMaxMinSolver:
             "dirty_constraints": len(self._touched_cids),
         }):
             before = (self.stats.noop_solves, self.stats.full_solves,
-                      self.stats.component_solves, self.stats.flows_resolved)
+                      self.stats.component_solves, self.stats.flows_resolved,
+                      self.stats.scalar_fills, self.stats.array_fills)
             rates = self._solve_untracked()
             if self.stats.noop_solves > before[0]:
                 TRACER.annotate(kind="noop")
             else:
+                scalar = self.stats.scalar_fills - before[4]
+                vector = self.stats.array_fills - before[5]
                 TRACER.annotate(
                     kind=("full" if self.stats.full_solves > before[1]
                           else "incremental"),
                     components=self.stats.component_solves - before[2],
                     flows_resolved=self.stats.flows_resolved - before[3],
+                    fill=("mixed" if scalar and vector
+                          else "array" if vector
+                          else "scalar" if scalar else "none"),
                 )
             return rates
 
@@ -315,48 +362,69 @@ class IncrementalMaxMinSolver:
         self._touched_cids.clear()
         return dict(self._rates)
 
+    def _use_array(self, n_flows: int) -> bool:
+        return HAVE_NUMPY and n_flows >= self.array_crossover
+
+    def _virtual_edges(self) -> List[Tuple[str, List[str]]]:
+        """Every virtual constraint's resident membership (array gather)."""
+        edges = []
+        for cid in self._virtual:
+            bound = self._members.get(cid)
+            if bound:
+                edges.append((cid, list(bound)))
+        return edges
+
     def _full_solve(self) -> None:
         flows = list(self._flows.values())
-        self._rates = self.solve_once(flows, self._capacities,
-                                      self._virtual.values())
+        if self._use_array(len(flows)):
+            fids = [f.flow_id for f in flows]
+            rates = self._interned.solve(fids, self._virtual_edges(),
+                                         full=True)
+            self._rates = dict(zip(fids, rates))
+            self.stats.array_fills += 1
+        elif flows:
+            # Runs the scalar core directly (not solve_once, which applies
+            # the module-default crossover) so the instance's
+            # array_crossover is authoritative — tests force a path with it.
+            members, caps = build_problem(flows, self._capacities,
+                                          self._virtual.values())
+            rates = progressive_fill(flows, members, caps)
+            self._rates = {f.flow_id: rates[i] for i, f in enumerate(flows)}
+            self._interned.store_rates(self._rates.keys(),
+                                       self._rates.values())
+            self.stats.scalar_fills += 1
+        else:
+            self._rates = {}
         self.stats.full_solves += 1
         self.stats.flows_resolved += len(flows)
 
     def _incremental_solve(self) -> None:
-        affected = self._affected_flows()
+        components = self._dirty_components()
+        affected = sum(len(component) for component in components)
         self.stats.incremental_solves += 1
-        self.stats.flows_reused += len(self._flows) - len(affected)
-        if not affected:
-            return
-        for component in self._partition(affected):
+        self.stats.flows_reused += len(self._flows) - affected
+        for component in components:
             self._solve_component(component)
             self.stats.component_solves += 1
             self.stats.flows_resolved += len(component)
 
-    def _affected_flows(self) -> Set[str]:
-        """Transitive closure of dirty flows/constraints over adjacency."""
-        frontier: List[str] = [
+    def _dirty_components(self) -> List[List[str]]:
+        """Connected components of the dirty region, in one adjacency pass.
+
+        Expands the transitive closure of the touched flows/constraints and
+        partitions it into components simultaneously: each unseen seed
+        grows its whole component before the next seed is considered, so
+        the adjacency is walked exactly once.  Components come out in
+        seed-discovery order with flows insertion-ordered inside each.
+        """
+        seeds: List[str] = [
             fid for fid in self._touched_flows if fid in self._flows
         ]
         for cid in self._touched_cids:
-            frontier.extend(self._members.get(cid, ()))
-        affected: Set[str] = set()
-        while frontier:
-            fid = frontier.pop()
-            if fid in affected:
-                continue
-            affected.add(fid)
-            for cid in self._flow_cids.get(fid, ()):
-                for neighbour in self._members.get(cid, ()):
-                    if neighbour not in affected:
-                        frontier.append(neighbour)
-        return affected
-
-    def _partition(self, affected: Set[str]) -> List[List[str]]:
-        """Split *affected* into connected components (insertion-ordered)."""
+            seeds.extend(self._members.get(cid, ()))
         components: List[List[str]] = []
         seen: Set[str] = set()
-        for seed in affected:
+        for seed in seeds:
             if seed in seen:
                 continue
             component: Set[str] = set()
@@ -377,17 +445,73 @@ class IncrementalMaxMinSolver:
         return components
 
     def _solve_component(self, component: List[str]) -> None:
-        """Re-solve one component with the shared water-filling core."""
+        """Re-solve one component, picking the core by component size."""
+        if self._use_array(len(component)):
+            component_set = set(component)
+            virtual_edges = []
+            for cid in self._virtual:
+                bound = self._members.get(cid)
+                if bound:
+                    inside = bound & component_set
+                    if inside:
+                        virtual_edges.append((cid, list(inside)))
+            rates = self._interned.solve(component, virtual_edges)
+            for fid, rate in zip(component, rates):
+                self._rates[fid] = rate
+            self.stats.array_fills += 1
+            return
         flows = [self._flows[fid] for fid in component]
-        component_set = set(component)
-        virtuals = [
-            constraint for cid, constraint in self._virtual.items()
-            if self._members.get(cid, set()) & component_set
-        ]
-        members, caps = build_problem(flows, self._capacities, virtuals)
+        # Inline problem build: resident flows were validated at set_flow
+        # time, so this skips build_problem's unknown-constraint checks and
+        # flow-index dict on the hot churn path.
+        members: Dict[str, List[int]] = {}
+        for i, flow in enumerate(flows):
+            for cid in flow.links:
+                bucket = members.get(cid)
+                if bucket is None:
+                    members[cid] = [i]
+                else:
+                    bucket.append(i)
+        caps = {cid: self._capacities[cid] for cid in members}
+        if self._virtual:
+            component_set = set(component)
+            index = {fid: i for i, fid in enumerate(component)}
+            for cid, constraint in self._virtual.items():
+                inside = self._members.get(cid, set()) & component_set
+                if inside:
+                    members[cid] = [index[fid] for fid in inside]
+                    caps[cid] = float(constraint.capacity)
         rates = progressive_fill(flows, members, caps)
         for i, f in enumerate(flows):
             self._rates[f.flow_id] = rates[i]
+        self._interned.store_rates(component, rates)
+        self.stats.scalar_fills += 1
+
+    # -- bulk reads ----------------------------------------------------------
+
+    def constraint_usage(self) -> Dict[str, float]:
+        """Rate currently crossing each constraint (multiplicity-weighted).
+
+        Covers physical and virtual constraints that have at least one
+        resident member flow; everything else is implicitly 0.  With numpy
+        this is one segment-sum over the cached full incidence — the bulk
+        utilization queries in :class:`~repro.sim.network.FabricNetwork`
+        read straight from the interned arrays instead of re-walking every
+        flow's hop list in Python.
+        """
+        if HAVE_NUMPY and self._flows:
+            return self._interned.constraint_usage(
+                list(self._flows), self._virtual_edges()
+            )
+        usage: Dict[str, float] = {}
+        for fid, flow in self._flows.items():
+            rate = self._rates.get(fid, 0.0)
+            for cid in flow.links:
+                usage[cid] = usage.get(cid, 0.0) + rate
+        for cid in self._virtual:
+            for fid in self._members.get(cid, ()):
+                usage[cid] = usage.get(cid, 0.0) + self._rates.get(fid, 0.0)
+        return usage
 
     # -- internal bookkeeping ------------------------------------------------
 

@@ -189,3 +189,115 @@ class TestRng:
         a = make_rng(7, "x")
         b = make_rng(7, "y")
         assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestPendingEventsAccounting:
+    """pending_events() is an O(1) live counter, not a queue scan."""
+
+    def test_counts_live_events_only(self):
+        eng = Engine()
+        events = [eng.schedule_in(i + 1.0, lambda: None) for i in range(10)]
+        assert eng.pending_events() == 10
+        for event in events[:4]:
+            event.cancel()
+        assert eng.pending_events() == 6
+
+    def test_double_cancel_counts_once(self):
+        eng = Engine()
+        event = eng.schedule_in(1.0, lambda: None)
+        eng.schedule_in(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert eng.pending_events() == 1
+
+    def test_pop_keeps_counter_exact(self):
+        eng = Engine()
+        eng.schedule_in(1.0, lambda: None)
+        doomed = eng.schedule_in(2.0, lambda: None)
+        eng.schedule_in(3.0, lambda: None)
+        doomed.cancel()
+        eng.run_until(1.5)
+        assert eng.pending_events() == 1
+        eng.run()
+        assert eng.pending_events() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        """Cancelling an event whose callback already ran is a no-op for
+        the live counter (the event has left the queue)."""
+        eng = Engine()
+        fired = eng.schedule_in(1.0, lambda: None)
+        eng.schedule_in(2.0, lambda: None)
+        eng.run_until(1.0)
+        fired.cancel()
+        assert eng.pending_events() == 1
+
+    def test_self_cancel_during_fire(self):
+        """A callback cancelling its own (already popped) event does not
+        decrement the counter for an entry no longer queued."""
+        eng = Engine()
+        holder = {}
+
+        def tick():
+            holder["event"].cancel()
+
+        holder["event"] = eng.schedule_in(1.0, tick)
+        eng.schedule_in(2.0, lambda: None)
+        eng.run_until(1.0)
+        assert eng.pending_events() == 1
+
+    def test_peek_time_discards_and_counts(self):
+        eng = Engine()
+        first = eng.schedule_in(1.0, lambda: None)
+        eng.schedule_in(2.0, lambda: None)
+        first.cancel()
+        assert eng.peek_time() == 2.0
+        assert eng.pending_events() == 1
+
+
+class TestHeapCompaction:
+    """Tombstone-heavy queues are rebuilt without the cancelled entries."""
+
+    def test_compaction_triggers_above_half_cancelled(self):
+        eng = Engine()
+        doomed = [eng.schedule_in(i + 1.0, lambda: None) for i in range(100)]
+        keepers = [eng.schedule_in(i + 200.0, lambda: None) for i in range(20)]
+        for event in doomed:
+            event.cancel()
+        assert eng._compactions >= 1
+        # The rebuild dropped the tombstones present at the time it fired;
+        # later cancels may leave a small (sub-_COMPACT_MIN) residue.
+        assert len(eng._queue) < len(doomed) + len(keepers) - 50
+        assert eng.pending_events() == 20
+        eng.run()
+        assert eng.events_processed == 20
+
+    def test_small_queues_never_compact(self):
+        eng = Engine()
+        doomed = [eng.schedule_in(i + 1.0, lambda: None) for i in range(10)]
+        for event in doomed:
+            event.cancel()
+        assert eng._compactions == 0
+        assert eng.pending_events() == 0
+        assert not eng.step()
+
+    def test_ordering_survives_compaction(self):
+        eng = Engine()
+        fired = []
+        doomed = [eng.schedule_in(i + 1.0, lambda: None) for i in range(80)]
+        for i in range(10):
+            eng.schedule_at(100.0, lambda i=i: fired.append(i))
+        for event in doomed:
+            event.cancel()
+        assert eng._compactions >= 1
+        eng.run()
+        assert fired == list(range(10))  # same-instant order preserved
+
+    def test_periodic_task_churn_stays_bounded(self):
+        """Reschedule-style churn (cancel + schedule per tick) cannot grow
+        the queue without bound."""
+        eng = Engine()
+        for i in range(500):
+            event = eng.schedule_in(1.0 + i * 1e-6, lambda: None)
+            event.cancel()
+        assert len(eng._queue) <= Engine._COMPACT_MIN
+        assert eng.pending_events() == 0
