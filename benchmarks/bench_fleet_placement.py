@@ -1,0 +1,92 @@
+"""Fleet placement: the cost and the quality of cluster scheduling.
+
+Two timed hot paths feed the regression gate (``compare_benchmarks.py``):
+
+* one seeded 16-host churn run under the headroom-aware ``best-fit``
+  policy — the macro cost of the whole fleet layer (lockstep clock,
+  telemetry rollups, bounded probing, admission);
+* the scheduler's submit/release fast path and one telemetry refresh —
+  the micro costs a fleet pays per placement decision.
+
+The suite also enforces the fleet layer's quality floor in-place: under a
+bounded probe budget, headroom-aware placement must reject *fewer*
+intents than blind first-fit on the identical seeded workload.  A change
+that quietly breaks the telemetry rollup or the policy ranking shows up
+here as a red build, not as a silently worse fleet.
+"""
+
+from repro.fleet import Fleet, FleetChurnConfig, run_churn
+from repro.core import pipe
+from repro.units import Gbps
+
+HOSTS = 16
+MAX_ATTEMPTS = 4
+CHURN = FleetChurnConfig(seed=0, horizon=0.12, arrival_rate=4000.0,
+                         mean_holding=0.05)
+
+#: rejection rates observed by the timed runs, reused by the quality test
+REJECTION = {}
+
+
+def churn_rejection_rate(policy):
+    fleet = Fleet("cascade_lake_2s", hosts=HOSTS, policy=policy,
+                  max_attempts=MAX_ATTEMPTS)
+    report = run_churn(fleet, CHURN)
+    fleet.shutdown()
+    assert report.submitted > 300  # the workload actually ran
+    return report.rejection_rate
+
+
+def test_fleet_churn_16_hosts_best_fit(benchmark):
+    REJECTION["best-fit"] = benchmark.pedantic(
+        churn_rejection_rate, args=("best-fit",), rounds=2, iterations=1
+    )
+
+
+def test_fleet_churn_16_hosts_first_fit(benchmark):
+    REJECTION["first-fit"] = benchmark.pedantic(
+        churn_rejection_rate, args=("first-fit",), rounds=2, iterations=1
+    )
+
+
+def test_headroom_aware_beats_first_fit():
+    """The acceptance floor: best-fit must beat blind first-fit, with
+    margin (not within noise of it), on the identical seeded churn."""
+    best = REJECTION["best-fit"]
+    first = REJECTION["first-fit"]
+    assert best < first, (
+        f"headroom-aware placement rejected {best:.1%} vs first-fit "
+        f"{first:.1%} — the telemetry signal is not helping"
+    )
+    assert best < 0.5 * first, (
+        f"expected a decisive gap, got best-fit {best:.1%} vs "
+        f"first-fit {first:.1%}"
+    )
+
+
+def test_fleet_submit_release_fast_path(benchmark):
+    fleet = Fleet("cascade_lake_2s", hosts=8, policy="best-fit",
+                  max_attempts=4)
+    intents = [
+        pipe(f"i{i}", f"t{i % 4}", src="nic0", dst="dimm0-0",
+             bandwidth=Gbps(20))
+        for i in range(20)
+    ]
+
+    def submit_release_20():
+        for intent in intents:
+            fleet.submit(intent)
+        for intent in intents:
+            fleet.release(intent.intent_id)
+
+    benchmark(submit_release_20)
+    assert fleet.placements() == []
+
+
+def test_fleet_telemetry_refresh(benchmark):
+    fleet = Fleet("cascade_lake_2s", hosts=1)
+    for i in range(10):
+        fleet.submit(pipe(f"i{i}", "tA", src="nic0", dst="dimm0-0",
+                          bandwidth=Gbps(10)))
+    summary = benchmark(fleet.telemetry.refresh, "host00")
+    assert summary.placements == 10

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Fleet churn: a day in the life of a managed multi-tenant host.
+"""Tenant churn: a day in the life of a managed multi-tenant host.
 
 Replays a synthetic tenant-churn trace (§3.2: applications "come and go")
-against a managed host, with the monitor running throughout, then produces
-the operator-facing reports: per-tenant fairness, SLO compliance for the
-guaranteed tenant, stranded-bandwidth accounting, and the monitor's final
-health check.
+against a single managed host, with the monitor running throughout, then
+produces the operator-facing reports: per-tenant fairness, SLO compliance
+for the guaranteed tenant, stranded-bandwidth accounting, and the
+monitor's final health check.  (For the multi-host version of this story,
+see ``examples/fleet_demo.py``.)
 
-Run:  python examples/fleet_churn.py
+Run:  python examples/tenant_churn.py
 """
 
 from repro import (

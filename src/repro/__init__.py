@@ -63,6 +63,17 @@ from .diagnostics import (
     troubleshoot,
 )
 from .errors import HostNetError
+from .fleet import (
+    BestFitHeadroomPolicy,
+    ClusterScheduler,
+    FirstFitPolicy,
+    Fleet,
+    FleetTelemetry,
+    MigrationPlanner,
+    PlacementPolicy,
+    SpreadByTenantPolicy,
+    make_policy,
+)
 from .host import Host
 from .monitor import (
     FailureInjector,
@@ -168,6 +179,16 @@ __all__ = [
     "SYSTEM_TENANT",
     # session facade
     "Host",
+    # fleet
+    "Fleet",
+    "FleetTelemetry",
+    "ClusterScheduler",
+    "MigrationPlanner",
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "BestFitHeadroomPolicy",
+    "SpreadByTenantPolicy",
+    "make_policy",
     # devices
     "HostConfig",
     "NumaPolicy",

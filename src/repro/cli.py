@@ -15,6 +15,9 @@ paper's tooling would be driven in production:
 * ``chaos run [--seed N --faults K]`` — seeded randomized fault campaign
   against a resilient host, audited by the invariant oracle (exit 1 on
   any violation);
+* ``fleet run [--hosts N --policy P --seed S]`` — drive a multi-host
+  fleet through a seeded churn workload under the cluster scheduler;
+* ``fleet describe [--hosts N]`` — print a fresh fleet's layout;
 * ``presets`` — list available host presets.
 
 All commands run against a freshly built simulated host (optionally with
@@ -262,6 +265,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _make_fleet(args: argparse.Namespace):
+    """A Fleet from the shared ``fleet`` CLI options."""
+    from .fleet import Fleet
+
+    return Fleet(
+        args.preset,
+        hosts=args.hosts,
+        policy=args.policy,
+        max_attempts=args.max_attempts,
+        rebalance_threshold=args.rebalance_threshold,
+    )
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet run``: seeded churn against a multi-host cluster;
+    ``fleet describe``: print a fresh fleet's layout."""
+    if args.hosts < 1:
+        print(f"fleet: --hosts must be >= 1, got {args.hosts}",
+              file=sys.stderr)
+        return 2
+    if args.fleet_command == "describe":
+        fleet = _make_fleet(args)
+        try:
+            print(fleet.describe())
+        finally:
+            fleet.shutdown()
+        return 0
+
+    from .fleet import FleetChurnConfig, run_churn
+
+    config = FleetChurnConfig(seed=args.seed, horizon=args.horizon,
+                              arrival_rate=args.arrival_rate)
+    fleet = _make_fleet(args)
+    try:
+        report = run_churn(fleet, config)
+        print(report.describe())
+        print()
+        print(fleet.describe())
+    finally:
+        fleet.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -321,6 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
                            help="base workload size")
     chaos_run.add_argument("--events", action="store_true",
                            help="print the full inject/repair timeline")
+
+    from .fleet import PLACEMENT_POLICIES
+
+    fleet = sub.add_parser("fleet", help="multi-host cluster layer")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="seeded churn workload under the cluster scheduler"
+    )
+    fleet_describe = fleet_sub.add_parser(
+        "describe", help="print a fresh fleet's layout"
+    )
+    for p in (fleet_run, fleet_describe):
+        p.add_argument("--hosts", type=int, default=4,
+                       help="number of hosts in the fleet")
+        p.add_argument("--policy", default="best-fit",
+                       choices=sorted(PLACEMENT_POLICIES),
+                       help="placement policy")
+        p.add_argument("--max-attempts", type=int, default=None,
+                       help="per-intent host-probe bound (default: all)")
+        p.add_argument("--rebalance-threshold", type=float, default=None,
+                       help="peak-reserved skew that triggers a rebalance "
+                            "move (default: disabled)")
+    fleet_run.add_argument("--seed", type=int, default=0,
+                           help="workload seed (fully deterministic)")
+    fleet_run.add_argument("--horizon", type=float, default=0.25,
+                           help="simulated seconds of churn")
+    fleet_run.add_argument("--arrival-rate", type=float, default=2000.0,
+                           help="intent arrivals per simulated second")
     return parser
 
 
@@ -335,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": cmd_perf,
         "drill": cmd_drill,
         "chaos": cmd_chaos,
+        "fleet": cmd_fleet,
     }
     return handlers[args.command](args)
 

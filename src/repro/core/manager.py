@@ -241,7 +241,7 @@ class HostNetworkManager:
                 raise AdmissionError(intent_id, decision.reason)
             self._install_enforcement(intent, candidate)
         except Exception:
-            self._reinstate(old)
+            self.reinstate(old)
             raise
         placement = Placement(intent=intent, candidate=candidate)
         self._placements[intent_id] = placement
@@ -251,11 +251,14 @@ class HostNetworkManager:
         self.arbiter.adjust_once()
         return placement
 
-    def _reinstate(self, placement: Placement) -> None:
-        """Put a just-released placement back (failed-replace rollback).
+    def reinstate(self, placement: Placement) -> None:
+        """Put a just-released placement back, bypassing the capacity check.
 
-        Bypasses the capacity check: the reservation was admitted before
-        and nothing else was given its budget in between.
+        The atomic-rollback primitive shared by failed re-placements and
+        failed cross-host migrations: the reservation was admitted before
+        and — the engine being single-threaded — nothing else was given its
+        budget between the release and this call, so re-committing the same
+        candidate cannot oversubscribe.
         """
         intent = placement.intent
         self.ledger.commit(intent.intent_id, placement.candidate)

@@ -136,3 +136,33 @@ class UnknownTenantError(ResourceError):
 
 class WorkloadError(HostNetError):
     """Base class for workload/application configuration failures."""
+
+
+# --------------------------------------------------------------------------
+# Fleet (multi-host cluster) errors.
+# --------------------------------------------------------------------------
+
+
+class FleetError(HostNetError):
+    """Base class for cluster-layer failures."""
+
+
+class UnknownHostError(FleetError):
+    """A host id was referenced that is not part of the fleet."""
+
+    def __init__(self, host_id: str) -> None:
+        super().__init__(f"unknown host: {host_id!r}")
+        self.host_id = host_id
+
+
+class MigrationError(FleetError):
+    """A cross-host migration could not be completed.
+
+    The migration machinery is all-or-nothing: when this is raised the
+    intent is back on its source host exactly as it was.
+    """
+
+    def __init__(self, intent_id: str, reason: str) -> None:
+        super().__init__(f"intent {intent_id!r} not migrated: {reason}")
+        self.intent_id = intent_id
+        self.reason = reason

@@ -1,0 +1,49 @@
+"""``repro.fleet`` — the multi-host cluster layer.
+
+Composes many :class:`~repro.host.Host` sessions into one schedulable
+fleet: lockstep clock coordination (:class:`Fleet`), cached per-host
+headroom rollups (:class:`FleetTelemetry`), headroom-aware admission with
+pluggable policies (:class:`ClusterScheduler`), and atomic cross-host
+live migration (:class:`MigrationPlanner`).  See DESIGN.md §11.
+"""
+
+from .cluster import Fleet
+from .migration import MigrationPlanner, MigrationRecord
+from .placement import (
+    PLACEMENT_POLICIES,
+    BestFitHeadroomPolicy,
+    FirstFitPolicy,
+    PlacementPolicy,
+    PlacementRequest,
+    SpreadByTenantPolicy,
+    make_policy,
+)
+from .scheduler import ClusterScheduler, FleetPlacement
+from .telemetry import FleetTelemetry, HostHeadroom
+from .workload import (
+    FleetChurnConfig,
+    FleetChurnReport,
+    generate_events,
+    run_churn,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetTelemetry",
+    "HostHeadroom",
+    "ClusterScheduler",
+    "FleetPlacement",
+    "MigrationPlanner",
+    "MigrationRecord",
+    "PlacementPolicy",
+    "PlacementRequest",
+    "FirstFitPolicy",
+    "BestFitHeadroomPolicy",
+    "SpreadByTenantPolicy",
+    "PLACEMENT_POLICIES",
+    "make_policy",
+    "FleetChurnConfig",
+    "FleetChurnReport",
+    "generate_events",
+    "run_churn",
+]

@@ -1,0 +1,277 @@
+"""The :class:`Fleet`: N managed hosts on one shared virtual clock.
+
+The paper's manageability pieces are per-host, but its motivating
+scenarios — multi-tenant clouds, tenants that come and go, migration under
+a virtualized abstraction — only matter at datacenter scale.  ``Fleet``
+composes many :class:`~repro.host.Host` sessions into one cluster:
+
+* a **lockstep clock coordinator**: each host keeps its own discrete-event
+  engine; the fleet advances them quantum by quantum in deterministic
+  host-id order, running its own control work (migration planning,
+  rebalancing) at every quantum boundary;
+* a :class:`~repro.fleet.telemetry.FleetTelemetry` rollup feeding cached
+  per-host headroom vectors to
+* a :class:`~repro.fleet.scheduler.ClusterScheduler` with pluggable
+  placement policies, and
+* a :class:`~repro.fleet.migration.MigrationPlanner` that live-migrates
+  placements between hosts, wired to each host's
+  :class:`~repro.resilience.controller.RecoveryController` escalation
+  hook when ``resilience=`` is armed.
+
+Quick start::
+
+    from repro import Fleet, pipe, Gbps
+
+    fleet = Fleet("cascade_lake_2s", hosts=16, policy="best-fit")
+    fleet.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
+                      bandwidth=Gbps(100)))
+    fleet.run_until(1.0)
+    print(fleet.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.intents import PerformanceTarget
+from ..core.virtual import _device_mapping
+from ..errors import ClockError, FleetError, UnknownHostError
+from ..host import Host
+from ..topology.graph import HostTopology
+from ..topology.presets import load_preset
+from .migration import MigrationPlanner
+from .placement import PlacementPolicy
+from .scheduler import ClusterScheduler, FleetPlacement
+from .telemetry import FleetTelemetry, canonical_device_keys
+
+#: Floating-point slack when comparing fleet-clock boundaries.
+_CLOCK_EPS = 1e-12
+
+
+class Fleet:
+    """A cluster of simulated managed hosts under one scheduler.
+
+    Args:
+        topology: A preset name (each host gets a fresh instance) or a
+            zero-argument factory returning a new :class:`HostTopology`
+            per call.  A shared ``HostTopology`` *instance* is rejected:
+            topologies carry mutable link state, so hosts must not share.
+        hosts: How many hosts to build (ignored when *host_ids* given).
+        host_ids: Explicit host ids; default ``host00..hostNN``.
+        clock_quantum: Lockstep granularity in simulated seconds.  Hosts
+            run independently within a quantum; fleet-level control
+            (escalation draining, rebalancing) runs at each boundary.
+        policy: Placement policy name or instance (see
+            :data:`~repro.fleet.placement.PLACEMENT_POLICIES`).
+        max_attempts: Per-intent host-probe bound forwarded to the
+            scheduler (``None`` probes every host).
+        rebalance_threshold: Peak-reserved-fraction skew that triggers a
+            rebalance move at a boundary; ``None`` (default) disables.
+        telemetry_max_age: Headroom cache lifetime (defaults to the
+            clock quantum).
+        start: Initial simulated time for every host.
+        resilience: Forwarded to each :class:`Host`; when armed, each
+            host's recovery controller escalates unrecoverable placements
+            to the fleet's migration planner.
+        **host_kwargs: Remaining keywords forwarded to every
+            :class:`Host` (``coalesce_recompute``, ``arbiter_period``,
+            ``decision_latency``, ...).
+    """
+
+    def __init__(
+        self,
+        topology: Union[str, Callable[[], HostTopology]] = "cascade_lake_2s",
+        hosts: int = 4,
+        *,
+        host_ids: Optional[Sequence[str]] = None,
+        clock_quantum: float = 0.001,
+        policy: Union[str, PlacementPolicy] = "best-fit",
+        max_attempts: Optional[int] = None,
+        rebalance_threshold: Optional[float] = None,
+        telemetry_max_age: Optional[float] = None,
+        start: float = 0.0,
+        resilience=None,
+        **host_kwargs,
+    ) -> None:
+        if isinstance(topology, HostTopology):
+            raise FleetError(
+                "pass a preset name or a topology *factory*: hosts must "
+                "not share one mutable HostTopology instance"
+            )
+        if isinstance(topology, str):
+            preset = topology
+
+            def factory() -> HostTopology:
+                return load_preset(preset)
+        else:
+            factory = topology
+        if clock_quantum <= 0:
+            raise FleetError(
+                f"clock_quantum must be > 0, got {clock_quantum}"
+            )
+        ids = list(host_ids) if host_ids else [
+            f"host{i:02d}" for i in range(hosts)
+        ]
+        if len(set(ids)) != len(ids):
+            raise FleetError(f"duplicate host ids in {ids}")
+        if not ids:
+            raise FleetError("a fleet needs at least one host")
+
+        #: The device-id vocabulary intents are written against.
+        self.reference_topology = factory()
+        self._reference_keys = canonical_device_keys(self.reference_topology)
+        self.clock_quantum = clock_quantum
+        self._clock = start
+        self._hosts: Dict[str, Host] = {}
+        self._mappings: Dict[str, Dict[str, str]] = {}
+        self.telemetry = FleetTelemetry(
+            max_age=(telemetry_max_age if telemetry_max_age is not None
+                     else clock_quantum)
+        )
+        for host_id in sorted(ids):
+            host = Host(factory(), start=start, resilience=resilience,
+                        **host_kwargs)
+            self._hosts[host_id] = host
+            self.telemetry.attach(host_id, host)
+        self.scheduler = ClusterScheduler(self, policy=policy,
+                                          max_attempts=max_attempts)
+        self.planner = MigrationPlanner(
+            self, self.scheduler, rebalance_threshold=rebalance_threshold,
+        )
+        for host_id, host in self._hosts.items():
+            if host.recovery is not None:
+                host.recovery.on_escalation(
+                    lambda intent_id, _links, hid=host_id:
+                        self.planner.request_escalation(hid, intent_id)
+                )
+
+    # -- membership ----------------------------------------------------------
+
+    def host(self, host_id: str) -> Host:
+        """The :class:`Host` registered under *host_id*."""
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise UnknownHostError(host_id) from None
+
+    def host_ids(self) -> List[str]:
+        """All host ids, sorted — the fleet's deterministic order."""
+        return sorted(self._hosts)
+
+    def hosts(self) -> List[Tuple[str, Host]]:
+        """``(host_id, host)`` pairs in deterministic order."""
+        return [(host_id, self._hosts[host_id])
+                for host_id in self.host_ids()]
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    # -- the shared clock ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current fleet time (all hosts are at this time between runs)."""
+        return self._clock
+
+    def run_until(self, t: float) -> int:
+        """Advance every host in lockstep to simulated time *t*.
+
+        Quantum by quantum: all hosts run to the next boundary (in host-id
+        order — deterministic, and harmless because hosts share no fabric
+        state, only the scheduler's bookkeeping which is not touched by
+        host events), then the fleet's own control loop
+        (:meth:`MigrationPlanner.tick`) runs at the boundary.  Returns the
+        total number of host events processed.
+        """
+        if t < self._clock - _CLOCK_EPS:
+            raise ClockError(
+                f"cannot run fleet until {t} (now is {self._clock})"
+            )
+        processed = 0
+        while self._clock < t - _CLOCK_EPS:
+            boundary = min(t, self._clock + self.clock_quantum)
+            for _host_id, host in self.hosts():
+                processed += host.engine.run_until(boundary)
+            self._clock = boundary
+            self.planner.tick()
+        return processed
+
+    # -- intent remapping ----------------------------------------------------
+
+    def canonical_device_key(self, device_id: str) -> Optional[str]:
+        """The ``"<type>:<index>"`` key of a reference-topology device
+        (``None`` when unknown) — the vocabulary
+        :attr:`HostHeadroom.attach_free` is keyed by."""
+        return self._reference_keys.get(device_id)
+
+    def remap_intent(self, intent: PerformanceTarget,
+                     host_id: str) -> PerformanceTarget:
+        """Rewrite an intent's device ids for one host's topology.
+
+        Devices map by (type, per-type index) against the reference
+        topology — the n-th NIC in the reference vocabulary is the n-th
+        NIC on every host — which is what lets one intent stream target a
+        heterogeneous fleet.  On a homogeneous fleet the mapping is the
+        identity and the original intent is returned unchanged.
+        """
+        mapping = self._mappings.get(host_id)
+        if mapping is None:
+            mapping = _device_mapping(self.reference_topology,
+                                      self.host(host_id).topology)
+            self._mappings[host_id] = mapping
+        src = mapping.get(intent.src, intent.src)
+        dst = (mapping.get(intent.dst, intent.dst)
+               if intent.dst is not None else None)
+        if src == intent.src and dst == intent.dst:
+            return intent
+        return dataclass_replace(intent, src=src, dst=dst)
+
+    # -- delegation ----------------------------------------------------------
+
+    def submit(self, intent: PerformanceTarget) -> FleetPlacement:
+        """Admit *intent* somewhere in the fleet (see
+        :meth:`ClusterScheduler.submit`)."""
+        return self.scheduler.submit(intent)
+
+    def try_submit(self,
+                   intent: PerformanceTarget) -> Optional[FleetPlacement]:
+        """Like :meth:`submit` but ``None`` on fleet-wide rejection."""
+        return self.scheduler.try_submit(intent)
+
+    def release(self, intent_id: str) -> None:
+        """Withdraw a fleet-placed intent."""
+        self.scheduler.release(intent_id)
+
+    def migrate(self, intent_id: str, dst_host_id: str) -> FleetPlacement:
+        """Live-migrate one placement (see :meth:`MigrationPlanner.migrate`)."""
+        return self.planner.migrate(intent_id, dst_host_id)
+
+    def placements(self) -> List[FleetPlacement]:
+        """Every placement in the fleet."""
+        return self.scheduler.placements()
+
+    def shutdown(self) -> None:
+        """Shut down every host (recovery, retry, monitors, arbiters)."""
+        for _host_id, host in self.hosts():
+            host.shutdown()
+
+    # -- reporting -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable fleet summary."""
+        lines = [
+            f"Fleet of {len(self)} hosts on "
+            f"{self.reference_topology.name!r} @ t={self.now:.6f}s "
+            f"(quantum={self.clock_quantum:g}s)"
+        ]
+        lines.append(self.scheduler.describe())
+        lines.append(self.telemetry.describe())
+        if self.planner.records:
+            lines.append(self.planner.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Fleet(hosts={len(self)}, t={self.now:.6f}s, "
+                f"policy={self.scheduler.policy.name}, "
+                f"intents={len(self.scheduler.placements())})")

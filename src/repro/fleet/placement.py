@@ -1,0 +1,174 @@
+"""Pluggable fleet placement policies.
+
+A policy is a pure ranking function: given a placement request and the
+fleet's per-host :class:`~repro.fleet.telemetry.HostHeadroom` vectors, it
+returns host ids in the order the scheduler should try them.  The
+scheduler probes hosts in that order and takes the first that admits, so a
+policy never has to predict admission exactly — it only has to put the
+right host early (and under a bounded probe budget, putting the right host
+early is the whole game).
+
+Shipped policies:
+
+* ``first-fit`` — stable host-id order, blind to load.  The baseline every
+  headroom-aware policy is measured against (``bench_fleet_placement``).
+* ``best-fit`` — classic tightest-fit, by headroom: among hosts whose
+  attach links can still take the pipe, try the *fullest* first,
+  preserving contiguous capacity on emptier hosts for the large intents
+  that would otherwise be unplaceable.
+* ``spread`` — tenant anti-affinity: avoid hosts already carrying the
+  tenant, then balance by headroom, so one host failure degrades each
+  tenant at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Type, Union
+
+from ..core.intents import PerformanceTarget
+from ..errors import FleetError
+from .telemetry import HostHeadroom
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One intent, pre-canonicalized for policy consumption.
+
+    Attributes:
+        intent: The intent being placed (reference-topology device ids).
+        src_key: Canonical ``"<type>:<index>"`` key of the source device,
+            matching :attr:`HostHeadroom.attach_free`; ``None`` when the
+            device is not in the reference vocabulary.
+        dst_key: Same for the destination device.
+        tenant_hosts: Hosts already holding intents of this tenant.
+    """
+
+    intent: PerformanceTarget
+    src_key: Optional[str] = None
+    dst_key: Optional[str] = None
+    tenant_hosts: FrozenSet[str] = frozenset()
+
+    @property
+    def bandwidth(self) -> float:
+        """Requested bandwidth floor (bytes/s)."""
+        return self.intent.bandwidth
+
+    def fits(self, headroom: HostHeadroom) -> bool:
+        """Whether *headroom* says this pipe's attach links are open."""
+        return headroom.can_fit(self.bandwidth, self.src_key, self.dst_key)
+
+
+class PlacementPolicy:
+    """Ranks candidate hosts for one request (strategy interface).
+
+    Subclasses implement :meth:`rank`; ``name`` identifies the policy in
+    CLI flags, traces, and ``describe()`` output.
+    """
+
+    name = "abstract"
+
+    def rank(self, request: PlacementRequest,
+             headrooms: Sequence[HostHeadroom]) -> List[str]:
+        """Host ids in placement-attempt order.
+
+        Args:
+            request: The intent plus its canonical attach keys.
+            headrooms: Current per-host summaries (deterministic order).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Try hosts in stable id order; take the first that admits.
+
+    Deliberately blind: no telemetry is consulted.  This is the baseline
+    that quantifies what the headroom rollup buys.
+    """
+
+    name = "first-fit"
+
+    def rank(self, request: PlacementRequest,
+             headrooms: Sequence[HostHeadroom]) -> List[str]:
+        return sorted(h.host_id for h in headrooms)
+
+
+class BestFitHeadroomPolicy(PlacementPolicy):
+    """Tightest viable host first (classic best-fit, decided by headroom).
+
+    Hosts are bucketed by the headroom vector, best bucket first:
+
+    1. attach links open *and* path slack everywhere — probing cannot
+       fail on a shared fabric link (UPI, memory bus), so the tightest
+       such host is the classic best-fit choice;
+    2. attach links open but some fabric link is hot — the probe may
+       bounce off a shared bottleneck, so these come after;
+    3. hosts flagged by the monitor or whose attach links are full — a
+       last resort (the summary is an estimate, so they are still tried).
+
+    Within a bucket, fullest-first: small intents pack into already-busy
+    hosts and empty hosts stay contiguous for the large ones.
+    """
+
+    name = "best-fit"
+
+    def rank(self, request: PlacementRequest,
+             headrooms: Sequence[HostHeadroom]) -> List[str]:
+        def key(h: HostHeadroom):
+            return (
+                not request.fits(h),
+                not h.available,
+                not h.has_path_slack(request.bandwidth),
+                h.free_capacity_total,  # fullest viable host first
+                h.host_id,
+            )
+
+        return [h.host_id for h in sorted(headrooms, key=key)]
+
+
+class SpreadByTenantPolicy(PlacementPolicy):
+    """Tenant anti-affinity, then balance by headroom.
+
+    Hosts not yet carrying the tenant come first (emptiest viable first,
+    to keep the fleet level); hosts already carrying it are the fallback,
+    so a tenant larger than the fleet still places.
+    """
+
+    name = "spread"
+
+    def rank(self, request: PlacementRequest,
+             headrooms: Sequence[HostHeadroom]) -> List[str]:
+        def key(h: HostHeadroom):
+            return (
+                h.host_id in request.tenant_hosts,
+                not h.available,
+                not request.fits(h),
+                -h.free_capacity_total,  # emptiest first: level the fleet
+                h.host_id,
+            )
+
+        return [h.host_id for h in sorted(headrooms, key=key)]
+
+
+#: Registry used by the CLI, the Fleet constructor, and the benchmark.
+PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    FirstFitPolicy.name: FirstFitPolicy,
+    BestFitHeadroomPolicy.name: BestFitHeadroomPolicy,
+    SpreadByTenantPolicy.name: SpreadByTenantPolicy,
+}
+
+
+def make_policy(policy: Union[str, PlacementPolicy]) -> PlacementPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return PLACEMENT_POLICIES[policy]()
+    except KeyError:
+        raise FleetError(
+            f"unknown placement policy {policy!r}; "
+            f"choices: {sorted(PLACEMENT_POLICIES)}"
+        ) from None

@@ -1,0 +1,307 @@
+"""Fleet-wide telemetry rollup: cached per-host headroom vectors.
+
+The cluster scheduler cannot afford to walk every link of every host on
+every placement decision, and it does not need to: admission is decided by
+the per-host reservation ledgers, which change only on submit/release.
+:class:`FleetTelemetry` aggregates each host's ground truth — ledger
+reservations against the admission budget, live ``link_utilizations()``,
+link health, and the monitor's latest verdict — into one compact
+:class:`HostHeadroom` summary per host, cached against the host's own
+simulated clock and recomputed only when stale or explicitly invalidated
+(the scheduler invalidates a host after placing on or releasing from it).
+
+This is the fleet-scale analogue of the paper's "fine-grained monitoring"
+feeding the "holistic resource manager": per-host signals roll up into the
+vectors a datacenter-level placement policy actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import UnknownHostError
+from ..host import Host
+from ..sim.network import FORWARD, REVERSE
+from ..topology.elements import DeviceType, LinkClass
+from ..topology.graph import HostTopology
+
+
+def canonical_device_keys(topology: HostTopology) -> Dict[str, str]:
+    """Map device ids to fleet-portable ``"<type>:<index>"`` keys.
+
+    The same (type, sorted per-type index) scheme intent remapping uses,
+    so the n-th NIC of every host shares one key no matter what each
+    host's topology calls it — which is what lets a policy compare one
+    intent's attach links across a heterogeneous fleet.
+    """
+    keys: Dict[str, str] = {}
+    for dtype in DeviceType:
+        for i, device_id in enumerate(
+            sorted(d.device_id for d in topology.devices(dtype))
+        ):
+            keys[device_id] = f"{dtype.value}:{i}"
+    return keys
+
+
+@dataclass(frozen=True)
+class HostHeadroom:
+    """One host's placement-relevant state, summarized.
+
+    All bandwidth figures are *admission* headroom — budget
+    (``capacity * admission_headroom``) minus ledger reservations — not
+    instantaneous flow rates: placement is a promise about reservations,
+    and work-conserving traffic above the floors is free to burst.
+
+    Attributes:
+        host_id: The summarized host.
+        updated_at: Host-clock time the summary was computed at.
+        free_fraction_min: Worst directed link's free budget as a fraction
+            of its capacity (can be negative under overcommit).
+        free_fraction_mean: Mean free budget fraction over directed links.
+        free_capacity_total: Sum of positive free budget over all directed
+            links (bytes/s) — the coarse "how much fits here still".
+        free_capacity_max_directed: Largest single directed link's free
+            budget (bytes/s).  A pipe of bandwidth B cannot fit unless at
+            least one link has B free, so this is the coarse viability
+            test.
+        free_capacity_min_directed: Smallest directed link's free budget
+            (bytes/s, negative under overcommit).  When this is still ≥ B
+            the host can take a B pipe on *any* path — no shared fabric
+            link (UPI, memory bus) is anywhere near full — so it is the
+            "probing this host will not be wasted" signal.
+        attach_free: Free budget on each endpoint device's attach link
+            (its most-constrained direction; the best link when a device
+            has several), keyed by the canonical ``"<type>:<index>"``
+            device key.  The attach link is where
+            intra-host pipes actually bind — a 32 GB/s PCIe lane fills
+            long before the memory bus behind it — so this is the signal
+            that separates "this host is busy" from "this host cannot take
+            *this* pipe".
+        reserved_peak: Highest directed reserved/capacity fraction — the
+            rebalancer's hot-spot metric.
+        utilization_peak: Highest instantaneous link utilization (live
+            flows, not reservations).
+        placements: Number of admitted intents on the host.
+        down_links: Links currently down.
+        degraded_links: Links up but running below nominal capacity.
+        healthy: The monitor's latest verdict (``True`` when unmonitored).
+    """
+
+    host_id: str
+    updated_at: float
+    free_fraction_min: float
+    free_fraction_mean: float
+    free_capacity_total: float
+    free_capacity_max_directed: float
+    free_capacity_min_directed: float
+    reserved_peak: float
+    utilization_peak: float
+    placements: int
+    down_links: int
+    degraded_links: int
+    healthy: bool
+    attach_free: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def available(self) -> bool:
+        """Whether the host is a sane placement target at all."""
+        return self.healthy and self.down_links == 0
+
+    def can_fit(self, bandwidth: float,
+                src_key: Optional[str] = None,
+                dst_key: Optional[str] = None) -> bool:
+        """Necessary (not sufficient) condition for a *bandwidth* pipe.
+
+        With canonical endpoint keys the check is per attach link — the
+        pipe's actual first/last hop must have the budget free; without
+        them it falls back to the coarse any-link test.
+        """
+        if self.free_capacity_max_directed < bandwidth:
+            return False
+        for key in (src_key, dst_key):
+            if key is None:
+                continue
+            free = self.attach_free.get(key)
+            if free is not None and free < bandwidth:
+                return False
+        return True
+
+    def has_path_slack(self, bandwidth: float) -> bool:
+        """Sufficient condition: every directed link — so any path — has
+        *bandwidth* free.  Probing a host that passes this cannot fail on
+        a shared fabric link."""
+        return self.free_capacity_min_directed >= bandwidth
+
+
+class FleetTelemetry:
+    """Cached per-host :class:`HostHeadroom` rollups.
+
+    Args:
+        max_age: How long (simulated seconds, per the *host's* clock) a
+            cached summary stays fresh.  ``0`` recomputes on every read.
+    """
+
+    def __init__(self, max_age: float = 0.001) -> None:
+        self.max_age = max_age
+        self._hosts: Dict[str, Host] = {}
+        self._cache: Dict[str, HostHeadroom] = {}
+        self._monitor_healthy: Dict[str, bool] = {}
+        self._device_keys: Dict[str, Dict[str, str]] = {}
+        self.refresh_count = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def attach(self, host_id: str, host: Host) -> None:
+        """Start rolling up *host* under *host_id*."""
+        self._hosts[host_id] = host
+        self._monitor_healthy[host_id] = True
+        self._device_keys[host_id] = canonical_device_keys(host.topology)
+        if host.monitor is not None:
+            host.monitor.on_report(
+                lambda report, hid=host_id: self._on_report(hid, report)
+            )
+
+    def detach(self, host_id: str) -> None:
+        """Stop tracking *host_id*."""
+        self._hosts.pop(host_id, None)
+        self._cache.pop(host_id, None)
+        self._monitor_healthy.pop(host_id, None)
+        self._device_keys.pop(host_id, None)
+
+    def host_ids(self) -> List[str]:
+        """Tracked host ids, sorted (the fleet's deterministic order)."""
+        return sorted(self._hosts)
+
+    def _on_report(self, host_id: str, report) -> None:
+        self._monitor_healthy[host_id] = report.healthy
+        if not report.healthy:
+            # An unhealthy verdict must reach the next placement decision
+            # immediately, not after the cache ages out.
+            self._cache.pop(host_id, None)
+
+    # -- the rollup ----------------------------------------------------------
+
+    def headroom(self, host_id: str) -> HostHeadroom:
+        """The (cached) headroom summary of one host."""
+        try:
+            host = self._hosts[host_id]
+        except KeyError:
+            raise UnknownHostError(host_id) from None
+        cached = self._cache.get(host_id)
+        if cached is not None and host.now - cached.updated_at <= self.max_age:
+            return cached
+        return self.refresh(host_id)
+
+    def headrooms(self) -> List[HostHeadroom]:
+        """Summaries for every host, in deterministic host-id order."""
+        return [self.headroom(host_id) for host_id in self.host_ids()]
+
+    def invalidate(self, host_id: Optional[str] = None) -> None:
+        """Drop the cached summary of one host (or all of them).
+
+        The scheduler calls this after any reservation change it makes, so
+        back-to-back placements see each other even within ``max_age``.
+        """
+        if host_id is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(host_id, None)
+
+    def refresh(self, host_id: str) -> HostHeadroom:
+        """Recompute and cache one host's summary from ground truth."""
+        try:
+            host = self._hosts[host_id]
+        except KeyError:
+            raise UnknownHostError(host_id) from None
+        manager = host.manager
+        ledger = manager.ledger
+        budget_fraction = manager.admission.headroom
+
+        free_fracs: List[float] = []
+        free_total = 0.0
+        free_max = 0.0
+        free_min = float("inf")
+        reserved_peak = 0.0
+        down = 0
+        degraded = 0
+        link_free: Dict[str, float] = {}  # tightest direction per up link
+        for link in host.topology.links():
+            if not link.up:
+                down += 1
+                continue
+            if link.effective_capacity < link.capacity:
+                degraded += 1
+            if link.link_class is LinkClass.INTER_HOST:
+                # The wire to the outside world is not intra-host
+                # placement fabric; only its health matters here.
+                continue
+            capacity = link.capacity
+            if capacity <= 0:
+                continue
+            budget = capacity * budget_fraction
+            tight_free = float("inf")
+            for direction in (FORWARD, REVERSE):
+                reserved = ledger.reserved(link.link_id, direction)
+                free = budget - reserved
+                free_fracs.append(free / capacity)
+                free_total += max(free, 0.0)
+                free_max = max(free_max, free)
+                free_min = min(free_min, free)
+                tight_free = min(tight_free, free)
+                reserved_peak = max(reserved_peak, reserved / capacity)
+            link_free[link.link_id] = tight_free
+
+        device_keys = self._device_keys[host_id]
+        attach_free: Dict[str, float] = {}
+        for device in host.topology.endpoints():
+            frees = [
+                link_free[link.link_id]
+                for link in host.topology.incident_links(device.device_id)
+                if link.link_id in link_free
+            ]
+            if frees:  # devices with no intra-host attach stay unkeyed
+                attach_free[device_keys[device.device_id]] = max(frees)
+
+        utilizations = host.network.link_utilizations()
+        summary = HostHeadroom(
+            host_id=host_id,
+            updated_at=host.now,
+            free_fraction_min=min(free_fracs) if free_fracs else 0.0,
+            free_fraction_mean=(sum(free_fracs) / len(free_fracs)
+                                if free_fracs else 0.0),
+            free_capacity_total=free_total,
+            free_capacity_max_directed=free_max,
+            free_capacity_min_directed=(free_min if free_fracs else 0.0),
+            reserved_peak=reserved_peak,
+            utilization_peak=max(utilizations.values(), default=0.0),
+            placements=len(manager.placements()),
+            down_links=down,
+            degraded_links=degraded,
+            healthy=self._monitor_healthy.get(host_id, True),
+            attach_free=attach_free,
+        )
+        self._cache[host_id] = summary
+        self.refresh_count += 1
+        return summary
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-host rollup."""
+        lines = [f"FleetTelemetry: {len(self._hosts)} hosts, "
+                 f"{self.refresh_count} refreshes"]
+        for summary in self.headrooms():
+            flags = []
+            if summary.down_links:
+                flags.append(f"{summary.down_links} links down")
+            if summary.degraded_links:
+                flags.append(f"{summary.degraded_links} degraded")
+            if not summary.healthy:
+                flags.append("UNHEALTHY")
+            lines.append(
+                f"  {summary.host_id}: {summary.placements} placements, "
+                f"free(min/mean)={summary.free_fraction_min:.2f}/"
+                f"{summary.free_fraction_mean:.2f}, "
+                f"peak reserved={summary.reserved_peak:.2f}"
+                + (f" [{', '.join(flags)}]" if flags else "")
+            )
+        return "\n".join(lines)

@@ -27,7 +27,7 @@ overcommitting silently-degraded links the moment recovery is armed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.manager import HostNetworkManager, Placement
 from ..errors import HostNetError
@@ -148,6 +148,8 @@ class RecoveryController:
         self._transitions: Dict[str, List[float]] = {}
         self._quarantined_until: Dict[str, float] = {}
         self._replace_failed: Dict[str, FrozenSet[str]] = {}
+        self._escalation_listeners: List[Callable[[str, List[str]], None]] = []
+        self._escalated: Dict[str, FrozenSet[str]] = {}
         self._flows: Dict[str, List[str]] = {}
         self._task = None
         self._tick_pending = False
@@ -209,6 +211,7 @@ class RecoveryController:
         self._close_degradations(intent_id, reason="intent released")
         self._flows.pop(intent_id, None)
         self._replace_failed.pop(intent_id, None)
+        self._escalated.pop(intent_id, None)
 
     def _request_tick(self) -> None:
         """Schedule one same-instant scan (coalesced) if armed."""
@@ -253,6 +256,7 @@ class RecoveryController:
             if self._try_replace(placement, avoid):
                 continue
             self._degrade(placement, links, down | quarantined, degraded)
+            self._maybe_escalate(placement, links & unhealthy)
 
         self._restore_where_healthy(unhealthy, degraded)
         if TRACER.enabled:
@@ -331,11 +335,47 @@ class RecoveryController:
         finally:
             self._replacing = None
         self._replace_failed.pop(intent_id, None)
+        self._escalated.pop(intent_id, None)
         self._close_degradations(intent_id, reason="replaced")
         self._reroute_flows(intent_id, new)
         self._record("replace", intent_id=intent_id,
                      detail=f"moved onto {new.links()}")
         return True
+
+    # -- fleet escalation ----------------------------------------------------
+
+    def on_escalation(self, listener: Callable[[str, List[str]], None]) -> None:
+        """Register a callback for placements local recovery cannot save.
+
+        Fired with ``(intent_id, dead_links)`` when a placement sits on
+        hard-unavailable links (down or quarantined), no local alternate
+        candidate exists, and graceful degradation has pinned it at the
+        degrade floor — i.e. the intent's guarantee cannot be met on this
+        host at all.  A fleet-level controller uses this to live-migrate
+        the placement to another host; without listeners the hook is inert.
+        Each (intent, dead-link-set) pair fires once until the situation
+        changes, so listeners are not spammed every recovery tick.
+        """
+        self._escalation_listeners.append(listener)
+
+    def _maybe_escalate(self, placement: Placement,
+                        dead_links: Set[str]) -> None:
+        if not self._escalation_listeners or not dead_links:
+            return
+        intent_id = placement.intent.intent_id
+        signature = frozenset(dead_links)
+        if self._escalated.get(intent_id) == signature:
+            return
+        self._escalated[intent_id] = signature
+        self._record("escalate", intent_id=intent_id,
+                     detail=f"local recovery exhausted on "
+                            f"{sorted(dead_links)}")
+        if TRACER.enabled:
+            TRACER.instant(CAT_RECOVERY, "escalate",
+                           {"intent": intent_id,
+                            "dead_links": len(dead_links)})
+        for listener in self._escalation_listeners:
+            listener(intent_id, sorted(dead_links))
 
     def _reroute_flows(self, intent_id: str, placement: Placement) -> None:
         flow_ids = self._flows.get(intent_id, [])

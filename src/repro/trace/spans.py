@@ -34,6 +34,7 @@ CAT_MONITOR = "monitor"
 CAT_TELEMETRY = "telemetry"
 CAT_RECOVERY = "recovery"  # closed-loop failure recovery (replace/degrade)
 CAT_ADMISSION = "admission"  # retry queue parking/retries/shedding
+CAT_FLEET = "fleet"  # cluster-level schedule/migrate/rebalance decisions
 
 #: Ring-buffer kind tags (first tuple element; match trace_event phases).
 KIND_SPAN = "X"

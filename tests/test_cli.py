@@ -145,3 +145,40 @@ def test_chaos_run_rejects_bad_intents(capsys):
 def test_chaos_requires_subcommand():
     with pytest.raises(SystemExit):
         main(["chaos"])
+
+
+def test_fleet_describe(capsys):
+    code, out = run_cli(capsys, "fleet", "describe", "--hosts", "2")
+    assert code == 0
+    assert "Fleet of 2 hosts" in out
+    assert "host00" in out and "host01" in out
+    assert "FleetTelemetry" in out
+
+
+def test_fleet_run_seeded_churn(capsys):
+    code, out = run_cli(capsys, "fleet", "run", "--hosts", "2",
+                        "--seed", "5", "--horizon", "0.05",
+                        "--arrival-rate", "800")
+    assert code == 0
+    assert "seed=5" in out
+    assert "admitted" in out
+    assert "ClusterScheduler(policy=best-fit)" in out
+
+
+def test_fleet_run_policy_and_probe_flags(capsys):
+    code, out = run_cli(capsys, "fleet", "run", "--hosts", "2",
+                        "--policy", "spread", "--max-attempts", "1",
+                        "--horizon", "0.05", "--arrival-rate", "800")
+    assert code == 0
+    assert "policy=spread" in out
+
+
+def test_fleet_rejects_bad_hosts(capsys):
+    code, out, err = run_cli_err(capsys, "fleet", "run", "--hosts", "0")
+    assert code == 2
+    assert "--hosts" in err
+
+
+def test_fleet_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["fleet"])

@@ -1,0 +1,115 @@
+"""Cross-host migration: atomicity, escalation from recovery, rebalance."""
+
+import pytest
+
+from repro.errors import AdmissionError, MigrationError, UnknownHostError
+from repro.fleet import Fleet
+from repro.monitor import FailureInjector
+from repro.core import pipe
+from repro.units import Gbps
+
+
+def kv(intent_id, tenant="tA", bandwidth=Gbps(50), src="nic0",
+       dst="dimm0-0", bidirectional=False):
+    return pipe(intent_id, tenant, src=src, dst=dst, bandwidth=bandwidth,
+                bidirectional=bidirectional)
+
+
+def reserved_total(host):
+    ledger = host.manager.ledger
+    return sum(
+        ledger.reserved(link.link_id, direction)
+        for link in host.topology.links()
+        for direction in ("fwd", "rev")
+    )
+
+
+def test_migrate_moves_the_reservation():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("a"))
+    assert fleet.scheduler.host_of("a") == "host00"
+    src_before = reserved_total(fleet.host("host00"))
+    assert src_before > 0
+
+    moved = fleet.migrate("a", "host01")
+    assert moved.host_id == "host01"
+    assert fleet.scheduler.host_of("a") == "host01"
+    assert reserved_total(fleet.host("host00")) == 0
+    assert reserved_total(fleet.host("host01")) == pytest.approx(src_before)
+    record = fleet.planner.records[-1]
+    assert record.kind == "migrate" and record.ok
+    assert (record.src, record.dst) == ("host00", "host01")
+
+
+def test_migrate_rejects_noop_unknown_intent_and_unknown_host():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("a"))
+    with pytest.raises(MigrationError, match="already on"):
+        fleet.migrate("a", "host00")
+    with pytest.raises(AdmissionError, match="not placed"):
+        fleet.migrate("ghost", "host01")
+    with pytest.raises(UnknownHostError):
+        fleet.migrate("a", "host99")
+
+
+def test_failed_migration_rolls_back_atomically():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("a", bandwidth=Gbps(100)))
+    # Fill the destination's nic0 uplink so it must reject the migration.
+    dst = fleet.host("host01")
+    dst.manager.submit(fleet.remap_intent(
+        kv("blocker1", tenant="tB", bandwidth=Gbps(115)), "host01"))
+    dst.manager.submit(fleet.remap_intent(
+        kv("blocker2", tenant="tB", bandwidth=Gbps(115)), "host01"))
+
+    src_before = reserved_total(fleet.host("host00"))
+    with pytest.raises(MigrationError, match="reinstated"):
+        fleet.migrate("a", "host01")
+
+    # All-or-nothing: the source placement is exactly as before.
+    assert fleet.scheduler.host_of("a") == "host00"
+    assert reserved_total(fleet.host("host00")) == pytest.approx(src_before)
+    assert fleet.host("host00").manager.placement("a").intent.intent_id == "a"
+    record = fleet.planner.records[-1]
+    assert not record.ok and record.dst is None
+
+
+def test_recovery_escalation_migrates_to_healthy_host():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit",
+                  resilience=True)
+    fleet.submit(kv("a", bandwidth=Gbps(100)))
+    assert fleet.scheduler.host_of("a") == "host00"
+    # Kill the placement's only uplink; local recovery cannot replace a
+    # pipe whose source NIC lost its sole attach, so it escalates.
+    FailureInjector(fleet.host("host00").network).fail_link("pcie-nic0")
+    fleet.run_until(0.2)
+
+    assert fleet.scheduler.host_of("a") == "host01"
+    rescue = [r for r in fleet.planner.migrations(kind="escalate") if r.ok]
+    assert len(rescue) == 1
+    assert rescue[0].intent_id == "a"
+    fleet.shutdown()
+
+
+def test_rebalance_moves_load_off_the_hottest_host():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit",
+                  max_attempts=1, rebalance_threshold=0.3)
+    # max_attempts=1 + first-fit piles everything onto host00.
+    for i in range(3):
+        fleet.submit(kv(f"i{i}", bandwidth=Gbps(60), src="nic0"))
+    assert all(p.host_id == "host00" for p in fleet.placements())
+
+    fleet.run_until(0.01)
+    moved = fleet.planner.migrations(kind="rebalance", ok_only=True)
+    assert moved, "rebalance never fired"
+    assert {p.host_id for p in fleet.placements()} == {"host00", "host01"}
+    # The planner moves the largest migratable placement first.
+    assert moved[0].dst == "host01"
+
+
+def test_rebalance_respects_threshold():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit",
+                  max_attempts=1, rebalance_threshold=0.95)
+    fleet.submit(kv("a", bandwidth=Gbps(60)))
+    fleet.run_until(0.01)
+    assert fleet.planner.migrations(kind="rebalance") == []
