@@ -1,12 +1,16 @@
 """Fleet placement: the cost and the quality of cluster scheduling.
 
-Two timed hot paths feed the regression gate (``compare_benchmarks.py``):
+Timed hot paths feeding the regression gate (``compare_benchmarks.py``):
 
-* one seeded 16-host churn run under the headroom-aware ``best-fit``
-  policy — the macro cost of the whole fleet layer (lockstep clock,
-  telemetry rollups, bounded probing, admission);
-* the scheduler's submit/release fast path and one telemetry refresh —
-  the micro costs a fleet pays per placement decision.
+* seeded 16-host churn runs under the headroom-aware ``best-fit`` policy,
+  once on the event-driven fleet clock (the default — only hosts with
+  pending work are woken) and once on the lockstep reference discipline —
+  the macro cost of the whole fleet layer (clock, push-invalidated
+  telemetry, bounded probing, admission);
+* a 256-host churn on the event clock — the scale the event discipline
+  exists for, where lockstep's O(hosts x quanta) floor starts to bite;
+* the scheduler's submit/release fast path and one push-invalidated
+  headroom recompute — the micro costs a fleet pays per decision.
 
 The suite also enforces the fleet layer's quality floor in-place: under a
 bounded probe budget, headroom-aware placement must reject *fewer*
@@ -24,14 +28,20 @@ MAX_ATTEMPTS = 4
 CHURN = FleetChurnConfig(seed=0, horizon=0.12, arrival_rate=4000.0,
                          mean_holding=0.05)
 
+#: The 256-host run keeps total event count comparable (shorter horizon,
+#: higher arrival rate) so it times clock overhead, not workload size.
+BIG_HOSTS = 256
+BIG_CHURN = FleetChurnConfig(seed=3, horizon=0.05, arrival_rate=8000.0,
+                             mean_holding=0.03)
+
 #: rejection rates observed by the timed runs, reused by the quality test
 REJECTION = {}
 
 
-def churn_rejection_rate(policy):
-    fleet = Fleet("cascade_lake_2s", hosts=HOSTS, policy=policy,
-                  max_attempts=MAX_ATTEMPTS)
-    report = run_churn(fleet, CHURN)
+def churn_rejection_rate(policy, clock="event", hosts=HOSTS, churn=CHURN):
+    fleet = Fleet("cascade_lake_2s", hosts=hosts, policy=policy,
+                  clock=clock, max_attempts=MAX_ATTEMPTS)
+    report = run_churn(fleet, churn)
     fleet.shutdown()
     assert report.submitted > 300  # the workload actually ran
     return report.rejection_rate
@@ -46,6 +56,29 @@ def test_fleet_churn_16_hosts_best_fit(benchmark):
 def test_fleet_churn_16_hosts_first_fit(benchmark):
     REJECTION["first-fit"] = benchmark.pedantic(
         churn_rejection_rate, args=("first-fit",), rounds=2, iterations=1
+    )
+
+
+def test_fleet_churn_16_hosts_lockstep(benchmark):
+    """The lockstep reference on the identical workload.  Its rejection
+    rate must match the event clock's bit-for-bit — the equivalence the
+    seeded suite in tests/test_fleet_clock.py asserts per-ledger."""
+    rate = benchmark.pedantic(
+        churn_rejection_rate, args=("best-fit", "lockstep"),
+        rounds=2, iterations=1,
+    )
+    assert rate == REJECTION["best-fit"], (
+        f"lockstep rejected {rate:.1%} vs event {REJECTION['best-fit']:.1%}"
+        " on the same seed — the clocks have diverged"
+    )
+
+
+def test_fleet_churn_256_hosts_event(benchmark):
+    benchmark.pedantic(
+        churn_rejection_rate,
+        args=("best-fit",),
+        kwargs={"hosts": BIG_HOSTS, "churn": BIG_CHURN},
+        rounds=2, iterations=1,
     )
 
 
@@ -84,9 +117,17 @@ def test_fleet_submit_release_fast_path(benchmark):
 
 
 def test_fleet_telemetry_refresh(benchmark):
+    """One push-invalidated headroom recompute (invalidate + headroom is
+    the API shape now; refresh() is a deprecated alias for it)."""
     fleet = Fleet("cascade_lake_2s", hosts=1)
     for i in range(10):
         fleet.submit(pipe(f"i{i}", "tA", src="nic0", dst="dimm0-0",
                           bandwidth=Gbps(10)))
-    summary = benchmark(fleet.telemetry.refresh, "host00")
+    telemetry = fleet.telemetry
+
+    def invalidate_and_headroom():
+        telemetry.invalidate("host00")
+        return telemetry.headroom("host00")
+
+    summary = benchmark(invalidate_and_headroom)
     assert summary.placements == 10

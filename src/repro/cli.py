@@ -15,8 +15,10 @@ paper's tooling would be driven in production:
 * ``chaos run [--seed N --faults K]`` — seeded randomized fault campaign
   against a resilient host, audited by the invariant oracle (exit 1 on
   any violation);
-* ``fleet run [--hosts N --policy P --seed S]`` — drive a multi-host
-  fleet through a seeded churn workload under the cluster scheduler;
+* ``fleet run [--hosts N --policy P --seed S --clock C]`` — drive a
+  multi-host fleet through a seeded churn workload under the cluster
+  scheduler (``--clock event`` by default; ``lockstep`` for the
+  reference discipline);
 * ``fleet describe [--hosts N]`` — print a fresh fleet's layout;
 * ``presets`` — list available host presets.
 
@@ -275,6 +277,7 @@ def _make_fleet(args: argparse.Namespace):
         policy=args.policy,
         max_attempts=args.max_attempts,
         rebalance_threshold=args.rebalance_threshold,
+        clock=args.clock,
     )
 
 
@@ -368,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument("--events", action="store_true",
                            help="print the full inject/repair timeline")
 
-    from .fleet import PLACEMENT_POLICIES
+    from .fleet import FLEET_CLOCKS, PLACEMENT_POLICIES
 
     fleet = sub.add_parser("fleet", help="multi-host cluster layer")
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
@@ -389,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rebalance-threshold", type=float, default=None,
                        help="peak-reserved skew that triggers a rebalance "
                             "move (default: disabled)")
+        p.add_argument("--clock", default="event",
+                       choices=sorted(FLEET_CLOCKS),
+                       help="fleet clock discipline: 'event' wakes only "
+                            "hosts with pending work (fast, default); "
+                            "'lockstep' advances every host each quantum "
+                            "(reference)")
     fleet_run.add_argument("--seed", type=int, default=0,
                            help="workload seed (fully deterministic)")
     fleet_run.add_argument("--horizon", type=float, default=0.25,

@@ -44,6 +44,16 @@ class ReservationLedger:
         """Bytes/s currently reserved on one direction of *link_id*."""
         return self._reserved.get(_key(link_id, direction), 0.0)
 
+    @property
+    def reserved_map(self) -> Dict[Tuple[str, str], float]:
+        """Live per-``(link_id, direction)`` reservation totals.
+
+        Bulk readers (telemetry rollups) iterate this directly instead of
+        calling :meth:`reserved` once per directed link.  Treat as
+        read-only.
+        """
+        return self._reserved
+
     def reserved_total(self, link_id: str) -> float:
         """Reserved bytes/s on *link_id*, both directions summed."""
         return (self.reserved(link_id, "fwd") + self.reserved(link_id, "rev"))

@@ -112,6 +112,19 @@ def compute_caps(
     tenants = set(floors) | set(best_effort)
 
     caps: Dict[str, float] = {}
+    if (work_conserving and demand_aware and tenants
+            and not any(usages.values())):
+        # All-idle fast path: every floor is parked and every demand
+        # estimate collapses to the ramp allowance, so the water-fill
+        # reduces to an equal split of the (lent) spare.
+        if lend_parked_floors:
+            spare += reserved
+        share = spare / len(tenants)
+        for tenant in tenants:
+            caps[tenant] = floors.get(tenant, 0.0) + share
+        for tenant in best_effort:
+            caps[tenant] = max(caps[tenant], allowance)
+        return caps
     if not work_conserving:
         for tenant, floor in floors.items():
             caps[tenant] = floor
@@ -169,6 +182,14 @@ def _waterfill(budget: float, demands: Dict[str, float]) -> Dict[str, float]:
     """
     if not demands:
         return {}
+    # Fast path: when the pool covers every demand (the common case on a
+    # lightly loaded link, and always when usages are zero), the rounds
+    # below reduce to demand-plus-equal-bonus in one pass.
+    total_demand = sum(demands.values())
+    if total_demand <= budget:
+        bonus = (budget - total_demand) / len(demands)
+        return {tenant: demand + bonus
+                for tenant, demand in demands.items()}
     allocation = {tenant: 0.0 for tenant in demands}
     unsatisfied = {t for t, d in demands.items() if d > 0}
     remaining = budget
@@ -240,8 +261,45 @@ class DynamicArbiter:
         self._best_effort: Set[str] = set()
         self._task: Optional[PeriodicTask] = None
         self._capped: Set[tuple] = set()
+        # Event-driven cadence: once a round quiesces (skipped — nothing
+        # can have changed), the periodic task parks itself; any fabric
+        # re-solve or configuration change re-arms it.  An idle host thus
+        # schedules no arbiter events at all, which is what lets the
+        # fleet's event clock skip it entirely.
+        self._running = False
+        self._subscribed = False
+
+        # Quiescence: an adjustment round is a pure function of the
+        # arbiter's configuration (floors, ceilings, best-effort set,
+        # mode flags) and the fabric state (flows, caps, link health —
+        # all funnelled through the network's recompute counter).  When
+        # neither input has changed since the last computed round, the
+        # round would re-derive byte-identical caps, so it is skipped.
+        self._config_version = 0
+        self._quiesced_state: Optional[tuple] = None
+        # Per-directed-link incremental state.  A link's allocation is a
+        # pure function of a small input signature (its floor version, the
+        # best-effort roster version, capacity, ceiling, usage state, mode
+        # flags); churn moves one link's floors at a time, so most links
+        # present an unchanged signature each round and reuse their cached
+        # allocation — and caps are re-programmed into the fabric only for
+        # links whose signature moved since the last emission.
+        self._floor_versions: Dict[Tuple[str, str], int] = {}
+        self._best_effort_version = 0
+        self._link_cache: Dict[Tuple[str, str], tuple] = {}
+        self._emitted_sig: Dict[Tuple[str, str], tuple] = {}
+        self._emitted_caps: Dict[Tuple[str, str], Dict[str, float]] = {}
+        self._applying = False
+        # When the round's global inputs (roster, modes, usage state,
+        # recompute counter) are unchanged, only keys explicitly dirtied
+        # by a floor/ceiling mutation can differ — the loop reuses every
+        # other key's cached allocation without even rebuilding its
+        # signature.
+        self._dirty_keys: Set[Tuple[str, str]] = set()
+        self._last_round_globals: Optional[tuple] = None
 
         self.adjustments = 0
+        self.skipped_adjustments = 0
         self.last_allocations: List[LinkAllocation] = []
 
     # -- configuration ----------------------------------------------------------
@@ -266,14 +324,18 @@ class DynamicArbiter:
         if bandwidth <= 0:
             raise ArbiterError("floor bandwidth must be > 0")
         self.network.topology.link(link_id)  # validate
+        self._config_changed()
         for key in self._floor_keys(link_id, direction):
             per_tenant = self._floors.setdefault(key, {})
             per_tenant[tenant_id] = per_tenant.get(tenant_id, 0.0) + bandwidth
+            self._floor_versions[key] = self._floor_versions.get(key, 0) + 1
+            self._dirty_keys.add(key)
 
     def remove_floor(self, tenant_id: str, link_id: str,
                      bandwidth: float,
                      direction: Optional[str] = None) -> None:
         """Subtract *bandwidth* from a floor (removing it at zero)."""
+        self._config_changed()
         for key in self._floor_keys(link_id, direction):
             per_tenant = self._floors.get(key, {})
             current = per_tenant.get(tenant_id)
@@ -289,6 +351,8 @@ class DynamicArbiter:
                     del self._floors[key]
             else:
                 per_tenant[tenant_id] = remaining
+            self._floor_versions[key] = self._floor_versions.get(key, 0) + 1
+            self._dirty_keys.add(key)
 
     def set_utilization_ceiling(self, owner: str, link_id: str,
                                 ceiling: float) -> None:
@@ -302,15 +366,19 @@ class DynamicArbiter:
         if not 0 < ceiling <= 1:
             raise ArbiterError("ceiling must be in (0, 1]")
         self.network.topology.link(link_id)  # validate
+        self._config_changed()
         self._ceilings.setdefault(link_id, {})[owner] = ceiling
+        self._dirty_keys.update(((link_id, "fwd"), (link_id, "rev")))
 
     def clear_utilization_ceiling(self, owner: str, link_id: str) -> None:
         """Remove one owner's ceiling on *link_id* (no-op if absent)."""
         owners = self._ceilings.get(link_id)
-        if owners is not None:
-            owners.pop(owner, None)
+        if owners is not None and owner in owners:
+            self._config_changed()
+            del owners[owner]
             if not owners:
                 del self._ceilings[link_id]
+            self._dirty_keys.update(((link_id, "fwd"), (link_id, "rev")))
 
     def ceiling_on(self, link_id: str) -> float:
         """The effective (strictest) ceiling on *link_id*; 1.0 if none."""
@@ -321,11 +389,17 @@ class DynamicArbiter:
 
     def register_best_effort(self, tenant_id: str) -> None:
         """Mark a tenant as best-effort (subject to caps, no floor)."""
-        self._best_effort.add(tenant_id)
+        if tenant_id not in self._best_effort:
+            self._config_changed()
+            self._best_effort_version += 1
+            self._best_effort.add(tenant_id)
 
     def unregister_best_effort(self, tenant_id: str) -> None:
         """Remove a tenant from best-effort tracking and lift its caps."""
-        self._best_effort.discard(tenant_id)
+        if tenant_id in self._best_effort:
+            self._config_changed()
+            self._best_effort_version += 1
+            self._best_effort.discard(tenant_id)
         self._lift_tenant_caps(tenant_id)
 
     def floors_on(self, link_id: str,
@@ -354,24 +428,53 @@ class DynamicArbiter:
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self) -> None:
-        """Begin periodic adjustment."""
-        if self._task is not None:
+        """Begin periodic adjustment (self-pausing while quiesced)."""
+        if self._running:
             raise ArbiterError("arbiter already started")
-        self._task = self.network.engine.schedule_every(
-            self.period, self.adjust_once, label="arbiter-adjust"
-        )
+        self._running = True
+        self._arm()
+        if not self._subscribed:
+            self._subscribed = True
+            self.network.on_recompute(self._fabric_changed)
 
-    def stop(self, lift_caps: bool = True) -> None:
-        """Stop adjusting; optionally lift every cap the arbiter set."""
+    def _arm(self) -> None:
+        if self._task is None:
+            self._task = self.network.engine.schedule_every(
+                self.period, self.adjust_once, label="arbiter-adjust"
+            )
+
+    def _park(self) -> None:
         if self._task is not None:
             self._task.cancel()
             self._task = None
+
+    def _fabric_changed(self) -> None:
+        # Runs on every fabric re-solve — the one signal that can move a
+        # quiesced arbiter's inputs (flow rates, link health, caps).  Our
+        # own enforcement batch also re-solves; _apply suppresses the
+        # self-wake and decides quiescence itself.
+        if self._running and not self._applying:
+            self._arm()
+
+    def _config_changed(self) -> None:
+        # Every configuration mutation funnels through here: bump the
+        # round fingerprint and un-park the periodic task.
+        self._config_version += 1
+        if self._running:
+            self._arm()
+
+    def stop(self, lift_caps: bool = True) -> None:
+        """Stop adjusting; optionally lift every cap the arbiter set."""
+        self._running = False
+        self._park()
         if lift_caps:
             with self.network.batch():
                 for tenant_id, link_id, direction in list(self._capped):
                     self.network.clear_tenant_link_cap(tenant_id, link_id,
                                                        direction=direction)
             self._capped.clear()
+            self._emitted_sig.clear()
+            self._emitted_caps.clear()
 
     # -- the control loop -------------------------------------------------------
 
@@ -387,43 +490,115 @@ class DynamicArbiter:
             TRACER.annotate(allocations=len(allocations))
             return allocations
 
+    def _input_fingerprint(self) -> tuple:
+        """Everything an adjustment round's outcome depends on.
+
+        The mode flags are included by value because the recovery
+        controller flips ``degradation_aware`` by direct assignment; the
+        network's recompute counter stands in for all fabric state (any
+        flow, cap, or link-health change re-solves exactly once).
+        """
+        self.network.flush_recompute()
+        return (
+            self._config_version,
+            self.work_conserving,
+            self.lend_parked_floors,
+            self.demand_aware,
+            self.degradation_aware,
+            self.network.recompute_count,
+        )
+
     def _adjust_once_untracked(self) -> List[LinkAllocation]:
         self.adjustments += 1
+        fingerprint = self._input_fingerprint()
+        if fingerprint == self._quiesced_state:
+            self.skipped_adjustments += 1
+            # Quiesced: nothing can move the outcome until a fabric
+            # re-solve or a config change, and both re-arm the task.
+            self._park()
+            return self.last_allocations
         allocations: List[LinkAllocation] = []
         pending: List[tuple] = []
-        for (link_id, direction), floors in self._floors.items():
-            link = self.network.topology.link(link_id)
+        # On a fabric with no live flows every usage reading is zero; any
+        # nonzero rate can only change when the fabric re-solves, so the
+        # recompute counter stands in for all usage state.
+        fabric_idle = not self.network.active_flows()
+        usage_token = "idle" if fabric_idle else self.network.recompute_count
+        mode = (self.work_conserving, self.lend_parked_floors,
+                self.demand_aware)
+        # With unchanged global inputs, only explicitly-dirtied keys can
+        # produce a different allocation (capacity cannot move without a
+        # recompute, and every floor/ceiling mutation dirties its key) —
+        # everything else reuses its cached allocation wholesale.
+        round_globals = (self._best_effort_version, mode, usage_token,
+                         self.network.recompute_count,
+                         self.degradation_aware)
+        clean_globals = round_globals == self._last_round_globals
+        dirty_keys = self._dirty_keys
+        link_cache = self._link_cache
+        topology_link = self.network.topology.link
+        for key, floors in self._floors.items():
+            if clean_globals and key not in dirty_keys:
+                cached = link_cache.get(key)
+                if cached is not None:
+                    allocations.append(cached[1])
+                    continue
+            link_id, direction = key
+            link = topology_link(link_id)
             # By default the arbiter believes the spec sheet; in
             # degradation-aware mode it allocates what the link can
             # actually carry right now.
             capacity = (link.effective_capacity if self.degradation_aware
                         else link.capacity)
-            tenants = set(floors) | self._best_effort
-            tenants.discard(SYSTEM_TENANT)
-            usages = {
-                tenant: self.network.tenant_link_rate(tenant, link_id,
-                                                      direction)
-                for tenant in tenants
-            }
-            best_effort_here = {
-                t for t in self._best_effort if t not in floors
-            }
-            caps = compute_caps(
-                capacity=capacity, floors=dict(floors), usages=usages,
-                best_effort=best_effort_here,
-                work_conserving=self.work_conserving,
-                utilization_ceiling=self.ceiling_on(link_id),
-                lend_parked_floors=self.lend_parked_floors,
-                demand_aware=self.demand_aware,
-            )
-            allocations.append(
-                LinkAllocation(
+            sig = (self._floor_versions.get(key, 0),
+                   self._best_effort_version, capacity,
+                   self.ceiling_on(link_id), usage_token, mode)
+            cached = self._link_cache.get(key)
+            if cached is not None and cached[0] == sig:
+                allocation, caps = cached[1], cached[2]
+            else:
+                tenants = set(floors) | self._best_effort
+                tenants.discard(SYSTEM_TENANT)
+                if fabric_idle:
+                    usages = dict.fromkeys(tenants, 0.0)
+                else:
+                    usages = {
+                        tenant: self.network.tenant_link_rate(
+                            tenant, link_id, direction)
+                        for tenant in tenants
+                    }
+                best_effort_here = {
+                    t for t in self._best_effort if t not in floors
+                }
+                caps = compute_caps(
+                    capacity=capacity, floors=dict(floors), usages=usages,
+                    best_effort=best_effort_here,
+                    work_conserving=self.work_conserving,
+                    utilization_ceiling=self.ceiling_on(link_id),
+                    lend_parked_floors=self.lend_parked_floors,
+                    demand_aware=self.demand_aware,
+                )
+                allocation = LinkAllocation(
                     link_id=f"{link_id}|{direction}", capacity=capacity,
                     floors=dict(floors), usages=usages, caps=dict(caps),
                 )
-            )
-            for tenant, cap in caps.items():
-                pending.append((tenant, link_id, direction, cap))
+                self._link_cache[key] = (sig, allocation, caps)
+            allocations.append(allocation)
+            # Emit caps into the fabric only when this link's inputs moved
+            # since the last emission — the programmed caps are still
+            # exactly these values otherwise.
+            if self._emitted_sig.get(key) != sig:
+                self._emitted_sig[key] = sig
+                emitted = self._emitted_caps.setdefault(key, {})
+                for tenant, cap in caps.items():
+                    # Within a changed link, most tenants usually keep the
+                    # same cap (equal shares of an unchanged pool); only
+                    # program the ones that actually moved.
+                    if emitted.get(tenant) != cap:
+                        emitted[tenant] = cap
+                        pending.append((tenant, link_id, direction, cap))
+        dirty_keys.clear()
+        self._last_round_globals = round_globals
 
         if pending:
             if self.decision_latency > 0:
@@ -435,6 +610,11 @@ class DynamicArbiter:
             else:
                 self._apply(pending)
         self.last_allocations = allocations
+        # Snapshot taken *after* any synchronous apply: if the caps this
+        # round installed changed nothing (or once a delayed apply turns
+        # out to be a no-op next round), the fingerprint stabilizes and
+        # subsequent rounds skip until some input actually moves.
+        self._quiesced_state = self._input_fingerprint()
         return allocations
 
     def _apply(self, batch: List[tuple]) -> None:
@@ -446,13 +626,36 @@ class DynamicArbiter:
                 "caps": len(batch),
                 "tenants": len({entry[0] for entry in batch}),
             })
+        # Flush any recompute other components queued before this apply so
+        # their listeners (including our own re-arm) run un-suppressed.
+        before = self._input_fingerprint()
+        self._applying = True
         try:
             with self.network.batch():
                 for tenant, link_id, direction, cap in batch:
                     self.network.set_tenant_link_cap(tenant, link_id, cap,
                                                      direction=direction)
                     self._capped.add((tenant, link_id, direction))
+            if (before == self._quiesced_state
+                    and not self.network.active_flows()):
+                # The only thing that moved since the decide round is our
+                # own enforcement, and with no live flows the new caps
+                # cannot change any reading the next round would sense:
+                # fold the apply into the quiesced state instead of waking
+                # up just to discover a no-op.
+                self._quiesced_state = self._input_fingerprint()
+                if self._last_round_globals is not None:
+                    # Same reasoning for the per-key fast loop: advance its
+                    # recompute component past our own enforcement so the
+                    # next round still treats untouched keys as clean.
+                    g = self._last_round_globals
+                    self._last_round_globals = (
+                        g[:3] + (self.network.recompute_count,) + g[4:]
+                    )
+            elif self._running:
+                self._arm()
         finally:
+            self._applying = False
             if TRACER.enabled:
                 TRACER.end()
 
@@ -463,6 +666,12 @@ class DynamicArbiter:
                 self.network.clear_tenant_link_cap(tenant, link_id,
                                                    direction=direction)
                 self._capped.discard((tenant, link_id, direction))
+                # Caps were cleared behind the emission tracking: the next
+                # round must re-program this link even if its inputs are
+                # otherwise unchanged.
+                self._emitted_sig.pop((link_id, direction), None)
+                self._emitted_caps.get((link_id, direction), {}).pop(
+                    tenant, None)
 
     def lift_link_caps(self, link_id: str) -> None:
         """Lift every cap on *link_id* (after its last floor is released)."""
@@ -472,3 +681,5 @@ class DynamicArbiter:
                 self.network.clear_tenant_link_cap(tenant, link,
                                                    direction=direction)
                 self._capped.discard((tenant, link, direction))
+                self._emitted_sig.pop((link, direction), None)
+                self._emitted_caps.pop((link, direction), None)

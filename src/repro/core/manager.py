@@ -89,6 +89,12 @@ class HostNetworkManager:
         self._placements: Dict[str, Placement] = {}
         self._intents_by_tenant: Dict[str, List[str]] = {}
         self._release_listeners: List[Callable[[str], None]] = []
+        self._change_listeners: List[Callable[[], None]] = []
+        #: Bumped on every reservation-changing operation (submit,
+        #: release, replace, reinstate) — the cheap "did anything about
+        #: this host's placements move" version the fleet telemetry
+        #: subscribes to.
+        self.change_count = 0
         if auto_start_arbiter:
             self.arbiter.start()
 
@@ -159,6 +165,7 @@ class HostNetworkManager:
         # the next periodic tick ("adjust the allocation promptly when
         # applications come and go").
         self.arbiter.adjust_once()
+        self._mark_changed()
         return placement
 
     def _install_enforcement(self, intent: PerformanceTarget,
@@ -249,6 +256,7 @@ class HostNetworkManager:
             intent_id
         )
         self.arbiter.adjust_once()
+        self._mark_changed()
         return placement
 
     def reinstate(self, placement: Placement) -> None:
@@ -268,6 +276,7 @@ class HostNetworkManager:
             intent.intent_id
         )
         self.arbiter.adjust_once()
+        self._mark_changed()
 
     def _install_slo_ceilings(self, intent: PerformanceTarget,
                               candidate: CandidateRequirement) -> None:
@@ -339,6 +348,7 @@ class HostNetworkManager:
                 if link_id not in self.arbiter.managed_links():
                     self.arbiter.lift_link_caps(link_id)
         self.arbiter.adjust_once()
+        self._mark_changed()
         for listener in self._release_listeners:
             listener(intent_id)
 
@@ -349,6 +359,21 @@ class HostNetworkManager:
         re-try parked intents promptly instead of waiting out its backoff.
         """
         self._release_listeners.append(listener)
+
+    def on_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after any reservation change.
+
+        Coarser than :meth:`on_release` (it also fires on submit,
+        replace, and reinstate) and carries no payload: it is an
+        invalidation signal, not an event stream.  Fleet telemetry uses
+        it to mark this host's headroom summary dirty.
+        """
+        self._change_listeners.append(listener)
+
+    def _mark_changed(self) -> None:
+        self.change_count += 1
+        for listener in self._change_listeners:
+            listener()
 
     # -- queries ---------------------------------------------------------------------
 

@@ -1,12 +1,21 @@
 """``repro.fleet`` — the multi-host cluster layer.
 
 Composes many :class:`~repro.host.Host` sessions into one schedulable
-fleet: lockstep clock coordination (:class:`Fleet`), cached per-host
-headroom rollups (:class:`FleetTelemetry`), headroom-aware admission with
-pluggable policies (:class:`ClusterScheduler`), and atomic cross-host
-live migration (:class:`MigrationPlanner`).  See DESIGN.md §11.
+fleet: event-driven (or lockstep) clock coordination (:class:`Fleet`,
+:class:`FleetClock`), push-invalidated per-host headroom rollups
+(:class:`FleetTelemetry`), headroom-aware admission with pluggable
+policies ranked over a vectorized matrix (:class:`ClusterScheduler`), and
+atomic cross-host live migration (:class:`MigrationPlanner`).  See
+DESIGN.md §11–12.
 """
 
+from .clock import (
+    FLEET_CLOCKS,
+    EventDrivenFleetClock,
+    FleetClock,
+    LockstepFleetClock,
+    make_clock,
+)
 from .cluster import Fleet
 from .migration import MigrationPlanner, MigrationRecord
 from .placement import (
@@ -19,7 +28,7 @@ from .placement import (
     make_policy,
 )
 from .scheduler import ClusterScheduler, FleetPlacement
-from .telemetry import FleetTelemetry, HostHeadroom
+from .telemetry import FleetTelemetry, HeadroomMatrix, HostHeadroom
 from .workload import (
     FleetChurnConfig,
     FleetChurnReport,
@@ -29,7 +38,13 @@ from .workload import (
 
 __all__ = [
     "Fleet",
+    "FleetClock",
+    "LockstepFleetClock",
+    "EventDrivenFleetClock",
+    "FLEET_CLOCKS",
+    "make_clock",
     "FleetTelemetry",
+    "HeadroomMatrix",
     "HostHeadroom",
     "ClusterScheduler",
     "FleetPlacement",

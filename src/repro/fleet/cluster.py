@@ -5,14 +5,14 @@ scenarios — multi-tenant clouds, tenants that come and go, migration under
 a virtualized abstraction — only matter at datacenter scale.  ``Fleet``
 composes many :class:`~repro.host.Host` sessions into one cluster:
 
-* a **lockstep clock coordinator**: each host keeps its own discrete-event
-  engine; the fleet advances them quantum by quantum in deterministic
-  host-id order, running its own control work (migration planning,
-  rebalancing) at every quantum boundary;
-* a :class:`~repro.fleet.telemetry.FleetTelemetry` rollup feeding cached
-  per-host headroom vectors to
+* a :class:`~repro.fleet.clock.FleetClock` — by default the event-driven
+  discipline (only hosts with pending work are woken; idle hosts
+  fast-forward), with the original lockstep coordinator available as
+  ``clock="lockstep"``;
+* a :class:`~repro.fleet.telemetry.FleetTelemetry` rollup of
+  push-invalidated per-host headroom summaries feeding
 * a :class:`~repro.fleet.scheduler.ClusterScheduler` with pluggable
-  placement policies, and
+  placement policies ranked over a vectorized headroom matrix, and
 * a :class:`~repro.fleet.migration.MigrationPlanner` that live-migrates
   placements between hosts, wired to each host's
   :class:`~repro.resilience.controller.RecoveryController` escalation
@@ -25,28 +25,27 @@ Quick start::
     fleet = Fleet("cascade_lake_2s", hosts=16, policy="best-fit")
     fleet.submit(pipe("kv", "tenantA", src="nic0", dst="dimm0-0",
                       bandwidth=Gbps(100)))
-    fleet.run_until(1.0)
+    fleet.advance_to(1.0)
     print(fleet.describe())
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace as dataclass_replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..core.intents import PerformanceTarget
 from ..core.virtual import _device_mapping
-from ..errors import ClockError, FleetError, UnknownHostError
+from ..errors import FleetError, UnknownHostError
 from ..host import Host
 from ..topology.graph import HostTopology
 from ..topology.presets import load_preset
+from .clock import FleetClock, make_clock
 from .migration import MigrationPlanner
 from .placement import PlacementPolicy
 from .scheduler import ClusterScheduler, FleetPlacement
 from .telemetry import FleetTelemetry, canonical_device_keys
-
-#: Floating-point slack when comparing fleet-clock boundaries.
-_CLOCK_EPS = 1e-12
 
 
 class Fleet:
@@ -59,17 +58,23 @@ class Fleet:
             topologies carry mutable link state, so hosts must not share.
         hosts: How many hosts to build (ignored when *host_ids* given).
         host_ids: Explicit host ids; default ``host00..hostNN``.
-        clock_quantum: Lockstep granularity in simulated seconds.  Hosts
-            run independently within a quantum; fleet-level control
-            (escalation draining, rebalancing) runs at each boundary.
+        clock: ``"event"`` (default), ``"lockstep"``, or a
+            :class:`~repro.fleet.clock.FleetClock` subclass.  The event
+            clock wakes only hosts with pending work and produces results
+            equivalent to lockstep on seeded workloads; lockstep advances
+            every host each quantum and runs fleet control at every
+            boundary unconditionally.
+        clock_quantum: Lockstep granularity in simulated seconds (the
+            event clock uses it when boundary cadence is required —
+            rebalancing armed or recovery controllers attached).
         policy: Placement policy name or instance (see
             :data:`~repro.fleet.placement.PLACEMENT_POLICIES`).
         max_attempts: Per-intent host-probe bound forwarded to the
             scheduler (``None`` probes every host).
         rebalance_threshold: Peak-reserved-fraction skew that triggers a
             rebalance move at a boundary; ``None`` (default) disables.
-        telemetry_max_age: Headroom cache lifetime (defaults to the
-            clock quantum).
+        telemetry_max_age: Deprecated and ignored — headroom summaries
+            are push-invalidated now and always current.
         start: Initial simulated time for every host.
         resilience: Forwarded to each :class:`Host`; when armed, each
             host's recovery controller escalates unrecoverable placements
@@ -85,6 +90,7 @@ class Fleet:
         hosts: int = 4,
         *,
         host_ids: Optional[Sequence[str]] = None,
+        clock: Union[str, Type[FleetClock]] = "event",
         clock_quantum: float = 0.001,
         policy: Union[str, PlacementPolicy] = "best-fit",
         max_attempts: Optional[int] = None,
@@ -110,6 +116,12 @@ class Fleet:
             raise FleetError(
                 f"clock_quantum must be > 0, got {clock_quantum}"
             )
+        if telemetry_max_age is not None:
+            warnings.warn(
+                "telemetry_max_age is deprecated and ignored: headroom "
+                "summaries are push-invalidated now and always current",
+                DeprecationWarning, stacklevel=2,
+            )
         ids = list(host_ids) if host_ids else [
             f"host{i:02d}" for i in range(hosts)
         ]
@@ -122,13 +134,9 @@ class Fleet:
         self.reference_topology = factory()
         self._reference_keys = canonical_device_keys(self.reference_topology)
         self.clock_quantum = clock_quantum
-        self._clock = start
         self._hosts: Dict[str, Host] = {}
         self._mappings: Dict[str, Dict[str, str]] = {}
-        self.telemetry = FleetTelemetry(
-            max_age=(telemetry_max_age if telemetry_max_age is not None
-                     else clock_quantum)
-        )
+        self.telemetry = FleetTelemetry()
         for host_id in sorted(ids):
             host = Host(factory(), start=start, resilience=resilience,
                         **host_kwargs)
@@ -139,6 +147,7 @@ class Fleet:
         self.planner = MigrationPlanner(
             self, self.scheduler, rebalance_threshold=rebalance_threshold,
         )
+        self.clock = make_clock(clock, self, clock_quantum, start)
         for host_id, host in self._hosts.items():
             if host.recovery is not None:
                 host.recovery.on_escalation(
@@ -171,30 +180,53 @@ class Fleet:
 
     @property
     def now(self) -> float:
-        """Current fleet time (all hosts are at this time between runs)."""
-        return self._clock
+        """Current fleet time (hosts may lag behind under the event
+        clock until their next :meth:`wake`)."""
+        return self.clock.now
+
+    def advance_to(self, t: float) -> int:
+        """Advance fleet time to *t*, running host work due before it.
+
+        Under the event-driven clock only hosts with pending events are
+        woken; idle hosts fast-forward (their local clocks catch up at
+        the next fleet interaction).  Returns the number of host events
+        processed.
+        """
+        return self.clock.advance_to(t)
+
+    def wake(self, host_id: str, t: Optional[float] = None) -> int:
+        """Bring one host's local clock up to fleet time (or *t*).
+
+        Called automatically before every fleet-surface interaction with
+        the host; exposed for callers driving hosts directly.
+        """
+        return self.clock.wake(host_id, t)
+
+    def notify(self, host_id: str) -> None:
+        """Tell the clock *host_id* may have new pending events.
+
+        Called after fleet-surface mutations (submit, release, migration
+        legs) so events they schedule — arbiter enforcement, retries —
+        run at their due time under the event-driven clock rather than at
+        the host's next wake.
+        """
+        self.clock.notify(host_id)
 
     def run_until(self, t: float) -> int:
-        """Advance every host in lockstep to simulated time *t*.
+        """Deprecated: use :meth:`advance_to` (plus :meth:`wake` when a
+        host's local clock must be current).
 
-        Quantum by quantum: all hosts run to the next boundary (in host-id
-        order — deterministic, and harmless because hosts share no fabric
-        state, only the scheduler's bookkeeping which is not touched by
-        host events), then the fleet's own control loop
-        (:meth:`MigrationPlanner.tick`) runs at the boundary.  Returns the
-        total number of host events processed.
+        Preserves the historical contract — every host's local clock is
+        at fleet time on return — by syncing all hosts after the advance.
+        Returns the total number of host events processed.
         """
-        if t < self._clock - _CLOCK_EPS:
-            raise ClockError(
-                f"cannot run fleet until {t} (now is {self._clock})"
-            )
-        processed = 0
-        while self._clock < t - _CLOCK_EPS:
-            boundary = min(t, self._clock + self.clock_quantum)
-            for _host_id, host in self.hosts():
-                processed += host.engine.run_until(boundary)
-            self._clock = boundary
-            self.planner.tick()
+        warnings.warn(
+            "Fleet.run_until() is deprecated; use Fleet.advance_to() "
+            "(hosts are woken lazily) or Fleet.clock directly",
+            DeprecationWarning, stacklevel=2,
+        )
+        processed = self.clock.advance_to(t)
+        processed += self.clock.sync_hosts()
         return processed
 
     # -- intent remapping ----------------------------------------------------
@@ -263,7 +295,8 @@ class Fleet:
         lines = [
             f"Fleet of {len(self)} hosts on "
             f"{self.reference_topology.name!r} @ t={self.now:.6f}s "
-            f"(quantum={self.clock_quantum:g}s)"
+            f"(clock={self.clock.name}, "
+            f"quantum={self.clock_quantum:g}s)"
         ]
         lines.append(self.scheduler.describe())
         lines.append(self.telemetry.describe())
@@ -273,5 +306,6 @@ class Fleet:
 
     def __repr__(self) -> str:
         return (f"Fleet(hosts={len(self)}, t={self.now:.6f}s, "
+                f"clock={self.clock.name}, "
                 f"policy={self.scheduler.policy.name}, "
                 f"intents={len(self.scheduler.placements())})")

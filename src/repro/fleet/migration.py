@@ -17,6 +17,7 @@ migration never strands or duplicates an intent.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
@@ -107,6 +108,10 @@ class MigrationPlanner:
             )
         src = self.fleet.host(src_host_id)
         dst = self.fleet.host(dst_host_id)  # raises UnknownHostError early
+        # Both legs of the move must see host clocks at fleet time, or an
+        # event-clock fleet would stamp the release/submit in the past.
+        self.fleet.wake(src_host_id)
+        self.fleet.wake(dst_host_id)
         original = self.scheduler.original_intent(intent_id)
         old = src.manager.placement(intent_id)
         remapped = self.fleet.remap_intent(original, dst_host_id)
@@ -116,6 +121,8 @@ class MigrationPlanner:
             placement = dst.manager.submit(remapped)
         except HostNetError as exc:
             src.manager.reinstate(old)
+            self.fleet.notify(src_host_id)
+            self.fleet.notify(dst_host_id)
             self.telemetry_invalidate(src_host_id, dst_host_id)
             self._record(kind, intent_id, src_host_id, None, ok=False,
                          detail=f"{dst_host_id!r} rejected: {exc}")
@@ -125,6 +132,8 @@ class MigrationPlanner:
                 f"reinstated on {src_host_id!r}",
             ) from exc
         self.scheduler.rebind(intent_id, dst_host_id)
+        self.fleet.notify(src_host_id)
+        self.fleet.notify(dst_host_id)
         self.telemetry_invalidate(src_host_id, dst_host_id)
         self._record(kind, intent_id, src_host_id, dst_host_id, ok=True)
         return FleetPlacement(dst_host_id, placement)
@@ -138,9 +147,18 @@ class MigrationPlanner:
 
     def request_escalation(self, host_id: str, intent_id: str) -> None:
         """Queue a placement local recovery gave up on (processed at the
-        next fleet tick, so escalations arriving mid-quantum stay
+        next quantum boundary, so escalations arriving mid-quantum stay
         deterministic)."""
         self._escalations.append((host_id, intent_id))
+
+    @property
+    def pending_escalations(self) -> List[Tuple[str, str]]:
+        """Escalations queued but not yet drained by :meth:`control`.
+
+        The event-driven clock checks this to decide whether an advance
+        must observe exact quantum-boundary cadence.
+        """
+        return list(self._escalations)
 
     def rescue(self, intent_id: str) -> Optional[FleetPlacement]:
         """Move one failing placement to the best host that admits it.
@@ -154,9 +172,9 @@ class MigrationPlanner:
         src_host_id = self.scheduler.host_of(intent_id)
         intent = self.scheduler.original_intent(intent_id)
         candidates = [
-            h for h in self.scheduler.policy.rank(
+            h for h in self.scheduler.policy.rank_matrix(
                 self.scheduler.request_for(intent),
-                self.fleet.telemetry.headrooms(),
+                self.fleet.telemetry.matrix(),
             )
             if h != src_host_id
         ]
@@ -171,16 +189,27 @@ class MigrationPlanner:
 
     # -- the fleet control loop ----------------------------------------------
 
-    def tick(self) -> None:
+    def control(self) -> None:
         """One fleet-level pass: drain escalations, then maybe rebalance.
 
-        Called by :meth:`Fleet.run_until` at every quantum boundary.
+        Called by the fleet clock at every quantum boundary (the event
+        clock falls back to boundary cadence whenever this pass could do
+        anything — escalations queued, rebalancing armed, or recovery
+        controllers attached).
         """
         pending, self._escalations = self._escalations, []
         for _host_id, intent_id in pending:
             self.rescue(intent_id)
         if self.rebalance_threshold is not None:
             self._rebalance()
+
+    def tick(self) -> None:
+        """Deprecated: renamed :meth:`control` (clocks call that)."""
+        warnings.warn(
+            "MigrationPlanner.tick() is deprecated; use control()",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.control()
 
     def _rebalance(self) -> None:
         """Move placements off the hottest host when the skew trips."""

@@ -26,9 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Type, Union
 
+import numpy as np
+
 from ..core.intents import PerformanceTarget
 from ..errors import FleetError
-from .telemetry import HostHeadroom
+from .telemetry import HeadroomMatrix, HostHeadroom
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,18 @@ class PlacementPolicy:
         """
         raise NotImplementedError
 
+    def rank_matrix(self, request: PlacementRequest,
+                    matrix: HeadroomMatrix) -> List[str]:
+        """Host ids in placement-attempt order, from the vectorized view.
+
+        The scheduler's hot path: shipped policies override this with a
+        stable :func:`numpy.lexsort` over the matrix columns that
+        reproduces :meth:`rank` exactly (asserted per policy in the test
+        suite).  The default falls back to the scalar ranking, so a
+        custom policy only has to implement :meth:`rank`.
+        """
+        return self.rank(request, matrix.headrooms)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -94,6 +108,10 @@ class FirstFitPolicy(PlacementPolicy):
     def rank(self, request: PlacementRequest,
              headrooms: Sequence[HostHeadroom]) -> List[str]:
         return sorted(h.host_id for h in headrooms)
+
+    def rank_matrix(self, request: PlacementRequest,
+                    matrix: HeadroomMatrix) -> List[str]:
+        return sorted(matrix.host_ids)
 
 
 class BestFitHeadroomPolicy(PlacementPolicy):
@@ -128,6 +146,19 @@ class BestFitHeadroomPolicy(PlacementPolicy):
 
         return [h.host_id for h in sorted(headrooms, key=key)]
 
+    def rank_matrix(self, request: PlacementRequest,
+                    matrix: HeadroomMatrix) -> List[str]:
+        bandwidth = request.bandwidth
+        # lexsort: last key is primary; the matrix's sorted-host-id row
+        # order plus sort stability supplies the host_id tiebreak.
+        order = np.lexsort((
+            matrix.free_capacity_total,
+            ~matrix.has_path_slack(bandwidth),
+            ~matrix.available,
+            ~matrix.fits(bandwidth, request.src_key, request.dst_key),
+        ))
+        return [matrix.host_ids[i] for i in order]
+
 
 class SpreadByTenantPolicy(PlacementPolicy):
     """Tenant anti-affinity, then balance by headroom.
@@ -151,6 +182,20 @@ class SpreadByTenantPolicy(PlacementPolicy):
             )
 
         return [h.host_id for h in sorted(headrooms, key=key)]
+
+    def rank_matrix(self, request: PlacementRequest,
+                    matrix: HeadroomMatrix) -> List[str]:
+        in_tenant = np.fromiter(
+            (host_id in request.tenant_hosts for host_id in matrix.host_ids),
+            bool, len(matrix))
+        order = np.lexsort((
+            -matrix.free_capacity_total,
+            ~matrix.fits(request.bandwidth, request.src_key,
+                         request.dst_key),
+            ~matrix.available,
+            in_tenant,
+        ))
+        return [matrix.host_ids[i] for i in order]
 
 
 #: Registry used by the CLI, the Fleet constructor, and the benchmark.

@@ -7,10 +7,12 @@ ledgers, atomic floor installation, SLO ceilings) is delegated to the host
 managers.  Its job is the one decision no host can make: *which* host.
 
 For each intent the active :class:`~repro.fleet.placement.PlacementPolicy`
-ranks hosts from the cached :class:`~repro.fleet.telemetry.FleetTelemetry`
-headroom vectors; the scheduler probes hosts in that order (remapping the
-intent's device ids onto each host's topology) and commits to the first
-that admits.  Every decision is traced under the ``fleet`` category.
+ranks hosts over the telemetry's vectorized
+:class:`~repro.fleet.telemetry.HeadroomMatrix` (push-invalidated, so it is
+always current); the scheduler probes hosts in that order (waking each to
+fleet time and remapping the intent's device ids onto its topology) and
+commits to the first that admits.  Every decision is traced under the
+``fleet`` category.
 """
 
 from __future__ import annotations
@@ -118,16 +120,24 @@ class ClusterScheduler:
     def _submit_untracked(self, intent: PerformanceTarget) -> FleetPlacement:
         if intent.intent_id in self._host_of:
             raise AdmissionError(intent.intent_id, "already placed in fleet")
-        order = self.policy.rank(
-            self.request_for(intent), self.telemetry.headrooms(),
+        order = self.policy.rank_matrix(
+            self.request_for(intent), self.telemetry.matrix(),
         )
         if self.max_attempts is not None:
             order = order[:self.max_attempts]
         for host_id in order:
             self.probe_count += 1
             host = self.fleet.host(host_id)
+            # Probed hosts must be at fleet time so the reservation (and
+            # any deferred re-solve it schedules) is stamped "now", not
+            # at whatever time the host was last woken.
+            self.fleet.wake(host_id)
             remapped = self.fleet.remap_intent(intent, host_id)
             placement = host.manager.try_submit(remapped)
+            # Either outcome may have scheduled host events (arbiter
+            # enforcement after its decision latency, retry backoffs);
+            # they postdate the wake above, so re-notify the clock.
+            self.fleet.notify(host_id)
             if placement is None:
                 continue
             self._bind(intent, host_id)
@@ -152,7 +162,9 @@ class ClusterScheduler:
     def release(self, intent_id: str) -> None:
         """Withdraw a fleet-placed intent from its host."""
         host_id = self.host_of(intent_id)
+        self.fleet.wake(host_id)
         self.fleet.host(host_id).manager.release(intent_id)
+        self.fleet.notify(host_id)  # release schedules enforcement too
         self._unbind(intent_id)
         self.telemetry.invalidate(host_id)
         self.released_count += 1

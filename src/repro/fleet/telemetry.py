@@ -1,4 +1,4 @@
-"""Fleet-wide telemetry rollup: cached per-host headroom vectors.
+"""Fleet-wide telemetry rollup: push-invalidated per-host headroom.
 
 The cluster scheduler cannot afford to walk every link of every host on
 every placement decision, and it does not need to: admission is decided by
@@ -6,9 +6,24 @@ the per-host reservation ledgers, which change only on submit/release.
 :class:`FleetTelemetry` aggregates each host's ground truth — ledger
 reservations against the admission budget, live ``link_utilizations()``,
 link health, and the monitor's latest verdict — into one compact
-:class:`HostHeadroom` summary per host, cached against the host's own
-simulated clock and recomputed only when stale or explicitly invalidated
-(the scheduler invalidates a host after placing on or releasing from it).
+:class:`HostHeadroom` summary per host.
+
+Freshness is push-driven, not time-driven: at :meth:`~FleetTelemetry.attach`
+the rollup subscribes to the three signals that can change a summary —
+the host manager's reservation changes
+(:meth:`~repro.core.manager.HostNetworkManager.on_change`), the fabric's
+rate re-solves (:meth:`~repro.sim.network.FabricNetwork.on_recompute`),
+and the monitor's health verdicts — and marks the host *dirty*.
+:meth:`~FleetTelemetry.headroom` recomputes lazily on the next read, so a
+summary an external caller sees is always current; callers never choose
+when to refresh (the old ``refresh()``/``max_age`` surface is deprecated).
+
+For vectorized placement ranking the same summaries are exposed as a
+:class:`HeadroomMatrix` — per-host columns of the placement-relevant
+scalars in deterministic host-id order, mirroring how ``repro.sim.arrays``
+vectorized water-filling.  Inter-host wire links are excluded from the
+rollup itself (only their health is counted), so the scalar and matrix
+views agree by construction.
 
 This is the fleet-scale analogue of the paper's "fine-grained monitoring"
 feeding the "holistic resource manager": per-host signals roll up into the
@@ -17,8 +32,12 @@ vectors a datacenter-level placement policy actually consumes.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..errors import UnknownHostError
 from ..host import Host
@@ -134,147 +153,318 @@ class HostHeadroom:
         return self.free_capacity_min_directed >= bandwidth
 
 
-class FleetTelemetry:
-    """Cached per-host :class:`HostHeadroom` rollups.
+class HeadroomMatrix:
+    """Per-host headroom summaries as numpy columns.
 
-    Args:
-        max_age: How long (simulated seconds, per the *host's* clock) a
-            cached summary stays fresh.  ``0`` recomputes on every read.
+    Rows are hosts in the order the summaries were given (the fleet's
+    deterministic sorted-host-id order), so a stable sort over these
+    columns reproduces the scalar policies' host-id tiebreak for free.
+    Built from the same :class:`HostHeadroom` rollups the scalar path
+    reads — in particular, inter-host wire links were already excluded
+    when those were computed, so the two views cannot disagree.
+
+    Attributes:
+        headrooms: The source summaries (for scalar fallback paths).
+        host_ids: Row order.
+        free_capacity_total / free_capacity_max_directed /
+        free_capacity_min_directed / reserved_peak: Float columns.
+        available: Boolean column (monitor verdict and link health).
     """
 
-    def __init__(self, max_age: float = 0.001) -> None:
+    def __init__(self, headrooms: Sequence[HostHeadroom]) -> None:
+        self.headrooms = list(headrooms)
+        self.host_ids = [h.host_id for h in self.headrooms]
+        n = len(self.headrooms)
+        self.free_capacity_total = np.fromiter(
+            (h.free_capacity_total for h in self.headrooms), float, n)
+        self.free_capacity_max_directed = np.fromiter(
+            (h.free_capacity_max_directed for h in self.headrooms), float, n)
+        self.free_capacity_min_directed = np.fromiter(
+            (h.free_capacity_min_directed for h in self.headrooms), float, n)
+        self.reserved_peak = np.fromiter(
+            (h.reserved_peak for h in self.headrooms), float, n)
+        self.available = np.fromiter(
+            (h.available for h in self.headrooms), bool, n)
+        self._attach: Dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.headrooms)
+
+    def attach_free(self, key: Optional[str]) -> np.ndarray:
+        """Per-host free budget on attach link *key*.
+
+        Hosts without the key get ``+inf`` — exactly the scalar
+        :meth:`HostHeadroom.can_fit` behavior, where a missing attach key
+        never disqualifies a host.  ``None`` (no canonical key) yields an
+        all-``inf`` column for the same reason.
+        """
+        if key is None:
+            return np.full(len(self.headrooms), math.inf)
+        col = self._attach.get(key)
+        if col is None:
+            col = np.fromiter(
+                (h.attach_free.get(key, math.inf) for h in self.headrooms),
+                float, len(self.headrooms))
+            self._attach[key] = col
+        return col
+
+    def fits(self, bandwidth: float, src_key: Optional[str] = None,
+             dst_key: Optional[str] = None) -> np.ndarray:
+        """Boolean column: :meth:`HostHeadroom.can_fit` per host."""
+        ok = self.free_capacity_max_directed >= bandwidth
+        if src_key is not None:
+            ok = ok & (self.attach_free(src_key) >= bandwidth)
+        if dst_key is not None:
+            ok = ok & (self.attach_free(dst_key) >= bandwidth)
+        return ok
+
+    def has_path_slack(self, bandwidth: float) -> np.ndarray:
+        """Boolean column: :meth:`HostHeadroom.has_path_slack` per host."""
+        return self.free_capacity_min_directed >= bandwidth
+
+
+class FleetTelemetry:
+    """Push-invalidated per-host :class:`HostHeadroom` rollups.
+
+    Args:
+        max_age: Deprecated and ignored.  Summaries are invalidated by
+            the events that change them (reservation changes, fabric
+            re-solves, monitor verdicts) and recomputed lazily on read.
+    """
+
+    def __init__(self, max_age: Optional[float] = None) -> None:
+        if max_age is not None:
+            warnings.warn(
+                "FleetTelemetry(max_age=...) is deprecated and ignored: "
+                "summaries are push-invalidated and always current",
+                DeprecationWarning, stacklevel=2,
+            )
         self.max_age = max_age
         self._hosts: Dict[str, Host] = {}
         self._cache: Dict[str, HostHeadroom] = {}
+        self._dirty: Dict[str, bool] = {}
         self._monitor_healthy: Dict[str, bool] = {}
         self._device_keys: Dict[str, Dict[str, str]] = {}
+        # host_id -> [(canonical endpoint key, [incident link ids])].
+        # Topology *structure* is fixed for a host's lifetime (only link
+        # state mutates), so the endpoint incidence never needs the graph
+        # walk after attach.
+        self._endpoint_links: Dict[str, List[tuple]] = {}
+        # host_id -> [(link, link_id, capacity)] for placement-fabric
+        # (intra-host, capacity > 0) links, and the full link list for
+        # health counts — both fixed at attach for the same reason.
+        self._intra_links: Dict[str, List[tuple]] = {}
+        self._all_links: Dict[str, list] = {}
         self.refresh_count = 0
+        # Bumps on every recompute; the matrix cache key.
+        self._version = 0
+        self._matrix: Optional[HeadroomMatrix] = None
+        self._matrix_version = -1
 
     # -- membership ----------------------------------------------------------
 
     def attach(self, host_id: str, host: Host) -> None:
-        """Start rolling up *host* under *host_id*."""
+        """Start rolling up *host* under *host_id*.
+
+        Subscribes to every signal that can change the host's summary, so
+        reads never need to guess at staleness.
+        """
         self._hosts[host_id] = host
+        self._dirty[host_id] = True
         self._monitor_healthy[host_id] = True
-        self._device_keys[host_id] = canonical_device_keys(host.topology)
+        device_keys = canonical_device_keys(host.topology)
+        self._device_keys[host_id] = device_keys
+        self._endpoint_links[host_id] = [
+            (device_keys[device.device_id],
+             [link.link_id
+              for link in host.topology.incident_links(device.device_id)])
+            for device in host.topology.endpoints()
+        ]
+        self._all_links[host_id] = list(host.topology.links())
+        self._intra_links[host_id] = [
+            (link, link.link_id, link.capacity)
+            for link in self._all_links[host_id]
+            if link.link_class is not LinkClass.INTER_HOST
+            and link.capacity > 0
+        ]
+        host.manager.on_change(
+            lambda hid=host_id: self._mark_dirty(hid))
+        host.network.on_recompute(
+            lambda hid=host_id: self._mark_dirty(hid))
         if host.monitor is not None:
             host.monitor.on_report(
                 lambda report, hid=host_id: self._on_report(hid, report)
             )
 
     def detach(self, host_id: str) -> None:
-        """Stop tracking *host_id*."""
+        """Stop tracking *host_id* (subscriptions become no-ops)."""
         self._hosts.pop(host_id, None)
         self._cache.pop(host_id, None)
+        self._dirty.pop(host_id, None)
         self._monitor_healthy.pop(host_id, None)
         self._device_keys.pop(host_id, None)
+        self._endpoint_links.pop(host_id, None)
+        self._intra_links.pop(host_id, None)
+        self._all_links.pop(host_id, None)
+        self._version += 1
 
     def host_ids(self) -> List[str]:
         """Tracked host ids, sorted (the fleet's deterministic order)."""
         return sorted(self._hosts)
 
+    def _mark_dirty(self, host_id: str) -> None:
+        if host_id in self._hosts:
+            self._dirty[host_id] = True
+
     def _on_report(self, host_id: str, report) -> None:
         self._monitor_healthy[host_id] = report.healthy
-        if not report.healthy:
-            # An unhealthy verdict must reach the next placement decision
-            # immediately, not after the cache ages out.
-            self._cache.pop(host_id, None)
+        # A verdict must reach the next placement decision immediately.
+        self._mark_dirty(host_id)
 
     # -- the rollup ----------------------------------------------------------
 
     def headroom(self, host_id: str) -> HostHeadroom:
-        """The (cached) headroom summary of one host."""
+        """The current headroom summary of one host.
+
+        Always current: recomputed lazily when any subscribed signal has
+        marked the host dirty since the cached summary was built.
+        """
         try:
             host = self._hosts[host_id]
         except KeyError:
             raise UnknownHostError(host_id) from None
+        # A deferred (coalesced) re-solve would fire our recompute
+        # listener only when flushed; flush first so the dirty bit is
+        # accurate before we trust the cache.
+        host.network.flush_recompute()
         cached = self._cache.get(host_id)
-        if cached is not None and host.now - cached.updated_at <= self.max_age:
+        if cached is not None and not self._dirty.get(host_id, True):
             return cached
-        return self.refresh(host_id)
+        return self._refresh(host_id)
 
     def headrooms(self) -> List[HostHeadroom]:
         """Summaries for every host, in deterministic host-id order."""
         return [self.headroom(host_id) for host_id in self.host_ids()]
 
-    def invalidate(self, host_id: Optional[str] = None) -> None:
-        """Drop the cached summary of one host (or all of them).
+    def matrix(self) -> HeadroomMatrix:
+        """Every host's summary as one :class:`HeadroomMatrix` (cached
+        until any summary changes)."""
+        summaries = self.headrooms()
+        if self._matrix is None or self._matrix_version != self._version:
+            self._matrix = HeadroomMatrix(summaries)
+            self._matrix_version = self._version
+        return self._matrix
 
-        The scheduler calls this after any reservation change it makes, so
-        back-to-back placements see each other even within ``max_age``.
+    def invalidate(self, host_id: Optional[str] = None) -> None:
+        """Mark one host (or all) dirty, forcing recompute on next read.
+
+        Subscriptions make explicit invalidation unnecessary for managed
+        hosts; this remains for custom callers mutating host state behind
+        the manager's back.
         """
         if host_id is None:
-            self._cache.clear()
+            for hid in self._hosts:
+                self._dirty[hid] = True
         else:
-            self._cache.pop(host_id, None)
+            self._mark_dirty(host_id)
 
     def refresh(self, host_id: str) -> HostHeadroom:
+        """Deprecated: summaries refresh themselves; read
+        :meth:`headroom` instead."""
+        warnings.warn(
+            "FleetTelemetry.refresh() is deprecated: summaries are "
+            "push-invalidated; call headroom() (always current)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._refresh(host_id)
+
+    def _refresh(self, host_id: str) -> HostHeadroom:
         """Recompute and cache one host's summary from ground truth."""
         try:
             host = self._hosts[host_id]
         except KeyError:
             raise UnknownHostError(host_id) from None
         manager = host.manager
-        ledger = manager.ledger
+        reserved_map = manager.ledger.reserved_map
         budget_fraction = manager.admission.headroom
 
-        free_fracs: List[float] = []
+        # Health counts walk every link (the INTER_HOST wire to the
+        # outside world is not placement fabric, but its health matters).
+        down = 0
+        degraded = 0
+        for link in self._all_links[host_id]:
+            if not link.up:
+                down += 1
+            elif link.effective_capacity < link.capacity:
+                degraded += 1
+
+        # The rollup proper walks only the intra-host placement fabric.
+        # This is the hottest loop in fleet scheduling (one pass per
+        # dirty host per placement decision), hence the raw-comparison
+        # style over min()/max() calls and per-direction method calls.
+        n_fracs = 0
+        sum_fracs = 0.0
+        min_frac = float("inf")
         free_total = 0.0
         free_max = 0.0
         free_min = float("inf")
         reserved_peak = 0.0
-        down = 0
-        degraded = 0
         link_free: Dict[str, float] = {}  # tightest direction per up link
-        for link in host.topology.links():
+        for link, link_id, capacity in self._intra_links[host_id]:
             if not link.up:
-                down += 1
-                continue
-            if link.effective_capacity < link.capacity:
-                degraded += 1
-            if link.link_class is LinkClass.INTER_HOST:
-                # The wire to the outside world is not intra-host
-                # placement fabric; only its health matters here.
-                continue
-            capacity = link.capacity
-            if capacity <= 0:
                 continue
             budget = capacity * budget_fraction
-            tight_free = float("inf")
-            for direction in (FORWARD, REVERSE):
-                reserved = ledger.reserved(link.link_id, direction)
-                free = budget - reserved
-                free_fracs.append(free / capacity)
-                free_total += max(free, 0.0)
-                free_max = max(free_max, free)
-                free_min = min(free_min, free)
-                tight_free = min(tight_free, free)
-                reserved_peak = max(reserved_peak, reserved / capacity)
-            link_free[link.link_id] = tight_free
+            r_fwd = reserved_map.get((link_id, FORWARD), 0.0)
+            r_rev = reserved_map.get((link_id, REVERSE), 0.0)
+            free_fwd = budget - r_fwd
+            free_rev = budget - r_rev
+            if free_rev < free_fwd:
+                lo, hi = free_rev, free_fwd
+            else:
+                lo, hi = free_fwd, free_rev
+            n_fracs += 2
+            sum_fracs += (free_fwd + free_rev) / capacity
+            frac_lo = lo / capacity
+            if frac_lo < min_frac:
+                min_frac = frac_lo
+            if free_fwd > 0.0:
+                free_total += free_fwd
+            if free_rev > 0.0:
+                free_total += free_rev
+            if hi > free_max:
+                free_max = hi
+            if lo < free_min:
+                free_min = lo
+            peak = (r_fwd if r_fwd > r_rev else r_rev) / capacity
+            if peak > reserved_peak:
+                reserved_peak = peak
+            link_free[link_id] = lo
 
-        device_keys = self._device_keys[host_id]
         attach_free: Dict[str, float] = {}
-        for device in host.topology.endpoints():
+        for key, link_ids in self._endpoint_links[host_id]:
             frees = [
-                link_free[link.link_id]
-                for link in host.topology.incident_links(device.device_id)
-                if link.link_id in link_free
+                link_free[link_id]
+                for link_id in link_ids
+                if link_id in link_free
             ]
             if frees:  # devices with no intra-host attach stay unkeyed
-                attach_free[device_keys[device.device_id]] = max(frees)
+                attach_free[key] = max(frees)
 
-        utilizations = host.network.link_utilizations()
+        if host.network.active_flows():
+            utilizations = host.network.link_utilizations()
+            utilization_peak = max(utilizations.values(), default=0.0)
+        else:
+            utilization_peak = 0.0  # no flows: nothing to walk
         summary = HostHeadroom(
             host_id=host_id,
             updated_at=host.now,
-            free_fraction_min=min(free_fracs) if free_fracs else 0.0,
-            free_fraction_mean=(sum(free_fracs) / len(free_fracs)
-                                if free_fracs else 0.0),
+            free_fraction_min=min_frac if n_fracs else 0.0,
+            free_fraction_mean=sum_fracs / n_fracs if n_fracs else 0.0,
             free_capacity_total=free_total,
             free_capacity_max_directed=free_max,
-            free_capacity_min_directed=(free_min if free_fracs else 0.0),
+            free_capacity_min_directed=free_min if n_fracs else 0.0,
             reserved_peak=reserved_peak,
-            utilization_peak=max(utilizations.values(), default=0.0),
+            utilization_peak=utilization_peak,
             placements=len(manager.placements()),
             down_links=down,
             degraded_links=degraded,
@@ -282,7 +472,9 @@ class FleetTelemetry:
             attach_free=attach_free,
         )
         self._cache[host_id] = summary
+        self._dirty[host_id] = False
         self.refresh_count += 1
+        self._version += 1
         return summary
 
     def describe(self) -> str:

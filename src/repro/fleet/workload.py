@@ -152,16 +152,17 @@ def run_churn(fleet: Fleet,
               config: Optional[FleetChurnConfig] = None) -> FleetChurnReport:
     """Drive *fleet* through one seeded churn run.
 
-    The fleet advances in lockstep between events; arrivals go through
-    the cluster scheduler (rejections are final — no retry — so the
-    rejection rate cleanly measures the placement policy), departures
-    release whatever is still placed, wherever migration may have moved
-    it.
+    The fleet advances to each event time under whatever clock discipline
+    it was built with (event-driven by default — same seeded results as
+    lockstep, without waking idle hosts); arrivals go through the cluster
+    scheduler (rejections are final — no retry — so the rejection rate
+    cleanly measures the placement policy), departures release whatever
+    is still placed, wherever migration may have moved it.
     """
     config = config or FleetChurnConfig()
     report = FleetChurnReport(config=config)
     for time, _seq, kind, payload in generate_events(config, fleet):
-        fleet.run_until(time)
+        fleet.advance_to(time)
         if kind == "arrive":
             intent: PerformanceTarget = payload
             report.submitted += 1
@@ -174,7 +175,7 @@ def run_churn(fleet: Fleet,
             if fleet.scheduler.has_intent(intent_id):
                 fleet.release(intent_id)
                 report.released += 1
-    fleet.run_until(config.horizon)
+    fleet.advance_to(config.horizon)
     report.migrations = len(fleet.planner.migrations(ok_only=True))
     report.placements = [
         (p.intent_id, p.host_id) for p in fleet.placements()

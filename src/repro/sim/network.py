@@ -115,6 +115,7 @@ class FabricNetwork:
         self._completion_listeners: List[Callable[[Flow], None]] = []
         self._start_listeners: List[Callable[[Flow], None]] = []
         self._link_state_listeners: List[Callable[[str, bool], None]] = []
+        self._recompute_listeners: List[Callable[[], None]] = []
         self._recompute_count = 0
 
     # -- flow lifecycle ------------------------------------------------------
@@ -222,6 +223,16 @@ class FabricNetwork:
         """
         self._link_state_listeners.append(listener)
 
+    def on_recompute(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every rate re-solve.
+
+        Anything that changes what the fabric is carrying — flow starts,
+        completions, cap changes, link failures, degradations — funnels
+        through one recompute, so this is the single invalidation signal
+        for caches derived from live fabric state (fleet telemetry).
+        """
+        self._recompute_listeners.append(listener)
+
     def reroute_flow(self, flow_id: str, path: Path) -> Flow:
         """Move an active flow onto *path*, preserving identity and bytes.
 
@@ -277,8 +288,21 @@ class FabricNetwork:
             raise ValueError(f"direction must be fwd/rev/None, "
                              f"got {direction!r}")
         key = (tenant_id, link_id, direction)
+        if self._tenant_link_caps.get(key) == cap:
+            # Re-asserting the exact cap would rebuild an identical
+            # constraint and force a full re-solve; the arbiter re-asserts
+            # every cap each round, so this no-op skip is what lets the
+            # fabric (and the arbiter's quiescence check) settle.
+            return
         self._tenant_link_caps[key] = cap
-        self._install_cap_constraint(key)
+        if self._flows:
+            self._install_cap_constraint(key)
+        else:
+            # No flows: the cap binds nothing, so its membership is empty
+            # and the solver constraint is already absent (flows leaving
+            # the fabric drop themselves from every membership).  It is
+            # (re)installed by _caps_track_flow when a flow arrives.
+            self._cap_members.pop(key, None)
         self._recompute()
 
     def clear_tenant_link_cap(self, tenant_id: str, link_id: str,
@@ -663,6 +687,9 @@ class FabricNetwork:
             self._solve()
         self._recompute_count += 1
         self._schedule_completion()
+        if self._recompute_listeners:
+            for listener in self._recompute_listeners:
+                listener()
 
     def _fire_pending_solve(self) -> None:
         self._pending_solve_event = None

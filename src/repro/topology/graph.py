@@ -8,7 +8,7 @@ and class-based filtering.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
@@ -35,6 +35,11 @@ class HostTopology:
         self._links: Dict[str, Link] = {}
         # MultiGraph because dual-socket boxes commonly have 2-3 UPI links.
         self._graph = nx.MultiGraph()
+        # Path-enumeration cache (see routing.enumerate_paths), guarded by
+        # a link-state fingerprint rather than a version counter so it
+        # stays correct even when Link objects are mutated directly.
+        self._route_cache: Dict[tuple, tuple] = {}
+        self._route_cache_state: Optional[tuple] = None
 
     # -- construction ------------------------------------------------------
 
@@ -146,6 +151,46 @@ class HostTopology:
     def degree(self, device_id: str) -> int:
         """Number of links incident to *device_id*."""
         return len(self.incident_links(device_id))
+
+    # -- route cache -------------------------------------------------------
+
+    #: Route caches shared across instances, keyed by (name, fingerprint).
+    #: The fingerprint captures full structure and link state, so the many
+    #: identical hosts of a fleet pay for each (src, dst) enumeration once
+    #: process-wide instead of once per host.
+    _SHARED_ROUTE_CACHES: Dict[tuple, Dict[tuple, tuple]] = {}
+    _SHARED_ROUTE_CACHE_LIMIT = 128
+
+    def _route_fingerprint(self) -> Tuple[tuple, ...]:
+        """Everything enumerated paths depend on, per link.
+
+        Endpoints pin the structure (two topologies agreeing on every
+        link's id and ends enumerate identical paths); health, capacity,
+        and degradation each change which paths are viable or what their
+        baked-in bottleneck is.
+        """
+        return tuple(
+            (link_id, link.src, link.dst, link.up, link.capacity,
+             link.degraded_capacity)
+            for link_id, link in self._links.items()
+        )
+
+    def _route_cache_get(self, key: tuple) -> Optional[tuple]:
+        """Cached enumeration for *key*, swapping caches when stale."""
+        state = self._route_fingerprint()
+        if state != self._route_cache_state:
+            self._route_cache_state = state
+            shared = HostTopology._SHARED_ROUTE_CACHES
+            cache = shared.get((self.name, state))
+            if cache is None:
+                if len(shared) >= HostTopology._SHARED_ROUTE_CACHE_LIMIT:
+                    shared.clear()
+                cache = shared.setdefault((self.name, state), {})
+            self._route_cache = cache
+        return self._route_cache.get(key)
+
+    def _route_cache_put(self, key: tuple, paths: tuple) -> None:
+        self._route_cache[key] = paths
 
     # -- NUMA / locality ---------------------------------------------------
 

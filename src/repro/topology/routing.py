@@ -170,6 +170,15 @@ def enumerate_paths(
     topology.device(dst)
     if src == dst:
         return [make_path(topology, (src,), ())]
+    # Enumeration walks the whole graph via networkx and dominates the
+    # admission fast path; results are pure functions of (arguments, link
+    # state), so they are cached on the topology against a link-state
+    # fingerprint.  Paths are frozen, but callers sort/slice the list, so
+    # hand each caller a fresh list over the shared tuple.
+    cache_key = (src, dst, max_hops, max_paths, prefer, healthy_only)
+    cached = topology._route_cache_get(cache_key)
+    if cached is not None:
+        return list(cached)
     graph = topology.healthy_subgraph() if healthy_only else topology.graph
     paths: List[Path] = []
     try:
@@ -201,6 +210,7 @@ def enumerate_paths(
         if len(paths) >= max_paths:
             break
     paths.sort(key=lambda p: (p.hop_count, p.base_latency))
+    topology._route_cache_put(cache_key, tuple(paths))
     return paths
 
 

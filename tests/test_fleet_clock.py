@@ -1,0 +1,233 @@
+"""The event-driven fleet clock: equivalence, invalidation, quiescence.
+
+The event clock's contract is that it is an *optimization*, never a
+semantic change: a seeded churn run must produce bit-identical placements,
+rejections, and reservation ledgers under either discipline, and waking
+hosts in any order must never affect what the fleet has promised.  The
+same bargain is asserted for the other incremental layers this rests on —
+the vectorized headroom matrix vs the scalar rollup, the self-parking
+arbiter vs recomputing every round, and the shared route cache vs
+per-host enumeration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MigrationError
+from repro.fleet import Fleet, FleetChurnConfig, make_policy, run_churn
+from repro.core import pipe
+from repro.monitor import FailureInjector
+from repro.topology.elements import LinkClass
+from repro.topology.graph import HostTopology
+from repro.topology.routing import k_shortest_paths
+from repro.units import Gbps
+
+CONFIG = FleetChurnConfig(seed=11, horizon=0.08, arrival_rate=1500.0)
+
+
+def kv(intent_id, tenant="tA", bandwidth=Gbps(50), src="nic0",
+       dst="dimm0-0"):
+    return pipe(intent_id, tenant, src=src, dst=dst, bandwidth=bandwidth)
+
+
+def ledger_signature(fleet):
+    """Reserved bytes/s per (host, link, direction) — the ground truth
+    both clock disciplines must agree on exactly."""
+    return {
+        host_id: tuple(sorted(host.manager.ledger.reserved_map.items()))
+        for host_id, host in fleet.hosts()
+    }
+
+
+def churn_under(clock, seed):
+    fleet = Fleet("cascade_lake_2s", hosts=4, policy="best-fit",
+                  max_attempts=3, clock=clock)
+    config = FleetChurnConfig(seed=seed, horizon=0.08, arrival_rate=1500.0)
+    report = run_churn(fleet, config)
+    signature = (
+        report.placements,
+        report.admitted,
+        report.rejected,
+        report.released,
+        ledger_signature(fleet),
+    )
+    fleet.shutdown()
+    return signature
+
+
+# -- event/lockstep equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_event_clock_matches_lockstep_exactly(seed):
+    assert churn_under("event", seed) == churn_under("lockstep", seed)
+
+
+def test_event_clock_is_self_deterministic():
+    assert churn_under("event", 99) == churn_under("event", 99)
+
+
+# -- waking order is irrelevant to conservation ------------------------------
+
+
+HOSTS = ["host00", "host01", "host02", "host03"]
+
+
+def _run_with_wakes(wake_order):
+    fleet = Fleet("cascade_lake_2s", hosts=4, policy="best-fit",
+                  clock="event")
+    fleet.submit(kv("a", tenant="t0", bandwidth=Gbps(80)))
+    fleet.submit(kv("b", tenant="t1", bandwidth=Gbps(40), src="nic1"))
+    fleet.advance_to(0.005)
+    for host_id in wake_order:
+        fleet.wake(host_id)
+    fleet.submit(kv("c", tenant="t0", bandwidth=Gbps(20),
+                    dst="dimm1-0"))
+    fleet.advance_to(0.01)
+    for host_id in reversed(wake_order):
+        fleet.wake(host_id)
+    signature = ledger_signature(fleet)
+    clocks = [host.now for _hid, host in fleet.hosts()]
+    fleet.shutdown()
+    return signature, clocks
+
+
+@settings(max_examples=20, deadline=None)
+@given(order=st.permutations(HOSTS))
+def test_waking_order_never_affects_conservation(order):
+    shuffled, clocks = _run_with_wakes(list(order))
+    reference, _ = _run_with_wakes(HOSTS)
+    assert shuffled == reference
+    # And every woken host landed exactly on fleet time.
+    assert clocks == [pytest.approx(0.01)] * len(HOSTS)
+
+
+# -- matrix vs scalar rollup --------------------------------------------------
+
+
+def test_matrix_excludes_inter_host_links_exactly_like_scalar():
+    fleet = Fleet("cascade_lake_2s", hosts=2)
+    fleet.submit(kv("a", bandwidth=Gbps(60)))
+    host = fleet.host("host00")
+    wires = host.topology.links(LinkClass.INTER_HOST)
+    assert wires, "preset is expected to model the external wire"
+
+    rooms = fleet.telemetry.headrooms()
+    matrix = fleet.telemetry.matrix()
+    for i, room in enumerate(rooms):
+        assert matrix.host_ids[i] == room.host_id
+        assert matrix.free_capacity_total[i] == room.free_capacity_total
+        assert (matrix.free_capacity_min_directed[i]
+                == room.free_capacity_min_directed)
+        assert bool(matrix.available[i]) == room.available
+
+    # Degrading the wire must not move any headroom capacity figure (it
+    # is not placement fabric), in either representation.
+    before = fleet.telemetry.headroom("host00")
+    FailureInjector(host.network).degrade_link(wires[0].link_id,
+                                               capacity_factor=0.5)
+    fleet.telemetry.invalidate("host00")
+    after = fleet.telemetry.headroom("host00")
+    assert after.free_capacity_total == before.free_capacity_total
+    assert after.degraded_links == before.degraded_links + 1
+    matrix_after = fleet.telemetry.matrix()
+    idx = matrix_after.host_ids.index("host00")
+    assert (matrix_after.free_capacity_total[idx]
+            == after.free_capacity_total)
+
+
+@pytest.mark.parametrize("name", ["first-fit", "best-fit", "spread"])
+def test_rank_matrix_agrees_with_scalar_rank(name):
+    fleet = Fleet("cascade_lake_2s", hosts=5)
+    # Asymmetric load so the ranking is non-trivial.
+    fleet.submit(kv("a", tenant="t0", bandwidth=Gbps(150)))
+    fleet.submit(kv("b", tenant="t0", bandwidth=Gbps(80), src="nic1"))
+    fleet.submit(kv("c", tenant="t1", bandwidth=Gbps(40)))
+    policy = make_policy(name)
+    request = fleet.scheduler.request_for(kv("probe", tenant="t0",
+                                             bandwidth=Gbps(60)))
+    rooms = fleet.telemetry.headrooms()
+    matrix = fleet.telemetry.matrix()
+    assert policy.rank_matrix(request, matrix) == policy.rank(request, rooms)
+
+
+# -- invalidation protocol ----------------------------------------------------
+
+
+def test_failed_migration_invalidates_src_and_dst_summaries():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("moving", bandwidth=Gbps(150)))   # -> host00
+    fleet.submit(kv("blocker", bandwidth=Gbps(150)))  # -> host01
+    fleet.telemetry.headrooms()  # warm both summaries
+    count = fleet.telemetry.refresh_count
+
+    with pytest.raises(MigrationError, match="rejected"):
+        fleet.migrate("moving", "host01")
+
+    # Rollback touched the source ledger and probed the destination:
+    # both summaries must recompute on next read.
+    fleet.telemetry.headroom("host00")
+    fleet.telemetry.headroom("host01")
+    assert fleet.telemetry.refresh_count == count + 2
+    assert fleet.scheduler.host_of("moving") == "host00"
+
+
+# -- arbiter quiescence -------------------------------------------------------
+
+
+def test_arbiter_parks_when_quiesced_and_reacts_to_perturbation():
+    fleet = Fleet("cascade_lake_2s", hosts=2, clock="event")
+    placed = fleet.submit(kv("a", tenant="t0", bandwidth=Gbps(100)))
+    fleet.advance_to(0.02)  # long enough for many idle arbiter periods
+    host = fleet.host(placed.host_id)
+    arbiter = host.manager.arbiter
+    assert arbiter.skipped_adjustments > 0
+    # Parked: far fewer rounds than periods elapsed (0.02s / 1ms = 20
+    # periods minimum under a metronome; quiesced rounds self-cancel).
+    assert arbiter.adjustments < 20
+
+    # A perturbation (new floors) re-arms enforcement: the new tenant
+    # ends up capped on every link its intent reserved.
+    rounds = arbiter.adjustments
+    fleet.submit(kv("b", tenant="t1", bandwidth=Gbps(50), src="nic1",
+                    dst="dimm1-0"))
+    fleet.advance_to(0.03)
+    assert arbiter.adjustments + sum(
+        h.manager.arbiter.adjustments for _i, h in fleet.hosts()
+        if h is not host
+    ) > rounds
+    dst_host = fleet.host(fleet.scheduler.host_of("b"))
+    demands = dst_host.manager.ledger.demands_of("b")
+    assert demands
+    for demand in demands:
+        cap = dst_host.network.tenant_link_cap("t1", demand.link_id,
+                                               direction=demand.direction)
+        assert cap is not None and cap >= demand.bandwidth - 1e-6
+
+
+# -- the shared route cache ---------------------------------------------------
+
+
+def test_route_cache_shared_between_identical_hosts_but_state_isolated():
+    fleet = Fleet("cascade_lake_2s", hosts=2)
+    h0 = fleet.host("host00")
+    h1 = fleet.host("host01")
+    paths0 = k_shortest_paths(h0.topology, "nic0", "dimm0-0")
+    paths1 = k_shortest_paths(h1.topology, "nic0", "dimm0-0")
+    assert [p.links for p in paths0] == [p.links for p in paths1]
+    # Identical structure and link state hash to one shared cache...
+    assert h0.topology._route_cache is h1.topology._route_cache
+    assert any(HostTopology._SHARED_ROUTE_CACHES)
+
+    # ...but divergent link state splits them: degradation on host00
+    # must never leak into host01's enumerations.
+    degraded_link = paths0[0].links[0]
+    FailureInjector(h0.network).degrade_link(degraded_link,
+                                             capacity_factor=0.25)
+    after0 = k_shortest_paths(h0.topology, "nic0", "dimm0-0")
+    after1 = k_shortest_paths(h1.topology, "nic0", "dimm0-0")
+    assert h0.topology._route_cache is not h1.topology._route_cache
+    assert (min(p.bottleneck_capacity for p in after0)
+            < min(p.bottleneck_capacity for p in after1))
+    assert [p.links for p in after1] == [p.links for p in paths1]

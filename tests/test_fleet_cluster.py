@@ -61,31 +61,62 @@ def test_unknown_host_raises():
         fleet.host("nope")
 
 
-# -- the lockstep clock ------------------------------------------------------
+# -- the fleet clock ---------------------------------------------------------
 
 
 def test_run_until_advances_every_host_to_fleet_time():
     fleet = small_fleet(clock_quantum=0.001)
-    fleet.run_until(0.0105)
+    with pytest.deprecated_call():
+        fleet.run_until(0.0105)
     assert fleet.now == pytest.approx(0.0105)
     for _host_id, host in fleet.hosts():
         assert host.now == pytest.approx(0.0105)
 
 
-def test_run_until_rejects_going_backwards():
+def test_advance_to_rejects_going_backwards():
     fleet = small_fleet()
-    fleet.run_until(0.01)
+    fleet.advance_to(0.01)
     with pytest.raises(ClockError):
-        fleet.run_until(0.005)
+        fleet.advance_to(0.005)
 
 
-def test_planner_ticks_once_per_quantum_boundary():
-    fleet = small_fleet(clock_quantum=0.002)
-    ticks = []
-    original = fleet.planner.tick
-    fleet.planner.tick = lambda: (ticks.append(fleet.now), original())
-    fleet.run_until(0.01)
-    assert len(ticks) == 5  # 0.002, 0.004, ..., 0.010
+def test_planner_controls_once_per_quantum_boundary():
+    fleet = small_fleet(clock_quantum=0.002, clock="lockstep")
+    boundaries = []
+    original = fleet.planner.control
+    fleet.planner.control = lambda: (boundaries.append(fleet.now),
+                                     original())
+    fleet.advance_to(0.01)
+    assert len(boundaries) == 5  # 0.002, 0.004, ..., 0.010
+
+
+def test_planner_tick_shim_warns_and_delegates():
+    fleet = small_fleet()
+    with pytest.deprecated_call():
+        fleet.planner.tick()
+
+
+def test_event_clock_leaves_idle_hosts_behind_until_woken():
+    fleet = small_fleet(clock="event")
+    fleet.advance_to(0.02)
+    assert fleet.now == pytest.approx(0.02)
+    # Hosts run periodic tasks (arbiter/monitor may be off in defaults),
+    # but whatever their local clocks read, wake() must land them on
+    # fleet time exactly.
+    fleet.wake("host01")
+    assert fleet.host("host01").now == pytest.approx(0.02)
+
+
+def test_unknown_clock_name_rejected():
+    with pytest.raises(FleetError, match="unknown fleet clock"):
+        small_fleet(clock="metronome")
+
+
+def test_telemetry_max_age_is_deprecated_and_ignored():
+    with pytest.deprecated_call():
+        fleet = small_fleet(telemetry_max_age=0.5)
+    # Ignored: the rollup is push-invalidated, no staleness window kept.
+    assert fleet.telemetry.max_age is None
 
 
 # -- remapping ---------------------------------------------------------------
@@ -132,5 +163,5 @@ def test_shutdown_stops_resilient_hosts():
     fleet = small_fleet(resilience=True)
     for _host_id, host in fleet.hosts():
         assert host.recovery is not None
-    fleet.run_until(0.01)
+    fleet.advance_to(0.01)
     fleet.shutdown()

@@ -82,7 +82,7 @@ def test_recovery_escalation_migrates_to_healthy_host():
     # Kill the placement's only uplink; local recovery cannot replace a
     # pipe whose source NIC lost its sole attach, so it escalates.
     FailureInjector(fleet.host("host00").network).fail_link("pcie-nic0")
-    fleet.run_until(0.2)
+    fleet.advance_to(0.2)
 
     assert fleet.scheduler.host_of("a") == "host01"
     rescue = [r for r in fleet.planner.migrations(kind="escalate") if r.ok]
@@ -99,7 +99,7 @@ def test_rebalance_moves_load_off_the_hottest_host():
         fleet.submit(kv(f"i{i}", bandwidth=Gbps(60), src="nic0"))
     assert all(p.host_id == "host00" for p in fleet.placements())
 
-    fleet.run_until(0.01)
+    fleet.advance_to(0.01)
     moved = fleet.planner.migrations(kind="rebalance", ok_only=True)
     assert moved, "rebalance never fired"
     assert {p.host_id for p in fleet.placements()} == {"host00", "host01"}
@@ -111,5 +111,5 @@ def test_rebalance_respects_threshold():
     fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit",
                   max_attempts=1, rebalance_threshold=0.95)
     fleet.submit(kv("a", bandwidth=Gbps(60)))
-    fleet.run_until(0.01)
+    fleet.advance_to(0.01)
     assert fleet.planner.migrations(kind="rebalance") == []

@@ -193,8 +193,8 @@ def test_headroom_attach_free_tracks_reservations():
     assert after.placements == 1
 
 
-def test_headroom_cache_hits_within_max_age():
-    fleet = Fleet("cascade_lake_2s", hosts=1, telemetry_max_age=1.0)
+def test_headroom_cache_serves_until_invalidated():
+    fleet = Fleet("cascade_lake_2s", hosts=1)
     fleet.telemetry.headroom("host00")
     count = fleet.telemetry.refresh_count
     fleet.telemetry.headroom("host00")
@@ -202,6 +202,18 @@ def test_headroom_cache_hits_within_max_age():
     fleet.telemetry.invalidate("host00")
     fleet.telemetry.headroom("host00")
     assert fleet.telemetry.refresh_count == count + 1
+
+
+def test_headroom_cache_invalidated_by_reservation_change():
+    fleet = Fleet("cascade_lake_2s", hosts=1)
+    fleet.telemetry.headroom("host00")
+    count = fleet.telemetry.refresh_count
+    # Submit/release change the ledger; the manager's change listener
+    # must dirty the summary without anyone calling invalidate().
+    fleet.host("host00").manager.submit(kv("direct", bandwidth=Gbps(10)))
+    after = fleet.telemetry.headroom("host00")
+    assert fleet.telemetry.refresh_count == count + 1
+    assert after.placements == 1
 
 
 def test_down_link_marks_host_unavailable():
