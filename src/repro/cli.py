@@ -19,6 +19,11 @@ paper's tooling would be driven in production:
   multi-host fleet through a seeded churn workload under the cluster
   scheduler (``--clock event`` by default; ``lockstep`` for the
   reference discipline);
+* ``fleet replay [--trace FILE --hosts N --policy P --compare]`` —
+  replay a datacenter trace (Alibaba-style CSV/JSON, or a seeded
+  synthesized one when no file is given) against the fleet and print a
+  rejection/JCT/SLO report, optionally comparing every policy on
+  byte-identical load and writing a machine-readable JSON report;
 * ``fleet describe [--hosts N]`` — print a fresh fleet's layout;
 * ``presets`` — list available host presets.
 
@@ -283,6 +288,7 @@ def _make_fleet(args: argparse.Namespace):
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     """``fleet run``: seeded churn against a multi-host cluster;
+    ``fleet replay``: datacenter-trace replay with an SLO/JCT report;
     ``fleet describe``: print a fresh fleet's layout."""
     if args.hosts < 1:
         print(f"fleet: --hosts must be >= 1, got {args.hosts}",
@@ -295,11 +301,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         finally:
             fleet.shutdown()
         return 0
+    if args.fleet_command == "replay":
+        return _cmd_fleet_replay(args)
 
     from .fleet import FleetChurnConfig, run_churn
 
     config = FleetChurnConfig(seed=args.seed, horizon=args.horizon,
-                              arrival_rate=args.arrival_rate)
+                              arrival_rate=args.arrival_rate,
+                              drain=args.drain)
     fleet = _make_fleet(args)
     try:
         report = run_churn(fleet, config)
@@ -308,6 +317,73 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(fleet.describe())
     finally:
         fleet.shutdown()
+    return 0
+
+
+def _cmd_fleet_replay(args: argparse.Namespace) -> int:
+    """``fleet replay``: one trace, one (or every) policy, one report."""
+    from .workloads.cluster_traces import (
+        IngestConfig,
+        ReplayConfig,
+        SynthTraceConfig,
+        compare_policies,
+        load_trace,
+        replay_trace,
+        synthesize_trace,
+    )
+
+    from .errors import WorkloadError
+
+    if args.trace is not None:
+        try:
+            trace = load_trace(
+                args.trace,
+                IngestConfig(time_scale=args.time_scale),
+                fmt=args.format,
+            )
+        except (OSError, WorkloadError) as exc:
+            print(f"fleet replay: cannot load {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        trace = synthesize_trace(SynthTraceConfig(
+            seed=args.seed, tasks=args.tasks, tenants=args.tenants,
+            horizon=args.horizon,
+        ))
+    print(trace.describe())
+
+    config = ReplayConfig(slo_stretch=args.slo_stretch,
+                          retry=not args.no_retry,
+                          samples=args.samples)
+    if args.compare:
+        from .fleet import PLACEMENT_POLICIES
+
+        comparison = compare_policies(
+            trace, sorted(PLACEMENT_POLICIES),
+            topology=args.preset, hosts=args.hosts, clock=args.clock,
+            max_attempts=args.max_attempts, config=config,
+            rebalance_threshold=args.rebalance_threshold,
+        )
+        print()
+        print(comparison.describe())
+        payload = comparison.to_json()
+    else:
+        from .fleet import Fleet
+
+        fleet = Fleet(args.preset, hosts=args.hosts, policy=args.policy,
+                      clock=args.clock, max_attempts=args.max_attempts,
+                      rebalance_threshold=args.rebalance_threshold)
+        try:
+            report = replay_trace(fleet, trace, config)
+        finally:
+            fleet.shutdown()
+        print()
+        print(report.describe())
+        payload = report.to_json()
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"\nwrote {args.report}")
     return 0
 
 
@@ -378,17 +454,21 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run = fleet_sub.add_parser(
         "run", help="seeded churn workload under the cluster scheduler"
     )
+    fleet_replay = fleet_sub.add_parser(
+        "replay", help="replay a datacenter trace (or a synthesized "
+                       "one) with an SLO/JCT report"
+    )
     fleet_describe = fleet_sub.add_parser(
         "describe", help="print a fresh fleet's layout"
     )
-    for p in (fleet_run, fleet_describe):
+    for p in (fleet_run, fleet_replay, fleet_describe):
         p.add_argument("--hosts", type=int, default=4,
                        help="number of hosts in the fleet")
         p.add_argument("--policy", default="best-fit",
+                       type=lambda s: s.replace("_", "-"),
                        choices=sorted(PLACEMENT_POLICIES),
-                       help="placement policy")
-        p.add_argument("--max-attempts", type=int, default=None,
-                       help="per-intent host-probe bound (default: all)")
+                       help="placement policy (underscore spellings "
+                            "accepted)")
         p.add_argument("--rebalance-threshold", type=float, default=None,
                        help="peak-reserved skew that triggers a rebalance "
                             "move (default: disabled)")
@@ -398,12 +478,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "hosts with pending work (fast, default); "
                             "'lockstep' advances every host each quantum "
                             "(reference)")
+    for p in (fleet_run, fleet_describe):
+        p.add_argument("--max-attempts", type=int, default=None,
+                       help="per-intent host-probe bound (default: all)")
     fleet_run.add_argument("--seed", type=int, default=0,
                            help="workload seed (fully deterministic)")
     fleet_run.add_argument("--horizon", type=float, default=0.25,
                            help="simulated seconds of churn")
     fleet_run.add_argument("--arrival-rate", type=float, default=2000.0,
                            help="intent arrivals per simulated second")
+    fleet_run.add_argument("--drain", action="store_true",
+                           help="release every live session at horizon "
+                                "end (un-truncated utilization stats)")
+    # Replay bounds probing by default: at fleet scale the *ranking*
+    # should decide placement, not an O(hosts) probe sweep per reject.
+    fleet_replay.add_argument("--max-attempts", type=int, default=8,
+                              help="per-intent host-probe bound "
+                                   "(default: 8)")
+    fleet_replay.add_argument("--trace", default=None,
+                              help="trace file (Alibaba-style CSV, raw "
+                                   "JSON rows, or a serialized "
+                                   "ClusterTrace); omit to synthesize")
+    fleet_replay.add_argument("--format", default="auto",
+                              choices=["auto", "csv", "json"],
+                              help="trace file format (default: by "
+                                   "extension)")
+    fleet_replay.add_argument("--time-scale", type=float, default=1.0,
+                              help="compress ingested timestamps by this "
+                                   "factor (real traces span hours)")
+    fleet_replay.add_argument("--seed", type=int, default=0,
+                              help="synthesizer seed (fully "
+                                   "deterministic)")
+    fleet_replay.add_argument("--tasks", type=int, default=10_000,
+                              help="synthesized task count")
+    fleet_replay.add_argument("--tenants", type=int, default=128,
+                              help="synthesized tenant pool size")
+    fleet_replay.add_argument("--horizon", type=float, default=20.0,
+                              help="synthesized arrival horizon "
+                                   "(simulated seconds)")
+    fleet_replay.add_argument("--slo-stretch", type=float, default=1.5,
+                              help="SLO bound as a multiple of task "
+                                   "duration (default: 1.5)")
+    fleet_replay.add_argument("--no-retry", action="store_true",
+                              help="make every first rejection final")
+    fleet_replay.add_argument("--samples", type=int, default=32,
+                              help="host-utilization sampling points")
+    fleet_replay.add_argument("--compare", action="store_true",
+                              help="replay once per policy on "
+                                   "byte-identical load and print the "
+                                   "comparison table")
+    fleet_replay.add_argument("--report", default=None,
+                              help="write the machine-readable JSON "
+                                   "report here")
     return parser
 
 

@@ -207,12 +207,17 @@ PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
 
 
 def make_policy(policy: Union[str, PlacementPolicy]) -> PlacementPolicy:
-    """Resolve a policy name (or pass an instance through)."""
+    """Resolve a policy name (or pass an instance through).
+
+    Underscore spellings (``best_fit``) are accepted as aliases for the
+    canonical dashed names, so CLI users and configs written either way
+    resolve to the same policy.
+    """
     if isinstance(policy, PlacementPolicy):
         return policy
     try:
-        return PLACEMENT_POLICIES[policy]()
-    except KeyError:
+        return PLACEMENT_POLICIES[policy.replace("_", "-")]()
+    except (KeyError, AttributeError):
         raise FleetError(
             f"unknown placement policy {policy!r}; "
             f"choices: {sorted(PLACEMENT_POLICIES)}"

@@ -34,12 +34,20 @@ class FleetChurnConfig:
         tenants: Size of the tenant pool intents are drawn from.
         horizon: Simulated seconds of churn.
         arrival_rate: Intent arrivals per simulated second (fleet-wide).
-        mean_holding: Mean intent lifetime (exponential; sessions
-            outliving the horizon are simply never released).
+        mean_holding: Mean intent lifetime (exponential).  By default
+            sessions outliving the horizon are simply never released,
+            which truncation-biases utilization and lifetime stats; see
+            ``drain``.
         small_bandwidth: (lo, hi) bytes/s of the churning crowd.
         large_bandwidth: (lo, hi) bytes/s of the heavy tail.
         large_fraction: Probability an arrival is heavy-tail.
         bidirectional_fraction: Probability a pipe guards both directions.
+        drain: When ``True``, every session still live at the horizon is
+            released exactly at horizon end, so ``released`` equals
+            ``admitted`` and end-of-run per-host counts measure policy,
+            not truncation.  The arrival/size draws are unchanged — a
+            drained run admits and rejects identically to an undrained
+            one with the same seed.
     """
 
     seed: int = 0
@@ -51,6 +59,7 @@ class FleetChurnConfig:
     large_bandwidth: Tuple[float, float] = (Gbps(120), Gbps(200))
     large_fraction: float = 0.2
     bidirectional_fraction: float = 0.25
+    drain: bool = False
 
 
 @dataclass
@@ -142,6 +151,13 @@ def generate_events(config: FleetChurnConfig,
         departure = t + rng.expovariate(1.0 / config.mean_holding)
         if departure < config.horizon:
             events.append((departure, seq, "depart", intent.intent_id))
+            seq += 1
+        elif config.drain:
+            # Clamp to the horizon instead of dropping: the RNG draw
+            # above happens either way, so drained and undrained runs
+            # stay event-for-event identical until the horizon.
+            events.append((config.horizon, seq, "depart",
+                           intent.intent_id))
             seq += 1
         index += 1
     events.sort(key=lambda e: (e[0], e[1]))

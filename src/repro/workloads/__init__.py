@@ -1,4 +1,9 @@
-"""Synthetic workloads: tenants, arrival generators, applications, traces."""
+"""Synthetic workloads: tenants, arrival generators, applications, traces.
+
+Datacenter-trace ingestion and fleet-scale replay live in the
+:mod:`~repro.workloads.cluster_traces` subpackage (imported lazily by the
+fleet CLI; re-exported here for library users).
+"""
 
 from .apps import (
     Application,
@@ -12,6 +17,21 @@ from .apps import (
 )
 from .generators import ClosedLoopGenerator, OpenLoopGenerator
 from .tenants import Tenant, TenantRegistry
+from .cluster_traces import (
+    ClusterTask,
+    ClusterTrace,
+    IngestConfig,
+    PolicyComparison,
+    ReplayConfig,
+    ReplayReport,
+    SynthTraceConfig,
+    compare_policies,
+    ingest_csv,
+    ingest_json,
+    load_trace,
+    replay_trace,
+    synthesize_trace,
+)
 from .traces import (
     ARCHETYPE_DEFAULTS,
     AppKind,
@@ -40,4 +60,17 @@ __all__ = [
     "TraceGenerator",
     "TraceReplayer",
     "ARCHETYPE_DEFAULTS",
+    "ClusterTask",
+    "ClusterTrace",
+    "IngestConfig",
+    "SynthTraceConfig",
+    "synthesize_trace",
+    "ingest_csv",
+    "ingest_json",
+    "load_trace",
+    "ReplayConfig",
+    "ReplayReport",
+    "PolicyComparison",
+    "replay_trace",
+    "compare_policies",
 ]

@@ -1,0 +1,54 @@
+"""``repro.workloads.cluster_traces`` — datacenter traces, fleet scale.
+
+The fleet layer's standard workload harness (ROADMAP #1): real or
+synthesized datacenter task tables, normalized into one versioned
+:class:`ClusterTrace` schema, replayed against a multi-host
+:class:`~repro.fleet.Fleet` through its event-driven clock, and scored
+into a per-policy SLO/JCT comparison report.  See DESIGN.md §13.
+
+* :mod:`~repro.workloads.cluster_traces.schema` — the normalized task
+  schema (:class:`ClusterTask`, :class:`ClusterTrace`) with a versioned
+  JSON round-trip;
+* :mod:`~repro.workloads.cluster_traces.ingest` — Alibaba-cluster-trace
+  style CSV/JSON task tables → normalized traces;
+* :mod:`~repro.workloads.cluster_traces.synth` — a seeded synthesizer
+  emitting the same schema when no real trace file is given;
+* :mod:`~repro.workloads.cluster_traces.replay` — trace → fleet replay
+  (arrivals as placement intents, timed releases, deterministic retry
+  queue) producing :class:`ReplayReport` / :class:`PolicyComparison`.
+"""
+
+from .ingest import (
+    ColumnMap,
+    IngestConfig,
+    ingest_csv,
+    ingest_json,
+    load_trace,
+)
+from .replay import (
+    PolicyComparison,
+    ReplayConfig,
+    ReplayReport,
+    compare_policies,
+    replay_trace,
+)
+from .schema import SCHEMA_VERSION, ClusterTask, ClusterTrace
+from .synth import SynthTraceConfig, synthesize_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ClusterTask",
+    "ClusterTrace",
+    "ColumnMap",
+    "IngestConfig",
+    "ingest_csv",
+    "ingest_json",
+    "load_trace",
+    "SynthTraceConfig",
+    "synthesize_trace",
+    "ReplayConfig",
+    "ReplayReport",
+    "PolicyComparison",
+    "replay_trace",
+    "compare_policies",
+]

@@ -182,3 +182,52 @@ def test_fleet_rejects_bad_hosts(capsys):
 def test_fleet_requires_subcommand():
     with pytest.raises(SystemExit):
         main(["fleet"])
+
+
+def test_fleet_run_drain(capsys):
+    code, out = run_cli(capsys, "fleet", "run", "--hosts", "2",
+                        "--seed", "5", "--horizon", "0.05",
+                        "--arrival-rate", "800", "--drain")
+    assert code == 0
+    assert "0 intents at end" in out or "intents at end" not in out
+
+
+def test_fleet_replay_synthesized(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    code, out = run_cli(capsys, "fleet", "replay", "--hosts", "2",
+                        "--policy", "best_fit", "--tasks", "60",
+                        "--tenants", "8", "--horizon", "1.0",
+                        "--report", str(report_path))
+    assert code == 0
+    assert "ClusterTrace" in out
+    assert "policy=best-fit" in out  # underscore alias resolved
+    assert "SLO" in out
+    import json
+    payload = json.loads(report_path.read_text())
+    assert payload["schema"] == "repro.cluster-replay/v1"
+    assert payload["counts"]["submitted"] == 60
+
+
+def test_fleet_replay_compare(capsys):
+    code, out = run_cli(capsys, "fleet", "replay", "--hosts", "2",
+                        "--tasks", "40", "--tenants", "8",
+                        "--horizon", "1.0", "--compare")
+    assert code == 0
+    assert "policy comparison" in out
+    assert "first-fit" in out and "best-fit" in out and "spread" in out
+
+
+def test_fleet_replay_ingests_fixture(capsys):
+    from .test_cluster_traces import FIXTURE
+    code, out = run_cli(capsys, "fleet", "replay", "--hosts", "2",
+                        "--trace", FIXTURE, "--time-scale", "0.05")
+    assert code == 0
+    assert "alibaba_batch_task_sample" in out
+    assert "33 tasks" in out
+
+
+def test_fleet_replay_missing_trace_file(capsys):
+    code, out, err = run_cli_err(capsys, "fleet", "replay",
+                                 "--trace", "/nonexistent/trace.csv")
+    assert code == 2
+    assert "trace" in err.lower()

@@ -1,0 +1,142 @@
+"""The PR-6 deprecation shims: each warns exactly once and delegates.
+
+The scheduling-surface redesign kept the old entry points alive as thin
+shims so downstream scripts keep running.  These tests pin the contract
+those shims promised: every call emits exactly one ``DeprecationWarning``
+(not zero, not a cascade from nested shims) and then behaves exactly like
+the replacement it points at.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import pipe
+from repro.fleet import Fleet, FleetTelemetry
+from repro.units import Gbps
+
+
+def fresh_fleet(**kwargs):
+    kwargs.setdefault("hosts", 2)
+    kwargs.setdefault("policy", "best-fit")
+    return Fleet("cascade_lake_2s", **kwargs)
+
+
+def sole_deprecation(caught):
+    """Assert exactly one DeprecationWarning was caught; return it."""
+    deps = [w for w in caught
+            if issubclass(w.category, DeprecationWarning)]
+    assert len(deps) == 1, [str(w.message) for w in deps]
+    return deps[0]
+
+
+def test_fleet_run_until_warns_once_and_syncs_hosts():
+    fleet = fresh_fleet()
+    try:
+        fleet.try_submit(pipe("i0", "t0", src="nic0", dst="dimm0-0",
+                              bandwidth=Gbps(10)))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fleet.run_until(0.05)
+        warning = sole_deprecation(caught)
+        assert "advance_to" in str(warning.message)
+        # The historical contract: every host clock is at fleet time.
+        assert fleet.now == pytest.approx(0.05)
+        for host_id in fleet.host_ids():
+            assert fleet.host(host_id).engine.now == pytest.approx(0.05)
+    finally:
+        fleet.shutdown()
+
+
+def test_fleet_run_until_matches_advance_plus_sync():
+    """The shim's event count equals advance_to + sync_hosts done by hand."""
+    def submit(fleet):
+        fleet.try_submit(pipe("i0", "t0", src="nic0", dst="dimm0-0",
+                              bandwidth=Gbps(10)))
+
+    shim = fresh_fleet()
+    manual = fresh_fleet()
+    try:
+        submit(shim)
+        submit(manual)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = shim.run_until(0.05)
+        via_manual = manual.clock.advance_to(0.05)
+        via_manual += manual.clock.sync_hosts()
+        assert via_shim == via_manual
+    finally:
+        shim.shutdown()
+        manual.shutdown()
+
+
+def test_planner_tick_warns_once_and_delegates_to_control():
+    fleet = fresh_fleet(rebalance_threshold=0.3)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fleet.planner.tick()
+        warning = sole_deprecation(caught)
+        assert "control()" in str(warning.message)
+    finally:
+        fleet.shutdown()
+
+
+def test_telemetry_refresh_warns_once_and_returns_current_headroom():
+    fleet = fresh_fleet()
+    try:
+        fleet.try_submit(pipe("i0", "t0", src="nic0", dst="dimm0-0",
+                              bandwidth=Gbps(25)))
+        host_id = sorted(fleet.host_ids())[0]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = fleet.telemetry.refresh(host_id)
+        warning = sole_deprecation(caught)
+        assert "headroom()" in str(warning.message)
+        assert shimmed == fleet.telemetry.headroom(host_id)
+    finally:
+        fleet.shutdown()
+
+
+def test_fleet_telemetry_max_age_kwarg_warns_once_and_is_ignored():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        telemetry = FleetTelemetry(max_age=0.5)
+    warning = sole_deprecation(caught)
+    assert "max_age" in str(warning.message)
+    assert telemetry.max_age == 0.5  # kept for introspection, never read
+
+
+def test_fleet_telemetry_default_construction_is_warning_free():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        FleetTelemetry()
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_fleet_telemetry_max_age_ctor_arg_warns_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fleet = fresh_fleet(telemetry_max_age=1.0)
+        fleet.shutdown()
+    warning = sole_deprecation(caught)
+    assert "telemetry_max_age" in str(warning.message)
+
+
+def test_modern_surface_is_warning_free():
+    """advance_to/wake/control/headroom emit no deprecation noise."""
+    fleet = fresh_fleet(rebalance_threshold=0.3)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fleet.try_submit(pipe("i0", "t0", src="nic0", dst="dimm0-0",
+                                  bandwidth=Gbps(10)))
+            fleet.advance_to(0.05)
+            fleet.planner.control()
+            for host_id in fleet.host_ids():
+                fleet.telemetry.headroom(host_id)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    finally:
+        fleet.shutdown()

@@ -68,6 +68,54 @@ def test_rebalancing_fleet_is_still_deterministic():
     assert first[1], "expected at least one rebalance move"
 
 
+# -- drain mode --------------------------------------------------------------
+
+
+def test_drain_releases_every_live_session_at_horizon():
+    fleet = fresh_fleet()
+    report = run_churn(fleet, FleetChurnConfig(
+        seed=11, horizon=0.08, arrival_rate=1500.0, drain=True))
+    assert report.released == report.admitted
+    assert not report.placements
+    assert not fleet.placements()
+    fleet.shutdown()
+
+
+def test_drain_does_not_perturb_admission_decisions():
+    """Drained and undrained same-seed runs admit and reject identically:
+    the extra departures all land at the horizon, after every admission
+    decision has been made."""
+    undrained = run_churn(fresh_fleet(), CONFIG)
+    drained_config = FleetChurnConfig(
+        seed=CONFIG.seed, horizon=CONFIG.horizon,
+        arrival_rate=CONFIG.arrival_rate, drain=True)
+    drained = run_churn(fresh_fleet(), drained_config)
+    assert drained.submitted == undrained.submitted
+    assert drained.admitted == undrained.admitted
+    assert drained.rejected == undrained.rejected
+    # Undrained keeps sessions past the horizon; drain releases them.
+    assert undrained.released < undrained.admitted
+    assert drained.released == drained.admitted
+
+
+def test_drain_event_stream_is_superset_clamped_to_horizon():
+    fleet = fresh_fleet()
+    base = generate_events(CONFIG, fleet)
+    drained = generate_events(
+        FleetChurnConfig(seed=CONFIG.seed, horizon=CONFIG.horizon,
+                         arrival_rate=CONFIG.arrival_rate, drain=True),
+        fleet)
+    fleet.shutdown()
+    assert len(drained) > len(base)
+    extra = drained[len(base):]
+    # Shared prefix is event-for-event identical...
+    assert [(t, k) for t, _s, k, _p in drained[:len(base)]] \
+        == [(t, k) for t, _s, k, _p in base]
+    # ...and every extra event is a depart pinned at the horizon.
+    assert all(k == "depart" and t == CONFIG.horizon
+               for t, _s, k, _p in extra)
+
+
 # -- migration conserves intents and allocated bandwidth ---------------------
 
 
