@@ -24,6 +24,12 @@ paper's tooling would be driven in production:
   synthesized one when no file is given) against the fleet and print a
   rejection/JCT/SLO report, optionally comparing every policy on
   byte-identical load and writing a machine-readable JSON report;
+  ``--faults K`` injects a seeded host-fault schedule during the
+  replay, turning the report into an SLO-under-failure study;
+* ``fleet chaos [--hosts N --seed S --fault-rate R]`` — seeded
+  fleet-scale fault campaign (crashes, degrades, partitions) under
+  churn with self-healing evacuation, audited by the fleet invariant
+  oracle (exit 1 on any violation);
 * ``fleet describe [--hosts N]`` — print a fresh fleet's layout;
 * ``presets`` — list available host presets.
 
@@ -289,11 +295,14 @@ def _make_fleet(args: argparse.Namespace):
 def cmd_fleet(args: argparse.Namespace) -> int:
     """``fleet run``: seeded churn against a multi-host cluster;
     ``fleet replay``: datacenter-trace replay with an SLO/JCT report;
+    ``fleet chaos``: seeded fault campaign with the fleet oracle;
     ``fleet describe``: print a fresh fleet's layout."""
     if args.hosts < 1:
         print(f"fleet: --hosts must be >= 1, got {args.hosts}",
               file=sys.stderr)
         return 2
+    if args.fleet_command == "chaos":
+        return _cmd_fleet_chaos(args)
     if args.fleet_command == "describe":
         fleet = _make_fleet(args)
         try:
@@ -318,6 +327,65 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     finally:
         fleet.shutdown()
     return 0
+
+
+def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
+    """``fleet chaos``: one seeded fleet fault campaign, oracle-audited.
+
+    ``--fault-rate`` is faults per simulated second; the schedule length
+    is ``max(1, round(rate * horizon))``.  Exit 0 when the invariant
+    oracle stayed green throughout, 1 on any violation, 2 on bad args.
+    """
+    if args.fault_rate <= 0:
+        print(f"fleet chaos: --fault-rate must be > 0, "
+              f"got {args.fault_rate}", file=sys.stderr)
+        return 2
+    if args.horizon <= 0:
+        print(f"fleet chaos: --horizon must be > 0, got {args.horizon}",
+              file=sys.stderr)
+        return 2
+    from .errors import FleetError
+    from .fleet import FleetChaosConfig, run_fleet_campaign
+
+    faults = max(1, round(args.fault_rate * args.horizon))
+    try:
+        config = FleetChaosConfig(
+            seed=args.seed, hosts=args.hosts, topology=args.preset,
+            policy=args.policy, clock=args.clock,
+            failure_domains=args.domains, horizon=args.horizon,
+            faults=faults,
+        )
+    except FleetError as exc:
+        print(f"fleet chaos: {exc}", file=sys.stderr)
+        return 2
+    report = run_fleet_campaign(config)
+    print(report.describe())
+    if args.report is not None:
+        import json
+
+        payload = dict(report.outcome_dict(), clock=args.clock,
+                       hosts=args.hosts, passed=report.passed)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.report}")
+    return 0 if report.passed else 1
+
+
+def _fault_schedule(args: argparse.Namespace, horizon: float):
+    """A seeded fault schedule over the replay fleet's host ids.
+
+    Built from a standalone :class:`FleetHealth` (same ``hostNN`` naming
+    the fleet uses), so ``--compare`` replays the identical storm
+    against every policy's fresh fleet.
+    """
+    from .fleet import FleetFaultConfig, FleetHealth, generate_fault_schedule
+
+    health = FleetHealth([f"host{i:02d}" for i in range(args.hosts)],
+                         domains=args.domains)
+    config = FleetFaultConfig(seed=args.seed, faults=args.faults,
+                              horizon=horizon)
+    return generate_fault_schedule(config, health)
 
 
 def _cmd_fleet_replay(args: argparse.Namespace) -> int:
@@ -355,6 +423,15 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
     config = ReplayConfig(slo_stretch=args.slo_stretch,
                           retry=not args.no_retry,
                           samples=args.samples)
+    schedule = None
+    if args.faults > 0:
+        if args.hosts < 2:
+            print("fleet replay: --faults needs --hosts >= 2 (somewhere "
+                  "to evacuate to)", file=sys.stderr)
+            return 2
+        schedule = _fault_schedule(args, trace.horizon)
+        print()
+        print(schedule.describe())
     if args.compare:
         from .fleet import PLACEMENT_POLICIES
 
@@ -362,7 +439,9 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
             trace, sorted(PLACEMENT_POLICIES),
             topology=args.preset, hosts=args.hosts, clock=args.clock,
             max_attempts=args.max_attempts, config=config,
+            faults=schedule,
             rebalance_threshold=args.rebalance_threshold,
+            failure_domains=args.domains,
         )
         print()
         print(comparison.describe())
@@ -372,9 +451,10 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
 
         fleet = Fleet(args.preset, hosts=args.hosts, policy=args.policy,
                       clock=args.clock, max_attempts=args.max_attempts,
-                      rebalance_threshold=args.rebalance_threshold)
+                      rebalance_threshold=args.rebalance_threshold,
+                      failure_domains=args.domains)
         try:
-            report = replay_trace(fleet, trace, config)
+            report = replay_trace(fleet, trace, config, faults=schedule)
         finally:
             fleet.shutdown()
         print()
@@ -458,26 +538,33 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a datacenter trace (or a synthesized "
                        "one) with an SLO/JCT report"
     )
+    fleet_chaos = fleet_sub.add_parser(
+        "chaos", help="seeded fleet fault campaign (crashes/degrades/"
+                      "partitions) under churn, audited by the fleet "
+                      "invariant oracle"
+    )
     fleet_describe = fleet_sub.add_parser(
         "describe", help="print a fresh fleet's layout"
     )
-    for p in (fleet_run, fleet_replay, fleet_describe):
-        p.add_argument("--hosts", type=int, default=4,
+    for p in (fleet_run, fleet_replay, fleet_chaos, fleet_describe):
+        p.add_argument("--hosts", type=int,
+                       default=8 if p is fleet_chaos else 4,
                        help="number of hosts in the fleet")
         p.add_argument("--policy", default="best-fit",
                        type=lambda s: s.replace("_", "-"),
                        choices=sorted(PLACEMENT_POLICIES),
                        help="placement policy (underscore spellings "
                             "accepted)")
-        p.add_argument("--rebalance-threshold", type=float, default=None,
-                       help="peak-reserved skew that triggers a rebalance "
-                            "move (default: disabled)")
         p.add_argument("--clock", default="event",
                        choices=sorted(FLEET_CLOCKS),
                        help="fleet clock discipline: 'event' wakes only "
                             "hosts with pending work (fast, default); "
                             "'lockstep' advances every host each quantum "
                             "(reference)")
+    for p in (fleet_run, fleet_replay, fleet_describe):
+        p.add_argument("--rebalance-threshold", type=float, default=None,
+                       help="peak-reserved skew that triggers a rebalance "
+                            "move (default: disabled)")
     for p in (fleet_run, fleet_describe):
         p.add_argument("--max-attempts", type=int, default=None,
                        help="per-intent host-probe bound (default: all)")
@@ -527,9 +614,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="replay once per policy on "
                                    "byte-identical load and print the "
                                    "comparison table")
+    fleet_replay.add_argument("--faults", type=int, default=0,
+                              help="inject this many seeded host faults "
+                                   "over the trace horizon (0 = none); "
+                                   "with --compare every policy endures "
+                                   "the identical storm")
+    fleet_replay.add_argument("--domains", type=int, default=1,
+                              help="failure domains to spread hosts over")
     fleet_replay.add_argument("--report", default=None,
                               help="write the machine-readable JSON "
                                    "report here")
+
+    fleet_chaos.add_argument("--seed", type=int, default=0,
+                             help="campaign seed (fully deterministic)")
+    fleet_chaos.add_argument("--fault-rate", type=float, default=40.0,
+                             help="fault injections per simulated second "
+                                  "(schedule length = rate * horizon)")
+    fleet_chaos.add_argument("--horizon", type=float, default=0.3,
+                             help="simulated seconds of churn")
+    fleet_chaos.add_argument("--domains", type=int, default=4,
+                             help="failure domains to spread hosts over")
+    fleet_chaos.add_argument("--report", default=None,
+                             help="write the machine-readable JSON "
+                                  "outcome here")
     return parser
 
 

@@ -62,11 +62,40 @@ class FleetClock:
         # once keeps the per-event hot path free of host lookups.
         self._engines = {host_id: host.engine
                          for host_id, host in fleet.hosts()}
+        # Crashed hosts: frozen in time, never advanced or woken until
+        # reactivated (see FleetFaultInjector).
+        self._inactive: set = set()
 
     @property
     def now(self) -> float:
         """Current fleet time."""
         return self._now
+
+    def is_active(self, host_id: str) -> bool:
+        """Whether *host_id* is being advanced (not crashed)."""
+        return host_id not in self._inactive
+
+    def deactivate(self, host_id: str) -> None:
+        """Freeze *host_id*: no advances, wakes become no-ops.
+
+        A crashed host's engine keeps its pending events (arbiter ticks,
+        retries) so reactivation can replay them deterministically; it
+        simply stops observing fleet time while inactive.
+        """
+        if host_id not in self._engines:
+            self.fleet.host(host_id)  # raises UnknownHostError
+        self._inactive.add(host_id)
+
+    def reactivate(self, host_id: str) -> int:
+        """Unfreeze *host_id* and catch its local clock up to fleet time.
+
+        The backlog accumulated while frozen (periodic arbiter ticks and
+        so on) replays in one burst at reactivation — identically under
+        both clock disciplines, since both see the same fleet time here.
+        Returns the number of host events processed catching up.
+        """
+        self._inactive.discard(host_id)
+        return self.wake(host_id)
 
     def _check_target(self, t: float) -> None:
         if t < self._now - _CLOCK_EPS:
@@ -89,6 +118,8 @@ class FleetClock:
         fleet time no matter how lazily the host has been advanced.
         Returns the number of host events processed.
         """
+        if host_id in self._inactive:
+            return 0  # crashed: frozen in time until reactivated
         target = self._now if t is None else t
         engine = self._engines.get(host_id)
         if engine is None:  # unknown id: raise UnknownHostError
@@ -124,7 +155,9 @@ class FleetClock:
         processed = 0
         while self._now < t - _CLOCK_EPS:
             boundary = min(t, self._now + self.quantum)
-            for _host_id, host in self.fleet.hosts():
+            for host_id, host in self.fleet.hosts():
+                if host_id in self._inactive:
+                    continue  # crashed: frozen in time
                 processed += host.engine.run_until(boundary)
             self._now = boundary
             self.fleet.planner.control()
@@ -185,6 +218,8 @@ class EventDrivenFleetClock(FleetClock):
     def _prime(self) -> None:
         self._heap = []
         for host_id, engine in self._engines.items():
+            if host_id in self._inactive:
+                continue  # crashed hosts never enter the heap
             t_ev = engine.peek_time()
             if t_ev is not None:
                 self._heap.append((t_ev, host_id))
@@ -199,13 +234,15 @@ class EventDrivenFleetClock(FleetClock):
         the heap's earliest-event invariant without rescanning the fleet.
         Duplicate and stale entries are discarded during the advance.
         """
-        if not self._primed:
+        if not self._primed or host_id in self._inactive:
             return
         t_ev = self.fleet.host(host_id).engine.peek_time()
         if t_ev is not None:
             heapq.heappush(self._heap, (t_ev, host_id))
 
     def wake(self, host_id: str, t: Optional[float] = None) -> int:
+        if host_id in self._inactive:
+            return 0  # crashed: frozen in time until reactivated
         target = self._now if t is None else t
         engine = self._engines.get(host_id)
         if engine is None:  # unknown id: raise UnknownHostError
@@ -242,6 +279,10 @@ class EventDrivenFleetClock(FleetClock):
         processed = 0
         while heap and heap[0][0] <= t + _CLOCK_EPS:
             t_ev, host_id = heap[0]
+            if host_id in self._inactive:
+                # Crashed since this entry was pushed: lazily evicted.
+                heapq.heappop(heap)
+                continue
             engine = engines[host_id]
             actual = engine.peek_time()
             if actual != t_ev:

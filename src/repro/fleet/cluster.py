@@ -42,6 +42,7 @@ from ..host import Host
 from ..topology.graph import HostTopology
 from ..topology.presets import load_preset
 from .clock import FleetClock, make_clock
+from .faults import FleetHealth
 from .migration import MigrationPlanner
 from .placement import PlacementPolicy
 from .scheduler import ClusterScheduler, FleetPlacement
@@ -73,6 +74,10 @@ class Fleet:
             scheduler (``None`` probes every host).
         rebalance_threshold: Peak-reserved-fraction skew that triggers a
             rebalance move at a boundary; ``None`` (default) disables.
+        failure_domains: How many failure domains to spread hosts over
+            (round-robin by sorted host id).  The fault model crashes
+            and partitions whole domains; placement avoids faulted
+            domains.  Default 1 (no domain structure).
         telemetry_max_age: Deprecated and ignored — headroom summaries
             are push-invalidated now and always current.
         start: Initial simulated time for every host.
@@ -95,6 +100,7 @@ class Fleet:
         policy: Union[str, PlacementPolicy] = "best-fit",
         max_attempts: Optional[int] = None,
         rebalance_threshold: Optional[float] = None,
+        failure_domains: int = 1,
         telemetry_max_age: Optional[float] = None,
         start: float = 0.0,
         resilience=None,
@@ -142,6 +148,7 @@ class Fleet:
                         **host_kwargs)
             self._hosts[host_id] = host
             self.telemetry.attach(host_id, host)
+        self.health = FleetHealth(sorted(ids), domains=failure_domains)
         self.scheduler = ClusterScheduler(self, policy=policy,
                                           max_attempts=max_attempts)
         self.planner = MigrationPlanner(

@@ -13,6 +13,16 @@ on the source, submitted (device-remapped) on the destination, and on any
 destination failure reinstated on the source bit-for-bit via
 :meth:`~repro.core.manager.HostNetworkManager.reinstate` — a failed
 migration never strands or duplicates an intent.
+
+Under the fault model two new failure windows open.  A *pre-flight* check
+rejects legs touching a crashed host or crossing an active partition
+before any state moves (the source placement is untouched).  And if the
+**rollback itself** fails — the source degraded between release and
+reinstate, so the bit-for-bit restore no longer fits — the session is
+handed to the attached :class:`~repro.fleet.recovery.FleetRecoveryController`
+retry queue (or parked on :attr:`MigrationPlanner.orphans` when none is
+attached) instead of vanishing: every session is at all times placed,
+parked for retry, or explicitly shed.
 """
 
 from __future__ import annotations
@@ -76,6 +86,12 @@ class MigrationPlanner:
         self.max_moves_per_tick = max_moves_per_tick
         self.records: List[MigrationRecord] = []
         self._escalations: List[Tuple[str, str]] = []  # (host_id, intent_id)
+        #: Attached FleetRecoveryController (set by its constructor);
+        #: receives sessions orphaned by a failed rollback.
+        self.recovery = None
+        #: (intent, src_host_id, reason) for rollback-failure orphans
+        #: when no recovery controller is attached — never silently lost.
+        self.orphans: List[Tuple] = []
 
     # -- explicit migration --------------------------------------------------
 
@@ -108,6 +124,29 @@ class MigrationPlanner:
             )
         src = self.fleet.host(src_host_id)
         dst = self.fleet.host(dst_host_id)  # raises UnknownHostError early
+        # Pre-flight health: a crashed endpoint or an active partition
+        # fails the leg *before* any state moves, so the source placement
+        # is exactly as it was.
+        health = self.fleet.health
+        if health.is_crashed(dst_host_id):
+            self._record(kind, intent_id, src_host_id, None, ok=False,
+                         detail=f"{dst_host_id!r} is crashed")
+            raise MigrationError(
+                intent_id, f"destination {dst_host_id!r} is crashed")
+        if health.is_crashed(src_host_id):
+            self._record(kind, intent_id, src_host_id, None, ok=False,
+                         detail=f"source {src_host_id!r} is crashed")
+            raise MigrationError(
+                intent_id, f"source {src_host_id!r} is crashed")
+        if not health.reachable(src_host_id, dst_host_id):
+            self._record(kind, intent_id, src_host_id, None, ok=False,
+                         detail=f"{src_host_id!r} and {dst_host_id!r} "
+                                f"are partitioned")
+            raise MigrationError(
+                intent_id,
+                f"{src_host_id!r} cannot reach {dst_host_id!r}: "
+                f"active partition",
+            )
         # Both legs of the move must see host clocks at fleet time, or an
         # event-clock fleet would stamp the release/submit in the past.
         self.fleet.wake(src_host_id)
@@ -120,7 +159,30 @@ class MigrationPlanner:
         try:
             placement = dst.manager.submit(remapped)
         except HostNetError as exc:
-            src.manager.reinstate(old)
+            try:
+                src.manager.reinstate(old)
+            except HostNetError as rb_exc:
+                # The rollback window closed too (the source failed
+                # between release and reinstate).  The session must not
+                # vanish: hand it to the recovery retry queue, or park
+                # it on the orphan list for the operator.
+                self.fleet.notify(src_host_id)
+                self.fleet.notify(dst_host_id)
+                self.telemetry_invalidate(src_host_id, dst_host_id)
+                self.scheduler.forget(intent_id)
+                reason = (f"rollback to {src_host_id!r} failed after "
+                          f"{dst_host_id!r} rejected it: {rb_exc}")
+                if self.recovery is not None:
+                    self.recovery.requeue(original, src_host_id,
+                                          reason=reason)
+                    disposition = "requeued for re-placement"
+                else:
+                    self.orphans.append((original, src_host_id, reason))
+                    disposition = "parked on planner.orphans"
+                self._record(kind, intent_id, src_host_id, None, ok=False,
+                             detail=f"{reason}; {disposition}")
+                raise MigrationError(
+                    intent_id, f"{reason}; {disposition}") from rb_exc
             self.fleet.notify(src_host_id)
             self.fleet.notify(dst_host_id)
             self.telemetry_invalidate(src_host_id, dst_host_id)
@@ -171,12 +233,15 @@ class MigrationPlanner:
             return None  # released while the escalation was in flight
         src_host_id = self.scheduler.host_of(intent_id)
         intent = self.scheduler.original_intent(intent_id)
+        health = self.fleet.health
         candidates = [
             h for h in self.scheduler.policy.rank_matrix(
-                self.scheduler.request_for(intent),
+                self.scheduler.request_for(
+                    intent, avoid_hosts=health.avoid_hosts()),
                 self.fleet.telemetry.matrix(),
             )
-            if h != src_host_id
+            if h != src_host_id and not health.is_crashed(h)
+            and health.reachable(src_host_id, h)
         ]
         for dst_host_id in candidates:
             try:

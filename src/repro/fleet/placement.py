@@ -44,12 +44,19 @@ class PlacementRequest:
             device is not in the reference vocabulary.
         dst_key: Same for the destination device.
         tenant_hosts: Hosts already holding intents of this tenant.
+        avoid_hosts: Hosts in a faulted failure domain (see
+            :meth:`~repro.fleet.faults.FleetHealth.avoid_hosts`).  A
+            *soft* signal: headroom-aware policies rank these hosts
+            last among otherwise-equal candidates, so evacuees land
+            outside the faulted domain whenever anywhere else fits —
+            but a tainted host still beats rejection.
     """
 
     intent: PerformanceTarget
     src_key: Optional[str] = None
     dst_key: Optional[str] = None
     tenant_hosts: FrozenSet[str] = frozenset()
+    avoid_hosts: FrozenSet[str] = frozenset()
 
     @property
     def bandwidth(self) -> float:
@@ -99,8 +106,11 @@ class PlacementPolicy:
 class FirstFitPolicy(PlacementPolicy):
     """Try hosts in stable id order; take the first that admits.
 
-    Deliberately blind: no telemetry is consulted.  This is the baseline
-    that quantifies what the headroom rollup buys.
+    Deliberately blind: no telemetry is consulted — and no
+    ``avoid_hosts`` signal either, so under faults this baseline keeps
+    probing tainted domains first.  That blindness is the point: it is
+    what the headroom-aware policies' availability numbers are measured
+    against.  (Crashed hosts are still hard-filtered by the scheduler.)
     """
 
     name = "first-fit"
@@ -129,6 +139,12 @@ class BestFitHeadroomPolicy(PlacementPolicy):
 
     Within a bucket, fullest-first: small intents pack into already-busy
     hosts and empty hosts stay contiguous for the large ones.
+
+    ``avoid_hosts`` (faulted failure domains) ranks immediately after
+    the fits test: a fitting host in a tainted domain still beats a
+    non-fitting clean one — under a bounded probe budget, demoting
+    tainted-but-fitting hosts below non-fitting ones would turn faults
+    into rejections — but among fitting hosts, clean domains win.
     """
 
     name = "best-fit"
@@ -138,6 +154,7 @@ class BestFitHeadroomPolicy(PlacementPolicy):
         def key(h: HostHeadroom):
             return (
                 not request.fits(h),
+                h.host_id in request.avoid_hosts,
                 not h.available,
                 not h.has_path_slack(request.bandwidth),
                 h.free_capacity_total,  # fullest viable host first
@@ -155,6 +172,7 @@ class BestFitHeadroomPolicy(PlacementPolicy):
             matrix.free_capacity_total,
             ~matrix.has_path_slack(bandwidth),
             ~matrix.available,
+            matrix.avoid(request.avoid_hosts),
             ~matrix.fits(bandwidth, request.src_key, request.dst_key),
         ))
         return [matrix.host_ids[i] for i in order]
@@ -166,6 +184,11 @@ class SpreadByTenantPolicy(PlacementPolicy):
     Hosts not yet carrying the tenant come first (emptiest viable first,
     to keep the fleet level); hosts already carrying it are the fallback,
     so a tenant larger than the fleet still places.
+
+    ``avoid_hosts`` (faulted failure domains) is this policy's *primary*
+    key — spread exists to bound blast radius, and a tainted domain is
+    exactly the blast radius to stay out of, even at the cost of
+    co-locating a tenant.
     """
 
     name = "spread"
@@ -174,6 +197,7 @@ class SpreadByTenantPolicy(PlacementPolicy):
              headrooms: Sequence[HostHeadroom]) -> List[str]:
         def key(h: HostHeadroom):
             return (
+                h.host_id in request.avoid_hosts,
                 h.host_id in request.tenant_hosts,
                 not h.available,
                 not request.fits(h),
@@ -194,6 +218,7 @@ class SpreadByTenantPolicy(PlacementPolicy):
                          request.dst_key),
             ~matrix.available,
             in_tenant,
+            matrix.avoid(request.avoid_hosts),
         ))
         return [matrix.host_ids[i] for i in order]
 

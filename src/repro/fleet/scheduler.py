@@ -17,7 +17,8 @@ commits to the first that admits.  Every decision is traced under the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, TYPE_CHECKING, Union
+from typing import (Dict, FrozenSet, List, Optional, Set, Tuple,
+                    TYPE_CHECKING, Union)
 
 from ..core.intents import PerformanceTarget
 from ..core.manager import Placement
@@ -120,9 +121,45 @@ class ClusterScheduler:
     def _submit_untracked(self, intent: PerformanceTarget) -> FleetPlacement:
         if intent.intent_id in self._host_of:
             raise AdmissionError(intent.intent_id, "already placed in fleet")
-        order = self.policy.rank_matrix(
-            self.request_for(intent), self.telemetry.matrix(),
+        placed, tried = self._place(
+            intent, avoid=self.fleet.health.avoid_hosts(),
         )
+        if placed is not None:
+            self.admitted_count += 1
+            return placed
+        self.rejected_count += 1
+        raise AdmissionError(
+            intent.intent_id,
+            f"no host admitted it ({tried} tried, "
+            f"policy={self.policy.name})",
+        )
+
+    def _place(self, intent: PerformanceTarget,
+               avoid: FrozenSet[str] = frozenset(),
+               exclude: FrozenSet[str] = frozenset(),
+               reachable_from: Optional[str] = None,
+               ) -> Tuple[Optional[FleetPlacement], int]:
+        """Probe-and-commit without the admitted/rejected accounting.
+
+        *avoid* is the soft faulted-domain signal threaded into the
+        policy ranking; *exclude* hard-removes hosts (the evacuation
+        source); crashed hosts are always hard-removed; when
+        *reachable_from* is given, hosts partitioned away from it are
+        removed too (a migration leg cannot cross a cut).  Returns the
+        placement (or ``None``) plus how many hosts were probed-or-
+        rankable, for the rejection message.
+        """
+        health = self.fleet.health
+        order = self.policy.rank_matrix(
+            self.request_for(intent, avoid_hosts=avoid),
+            self.telemetry.matrix(),
+        )
+        order = [
+            h for h in order
+            if h not in exclude and not health.is_crashed(h)
+            and (reachable_from is None
+                 or health.reachable(reachable_from, h))
+        ]
         if self.max_attempts is not None:
             order = order[:self.max_attempts]
         for host_id in order:
@@ -142,14 +179,26 @@ class ClusterScheduler:
                 continue
             self._bind(intent, host_id)
             self.telemetry.invalidate(host_id)
-            self.admitted_count += 1
-            return FleetPlacement(host_id, placement)
-        self.rejected_count += 1
-        raise AdmissionError(
-            intent.intent_id,
-            f"no host admitted it ({len(order)} tried, "
-            f"policy={self.policy.name})",
-        )
+            return FleetPlacement(host_id, placement), len(order)
+        return None, len(order)
+
+    def place(self, intent: PerformanceTarget,
+              avoid: FrozenSet[str] = frozenset(),
+              exclude: FrozenSet[str] = frozenset(),
+              reachable_from: Optional[str] = None,
+              ) -> Optional[FleetPlacement]:
+        """Place an intent outside the admission accounting.
+
+        The recovery controller's re-placement path: an evacuee being
+        re-homed was already counted admitted once, so this neither
+        bumps ``admitted_count`` nor ``rejected_count``.  Returns
+        ``None`` when no eligible host admits it.
+        """
+        if intent.intent_id in self._host_of:
+            raise AdmissionError(intent.intent_id, "already placed in fleet")
+        placed, _tried = self._place(intent, avoid=avoid, exclude=exclude,
+                                     reachable_from=reachable_from)
+        return placed
 
     def try_submit(self,
                    intent: PerformanceTarget) -> Optional[FleetPlacement]:
@@ -199,17 +248,32 @@ class ClusterScheduler:
         self._unbind(intent_id)
         self._bind(intent, host_id)
 
+    def forget(self, intent_id: str) -> None:
+        """Drop the fleet bookkeeping of an intent *without* releasing it.
+
+        The crash path: a dead host's reservations are void (there is no
+        manager to release from in the real-world analogue), so the
+        fault machinery releases host-locally and unbinds here, then
+        re-places through :meth:`place`.  Not for general use — an
+        intent forgotten while its host still serves it would leak.
+        """
+        self._unbind(intent_id)
+
     # -- queries -------------------------------------------------------------
 
-    def request_for(self, intent: PerformanceTarget) -> PlacementRequest:
+    def request_for(self, intent: PerformanceTarget,
+                    avoid_hosts: FrozenSet[str] = frozenset(),
+                    ) -> PlacementRequest:
         """Canonicalize *intent* for policy consumption: attach keys from
-        the fleet's reference vocabulary plus the tenant's current hosts."""
+        the fleet's reference vocabulary plus the tenant's current hosts
+        (and the faulted-domain avoid-set, when the caller threads it)."""
         return PlacementRequest(
             intent=intent,
             src_key=self.fleet.canonical_device_key(intent.src),
             dst_key=(self.fleet.canonical_device_key(intent.dst)
                      if intent.dst is not None else None),
             tenant_hosts=frozenset(self.tenant_hosts(intent.tenant_id)),
+            avoid_hosts=avoid_hosts,
         )
 
     def host_of(self, intent_id: str) -> str:
@@ -233,6 +297,13 @@ class ClusterScheduler:
     def tenant_hosts(self, tenant_id: str) -> Set[str]:
         """Hosts currently carrying intents of *tenant_id*."""
         return set(self._tenant_hosts.get(tenant_id, ()))
+
+    def bindings(self) -> Dict[str, str]:
+        """intent_id -> host_id for every fleet placement (a copy).
+
+        The invariant oracle's ground truth for binding soundness.
+        """
+        return dict(self._host_of)
 
     def placements(self) -> List[FleetPlacement]:
         """Every fleet placement, in deterministic intent-id order."""

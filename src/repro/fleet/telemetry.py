@@ -222,6 +222,18 @@ class HeadroomMatrix:
         """Boolean column: :meth:`HostHeadroom.has_path_slack` per host."""
         return self.free_capacity_min_directed >= bandwidth
 
+    def avoid(self, hosts) -> np.ndarray:
+        """Boolean column: host is in the *hosts* avoid-set.
+
+        Empty set fast-path returns an all-``False`` column, so the
+        common no-faults case costs one allocation, no membership tests.
+        """
+        if not hosts:
+            return np.zeros(len(self.headrooms), dtype=bool)
+        return np.fromiter(
+            (host_id in hosts for host_id in self.host_ids),
+            bool, len(self.headrooms))
+
 
 class FleetTelemetry:
     """Push-invalidated per-host :class:`HostHeadroom` rollups.
@@ -244,6 +256,9 @@ class FleetTelemetry:
         self._cache: Dict[str, HostHeadroom] = {}
         self._dirty: Dict[str, bool] = {}
         self._monitor_healthy: Dict[str, bool] = {}
+        # Hosts marked faulted by the fleet fault model (crashed or
+        # degraded): reported unhealthy regardless of monitor verdict.
+        self._faulted: set = set()
         self._device_keys: Dict[str, Dict[str, str]] = {}
         # host_id -> [(canonical endpoint key, [incident link ids])].
         # Topology *structure* is fixed for a host's lifetime (only link
@@ -302,6 +317,7 @@ class FleetTelemetry:
         self._cache.pop(host_id, None)
         self._dirty.pop(host_id, None)
         self._monitor_healthy.pop(host_id, None)
+        self._faulted.discard(host_id)
         self._device_keys.pop(host_id, None)
         self._endpoint_links.pop(host_id, None)
         self._intra_links.pop(host_id, None)
@@ -320,6 +336,27 @@ class FleetTelemetry:
         self._monitor_healthy[host_id] = report.healthy
         # A verdict must reach the next placement decision immediately.
         self._mark_dirty(host_id)
+
+    def set_fault(self, host_id: str, faulted: bool) -> None:
+        """Mark *host_id* faulted (or clear the mark).
+
+        The fleet fault model's signal into placement: a faulted host
+        reports ``healthy=False`` — and hence ``available=False`` —
+        until the mark is cleared, regardless of what its own monitor
+        says.  Crashed hosts cannot run a monitor at all, and a degraded
+        host's monitor may lag the fault; this mark is immediate.
+        """
+        if host_id not in self._hosts:
+            raise UnknownHostError(host_id)
+        if faulted:
+            self._faulted.add(host_id)
+        else:
+            self._faulted.discard(host_id)
+        self._mark_dirty(host_id)
+
+    def is_faulted(self, host_id: str) -> bool:
+        """Whether the fault model currently marks *host_id* faulted."""
+        return host_id in self._faulted
 
     # -- the rollup ----------------------------------------------------------
 
@@ -468,7 +505,8 @@ class FleetTelemetry:
             placements=len(manager.placements()),
             down_links=down,
             degraded_links=degraded,
-            healthy=self._monitor_healthy.get(host_id, True),
+            healthy=(self._monitor_healthy.get(host_id, True)
+                     and host_id not in self._faulted),
             attach_free=attach_free,
         )
         self._cache[host_id] = summary

@@ -46,7 +46,10 @@ from ...topology.elements import DeviceType
 from .schema import SCHEMA_VERSION, ClusterTask, ClusterTrace
 
 #: Version tag embedded in every serialized replay report.
-REPORT_VERSION = "repro.cluster-replay/v1"
+#: v2 added the failure-run counters (``retries_exhausted``,
+#: ``sessions_shed``), the ``availability`` figure, and the ``faults``
+#: block — so failure runs are distinguishable from clean rejections.
+REPORT_VERSION = "repro.cluster-replay/v2"
 
 _ARRIVE, _RETRY, _COMPLETE, _SAMPLE = 0, 1, 2, 3
 
@@ -159,6 +162,13 @@ class ReplayReport:
         first_attempt_rejections: Arrivals bounced on first try (whether
             or not a retry later landed them).
         retries: Re-submission attempts performed.
+        retries_exhausted: Final rejections that had retried at least
+            once — the tasks whose waiting budget (not the fleet's first
+            answer) killed them.  Distinguishes "the fleet was briefly
+            full" from "the fleet said no immediately".
+        sessions_shed: Admitted tasks lost mid-run because evacuation
+            off a failed host exhausted its retries (only nonzero when a
+            fault schedule is armed).
         released: Placements released on task completion.
         jcts: Per-admitted-task job completion times (release − arrival).
         waits: Per-admitted-task queueing delay (JCT − duration).
@@ -169,6 +179,9 @@ class ReplayReport:
         host_events: Host engine events processed during the replay.
         trace_events: Replay-queue events processed (arrivals, retries,
             completions, samples).
+        fault_summary: Fault-campaign counters (schedule size, injector
+            and recovery counters) when a fault schedule was armed;
+            ``None`` on clean runs.
     """
 
     trace_name: str
@@ -183,6 +196,8 @@ class ReplayReport:
     rejected: int = 0
     first_attempt_rejections: int = 0
     retries: int = 0
+    retries_exhausted: int = 0
+    sessions_shed: int = 0
     released: int = 0
     jcts: List[float] = field(default_factory=list)
     waits: List[float] = field(default_factory=list)
@@ -191,11 +206,25 @@ class ReplayReport:
     per_host_admitted: Dict[str, int] = field(default_factory=dict)
     host_events: int = 0
     trace_events: int = 0
+    fault_summary: Optional[Dict[str, object]] = None
 
     @property
     def rejection_rate(self) -> float:
         """Final rejections over submitted tasks."""
         return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Admitted sessions that were *not* lost to host failures.
+
+        1.0 on clean runs; under a fault schedule this is the
+        session-survival figure per policy (an admitted-then-shed task
+        counts against it, a never-admitted one does not — that is what
+        :attr:`rejection_rate` measures).
+        """
+        if not self.admitted:
+            return 1.0
+        return 1.0 - self.sessions_shed / self.admitted
 
     @property
     def slo_attainment(self) -> float:
@@ -246,11 +275,15 @@ class ReplayReport:
                 "rejected": self.rejected,
                 "first_attempt_rejections": self.first_attempt_rejections,
                 "retries": self.retries,
+                "retries_exhausted": self.retries_exhausted,
+                "sessions_shed": self.sessions_shed,
                 "released": self.released,
                 "host_events": self.host_events,
                 "trace_events": self.trace_events,
             },
             "rejection_rate": self.rejection_rate,
+            "availability": self.availability,
+            "faults": self.fault_summary,
             "jct": self.jct_summary(),
             "wait": self.wait_summary(),
             "slo": {
@@ -310,11 +343,23 @@ class ReplayReport:
             f"{util['p50']:.2f} / {util95:.2f} / {util['max']:.2f} "
             f"over {len(self.utilization_samples)} samples",
         ]
+        if self.fault_summary is not None:
+            injector = self.fault_summary.get("injector", {})
+            recovery = self.fault_summary.get("recovery", {})
+            lines.append(
+                f"  faults: {injector.get('crashes', 0)} crashes, "
+                f"{injector.get('degrades', 0)} degrades, "
+                f"{injector.get('partitions', 0)} partitions; "
+                f"{recovery.get('evacuated', 0)} evacuated, "
+                f"{self.sessions_shed} shed -> "
+                f"availability {self.availability:.2%}"
+            )
         return "\n".join(lines)
 
 
 def replay_trace(fleet, trace: ClusterTrace,
-                 config: Optional[ReplayConfig] = None) -> ReplayReport:
+                 config: Optional[ReplayConfig] = None,
+                 faults=None, recovery=None) -> ReplayReport:
     """Drive *fleet* through *trace*; return the scored report.
 
     The fleet advances to each event time under its own clock discipline
@@ -322,8 +367,38 @@ def replay_trace(fleet, trace: ClusterTrace,
     report).  The replay queue is a heap, because retries are scheduled
     dynamically — but every entry is a pure function of the trace and
     the config, so the processing order is deterministic.
+
+    Args:
+        fleet: The fleet to drive.
+        trace: The normalized trace to replay.
+        config: Retry/SLO/sampling discipline.
+        faults: Optional
+            :class:`~repro.fleet.faults.FleetFaultSchedule`: hosts
+            crash, degrade, and partition on that schedule while the
+            trace replays, a
+            :class:`~repro.fleet.recovery.FleetRecoveryController`
+            evacuates (attached automatically unless *recovery* is
+            given), and the report gains failure accounting
+            (``sessions_shed``, ``availability``, the ``faults`` block).
+            A shed task loses its SLO credit — it did not finish.
+        recovery: Recovery controller override (knobs pre-tuned to the
+            trace's timescale); only meaningful with *faults*.
     """
     config = config or ReplayConfig()
+    injector = None
+    if faults is not None:
+        from ...fleet.faults import FleetFaultInjector
+        from ...fleet.recovery import (
+            FleetRecoveryConfig,
+            FleetRecoveryController,
+        )
+
+        if recovery is None:
+            recovery = FleetRecoveryController(
+                fleet,
+                FleetRecoveryConfig.for_horizon(max(trace.horizon, 1e-9)),
+            )
+        injector = FleetFaultInjector(fleet, faults, recovery=recovery)
     reference = fleet.reference_topology
     sources = sorted(
         d.device_id for t in (DeviceType.NIC, DeviceType.GPU)
@@ -361,6 +436,22 @@ def replay_trace(fleet, trace: ClusterTrace,
             heapq.heappush(queue, (i * step, seq, _SAMPLE, None))
             seq += 1
 
+    # An admitted task's SLO is credited at admission (its completion
+    # time is then fixed); if a host failure later sheds the session,
+    # the credit is taken back here — a shed task did not finish.
+    attained_ids: set = set()
+    if injector is not None:
+        def on_shed(intent) -> None:
+            report.sessions_shed += 1
+            if intent.intent_id in attained_ids:
+                attained_ids.discard(intent.intent_id)
+                report.slo_attained -= 1
+
+        recovery.on_shed(on_shed)
+
+    advance = injector.advance_to if injector is not None \
+        else fleet.advance_to
+
     def attempt(task: ClusterTask, now: float, attempt_no: int) -> None:
         nonlocal seq
         placed = fleet.try_submit(task_intent(task, sources, sinks))
@@ -376,6 +467,7 @@ def replay_trace(fleet, trace: ClusterTrace,
             report.waits.append(now - task.arrival)
             if jct <= config.slo_stretch * task.duration + 1e-12:
                 report.slo_attained += 1
+                attained_ids.add(task.task_id)
             return
         if attempt_no == 0:
             report.first_attempt_rejections += 1
@@ -385,6 +477,8 @@ def replay_trace(fleet, trace: ClusterTrace,
         deadline = task.arrival + config.max_wait_fraction * task.duration
         if not config.retry or next_try > deadline:
             report.rejected += 1
+            if attempt_no > 0:
+                report.retries_exhausted += 1
             return
         heapq.heappush(queue, (next_try, seq, _RETRY,
                                (task, attempt_no + 1)))
@@ -392,7 +486,7 @@ def replay_trace(fleet, trace: ClusterTrace,
 
     while queue:
         time, _seq, kind, payload = heapq.heappop(queue)
-        report.host_events += fleet.advance_to(time)
+        report.host_events += advance(time)
         report.trace_events += 1
         if kind == _ARRIVE:
             report.submitted += 1
@@ -406,9 +500,24 @@ def replay_trace(fleet, trace: ClusterTrace,
             if fleet.scheduler.has_intent(task.task_id):
                 fleet.release(task.task_id)
                 report.released += 1
+            elif (injector is not None
+                    and recovery.cancel(task.task_id)):
+                pass  # done mid-evacuation: stop retrying it
         else:  # _SAMPLE
             for summary in fleet.telemetry.headrooms():
                 report.utilization_samples.append(summary.reserved_peak)
+    if injector is not None:
+        # Run past the last repair so every fault heals and every retry
+        # resolves; the counters below are then final.
+        end = max(trace.horizon, faults.end_time)
+        if end > fleet.now:
+            report.host_events += injector.advance_to(end)
+        report.fault_summary = {
+            "schedule_seed": faults.seed,
+            "schedule_events": len(faults),
+            "injector": injector.counters(),
+            "recovery": recovery.counters(),
+        }
     return report
 
 
@@ -453,9 +562,14 @@ class PolicyComparison:
                           separators=(",", ":"))
 
     def describe(self) -> str:
-        """The comparison table: one row per policy."""
+        """The comparison table: one row per policy (an availability
+        column appears when a fault schedule was armed)."""
+        faulted = any(r.fault_summary is not None
+                      for r in self.reports.values())
         header = (f"{'policy':<12} {'reject':>8} {'JCT p50':>10} "
                   f"{'JCT p99':>10} {'SLO':>8} {'util p95':>9}")
+        if faulted:
+            header += f" {'shed':>6} {'avail':>8}"
         lines = [f"policy comparison on {self.trace_name!r} "
                  f"(trace digest {self.trace_digest[:12]}):", header,
                  "-" * len(header)]
@@ -463,11 +577,15 @@ class PolicyComparison:
             jct = report.jct_summary()
             util95 = (percentile(report.utilization_samples, 95)
                       if report.utilization_samples else 0.0)
-            lines.append(
+            row = (
                 f"{name:<12} {report.rejection_rate:>7.1%} "
                 f"{jct['p50']:>9.4f}s {jct['p99']:>9.4f}s "
                 f"{report.slo_attainment:>7.1%} {util95:>9.2f}"
             )
+            if faulted:
+                row += (f" {report.sessions_shed:>6} "
+                        f"{report.availability:>7.1%}")
+            lines.append(row)
         return "\n".join(lines)
 
 
@@ -480,6 +598,7 @@ def compare_policies(
     clock: str = "event",
     max_attempts: Optional[int] = 8,
     config: Optional[ReplayConfig] = None,
+    faults=None,
     **fleet_kwargs,
 ) -> PolicyComparison:
     """Replay *trace* once per policy on fresh, identical fleets.
@@ -487,7 +606,10 @@ def compare_policies(
     Every policy sees byte-identical load (same trace object), the same
     replay discipline, and a fleet built from the same arguments — the
     only degree of freedom is the ranking function, so the table is a
-    pure policy comparison.
+    pure policy comparison.  With *faults* (a
+    :class:`~repro.fleet.faults.FleetFaultSchedule`) every policy also
+    endures the identical storm, so the table becomes an
+    SLO-under-failure / availability comparison.
     """
     from ...fleet import Fleet
 
@@ -497,7 +619,7 @@ def compare_policies(
         fleet = Fleet(topology, hosts=hosts, policy=policy, clock=clock,
                       max_attempts=max_attempts, **fleet_kwargs)
         try:
-            report = replay_trace(fleet, trace, config)
+            report = replay_trace(fleet, trace, config, faults=faults)
         finally:
             fleet.shutdown()
         reports[report.policy] = report

@@ -204,7 +204,7 @@ def test_fleet_replay_synthesized(capsys, tmp_path):
     assert "SLO" in out
     import json
     payload = json.loads(report_path.read_text())
-    assert payload["schema"] == "repro.cluster-replay/v1"
+    assert payload["schema"] == "repro.cluster-replay/v2"
     assert payload["counts"]["submitted"] == 60
 
 
@@ -231,3 +231,60 @@ def test_fleet_replay_missing_trace_file(capsys):
                                  "--trace", "/nonexistent/trace.csv")
     assert code == 2
     assert "trace" in err.lower()
+
+
+def test_fleet_replay_with_faults(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    code, out = run_cli(capsys, "fleet", "replay", "--hosts", "3",
+                        "--tasks", "60", "--tenants", "8",
+                        "--horizon", "1.0", "--faults", "3",
+                        "--domains", "3", "--report", str(report_path))
+    assert code == 0
+    assert "fault schedule (seed=0): 3 events" in out
+    assert "availability" in out
+    import json
+    payload = json.loads(report_path.read_text())
+    assert payload["faults"]["schedule_events"] == 3
+    assert 0.0 <= payload["availability"] <= 1.0
+
+
+def test_fleet_replay_faults_need_two_hosts(capsys):
+    code, out, err = run_cli_err(capsys, "fleet", "replay", "--hosts", "1",
+                                 "--tasks", "10", "--faults", "2")
+    assert code == 2
+    assert "hosts" in err
+
+
+def test_fleet_chaos(capsys, tmp_path):
+    report_path = tmp_path / "outcome.json"
+    code, out = run_cli(capsys, "fleet", "chaos", "--hosts", "4",
+                        "--seed", "1", "--fault-rate", "20",
+                        "--horizon", "0.2", "--domains", "2",
+                        "--report", str(report_path))
+    assert code == 0
+    assert "fleet chaos (seed=1, hosts=4, clock=event): PASS" in out
+    assert "oracle:" in out
+    import json
+    payload = json.loads(report_path.read_text())
+    assert payload["passed"] is True
+    assert payload["violations"] == []
+
+
+def test_fleet_chaos_lockstep(capsys):
+    code, out = run_cli(capsys, "fleet", "chaos", "--hosts", "4",
+                        "--seed", "1", "--fault-rate", "20",
+                        "--horizon", "0.2", "--clock", "lockstep")
+    assert code == 0
+    assert "clock=lockstep): PASS" in out
+
+
+def test_fleet_chaos_rejects_bad_args(capsys):
+    code, _out, err = run_cli_err(capsys, "fleet", "chaos",
+                                  "--fault-rate", "0")
+    assert code == 2 and "fault-rate" in err
+    code, _out, err = run_cli_err(capsys, "fleet", "chaos",
+                                  "--horizon", "-1")
+    assert code == 2 and "horizon" in err
+    code, _out, err = run_cli_err(capsys, "fleet", "chaos",
+                                  "--hosts", "1")
+    assert code == 2 and "hosts" in err

@@ -113,3 +113,94 @@ def test_rebalance_respects_threshold():
     fleet.submit(kv("a", bandwidth=Gbps(60)))
     fleet.advance_to(0.01)
     assert fleet.planner.migrations(kind="rebalance") == []
+
+
+def test_migrate_fails_fast_when_destination_crashed():
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("a"))
+    src_before = reserved_total(fleet.host("host00"))
+    fleet.health.crash("host01")
+    # Pre-flight: the leg dies before any state moves.
+    with pytest.raises(MigrationError, match="crashed"):
+        fleet.migrate("a", "host01")
+    assert fleet.scheduler.host_of("a") == "host00"
+    assert reserved_total(fleet.host("host00")) == pytest.approx(src_before)
+    record = fleet.planner.records[-1]
+    assert not record.ok and "crashed" in record.detail
+    fleet.shutdown()
+
+
+def test_migrate_fails_fast_when_source_crashed_or_partitioned():
+    fleet = Fleet("cascade_lake_2s", hosts=3, policy="first-fit")
+    fleet.submit(kv("a"))
+    fleet.health.crash("host00")
+    with pytest.raises(MigrationError, match="source"):
+        fleet.migrate("a", "host01")
+    fleet.health.recover("host00")
+    fleet.health.partition(["host00"])
+    with pytest.raises(MigrationError, match="partition"):
+        fleet.migrate("a", "host01")
+    assert fleet.scheduler.host_of("a") == "host00"
+    fleet.shutdown()
+
+
+def failing_reinstate(monkeypatch, fleet, host_id):
+    """Make *host_id*'s rollback window close: reinstate always fails."""
+    from repro.errors import HostNetError
+
+    manager = fleet.host(host_id).manager
+
+    def boom(placement):
+        raise HostNetError("source degraded mid-rollback")
+
+    monkeypatch.setattr(manager, "reinstate", boom)
+
+
+def fill_destination(fleet, dst="host01"):
+    for blocker in ("blocker1", "blocker2"):
+        fleet.submit(kv(blocker, tenant="tB", bandwidth=Gbps(115)))
+        if fleet.scheduler.host_of(blocker) != dst:
+            fleet.migrate(blocker, dst)
+
+
+def test_rollback_failure_parks_orphan_without_recovery(monkeypatch):
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    fleet.submit(kv("a", bandwidth=Gbps(100)))
+    fill_destination(fleet)
+    failing_reinstate(monkeypatch, fleet, "host00")
+
+    with pytest.raises(MigrationError, match="parked on planner.orphans"):
+        fleet.migrate("a", "host01")
+    # Never lost: unbound from the scheduler but parked for the operator.
+    assert not fleet.scheduler.has_intent("a")
+    (intent, src, reason), = fleet.planner.orphans
+    assert intent.intent_id == "a" and src == "host00"
+    assert "rollback" in reason
+    fleet.shutdown()
+
+
+def test_rollback_failure_requeues_into_recovery(monkeypatch):
+    from repro.fleet import FleetRecoveryConfig, FleetRecoveryController
+    from repro.fleet import check_fleet_invariants
+
+    fleet = Fleet("cascade_lake_2s", hosts=2, policy="first-fit")
+    recovery = FleetRecoveryController(
+        fleet, FleetRecoveryConfig(retry_backoff=0.005, max_retries=8,
+                                   retry_timeout=5.0))
+    fleet.submit(kv("a", bandwidth=Gbps(100)))
+    fill_destination(fleet)
+    failing_reinstate(monkeypatch, fleet, "host00")
+
+    with pytest.raises(MigrationError, match="requeued for re-placement"):
+        fleet.migrate("a", "host01")
+    # The orphan went to the retry queue, and conservation still holds.
+    assert recovery.is_pending("a")
+    assert fleet.planner.orphans == []
+    assert check_fleet_invariants(fleet, recovery=recovery) == []
+    # Free the destination; the next retry pump re-places the session.
+    fleet.release("blocker1")
+    fleet.advance_to(fleet.now + 0.001)
+    recovery.process(recovery.next_due())
+    assert fleet.scheduler.host_of("a") == "host01"
+    assert check_fleet_invariants(fleet, recovery=recovery) == []
+    fleet.shutdown()

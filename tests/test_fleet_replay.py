@@ -219,3 +219,82 @@ def test_comparison_serializes_per_policy_reports():
     payload = json.loads(comparison.to_json())
     assert sorted(payload["policies"]) == ["first-fit", "spread"]
     assert payload["trace"]["digest"] == comparison.trace_digest
+
+
+# -- replay under failures (schema v2) --------------------------------------
+
+
+def fault_schedule(hosts=4, seed=5, faults=4, horizon=2.0, domains=2):
+    from repro.fleet import (
+        FleetFaultConfig,
+        FleetHealth,
+        generate_fault_schedule,
+    )
+
+    health = FleetHealth([f"host{i:02d}" for i in range(hosts)],
+                         domains=domains)
+    return generate_fault_schedule(
+        FleetFaultConfig(seed=seed, faults=faults, horizon=horizon), health)
+
+
+def test_v2_report_carries_failure_counters():
+    report = replay(tiny_trace())
+    assert REPORT_VERSION.endswith("/v2")
+    payload = json.loads(report.to_json())
+    assert payload["counts"]["retries_exhausted"] == 0
+    assert payload["counts"]["sessions_shed"] == 0
+    assert payload["availability"] == 1.0
+    assert payload["faults"] is None  # no schedule injected
+    assert report.availability == 1.0
+
+
+def test_faulted_replay_populates_fault_summary():
+    trace = synthesize_trace(SynthTraceConfig(seed=4, tasks=200,
+                                              tenants=12, horizon=1.0))
+    schedule = fault_schedule(horizon=trace.horizon)
+    fleet = fresh_fleet(failure_domains=2)
+    try:
+        report = replay_trace(fleet, trace, ReplayConfig(samples=4),
+                              faults=schedule)
+    finally:
+        fleet.shutdown()
+    assert report.fault_summary is not None
+    assert report.fault_summary["schedule_events"] == len(schedule)
+    assert report.fault_summary["injector"]["crashes"] >= 1
+    assert 0.0 <= report.availability <= 1.0
+    assert report.sessions_shed == report.fault_summary["recovery"]["shed"]
+    payload = json.loads(report.to_json())
+    assert payload["faults"]["schedule_seed"] == schedule.seed
+    assert "availability" in report.describe()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_faulted_replays_are_bit_identical_across_clocks(seed):
+    trace = synthesize_trace(SynthTraceConfig(seed=seed, tasks=150,
+                                              tenants=8, horizon=1.0))
+    schedule = fault_schedule(seed=seed, horizon=trace.horizon)
+    outcomes = []
+    for clock in ("event", "lockstep"):
+        fleet = fresh_fleet(clock=clock, failure_domains=2)
+        try:
+            report = replay_trace(fleet, trace, ReplayConfig(samples=4),
+                                  faults=schedule)
+        finally:
+            fleet.shutdown()
+        outcomes.append(report.outcome_json())
+    assert outcomes[0] == outcomes[1]
+
+
+def test_comparison_table_grows_failure_columns():
+    trace = synthesize_trace(SynthTraceConfig(seed=2, tasks=120,
+                                              tenants=8, horizon=1.0))
+    schedule = fault_schedule(seed=2, horizon=trace.horizon)
+    comparison = compare_policies(
+        trace, ("first-fit", "best-fit"), hosts=4, max_attempts=8,
+        config=ReplayConfig(samples=4), faults=schedule,
+        failure_domains=2,
+    )
+    table = comparison.describe()
+    assert "avail" in table and "shed" in table
+    for report in comparison.reports.values():
+        assert report.fault_summary is not None
