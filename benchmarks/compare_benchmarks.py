@@ -16,6 +16,14 @@ build); benchmarks that disappeared fail the comparison, since a
 deleted benchmark is exactly how a regression would hide.
 
 Exit status: 0 when clean, 1 on any regression or missing benchmark.
+
+The committed baseline is stored *compacted* — raw per-sample timing
+arrays (``stats.data``) and ``machine_info`` dropped, summary stats
+kept — which shrinks it an order of magnitude without losing anything
+the gate reads.  Both the compact and the full pytest-benchmark layout
+load identically here.  Recompact a freshly regenerated baseline with::
+
+    python benchmarks/compare_benchmarks.py --compact BENCH.json
 """
 
 from __future__ import annotations
@@ -26,12 +34,32 @@ import sys
 
 
 def load_means(path: str) -> dict[str, float]:
+    """Benchmark name -> mean seconds; reads full or compacted JSON."""
     with open(path) as handle:
         data = json.load(handle)
     return {
         bench["name"]: bench["stats"]["mean"]
         for bench in data.get("benchmarks", [])
     }
+
+
+def compact(path: str, out: str | None = None) -> int:
+    """Rewrite a pytest-benchmark JSON keeping only summary stats.
+
+    Drops the raw per-sample ``stats.data`` arrays and ``machine_info``
+    (the bulk of the file); everything the gate and a human reader use —
+    names, groups, params, extra_info, min/max/mean/stddev/percentiles —
+    survives.  Returns the number of benchmarks written.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    data.pop("machine_info", None)
+    for bench in data.get("benchmarks", []):
+        bench.get("stats", {}).pop("data", None)
+    with open(out or path, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return len(data.get("benchmarks", []))
 
 
 def format_seconds(seconds: float) -> str:
@@ -68,12 +96,26 @@ def compare(baseline: dict[str, float], current: dict[str, float],
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("baseline", help="committed baseline JSON "
+                                         "(or the file to --compact)")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="freshly produced JSON")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional mean increase "
                              "(default: 0.20)")
+    parser.add_argument("--compact", action="store_true",
+                        help="instead of comparing, rewrite BASELINE "
+                             "in place (or to CURRENT when given) with "
+                             "raw sample arrays dropped")
     args = parser.parse_args(argv)
+
+    if args.compact:
+        count = compact(args.baseline, args.current)
+        print(f"compacted {count} benchmark(s) into "
+              f"{args.current or args.baseline}")
+        return 0
+    if args.current is None:
+        parser.error("CURRENT is required unless --compact is given")
 
     baseline = load_means(args.baseline)
     current = load_means(args.current)

@@ -18,7 +18,8 @@ paper's tooling would be driven in production:
 * ``fleet run [--hosts N --policy P --seed S --clock C]`` — drive a
   multi-host fleet through a seeded churn workload under the cluster
   scheduler (``--clock event`` by default; ``lockstep`` for the
-  reference discipline);
+  reference discipline; ``--parallel N`` shards the host simulations
+  across N worker processes with bit-identical outcomes);
 * ``fleet replay [--trace FILE --hosts N --policy P --compare]`` —
   replay a datacenter trace (Alibaba-style CSV/JSON, or a seeded
   synthesized one when no file is given) against the fleet and print a
@@ -278,6 +279,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _clamp_parallel(args: argparse.Namespace) -> Optional[int]:
+    """Validate ``--parallel`` against the machine.
+
+    Returns the (possibly clamped) worker count, ``None`` for serial.
+    Raises SystemExit(2) via the caller's return path for nonsense; a
+    request beyond ``os.cpu_count()`` is clamped with a warning — more
+    workers than cores only adds scheduling noise.
+    """
+    import os
+
+    parallel = getattr(args, "parallel", None)
+    if parallel is None:
+        return None
+    cores = os.cpu_count() or 1
+    if parallel > cores:
+        print(f"fleet: --parallel {parallel} exceeds the "
+              f"{cores} available core(s); clamping to {cores}",
+              file=sys.stderr)
+        return cores
+    return parallel
+
+
 def _make_fleet(args: argparse.Namespace):
     """A Fleet from the shared ``fleet`` CLI options."""
     from .fleet import Fleet
@@ -289,6 +312,7 @@ def _make_fleet(args: argparse.Namespace):
         max_attempts=args.max_attempts,
         rebalance_threshold=args.rebalance_threshold,
         clock=args.clock,
+        parallel=_clamp_parallel(args),
     )
 
 
@@ -299,6 +323,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     ``fleet describe``: print a fresh fleet's layout."""
     if args.hosts < 1:
         print(f"fleet: --hosts must be >= 1, got {args.hosts}",
+              file=sys.stderr)
+        return 2
+    if getattr(args, "parallel", None) is not None and args.parallel < 1:
+        print(f"fleet: --parallel must be >= 1, got {args.parallel}",
               file=sys.stderr)
         return 2
     if args.fleet_command == "chaos":
@@ -353,7 +381,7 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
             seed=args.seed, hosts=args.hosts, topology=args.preset,
             policy=args.policy, clock=args.clock,
             failure_domains=args.domains, horizon=args.horizon,
-            faults=faults,
+            faults=faults, parallel=_clamp_parallel(args),
         )
     except FleetError as exc:
         print(f"fleet chaos: {exc}", file=sys.stderr)
@@ -442,6 +470,7 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
             faults=schedule,
             rebalance_threshold=args.rebalance_threshold,
             failure_domains=args.domains,
+            parallel=_clamp_parallel(args),
         )
         print()
         print(comparison.describe())
@@ -452,7 +481,8 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
         fleet = Fleet(args.preset, hosts=args.hosts, policy=args.policy,
                       clock=args.clock, max_attempts=args.max_attempts,
                       rebalance_threshold=args.rebalance_threshold,
-                      failure_domains=args.domains)
+                      failure_domains=args.domains,
+                      parallel=_clamp_parallel(args))
         try:
             report = replay_trace(fleet, trace, config, faults=schedule)
         finally:
@@ -561,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "hosts with pending work (fast, default); "
                             "'lockstep' advances every host each quantum "
                             "(reference)")
+        if p is not fleet_describe:
+            p.add_argument("--parallel", type=int, default=None,
+                           metavar="N",
+                           help="shard host simulations across N worker "
+                                "processes (deterministic: same outcome "
+                                "as serial; clamped to the core count)")
     for p in (fleet_run, fleet_replay, fleet_describe):
         p.add_argument("--rebalance-threshold", type=float, default=None,
                        help="peak-reserved skew that triggers a rebalance "

@@ -60,11 +60,15 @@ class FleetClock:
         self._now = start
         # Fleet membership is fixed at construction; resolving engines
         # once keeps the per-event hot path free of host lookups.
-        self._engines = {host_id: host.engine
-                         for host_id, host in fleet.hosts()}
+        self._engines = self._resolve_engines(fleet)
         # Crashed hosts: frozen in time, never advanced or woken until
         # reactivated (see FleetFaultInjector).
         self._inactive: set = set()
+
+    def _resolve_engines(self, fleet: "Fleet") -> dict:
+        """Engine per host id.  The parallel clock overrides this with an
+        empty map — its engines live in worker processes."""
+        return {host_id: host.engine for host_id, host in fleet.hosts()}
 
     @property
     def now(self) -> float:

@@ -36,17 +36,27 @@ from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..core.intents import PerformanceTarget
+from ..core.manager import Placement
 from ..core.virtual import _device_mapping
 from ..errors import FleetError, UnknownHostError
 from ..host import Host
+from ..monitor.failures import FailureInjector
+from ..resilience.invariants import check_invariants
+from ..topology.elements import LinkClass
 from ..topology.graph import HostTopology
 from ..topology.presets import load_preset
-from .clock import FleetClock, make_clock
+from ..trace import TRACER
+from .clock import FLEET_CLOCKS, FleetClock, make_clock
 from .faults import FleetHealth
 from .migration import MigrationPlanner
+from .parallel import ParallelBackend, ParallelFleetClock
 from .placement import PlacementPolicy
 from .scheduler import ClusterScheduler, FleetPlacement
-from .telemetry import FleetTelemetry, canonical_device_keys
+from .telemetry import (
+    FleetTelemetry,
+    ParallelFleetTelemetry,
+    canonical_device_keys,
+)
 
 
 class Fleet:
@@ -81,6 +91,20 @@ class Fleet:
         telemetry_max_age: Deprecated and ignored — headroom summaries
             are push-invalidated now and always current.
         start: Initial simulated time for every host.
+        parallel: Shard host simulations across this many worker
+            *processes* (``None``, the default, runs everything in this
+            process).  The control plane — scheduler, planner, health,
+            fault timelines — stays in the parent and drives workers
+            over a message protocol; given a seed the outcome is
+            bit-identical to the serial event-driven clock.  Clamped to
+            the host count; incompatible with ``resilience=`` (per-host
+            recovery controllers would live in worker processes, out of
+            the planner's reach — use
+            :class:`~repro.fleet.recovery.FleetRecoveryController`,
+            which is parent-side and fully supported).  With
+            ``parallel=``, per-host accessors (:meth:`host`,
+            :meth:`hosts`) are unavailable; use the fleet-surface
+            accessors instead.
         resilience: Forwarded to each :class:`Host`; when armed, each
             host's recovery controller escalates unrecoverable placements
             to the fleet's migration planner.
@@ -103,6 +127,7 @@ class Fleet:
         failure_domains: int = 1,
         telemetry_max_age: Optional[float] = None,
         start: float = 0.0,
+        parallel: Optional[int] = None,
         resilience=None,
         **host_kwargs,
     ) -> None:
@@ -128,6 +153,18 @@ class Fleet:
                 "summaries are push-invalidated now and always current",
                 DeprecationWarning, stacklevel=2,
             )
+        if parallel is not None:
+            if not isinstance(parallel, int) or isinstance(parallel, bool) \
+                    or parallel < 1:
+                raise FleetError(
+                    f"parallel must be an int >= 1, got {parallel!r}")
+            if resilience is not None:
+                raise FleetError(
+                    "parallel= is incompatible with resilience=: per-host "
+                    "recovery controllers would live in worker processes, "
+                    "out of the planner's reach; use the parent-side "
+                    "FleetRecoveryController for fleet-level self-healing"
+                )
         ids = list(host_ids) if host_ids else [
             f"host{i:02d}" for i in range(hosts)
         ]
@@ -140,21 +177,54 @@ class Fleet:
         self.reference_topology = factory()
         self._reference_keys = canonical_device_keys(self.reference_topology)
         self.clock_quantum = clock_quantum
+        self._host_ids = sorted(ids)
         self._hosts: Dict[str, Host] = {}
         self._mappings: Dict[str, Dict[str, str]] = {}
-        self.telemetry = FleetTelemetry()
-        for host_id in sorted(ids):
-            host = Host(factory(), start=start, resilience=resilience,
-                        **host_kwargs)
-            self._hosts[host_id] = host
-            self.telemetry.attach(host_id, host)
-        self.health = FleetHealth(sorted(ids), domains=failure_domains)
+        # Serial-mode fault-injection state (worker-side when parallel):
+        # one injector per host, at most one active degrade per host.
+        self._injectors: Dict[str, FailureInjector] = {}
+        self._degrade_failures: Dict[str, list] = {}
+        self._worker_traces: Optional[Dict[int, list]] = None
+        if parallel is not None:
+            self._backend: Optional[ParallelBackend] = ParallelBackend(
+                self._host_ids, min(parallel, len(ids)), factory, start,
+                dict(host_kwargs))
+            self.parallel: Optional[int] = self._backend.workers
+            # Homogeneous by construction (one factory), so one probe
+            # instance yields the device mapping every host shares.
+            self._parallel_mapping = _device_mapping(
+                self.reference_topology, factory())
+            self.telemetry = ParallelFleetTelemetry(self._backend)
+        else:
+            self._backend = None
+            self.parallel = None
+            self.telemetry = FleetTelemetry()
+            for host_id in self._host_ids:
+                host = Host(factory(), start=start, resilience=resilience,
+                            **host_kwargs)
+                self._hosts[host_id] = host
+                self.telemetry.attach(host_id, host)
+        self.health = FleetHealth(self._host_ids,
+                                  domains=failure_domains)
         self.scheduler = ClusterScheduler(self, policy=policy,
                                           max_attempts=max_attempts)
         self.planner = MigrationPlanner(
             self, self.scheduler, rebalance_threshold=rebalance_threshold,
         )
-        self.clock = make_clock(clock, self, clock_quantum, start)
+        if parallel is not None:
+            if isinstance(clock, type):
+                raise FleetError(
+                    "parallel= requires a named clock discipline "
+                    f"({sorted(FLEET_CLOCKS)}), not a FleetClock class")
+            if clock not in FLEET_CLOCKS:
+                raise FleetError(
+                    f"unknown fleet clock {clock!r}; "
+                    f"choices: {sorted(FLEET_CLOCKS)}")
+            self.clock: FleetClock = ParallelFleetClock(
+                self, clock_quantum, start, self._backend,
+                force_boundaries=(clock == "lockstep"))
+        else:
+            self.clock = make_clock(clock, self, clock_quantum, start)
         for host_id, host in self._hosts.items():
             if host.recovery is not None:
                 host.recovery.on_escalation(
@@ -164,8 +234,17 @@ class Fleet:
 
     # -- membership ----------------------------------------------------------
 
+    def _no_direct_hosts(self, method: str) -> FleetError:
+        return FleetError(
+            f"Fleet.{method}() is unavailable with parallel="
+            f"{self.parallel}: hosts live in worker processes; use the "
+            f"fleet-surface accessors (placements, telemetry, "
+            f"ledger_signatures, placed_intents) instead")
+
     def host(self, host_id: str) -> Host:
-        """The :class:`Host` registered under *host_id*."""
+        """The :class:`Host` registered under *host_id* (serial only)."""
+        if self._backend is not None:
+            raise self._no_direct_hosts("host")
         try:
             return self._hosts[host_id]
         except KeyError:
@@ -173,15 +252,27 @@ class Fleet:
 
     def host_ids(self) -> List[str]:
         """All host ids, sorted — the fleet's deterministic order."""
-        return sorted(self._hosts)
+        return list(self._host_ids)
 
     def hosts(self) -> List[Tuple[str, Host]]:
-        """``(host_id, host)`` pairs in deterministic order."""
+        """``(host_id, host)`` pairs in deterministic order (serial
+        only)."""
+        if self._backend is not None:
+            raise self._no_direct_hosts("hosts")
         return [(host_id, self._hosts[host_id])
-                for host_id in self.host_ids()]
+                for host_id in self._host_ids]
+
+    def require_host(self, host_id: str) -> None:
+        """Raise :class:`UnknownHostError` unless *host_id* is a fleet
+        member.  Works in both execution modes, unlike :meth:`host`."""
+        if self._backend is not None:
+            if host_id not in self._backend.worker_of:
+                raise UnknownHostError(host_id)
+        elif host_id not in self._hosts:
+            raise UnknownHostError(host_id)
 
     def __len__(self) -> int:
-        return len(self._hosts)
+        return len(self._host_ids)
 
     # -- the shared clock ----------------------------------------------------
 
@@ -256,8 +347,12 @@ class Fleet:
         """
         mapping = self._mappings.get(host_id)
         if mapping is None:
-            mapping = _device_mapping(self.reference_topology,
-                                      self.host(host_id).topology)
+            if self._backend is not None:
+                self.require_host(host_id)
+                mapping = self._parallel_mapping
+            else:
+                mapping = _device_mapping(self.reference_topology,
+                                          self.host(host_id).topology)
             self._mappings[host_id] = mapping
         src = mapping.get(intent.src, intent.src)
         dst = (mapping.get(intent.dst, intent.dst)
@@ -290,8 +385,201 @@ class Fleet:
         """Every placement in the fleet."""
         return self.scheduler.placements()
 
+    # -- per-host manager surface --------------------------------------------
+    #
+    # The scheduler, planner, recovery controller, and fault injector go
+    # through these instead of host(host_id).manager so the same control
+    # plane drives both execution modes: serial calls the manager
+    # in-process; parallel ships the op (with fleet ``now``, so the
+    # worker wakes the host first — the serial caller has already issued
+    # its own fleet.wake by this point).
+
+    def manager_try_submit(self, host_id: str,
+                           intent: PerformanceTarget) -> Optional[Placement]:
+        """``manager.try_submit`` on one host (``None`` on rejection)."""
+        if self._backend is not None:
+            return self._backend.call(host_id, "try_submit", {
+                "host_id": host_id, "now": self.now, "intent": intent})
+        return self.host(host_id).manager.try_submit(intent)
+
+    def manager_submit(self, host_id: str,
+                       intent: PerformanceTarget) -> Placement:
+        """``manager.submit`` on one host (raises on rejection)."""
+        if self._backend is not None:
+            return self._backend.call(host_id, "submit", {
+                "host_id": host_id, "now": self.now, "intent": intent})
+        return self.host(host_id).manager.submit(intent)
+
+    def manager_release(self, host_id: str, intent_id: str) -> None:
+        """``manager.release`` on one host."""
+        if self._backend is not None:
+            self._backend.call(host_id, "release", {
+                "host_id": host_id, "now": self.now,
+                "intent_id": intent_id})
+            return
+        self.host(host_id).manager.release(intent_id)
+
+    def manager_reinstate(self, host_id: str, placement: Placement) -> None:
+        """``manager.reinstate`` on one host (migration rollback)."""
+        if self._backend is not None:
+            self._backend.call(host_id, "reinstate", {
+                "host_id": host_id, "now": self.now,
+                "placement": placement})
+            return
+        self.host(host_id).manager.reinstate(placement)
+
+    def manager_placement(self, host_id: str, intent_id: str) -> Placement:
+        """``manager.placement`` on one host (raises when not placed)."""
+        if self._backend is not None:
+            return self._backend.call(host_id, "placement", {
+                "host_id": host_id, "intent_id": intent_id})
+        return self.host(host_id).manager.placement(intent_id)
+
+    def collect_placements(
+        self, bindings: Dict[str, str],
+    ) -> List[Tuple[str, str, Placement]]:
+        """``(intent_id, host_id, placement)`` for every binding, in
+        intent-id order — one bulk op per worker instead of one per
+        placement."""
+        pairs = sorted(bindings.items())
+        if self._backend is None:
+            return [(iid, hid, self.host(hid).manager.placement(iid))
+                    for iid, hid in pairs]
+        per_worker: Dict[int, list] = {}
+        for iid, hid in pairs:
+            widx = self._backend.worker_of[hid]
+            per_worker.setdefault(widx, []).append((hid, iid))
+        by_intent: Dict[str, Placement] = {}
+        for widx, wpairs in sorted(per_worker.items()):
+            placements = self._backend.call_worker(
+                widx, "placements_bulk", {"pairs": wpairs})
+            for (_hid, iid), placement in zip(wpairs, placements):
+                by_intent[iid] = placement
+        return [(iid, hid, by_intent[iid]) for iid, hid in pairs]
+
+    # -- audit surface -------------------------------------------------------
+
+    def placed_intents(self) -> Dict[str, List[str]]:
+        """Intent ids each host's manager currently holds, in manager
+        (insertion) order — the invariant oracle's ground truth."""
+        if self._backend is None:
+            return {host_id: [p.intent.intent_id
+                              for p in host.manager.placements()]
+                    for host_id, host in self.hosts()}
+        merged: Dict[str, List[str]] = {}
+        for result in self._backend.broadcast("placed_ids", {}):
+            merged.update(result)
+        return {host_id: merged[host_id] for host_id in self._host_ids}
+
+    def reserved_total(self, host_id: str) -> float:
+        """Total ledger reservation mass (bytes/s) on one host."""
+        if self._backend is not None:
+            return self._backend.call(host_id, "reserved_total",
+                                      {"host_id": host_id})
+        host = self.host(host_id)
+        return sum(host.manager.ledger.reserved_map.values())
+
+    def ledger_signatures(self) -> Dict[str, tuple]:
+        """Each host's sorted reservation map as a hashable signature —
+        the cross-mode bit-identical equivalence key."""
+        if self._backend is None:
+            return {
+                host_id: tuple(sorted(
+                    host.manager.ledger.reserved_map.items()))
+                for host_id, host in self.hosts()
+            }
+        merged: Dict[str, tuple] = {}
+        for result in self._backend.broadcast("ledger_sigs", {}):
+            merged.update(result)
+        return {host_id: merged[host_id] for host_id in self._host_ids}
+
+    def deep_audits(self, rate_tol: float = 1.0,
+                    exclude: Sequence[str] = ()) -> List[tuple]:
+        """Run the per-host fabric oracle on every non-excluded host.
+
+        Returns ``(host_id, name, detail, time)`` violation tuples in
+        global host order (stable within a host), so the fleet oracle's
+        report is identical in both execution modes.
+        """
+        excluded = set(exclude)
+        if self._backend is None:
+            out = []
+            for host_id, host in self.hosts():
+                if host_id in excluded:
+                    continue
+                for v in check_invariants(host.network,
+                                          manager=host.manager,
+                                          controller=host.recovery,
+                                          rate_tol=rate_tol):
+                    out.append((host_id, v.name, v.detail, v.time))
+            return out
+        out = []
+        for result in self._backend.broadcast(
+                "deep_check", {"rate_tol": rate_tol,
+                               "exclude": sorted(excluded)}):
+            out.extend(result)
+        out.sort(key=lambda item: item[0])  # stable: host order only
+        return out
+
+    # -- fault-model surface -------------------------------------------------
+
+    def degrade_host_links(self, host_id: str, factor: float) -> None:
+        """Degrade every intra-host placement link to *factor* capacity
+        (the fault injector's host-degrade primitive)."""
+        if self._backend is not None:
+            self._backend.call(host_id, "degrade_links", {
+                "host_id": host_id, "now": self.now, "factor": factor})
+            return
+        host = self.host(host_id)
+        injector = self._injectors.get(host_id)
+        if injector is None:
+            injector = FailureInjector(host.network)
+            self._injectors[host_id] = injector
+        failures = self._degrade_failures.setdefault(host_id, [])
+        for link in host.topology.links():
+            if (link.link_class is LinkClass.INTER_HOST
+                    or link.capacity <= 0):
+                continue
+            failures.append(injector.degrade_link(link.link_id, factor))
+
+    def restore_host_links(self, host_id: str) -> None:
+        """Clear a previous :meth:`degrade_host_links` on *host_id*."""
+        if self._backend is not None:
+            self._backend.call(host_id, "restore_links", {
+                "host_id": host_id, "now": self.now})
+            return
+        self.host(host_id)  # raises UnknownHostError
+        injector = self._injectors.get(host_id)
+        if injector is not None:
+            for failure in self._degrade_failures.pop(host_id, []):
+                injector.clear(failure)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def worker_traces(self) -> Dict[int, list]:
+        """Each worker's raw tracer records (``{}`` when serial).
+
+        Fetched live while the workers are up; :meth:`shutdown` snapshots
+        them first when tracing is enabled, so a post-shutdown export
+        still sees the per-worker tracks.
+        """
+        if self._backend is None:
+            return {}
+        if not self._backend._shut_down:
+            self._worker_traces = self._backend.collect_traces()
+        return self._worker_traces or {}
+
     def shutdown(self) -> None:
-        """Shut down every host (recovery, retry, monitors, arbiters)."""
+        """Shut down every host (recovery, retry, monitors, arbiters);
+        in parallel mode, stop the worker processes."""
+        if self._backend is not None:
+            if TRACER.enabled and not self._backend._shut_down:
+                try:
+                    self._worker_traces = self._backend.collect_traces()
+                except FleetError:
+                    pass  # a dead worker must not block teardown
+            self._backend.shutdown()
+            return
         for _host_id, host in self.hosts():
             host.shutdown()
 

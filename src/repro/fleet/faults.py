@@ -44,7 +44,7 @@ cross the cut.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -57,9 +57,7 @@ from typing import (
 )
 
 from ..errors import FleetError, UnknownHostError
-from ..monitor.failures import FailureInjector, InjectedFailure
 from ..sim.rng import make_rng
-from ..topology.elements import LinkClass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import Fleet
@@ -450,7 +448,6 @@ class _ScheduledAction:
     event: FleetFaultEvent
     applied: bool = False
     partition_token: Optional[int] = None
-    failures: List[InjectedFailure] = field(default_factory=list)
 
 
 class FleetFaultInjector:
@@ -489,7 +486,6 @@ class FleetFaultInjector:
             self._timeline.append((ev.clear_time, seq, "repair", idx))
             seq += 1
         heapq.heapify(self._timeline)
-        self._host_injectors: Dict[str, FailureInjector] = {}
         self._listeners: List[Callable[[FleetFaultRecord], None]] = []
         self.records: List[FleetFaultRecord] = []
         self.crashes = 0
@@ -571,13 +567,6 @@ class FleetFaultInjector:
         self.skipped += 1
         self._emit("skip", kind, targets, detail)
 
-    def _host_injector(self, host_id: str) -> FailureInjector:
-        injector = self._host_injectors.get(host_id)
-        if injector is None:
-            injector = FailureInjector(self.fleet.host(host_id).network)
-            self._host_injectors[host_id] = injector
-        return injector
-
     def _apply(self, action: str, idx: int) -> None:
         entry = self._actions[idx]
         ev = entry.event
@@ -628,9 +617,8 @@ class FleetFaultInjector:
         """No recovery controller: release (and lose) fleet sessions on a
         crashed host so it provably holds zero reservations."""
         scheduler = self.fleet.scheduler
-        host = self.fleet.host(host_id)
         for fp in scheduler.placements_on(host_id):
-            host.manager.release(fp.intent_id)
+            self.fleet.manager_release(host_id, fp.intent_id)
             scheduler.forget(fp.intent_id)
             self.sessions_dropped += 1
         self.fleet.telemetry.invalidate(host_id)
@@ -648,14 +636,7 @@ class FleetFaultInjector:
         self.fleet.wake(host_id)
         health.degrade(host_id, factor)
         self.fleet.telemetry.set_fault(host_id, True)
-        injector = self._host_injector(host_id)
-        host = self.fleet.host(host_id)
-        for link in host.topology.links():
-            if (link.link_class is LinkClass.INTER_HOST
-                    or link.capacity <= 0):
-                continue
-            entry.failures.append(
-                injector.degrade_link(link.link_id, factor))
+        self.fleet.degrade_host_links(host_id, factor)
         self.fleet.notify(host_id)
         self.fleet.telemetry.invalidate(host_id)
         if self.recovery is not None:
@@ -669,10 +650,7 @@ class FleetFaultInjector:
                         ev: FleetFaultEvent) -> None:
         host_id = ev.targets[0]
         self.fleet.wake(host_id)
-        injector = self._host_injector(host_id)
-        for failure in entry.failures:
-            injector.clear(failure)
-        entry.failures.clear()
+        self.fleet.restore_host_links(host_id)
         self.fleet.health.restore(host_id)
         self.fleet.telemetry.set_fault(host_id, False)
         self.fleet.notify(host_id)

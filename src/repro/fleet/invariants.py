@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
-from ..resilience.invariants import InvariantViolation, check_invariants
+from ..resilience.invariants import InvariantViolation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import Fleet
@@ -76,11 +76,13 @@ def check_fleet_invariants(
                                              time=now))
 
     # 1. Binding soundness: scheduler bindings vs per-host managers.
+    #    ``placed_intents`` is the fleet-surface view of each manager's
+    #    placements, so the same audit runs against worker-held hosts.
     bindings = scheduler.bindings()
+    placed = fleet.placed_intents()
     seen_on_hosts = {}
-    for host_id, host in fleet.hosts():
-        for placement in host.manager.placements():
-            intent_id = placement.intent.intent_id
+    for host_id in fleet.host_ids():
+        for intent_id in placed.get(host_id, ()):
             prev = seen_on_hosts.get(intent_id)
             if prev is not None:
                 violation(
@@ -111,14 +113,14 @@ def check_fleet_invariants(
 
     # 2. Crashed hosts hold nothing.
     for host_id in sorted(health.crashed):
-        host = fleet.host(host_id)
-        leftover = host.manager.placements()
+        fleet.require_host(host_id)
+        leftover = placed.get(host_id, ())
         if leftover:
-            ids = sorted(p.intent.intent_id for p in leftover)
+            ids = sorted(leftover)
             violation(
                 "crashed-host-placements",
                 f"{host_id} crashed but still holds {ids}")
-        reserved = sum(host.manager.ledger.reserved_map.values())
+        reserved = fleet.reserved_total(host_id)
         if reserved > _RESERVATION_TOL:
             violation(
                 "crashed-host-reservations",
@@ -126,9 +128,9 @@ def check_fleet_invariants(
                 f"{reserved:.1f} B/s")
 
     # 3. Telemetry conservation.
-    for host_id, host in fleet.hosts():
+    for host_id in fleet.host_ids():
         summary = fleet.telemetry.headroom(host_id)
-        actual = len(host.manager.placements())
+        actual = len(placed.get(host_id, ()))
         if summary.placements != actual:
             violation(
                 "telemetry-placement-drift",
@@ -142,15 +144,10 @@ def check_fleet_invariants(
 
     # 4. Per-host deep audit (live hosts only).
     if deep:
-        for host_id, host in fleet.hosts():
-            if health.is_crashed(host_id):
-                continue  # frozen mid-flight; audited after recovery
-            for v in check_invariants(host.network, manager=host.manager,
-                                      controller=host.recovery,
-                                      rate_tol=rate_tol):
-                violations.append(InvariantViolation(
-                    name=v.name, detail=f"{host_id}: {v.detail}",
-                    time=v.time))
+        for host_id, name, detail, vtime in fleet.deep_audits(
+                rate_tol=rate_tol, exclude=health.crashed):
+            violations.append(InvariantViolation(
+                name=name, detail=f"{host_id}: {detail}", time=vtime))
 
     # 5. Session conservation: admitted - released - cancelled
     #    == placed + shed + pending re-placements.  (Live retry entries

@@ -122,8 +122,7 @@ class MigrationPlanner:
             raise MigrationError(
                 intent_id, f"already on {src_host_id!r}"
             )
-        src = self.fleet.host(src_host_id)
-        dst = self.fleet.host(dst_host_id)  # raises UnknownHostError early
+        self.fleet.require_host(dst_host_id)  # raises UnknownHostError early
         # Pre-flight health: a crashed endpoint or an active partition
         # fails the leg *before* any state moves, so the source placement
         # is exactly as it was.
@@ -152,15 +151,15 @@ class MigrationPlanner:
         self.fleet.wake(src_host_id)
         self.fleet.wake(dst_host_id)
         original = self.scheduler.original_intent(intent_id)
-        old = src.manager.placement(intent_id)
+        old = self.fleet.manager_placement(src_host_id, intent_id)
         remapped = self.fleet.remap_intent(original, dst_host_id)
 
-        src.manager.release(intent_id)
+        self.fleet.manager_release(src_host_id, intent_id)
         try:
-            placement = dst.manager.submit(remapped)
+            placement = self.fleet.manager_submit(dst_host_id, remapped)
         except HostNetError as exc:
             try:
-                src.manager.reinstate(old)
+                self.fleet.manager_reinstate(src_host_id, old)
             except HostNetError as rb_exc:
                 # The rollback window closed too (the source failed
                 # between release and reinstate).  The session must not

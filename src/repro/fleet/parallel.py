@@ -1,0 +1,324 @@
+"""Process-parallel fleet execution: the parent side.
+
+The fleet's control plane (scheduler, planner, recovery, fault
+timelines, health) stays in the parent process; host simulations are
+sharded across long-lived worker processes (:mod:`repro.fleet.worker`)
+and driven over pipes with the compact protocol in
+:mod:`repro.fleet.protocol`.  Two classes live here:
+
+* :class:`ParallelBackend` — owns the worker processes and pipes, routes
+  per-host ops to the owning worker, broadcasts fleet-wide ops with a
+  send-all-then-receive-all round (the only barrier in the system), and
+  maintains the two piggybacked mirrors every reply refreshes: each
+  worker's minimum pending-event time and the set of hosts whose
+  telemetry went stale.
+* :class:`ParallelFleetClock` — the :class:`~repro.fleet.clock.FleetClock`
+  discipline over workers.  The serial event clock's lazy
+  ``(peek_time, host_id)`` heap becomes a *heap over per-worker minima*:
+  an advance is one broadcast round to exactly the workers whose minimum
+  is due, because a host's events can only schedule more events on the
+  same host (hosts share no fabric), so each worker drains its own heap
+  to the target with no cross-worker interaction.  ``wake`` is a logical
+  no-op — every mutating op carries fleet ``now`` and the worker wakes
+  the target host first (see :mod:`repro.fleet.worker` for why that
+  folding is exact).
+
+Workers are forked, not spawned: host factories close over topology
+builders that need not pickle, and fork ships them for free.  That makes
+the backend POSIX-only, which the constructor reports as a
+:class:`~repro.errors.FleetError` rather than a deep pickle traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..errors import FleetError, UnknownHostError
+from .clock import _CLOCK_EPS, FleetClock
+from .protocol import ERR, FATAL, decode_error, shard_hosts
+from .worker import worker_main
+
+#: Seconds to wait for a worker to exit cleanly at shutdown before
+#: escalating to terminate().
+_JOIN_TIMEOUT = 5.0
+
+
+class ParallelBackend:
+    """Worker-process pool plus the message plumbing the fleet rides.
+
+    Args:
+        host_ids: Every host in the fleet (sharded deterministically via
+            :func:`~repro.fleet.protocol.shard_hosts`; empty shards are
+            dropped, so ``workers`` is an upper bound).
+        workers: Requested worker count.
+        factory: Zero-argument topology factory (crosses the fork, so it
+            need not pickle).
+        start: Initial host-engine time.
+        host_kwargs: Extra :class:`~repro.host.Host` keyword arguments
+            (``resilience`` excluded — the fleet rejects it up front).
+    """
+
+    def __init__(self, host_ids: Sequence[str], workers: int,
+                 factory: Callable, start: float,
+                 host_kwargs: Dict[str, Any]) -> None:
+        self.shards = [s for s in shard_hosts(host_ids, workers) if s]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - POSIX-only repo, but be kind
+            raise FleetError(
+                "parallel fleet execution requires the fork start method "
+                "(POSIX only)"
+            ) from None
+        self.worker_of: Dict[str, int] = {}
+        #: Per-worker earliest pending host-event time (None = idle
+        #: shard).  Exact at all times: it rides on every reply, and a
+        #: shard's events only change through ops routed to that worker.
+        self.min_peeks: List[Optional[float]] = [None] * len(self.shards)
+        self._dirty: Set[str] = set()
+        self._conns: list = []
+        self._procs: list = []
+        self._alive = [True] * len(self.shards)
+        self._shut_down = False
+        for widx, shard in enumerate(self.shards):
+            for host_id in shard:
+                self.worker_of[host_id] = widx
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn, widx, shard, factory, start, host_kwargs),
+                name=f"fleet-worker-{widx}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        for widx in range(len(self.shards)):
+            self._recv(widx)  # construction ack (or a build traceback)
+
+    @property
+    def workers(self) -> int:
+        """Actual worker count (after empty-shard dropping)."""
+        return len(self.shards)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _worker_failed(self, widx: int, why: str) -> None:
+        self._alive[widx] = False
+        hosts = ", ".join(self.shards[widx])
+        raise FleetError(f"fleet worker {widx} (hosts: {hosts}) {why}")
+
+    def _send(self, widx: int, op: str, payload: dict) -> None:
+        if not self._alive[widx]:
+            self._worker_failed(widx, "is already dead")
+        try:
+            self._conns[widx].send((op, payload))
+        except (BrokenPipeError, OSError):
+            self._worker_failed(
+                widx, f"died before accepting {op!r} "
+                      f"(exitcode {self._procs[widx].exitcode})")
+
+    def _recv(self, widx: int):
+        try:
+            status, value, min_peek, dirty = self._conns[widx].recv()
+        except (EOFError, OSError):
+            self._alive[widx] = False
+            self._worker_failed(
+                widx, "died mid-operation without replying "
+                      f"(exitcode {self._procs[widx].exitcode})")
+        if status == FATAL:
+            self._alive[widx] = False
+            hosts = ", ".join(self.shards[widx])
+            raise FleetError(
+                f"fleet worker {widx} (hosts: {hosts}) failed:\n{value}")
+        self.min_peeks[widx] = min_peek
+        self._dirty.update(dirty)
+        if status == ERR:
+            raise decode_error(*value)
+        return value
+
+    def call(self, host_id: str, op: str, payload: dict):
+        """One op on the worker owning *host_id*; returns its result."""
+        widx = self.worker_of.get(host_id)
+        if widx is None:
+            raise UnknownHostError(host_id)
+        self._send(widx, op, payload)
+        return self._recv(widx)
+
+    def call_worker(self, widx: int, op: str, payload: dict):
+        """One op on worker *widx* directly (fleet-scoped reads)."""
+        self._send(widx, op, payload)
+        return self._recv(widx)
+
+    def broadcast(self, op: str, payload: dict,
+                  widxs: Optional[Sequence[int]] = None) -> list:
+        """Send *op* to the given workers (default all), then collect.
+
+        Send-all-then-receive-all: the workers run concurrently and this
+        is the planner sync-point barrier.  All replies are drained even
+        when one raises, so the pipes stay in lockstep with the op
+        stream; the first error is re-raised afterwards.
+        """
+        targets = (list(range(len(self.shards)))
+                   if widxs is None else list(widxs))
+        for widx in targets:
+            self._send(widx, op, payload)
+        results = []
+        first_exc: Optional[BaseException] = None
+        for widx in targets:
+            try:
+                results.append(self._recv(widx))
+            except Exception as exc:
+                if first_exc is None:
+                    first_exc = exc
+                results.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    def take_dirty(self) -> Set[str]:
+        """Hosts whose telemetry changed since the last take (and clear)."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def collect_traces(self) -> Dict[int, list]:
+        """Each live worker's tracer ring, as raw records per worker."""
+        traces: Dict[int, list] = {}
+        for widx in range(len(self.shards)):
+            if not self._alive[widx]:
+                continue
+            traces[widx] = self.call_worker(widx, "collect_trace", {})
+        return traces
+
+    def shutdown(self) -> None:
+        """Stop every worker; escalate to terminate() for stragglers."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for widx, conn in enumerate(self._conns):
+            if not self._alive[widx]:
+                continue
+            try:
+                conn.send(("shutdown", {}))
+            except OSError:
+                self._alive[widx] = False
+        for widx, conn in enumerate(self._conns):
+            if not self._alive[widx]:
+                continue
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+
+
+class ParallelFleetClock(FleetClock):
+    """Fleet time over sharded workers: a heap over per-worker minima.
+
+    The serial event-driven clock re-validates a lazy fleet-wide heap
+    entry by peeking one engine at a time; here each worker maintains
+    that heap for its own shard and the parent only tracks each shard's
+    *minimum* (refreshed on every reply).  ``advance_to(t)`` is then a
+    single broadcast round to the workers whose minimum is due — sound
+    because hosts cannot schedule events on each other, so no worker's
+    advance can create work for another before the next sync point.
+
+    When fleet-level control needs exact boundary cadence (a rebalance
+    threshold is armed, escalations are queued, or the fleet was built
+    with the lockstep discipline) the advance runs quantum by quantum,
+    broadcasting one boundary slice and running
+    :meth:`~repro.fleet.migration.MigrationPlanner.control` at each —
+    the same cadence and ordering as the serial clocks.
+    """
+
+    name = "parallel"
+
+    def __init__(self, fleet, quantum: float, start: float,
+                 backend: ParallelBackend,
+                 force_boundaries: bool = False) -> None:
+        super().__init__(fleet, quantum, start)
+        self._backend = backend
+        self._force_boundaries = force_boundaries
+        self.name = (f"parallel[{'lockstep' if force_boundaries else 'event'}"
+                     f" x{backend.workers}]")
+
+    def _resolve_engines(self, fleet) -> dict:
+        return {}  # engines live in the workers, not this process
+
+    def _known(self, host_id: str) -> None:
+        if host_id not in self._backend.worker_of:
+            raise UnknownHostError(host_id)
+
+    def wake(self, host_id: str, t: Optional[float] = None) -> int:
+        """Logical no-op: every worker op wakes its target host itself.
+
+        The parent always advances fleet time before issuing ops and ops
+        only schedule strictly-future events, so the fold is exact — the
+        worker-side wake processes the same events at the same local
+        times the serial pre-interaction wake would have.
+        """
+        self._known(host_id)
+        return 0
+
+    def notify(self, host_id: str) -> None:
+        """No-op: min_peeks refresh on the mutating op's own reply."""
+
+    def deactivate(self, host_id: str) -> None:
+        self._known(host_id)
+        self._backend.call(host_id, "deactivate",
+                           {"host_id": host_id, "now": self._now})
+        self._inactive.add(host_id)
+
+    def reactivate(self, host_id: str) -> int:
+        self._known(host_id)
+        self._inactive.discard(host_id)
+        return self._backend.call(host_id, "reactivate",
+                                  {"host_id": host_id, "now": self._now})
+
+    def sync_hosts(self, t: Optional[float] = None) -> int:
+        target = self._now if t is None else t
+        return sum(self._backend.broadcast("sync", {"t": target}))
+
+    def _needs_boundaries(self) -> bool:
+        # Per-host recovery controllers cannot exist here (the fleet
+        # rejects resilience= with parallel=), so the serial event
+        # clock's _any_recovery term is identically False.
+        planner = self.fleet.planner
+        if planner.rebalance_threshold is not None:
+            return True
+        return bool(planner.pending_escalations)
+
+    def advance_to(self, t: float) -> int:
+        self._check_target(t)
+        if self._force_boundaries or self._needs_boundaries():
+            return self._advance_boundaries(t)
+        due = [widx for widx, min_peek in enumerate(self._backend.min_peeks)
+               if min_peek is not None and min_peek <= t + _CLOCK_EPS]
+        processed = 0
+        if due:
+            processed = sum(
+                self._backend.broadcast("advance_events", {"t": t}, due))
+        if t > self._now:
+            self._now = t
+        return processed
+
+    def _advance_boundaries(self, t: float) -> int:
+        """Quantum cadence: one boundary broadcast, then fleet control."""
+        processed = 0
+        while self._now < t - _CLOCK_EPS:
+            boundary = min(t, self._now + self.quantum)
+            processed += sum(
+                self._backend.broadcast("advance_boundary", {"t": boundary}))
+            self._now = boundary
+            self.fleet.planner.control()
+        return processed

@@ -1,0 +1,116 @@
+"""The parent↔worker message protocol for process-parallel fleets.
+
+``repro.fleet.parallel`` shards :class:`~repro.host.Host` simulations
+across long-lived worker processes; this module is the *wire contract*
+between the parent's control plane and those workers:
+
+* :func:`shard_hosts` — the deterministic host→worker assignment.  The
+  shard map is a pure function of the **sorted** host-id list and the
+  worker count, so the same fleet always shards the same way no matter
+  how the caller enumerated its hosts (the hypothesis property in
+  ``tests/test_fleet_parallel.py``).
+* Request/reply framing — requests are ``(op, payload)`` tuples, replies
+  are ``(status, value, min_peek, dirty)`` where ``status`` is one of
+  :data:`OK` / :data:`ERR` / :data:`FATAL`.  Two mirrors piggyback on
+  **every** reply so the parent needs no poll round-trips: ``min_peek``
+  is the worker's earliest pending host-event time (the parent's heap
+  over per-worker minima), and ``dirty`` is the hosts whose telemetry
+  went stale during the op (the parent's push-invalidation mirror).
+* :func:`encode_error` / :func:`decode_error` — library exceptions
+  (:class:`~repro.errors.HostNetError` subclasses) crossing the process
+  boundary.  Several carry custom multi-argument constructors
+  (``AdmissionError(intent_id, reason)``) whose default pickle reduce
+  would re-invoke ``__init__`` with the *formatted message* as the sole
+  argument and crash; encoding ``(type name, message, attributes)``
+  sidesteps ``__init__`` entirely and rebuilds an instance that passes
+  the same ``isinstance`` checks with the same message and attributes.
+
+Everything sent over the pipe must pickle.  The payloads the fleet ships
+— :class:`~repro.core.intents.PerformanceTarget`,
+:class:`~repro.core.manager.Placement`,
+:class:`~repro.fleet.telemetry.HostHeadroom`, and plain containers — are
+all plain (frozen) dataclasses, checked by the round-trip test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .. import errors as _errors
+from ..errors import FleetError
+
+# -- reply statuses ----------------------------------------------------------
+
+#: The op succeeded; ``value`` is its result.
+OK = "ok"
+#: The op raised a library error; ``value`` is an encoded exception.
+ERR = "err"
+#: The worker hit an unexpected error; ``value`` is a traceback string.
+#: The worker is considered poisoned after this (the parent tears the
+#: fleet down rather than trusting half-applied state).
+FATAL = "fatal"
+
+
+def shard_hosts(host_ids: Sequence[str], workers: int) -> List[List[str]]:
+    """Assign hosts to *workers* shards, deterministically and balanced.
+
+    Hosts are sorted first (so the map is invariant under input
+    permutation) and dealt round-robin: worker *i* owns every sorted
+    host whose rank ≡ *i* (mod *workers*).  Properties the tests pin:
+
+    * pure function of ``(set(host_ids), workers)``;
+    * every host appears in exactly one shard;
+    * shard sizes differ by at most one;
+    * a host's worker depends only on its sorted rank and the worker
+      count — growing the fleet by appending ids that sort last never
+      reshuffles the existing prefix.
+    """
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1, got {workers}")
+    ordered = sorted(host_ids)
+    if len(set(ordered)) != len(ordered):
+        raise FleetError(f"duplicate host ids in {sorted(host_ids)}")
+    return [ordered[i::workers] for i in range(workers)]
+
+
+# -- exception transport -----------------------------------------------------
+
+#: Exception attributes worth shipping (plain strings set by the
+#: library's error constructors: ``intent_id``, ``reason``, ``host_id``,
+#: ...).  Anything non-picklable is dropped rather than poisoning the
+#: reply.
+def encode_error(exc: BaseException) -> Tuple[str, str, Dict[str, Any]]:
+    """Flatten a library exception into ``(type name, message, attrs)``."""
+    attrs = {
+        key: value
+        for key, value in vars(exc).items()
+        if isinstance(value, (str, int, float, bool, type(None)))
+    }
+    return (type(exc).__name__, str(exc), attrs)
+
+
+def decode_error(name: str, message: str,
+                 attrs: Dict[str, Any]) -> BaseException:
+    """Rebuild the exception :func:`encode_error` flattened.
+
+    The class is resolved from :mod:`repro.errors` (falling back to
+    :class:`~repro.errors.FleetError` for anything unknown) and
+    instantiated *without* running its custom ``__init__`` — several
+    library errors take multi-argument constructors that a message
+    string cannot satisfy.  ``Exception.__init__`` installs the message
+    (so ``str(exc)`` and ``raise`` formatting match the worker side) and
+    the shipped attributes are restored for callers that read
+    ``exc.intent_id`` and friends.
+    """
+    exc_cls = getattr(_errors, name, None)
+    if not (isinstance(exc_cls, type)
+            and issubclass(exc_cls, _errors.HostNetError)):
+        exc_cls = FleetError
+    exc = exc_cls.__new__(exc_cls)
+    Exception.__init__(exc, message)
+    for key, value in attrs.items():
+        try:
+            setattr(exc, key, value)
+        except AttributeError:  # pragma: no cover - slotted subclass
+            pass
+    return exc

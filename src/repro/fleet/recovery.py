@@ -39,7 +39,7 @@ session orphaned by a failed migration rollback (see
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.intents import PerformanceTarget
@@ -227,14 +227,13 @@ class FleetRecoveryController:
                                   attempts=0,
                                   first_failed_at=self.fleet.now)
             return
-        host = self.fleet.host(host_id)
         evacuees: List[PerformanceTarget] = []
         for fp in victims:
             intent = scheduler.original_intent(fp.intent_id)
             # A pending live-migration entry for this session is
             # superseded: the crash path owns it now.
             self._pending.pop(fp.intent_id, None)
-            host.manager.release(fp.intent_id)
+            self.fleet.manager_release(host_id, fp.intent_id)
             scheduler.forget(fp.intent_id)
             evacuees.append(intent)
         self.fleet.notify(host_id)

@@ -164,13 +164,12 @@ class ClusterScheduler:
             order = order[:self.max_attempts]
         for host_id in order:
             self.probe_count += 1
-            host = self.fleet.host(host_id)
             # Probed hosts must be at fleet time so the reservation (and
             # any deferred re-solve it schedules) is stamped "now", not
             # at whatever time the host was last woken.
             self.fleet.wake(host_id)
             remapped = self.fleet.remap_intent(intent, host_id)
-            placement = host.manager.try_submit(remapped)
+            placement = self.fleet.manager_try_submit(host_id, remapped)
             # Either outcome may have scheduled host events (arbiter
             # enforcement after its decision latency, retry backoffs);
             # they postdate the wake above, so re-notify the clock.
@@ -212,7 +211,7 @@ class ClusterScheduler:
         """Withdraw a fleet-placed intent from its host."""
         host_id = self.host_of(intent_id)
         self.fleet.wake(host_id)
-        self.fleet.host(host_id).manager.release(intent_id)
+        self.fleet.manager_release(host_id, intent_id)
         self.fleet.notify(host_id)  # release schedules enforcement too
         self._unbind(intent_id)
         self.telemetry.invalidate(host_id)
@@ -307,12 +306,11 @@ class ClusterScheduler:
 
     def placements(self) -> List[FleetPlacement]:
         """Every fleet placement, in deterministic intent-id order."""
-        result = []
-        for intent_id in sorted(self._host_of):
-            host_id = self._host_of[intent_id]
-            placement = self.fleet.host(host_id).manager.placement(intent_id)
-            result.append(FleetPlacement(host_id, placement))
-        return result
+        return [
+            FleetPlacement(host_id, placement)
+            for _intent_id, host_id, placement
+            in self.fleet.collect_placements(self._host_of)
+        ]
 
     def placements_on(self, host_id: str) -> List[FleetPlacement]:
         """Fleet placements on one host, in intent-id order."""

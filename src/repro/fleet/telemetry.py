@@ -519,19 +519,149 @@ class FleetTelemetry:
         """Human-readable one-line-per-host rollup."""
         lines = [f"FleetTelemetry: {len(self._hosts)} hosts, "
                  f"{self.refresh_count} refreshes"]
-        for summary in self.headrooms():
-            flags = []
-            if summary.down_links:
-                flags.append(f"{summary.down_links} links down")
-            if summary.degraded_links:
-                flags.append(f"{summary.degraded_links} degraded")
-            if not summary.healthy:
-                flags.append("UNHEALTHY")
-            lines.append(
-                f"  {summary.host_id}: {summary.placements} placements, "
-                f"free(min/mean)={summary.free_fraction_min:.2f}/"
-                f"{summary.free_fraction_mean:.2f}, "
-                f"peak reserved={summary.reserved_peak:.2f}"
-                + (f" [{', '.join(flags)}]" if flags else "")
-            )
+        lines.extend(_headroom_lines(self.headrooms()))
+        return "\n".join(lines)
+
+
+def _headroom_lines(summaries: Sequence[HostHeadroom]) -> List[str]:
+    """The per-host describe() lines both telemetry frontends share."""
+    lines = []
+    for summary in summaries:
+        flags = []
+        if summary.down_links:
+            flags.append(f"{summary.down_links} links down")
+        if summary.degraded_links:
+            flags.append(f"{summary.degraded_links} degraded")
+        if not summary.healthy:
+            flags.append("UNHEALTHY")
+        lines.append(
+            f"  {summary.host_id}: {summary.placements} placements, "
+            f"free(min/mean)={summary.free_fraction_min:.2f}/"
+            f"{summary.free_fraction_mean:.2f}, "
+            f"peak reserved={summary.reserved_peak:.2f}"
+            + (f" [{', '.join(flags)}]" if flags else "")
+        )
+    return lines
+
+
+class ParallelFleetTelemetry:
+    """The telemetry frontend of a process-parallel fleet.
+
+    Same read surface as :class:`FleetTelemetry` — ``headroom`` /
+    ``headrooms`` / ``matrix`` / ``set_fault`` / ``invalidate`` — but the
+    rollups are computed where the ground truth lives: each worker runs a
+    real :class:`FleetTelemetry` over its shard, and this frontend caches
+    the :class:`HostHeadroom` summaries parent-side, refetching only
+    hosts marked stale.
+
+    Staleness mirrors the serial push-invalidation exactly: every worker
+    reply piggybacks the hosts whose managers or fabrics changed during
+    the op (the same ``on_change``/``on_recompute`` signals the serial
+    rollup subscribes to), and the fleet's mutation sites call
+    :meth:`invalidate` explicitly just as they do serially.  A read
+    therefore sees summaries byte-equal to what the serial rollup would
+    compute at the same point — which is what keeps parallel placement
+    ranking bit-identical to serial.
+
+    Args:
+        backend: The fleet's :class:`~repro.fleet.parallel
+            .ParallelBackend` (duck-typed: needs ``worker_of``,
+            ``workers``, ``call``/``call_worker``, and ``take_dirty``).
+    """
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+        self._host_ids: List[str] = sorted(backend.worker_of)
+        self._cache: Dict[str, HostHeadroom] = {}
+        self._dirty: set = set(self._host_ids)
+        self._faulted: set = set()
+        #: Summaries fetched from workers (the serial counter's analogue).
+        self.refresh_count = 0
+        self._version = 0
+        self._matrix: Optional[HeadroomMatrix] = None
+        self._matrix_version = -1
+
+    def host_ids(self) -> List[str]:
+        """Tracked host ids, sorted (the fleet's deterministic order)."""
+        return list(self._host_ids)
+
+    def _known(self, host_id: str) -> None:
+        if host_id not in self._backend.worker_of:
+            raise UnknownHostError(host_id)
+
+    def _pull(self) -> None:
+        """Absorb the dirty-host deltas accumulated on worker replies."""
+        self._dirty |= self._backend.take_dirty()
+
+    def _fetch(self, host_ids: Sequence[str]) -> None:
+        """Refetch summaries for *host_ids*, grouped one op per worker."""
+        per_worker: Dict[int, List[str]] = {}
+        for host_id in host_ids:
+            widx = self._backend.worker_of[host_id]
+            per_worker.setdefault(widx, []).append(host_id)
+        for widx, shard_ids in sorted(per_worker.items()):
+            fresh = self._backend.call_worker(
+                widx, "headrooms", {"host_ids": shard_ids})
+            self._cache.update(fresh)
+            self.refresh_count += len(fresh)
+        self._dirty.difference_update(host_ids)
+        self._version += 1
+
+    # -- the FleetTelemetry read surface -------------------------------------
+
+    def headroom(self, host_id: str) -> HostHeadroom:
+        """The current headroom summary of one host (always current)."""
+        self._known(host_id)
+        self._pull()
+        if host_id in self._dirty or host_id not in self._cache:
+            self._fetch([host_id])
+        return self._cache[host_id]
+
+    def headrooms(self) -> List[HostHeadroom]:
+        """Summaries for every host, in deterministic host-id order."""
+        self._pull()
+        stale = [host_id for host_id in self._host_ids
+                 if host_id in self._dirty or host_id not in self._cache]
+        if stale:
+            self._fetch(stale)
+        return [self._cache[host_id] for host_id in self._host_ids]
+
+    def matrix(self) -> HeadroomMatrix:
+        """Every host's summary as one :class:`HeadroomMatrix` (cached
+        until any summary changes)."""
+        summaries = self.headrooms()
+        if self._matrix is None or self._matrix_version != self._version:
+            self._matrix = HeadroomMatrix(summaries)
+            self._matrix_version = self._version
+        return self._matrix
+
+    def invalidate(self, host_id: Optional[str] = None) -> None:
+        """Mark one host (or all) stale, forcing a refetch on next read."""
+        if host_id is None:
+            self._dirty.update(self._host_ids)
+        elif host_id in self._backend.worker_of:
+            self._dirty.add(host_id)
+
+    def set_fault(self, host_id: str, faulted: bool) -> None:
+        """Mark *host_id* faulted (or clear the mark) — forwarded to the
+        owning worker's rollup, mirrored here for :meth:`is_faulted`."""
+        self._known(host_id)
+        if faulted:
+            self._faulted.add(host_id)
+        else:
+            self._faulted.discard(host_id)
+        self._backend.call(host_id, "set_fault",
+                           {"host_id": host_id, "faulted": faulted})
+        self._dirty.add(host_id)
+
+    def is_faulted(self, host_id: str) -> bool:
+        """Whether the fault model currently marks *host_id* faulted."""
+        return host_id in self._faulted
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-host rollup."""
+        lines = [f"FleetTelemetry: {len(self._host_ids)} hosts across "
+                 f"{self._backend.workers} workers, "
+                 f"{self.refresh_count} summaries fetched"]
+        lines.extend(_headroom_lines(self.headrooms()))
         return "\n".join(lines)

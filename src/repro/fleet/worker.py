@@ -1,0 +1,416 @@
+"""The worker-process side of process-parallel fleet execution.
+
+:func:`worker_main` is the entry point each ``fleet-worker-N`` process
+runs: it builds the :class:`~repro.host.Host` instances for its shard
+(post-fork, so nothing host-sized ever crosses the pipe), then serves
+the parent's ops until told to shut down.  The parent keeps *all*
+control-plane state — scheduler bindings, planner queues, fleet health,
+fault timelines — and the worker keeps *only* what is host-local: the
+engines, ledgers, fabrics, a real :class:`~repro.fleet.telemetry
+.FleetTelemetry` over its shard, and the per-host failure-injector state
+for degrade faults.
+
+Determinism hinges on two properties of this split:
+
+* **Order.**  Every mutating op is issued by the parent in exactly the
+  order the serial fleet would have performed it, and each op replays
+  the serial call sequence locally — ``wake`` the host to fleet time,
+  apply the manager/injector call, ``notify`` the shard clock — so a
+  host's event history is identical instruction-for-instruction.
+* **Wake folding.**  The parent's ``Fleet.wake`` is a no-op in parallel
+  mode; instead every op carries fleet ``now`` and wakes its target host
+  first.  This is sound because the parent always advances fleet time
+  *before* issuing ops, and ops only schedule strictly-future host
+  events (decision latencies and arbiter periods are positive), so the
+  folded wake processes exactly the events the serial pre-interaction
+  wake would have.
+
+:class:`_ShardClock` mirrors the serial
+:class:`~repro.fleet.clock.EventDrivenFleetClock` heap discipline over
+just this shard — same lazy priming, same stale-entry revalidation, same
+``(time, host_id)`` tie-break — so a parallel advance processes each
+host's events at the same local timestamps the serial clock would.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import heapq
+
+from ..errors import HostNetError, UnknownHostError
+from ..host import Host
+from ..monitor.failures import FailureInjector
+from ..resilience.invariants import check_invariants
+from ..topology.elements import LinkClass
+from ..trace import TRACER
+from .clock import _CLOCK_EPS
+from .protocol import ERR, FATAL, OK, encode_error
+from .telemetry import FleetTelemetry
+
+
+class _ShardClock:
+    """The per-worker slice of the event-driven fleet clock.
+
+    Keeps the same lazy ``(next_event_time, host_id)`` heap the serial
+    :class:`~repro.fleet.clock.EventDrivenFleetClock` keeps fleet-wide,
+    restricted to this worker's hosts.  The parent holds only each
+    worker's *minimum* (piggybacked on every reply), so the fleet-wide
+    heap becomes a heap over per-worker minima without any extra
+    round-trips.
+    """
+
+    def __init__(self, hosts: Dict[str, Host]) -> None:
+        self._engines = {host_id: hosts[host_id].engine
+                         for host_id in sorted(hosts)}
+        self._inactive: set = set()
+        self._heap: List[Tuple[float, str]] = []
+        self._primed = False
+
+    def _engine(self, host_id: str):
+        try:
+            return self._engines[host_id]
+        except KeyError:
+            raise UnknownHostError(host_id) from None
+
+    def min_peek(self) -> Optional[float]:
+        """Earliest pending event time over this shard's active hosts.
+
+        Computed by scan, not from the heap: the heap is lazy and may be
+        stale or unprimed, and the parent's advance planning needs an
+        exact answer on every reply.
+        """
+        earliest: Optional[float] = None
+        for host_id, engine in self._engines.items():
+            if host_id in self._inactive:
+                continue
+            t_ev = engine.peek_time()
+            if t_ev is not None and (earliest is None or t_ev < earliest):
+                earliest = t_ev
+        return earliest
+
+    def wake(self, host_id: str, target: float) -> int:
+        if host_id in self._inactive:
+            return 0  # crashed: frozen in time until reactivated
+        engine = self._engine(host_id)
+        processed = (engine.run_until(target)
+                     if target >= engine.now else 0)
+        if self._primed:
+            t_ev = engine.peek_time()
+            if t_ev is not None:
+                heapq.heappush(self._heap, (t_ev, host_id))
+        return processed
+
+    def notify(self, host_id: str) -> None:
+        if not self._primed or host_id in self._inactive:
+            return
+        t_ev = self._engine(host_id).peek_time()
+        if t_ev is not None:
+            heapq.heappush(self._heap, (t_ev, host_id))
+
+    def deactivate(self, host_id: str, now: float) -> None:
+        # The serial injector wakes a host to the crash instant before
+        # freezing it; fold that wake in here so pending pre-crash
+        # events (in-flight admission decisions, arbiter ticks) run at
+        # the same local times they would serially.
+        self.wake(host_id, now)
+        self._engine(host_id)
+        self._inactive.add(host_id)
+
+    def reactivate(self, host_id: str, now: float) -> int:
+        self._inactive.discard(host_id)
+        return self.wake(host_id, now)
+
+    def _prime(self) -> None:
+        self._heap = []
+        for host_id, engine in self._engines.items():
+            if host_id in self._inactive:
+                continue
+            t_ev = engine.peek_time()
+            if t_ev is not None:
+                self._heap.append((t_ev, host_id))
+        heapq.heapify(self._heap)
+        self._primed = True
+
+    def advance_events(self, t: float) -> int:
+        """Run every shard event due at or before *t* (event discipline)."""
+        if not self._primed:
+            self._prime()
+        heap = self._heap
+        engines = self._engines
+        processed = 0
+        while heap and heap[0][0] <= t + _CLOCK_EPS:
+            t_ev, host_id = heap[0]
+            if host_id in self._inactive:
+                heapq.heappop(heap)
+                continue
+            engine = engines[host_id]
+            actual = engine.peek_time()
+            if actual != t_ev:
+                heapq.heappop(heap)
+                if actual is not None:
+                    heapq.heappush(heap, (actual, host_id))
+                continue
+            heapq.heappop(heap)
+            processed += engine.run_until(t_ev)
+            nxt = engine.peek_time()
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, host_id))
+        return processed
+
+    def advance_boundary(self, t: float) -> int:
+        """Run every active host to *t* (one lockstep boundary slice)."""
+        self._primed = False
+        processed = 0
+        for host_id, engine in self._engines.items():
+            if host_id in self._inactive:
+                continue
+            processed += engine.run_until(t)
+        return processed
+
+    def sync(self, t: float) -> int:
+        """Bring every active host's local clock up to *t*."""
+        processed = 0
+        for host_id in self._engines:
+            processed += self.wake(host_id, t)
+        return processed
+
+
+class _Worker:
+    """One worker's host shard plus the op table the parent drives."""
+
+    def __init__(self, host_ids: Sequence[str], factory: Callable,
+                 start: float, host_kwargs: Dict[str, Any]) -> None:
+        self.hosts: Dict[str, Host] = {}
+        self.telemetry = FleetTelemetry()
+        # Hosts whose telemetry-relevant state changed since the last
+        # reply.  Subscribes to the same two signals the serial
+        # FleetTelemetry push-invalidates on (reservation changes and
+        # fabric re-solves; there are no monitors — resilience is
+        # rejected with parallel=), so the parent's staleness mirror is
+        # exactly as fresh as the serial one.
+        self._dirty_delta: set = set()
+        for host_id in sorted(host_ids):
+            host = Host(factory(), start=start, resilience=None,
+                        **host_kwargs)
+            self.hosts[host_id] = host
+            self.telemetry.attach(host_id, host)
+            host.manager.on_change(
+                lambda hid=host_id: self._dirty_delta.add(hid))
+            host.network.on_recompute(
+                lambda hid=host_id: self._dirty_delta.add(hid))
+        self.clock = _ShardClock(self.hosts)
+        self._injectors: Dict[str, FailureInjector] = {}
+        # host_id -> active degrade failures (at most one degrade per
+        # host; the parent's injector skips already-faulted hosts).
+        self._degrades: Dict[str, list] = {}
+
+    def take_dirty(self) -> tuple:
+        """Drain the since-last-reply dirty-host delta."""
+        if not self._dirty_delta:
+            return ()
+        dirty = tuple(self._dirty_delta)
+        self._dirty_delta.clear()
+        return dirty
+
+    def _host(self, host_id: str) -> Host:
+        try:
+            return self.hosts[host_id]
+        except KeyError:
+            raise UnknownHostError(host_id) from None
+
+    def _injector(self, host_id: str) -> FailureInjector:
+        injector = self._injectors.get(host_id)
+        if injector is None:
+            injector = FailureInjector(self._host(host_id).network)
+            self._injectors[host_id] = injector
+        return injector
+
+    # -- time ----------------------------------------------------------------
+
+    def op_advance_events(self, p) -> int:
+        return self.clock.advance_events(p["t"])
+
+    def op_advance_boundary(self, p) -> int:
+        return self.clock.advance_boundary(p["t"])
+
+    def op_sync(self, p) -> int:
+        return self.clock.sync(p["t"])
+
+    def op_deactivate(self, p) -> None:
+        self.clock.deactivate(p["host_id"], p["now"])
+
+    def op_reactivate(self, p) -> int:
+        return self.clock.reactivate(p["host_id"], p["now"])
+
+    # -- manager surface ------------------------------------------------------
+
+    def op_try_submit(self, p):
+        host_id = p["host_id"]
+        host = self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            return host.manager.try_submit(p["intent"])
+        finally:
+            self.clock.notify(host_id)
+
+    def op_submit(self, p):
+        host_id = p["host_id"]
+        host = self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            return host.manager.submit(p["intent"])
+        finally:
+            self.clock.notify(host_id)
+
+    def op_release(self, p) -> None:
+        host_id = p["host_id"]
+        host = self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            host.manager.release(p["intent_id"])
+        finally:
+            self.clock.notify(host_id)
+
+    def op_reinstate(self, p) -> None:
+        host_id = p["host_id"]
+        host = self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            host.manager.reinstate(p["placement"])
+        finally:
+            self.clock.notify(host_id)
+
+    def op_placement(self, p):
+        return self._host(p["host_id"]).manager.placement(p["intent_id"])
+
+    def op_placements_bulk(self, p) -> list:
+        return [self._host(host_id).manager.placement(intent_id)
+                for host_id, intent_id in p["pairs"]]
+
+    # -- audit reads ----------------------------------------------------------
+
+    def op_placed_ids(self, p) -> Dict[str, List[str]]:
+        return {
+            host_id: [pl.intent.intent_id
+                      for pl in host.manager.placements()]
+            for host_id, host in self.hosts.items()
+        }
+
+    def op_reserved_total(self, p) -> float:
+        host = self._host(p["host_id"])
+        return sum(host.manager.ledger.reserved_map.values())
+
+    def op_ledger_sigs(self, p) -> Dict[str, tuple]:
+        return {
+            host_id: tuple(sorted(host.manager.ledger.reserved_map.items()))
+            for host_id, host in self.hosts.items()
+        }
+
+    def op_deep_check(self, p) -> List[tuple]:
+        exclude = set(p["exclude"])
+        out = []
+        for host_id, host in sorted(self.hosts.items()):
+            if host_id in exclude:
+                continue
+            for v in check_invariants(host.network, manager=host.manager,
+                                      controller=host.recovery,
+                                      rate_tol=p["rate_tol"]):
+                out.append((host_id, v.name, v.detail, v.time))
+        return out
+
+    # -- telemetry ------------------------------------------------------------
+
+    def op_headrooms(self, p) -> dict:
+        return {host_id: self.telemetry.headroom(host_id)
+                for host_id in p["host_ids"]}
+
+    def op_set_fault(self, p) -> None:
+        self.telemetry.set_fault(p["host_id"], p["faulted"])
+
+    # -- fault model -----------------------------------------------------------
+
+    def op_degrade_links(self, p) -> None:
+        host_id = p["host_id"]
+        host = self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            injector = self._injector(host_id)
+            failures = self._degrades.setdefault(host_id, [])
+            for link in host.topology.links():
+                if (link.link_class is LinkClass.INTER_HOST
+                        or link.capacity <= 0):
+                    continue
+                failures.append(
+                    injector.degrade_link(link.link_id, p["factor"]))
+        finally:
+            self.clock.notify(host_id)
+
+    def op_restore_links(self, p) -> None:
+        host_id = p["host_id"]
+        self._host(host_id)
+        self.clock.wake(host_id, p["now"])
+        try:
+            injector = self._injector(host_id)
+            for failure in self._degrades.pop(host_id, []):
+                injector.clear(failure)
+        finally:
+            self.clock.notify(host_id)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def op_collect_trace(self, p) -> list:
+        return TRACER.raw_records()
+
+    def op_shutdown(self, p) -> None:
+        for host in self.hosts.values():
+            host.shutdown()
+
+
+def worker_main(conn, worker_id: int, host_ids: Sequence[str],
+                factory: Callable, start: float,
+                host_kwargs: Dict[str, Any]) -> None:
+    """Serve fleet ops for one host shard until shutdown or EOF.
+
+    Replies ``(OK, result, min_peek, dirty)`` on success, ``(ERR,
+    encoded exception, min_peek, dirty)`` when the op raised a library
+    error the parent re-raises in place (admission rejections, migration
+    rollbacks), and ``(FATAL, traceback, None, ())`` on anything
+    unexpected — after which the parent tears the fleet down rather than
+    trusting the shard.  Two mirrors ride on every reply so the parent
+    never needs a poll round-trip: the shard's minimum pending-event
+    time, and the hosts whose telemetry went stale during the op.
+    """
+    try:
+        worker = _Worker(host_ids, factory, start, host_kwargs)
+    except BaseException:  # pragma: no cover - construction never fails
+        try:
+            conn.send((FATAL, traceback.format_exc(), None, ()))
+        finally:
+            conn.close()
+        return
+    conn.send((OK, None, worker.clock.min_peek(),
+               worker.take_dirty()))  # construction ack
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; nothing left to serve
+        try:
+            result = getattr(worker, f"op_{op}")(payload)
+        except HostNetError as exc:
+            conn.send((ERR, encode_error(exc), worker.clock.min_peek(),
+                       worker.take_dirty()))
+            continue
+        except BaseException:
+            try:
+                conn.send((FATAL, traceback.format_exc(), None, ()))
+            except OSError:  # pragma: no cover - parent died mid-reply
+                pass
+            break
+        conn.send((OK, result, worker.clock.min_peek(),
+                   worker.take_dirty()))
+        if op == "shutdown":
+            break
+    conn.close()

@@ -1,0 +1,269 @@
+"""Process-parallel fleet execution: equivalence, sharding, failure modes.
+
+The parallel backend's contract is the same bargain the event clock
+struck: a pure *optimization*, never a semantic change.  Sharding host
+simulations across worker processes must produce bit-identical outcomes
+— placements, rejections, reservation ledgers, chaos campaign reports,
+replay SLO numbers — for the same seed, because every control-plane
+decision still executes in the parent in the identical order and every
+worker-side mutation is routed through the deterministic message
+protocol.  The suite asserts that equivalence across ≥20 seeds (churn
+and chaos-with-faults), plus the failure modes the protocol must
+surface: a dead worker raises a clear ``FleetError`` instead of
+hanging, and remote admission errors arrive as their original types.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pipe
+from repro.errors import (
+    AdmissionError,
+    FleetError,
+    HostNetError,
+    UnknownHostError,
+)
+from repro.fleet import Fleet, FleetChurnConfig, run_churn, shard_hosts
+from repro.fleet.chaos import FleetChaosConfig, run_fleet_campaign
+from repro.fleet.protocol import decode_error, encode_error
+from repro.units import Gbps
+from repro.workloads.cluster_traces import (
+    ReplayConfig,
+    SynthTraceConfig,
+    replay_trace,
+    synthesize_trace,
+)
+
+from .test_fleet_replay import fault_schedule
+
+EQUIVALENCE_SEEDS = range(20)
+
+
+def kv(intent_id, tenant="tA", bandwidth=Gbps(50), src="nic0",
+       dst="dimm0-0"):
+    return pipe(intent_id, tenant, src=src, dst=dst, bandwidth=bandwidth)
+
+
+def churn_signature(seed, parallel=None, clock="event"):
+    fleet = Fleet("cascade_lake_2s", hosts=4, policy="best-fit",
+                  max_attempts=3, clock=clock, parallel=parallel)
+    config = FleetChurnConfig(seed=seed, horizon=0.08,
+                              arrival_rate=1500.0)
+    report = run_churn(fleet, config)
+    signature = (
+        report.placements,
+        report.admitted,
+        report.rejected,
+        report.released,
+        sorted(fleet.ledger_signatures().items()),
+    )
+    fleet.shutdown()
+    return signature
+
+
+# -- serial/parallel equivalence ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+def test_parallel_churn_matches_serial_exactly(seed):
+    assert churn_signature(seed) == churn_signature(seed, parallel=2)
+
+
+def test_parallel_churn_is_self_deterministic():
+    assert (churn_signature(97, parallel=2)
+            == churn_signature(97, parallel=2))
+
+
+def test_parallel_matches_serial_across_worker_counts():
+    reference = churn_signature(13)
+    for workers in (1, 3, 4):
+        assert churn_signature(13, parallel=workers) == reference
+
+
+def test_parallel_lockstep_matches_serial_lockstep():
+    assert (churn_signature(7, clock="lockstep")
+            == churn_signature(7, parallel=2, clock="lockstep"))
+
+
+@pytest.mark.parametrize("seed", EQUIVALENCE_SEEDS)
+def test_parallel_chaos_campaign_matches_serial_exactly(seed):
+    def outcome(parallel):
+        return run_fleet_campaign(FleetChaosConfig(
+            seed=seed, hosts=8, clock="event", horizon=0.12,
+            arrival_rate=700.0, tenants=6, faults=4,
+            deep_audits=False, parallel=parallel,
+        )).outcome_json
+
+    serial = outcome(None)
+    parallel = outcome(2)
+    assert json.loads(serial)["violations"] == []
+    assert serial == parallel
+
+
+def test_parallel_replay_with_faults_matches_serial():
+    trace = synthesize_trace(SynthTraceConfig(seed=3, tasks=150,
+                                              tenants=8, horizon=1.0))
+    schedule = fault_schedule(seed=3, horizon=trace.horizon)
+    outcomes = []
+    for parallel in (None, 2):
+        fleet = Fleet("cascade_lake_2s", hosts=4, policy="best-fit",
+                      max_attempts=8, failure_domains=2,
+                      parallel=parallel)
+        try:
+            report = replay_trace(fleet, trace, ReplayConfig(samples=4),
+                                  faults=schedule)
+        finally:
+            fleet.shutdown()
+        outcomes.append(report.outcome_json())
+    assert outcomes[0] == outcomes[1]
+
+
+# -- the shard function -------------------------------------------------------
+
+
+host_id_sets = st.sets(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=32,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ids=host_id_sets, workers=st.integers(min_value=1, max_value=8))
+def test_shard_hosts_is_a_stable_balanced_partition(ids, workers):
+    shards = shard_hosts(sorted(ids), workers)
+    # A partition: every host exactly once.
+    flat = [h for shard in shards for h in shard]
+    assert sorted(flat) == sorted(ids)
+    # Balanced to ±1.
+    sizes = [len(s) for s in shards if s]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+    # Pure function of the *set*: input order never changes the shards.
+    assert shard_hosts(sorted(ids, reverse=True), workers) == shards
+
+
+def test_shard_hosts_rejects_nonsense():
+    with pytest.raises(FleetError):
+        shard_hosts(["a", "b"], 0)
+    with pytest.raises(FleetError):
+        shard_hosts(["a", "a"], 2)
+
+
+def test_more_workers_than_hosts_collapses_to_host_count():
+    fleet = Fleet("cascade_lake_2s", hosts=2, parallel=8)
+    try:
+        assert fleet.parallel == 2
+    finally:
+        fleet.shutdown()
+
+
+# -- the wire protocol --------------------------------------------------------
+
+
+def test_encoded_errors_round_trip_type_message_and_attrs():
+    original = AdmissionError("intent-1", "no feasible path")
+    decoded = decode_error(*encode_error(original))
+    assert type(decoded) is AdmissionError
+    assert str(decoded) == str(original)
+    assert decoded.intent_id == "intent-1"
+
+
+def test_unknown_error_names_decode_to_fleet_error():
+    decoded = decode_error("NoSuchErrorClass", "boom", {})
+    assert isinstance(decoded, FleetError)
+    assert "boom" in str(decoded)
+
+
+def test_remote_admission_errors_surface_as_their_original_type():
+    fleet = Fleet("cascade_lake_2s", hosts=2, parallel=2)
+    try:
+        fleet.submit(kv("a", bandwidth=Gbps(100)))
+        with pytest.raises(HostNetError):
+            # Direct facade call against one worker-held host: the
+            # worker's AdmissionError crosses the pipe and re-raises.
+            for host_id in fleet.host_ids():
+                fleet.manager_submit(host_id, kv(
+                    "too-big", bandwidth=Gbps(100_000)))
+    finally:
+        fleet.shutdown()
+
+
+# -- failure modes ------------------------------------------------------------
+
+
+def test_dead_worker_raises_clear_error_not_hang():
+    fleet = Fleet("cascade_lake_2s", hosts=4, parallel=2)
+    try:
+        fleet.advance_to(0.002)
+        fleet._backend._procs[0].terminate()
+        fleet._backend._procs[0].join(timeout=10.0)
+        with pytest.raises(FleetError, match="fleet worker 0"):
+            for _ in range(4):  # ops route to both workers
+                fleet.advance_to(fleet.now + 0.002)
+                fleet.telemetry.headrooms()
+    finally:
+        fleet.shutdown()
+
+
+def test_parallel_rejects_per_host_resilience():
+    with pytest.raises(FleetError, match="resilience"):
+        Fleet("cascade_lake_2s", hosts=2, parallel=2,
+              resilience="auto")
+
+
+@pytest.mark.parametrize("bogus", [0, -1, 1.5, True])
+def test_parallel_rejects_non_positive_worker_counts(bogus):
+    with pytest.raises(FleetError, match="parallel"):
+        Fleet("cascade_lake_2s", hosts=2, parallel=bogus)
+
+
+def test_direct_host_access_is_fenced_off_in_parallel_mode():
+    fleet = Fleet("cascade_lake_2s", hosts=2, parallel=2)
+    try:
+        with pytest.raises(FleetError, match="unavailable"):
+            fleet.host("host00")
+        with pytest.raises(FleetError, match="unavailable"):
+            fleet.hosts()
+        with pytest.raises(UnknownHostError):
+            fleet.require_host("no-such-host")
+        assert fleet.host_ids() == ["host00", "host01"]
+    finally:
+        fleet.shutdown()
+
+
+def test_shutdown_is_idempotent_and_post_shutdown_ops_fail_cleanly():
+    fleet = Fleet("cascade_lake_2s", hosts=2, parallel=2)
+    fleet.shutdown()
+    fleet.shutdown()  # second call is a no-op, not an error
+
+
+# -- worker trace merge -------------------------------------------------------
+
+
+def test_worker_traces_merge_into_parent_export(tmp_path):
+    from repro.trace import TRACER, TraceConfig, stop_tracing
+    from repro.trace.export import chrome_trace_events
+
+    TRACER.configure(TraceConfig())
+    try:
+        fleet = Fleet("cascade_lake_2s", hosts=2, parallel=2,
+                      trace=True)
+        try:
+            fleet.submit(kv("traced", bandwidth=Gbps(40)))
+            fleet.advance_to(0.01)
+            workers = fleet.worker_traces()
+        finally:
+            fleet.shutdown()
+    finally:
+        stop_tracing()
+    assert sorted(workers) == [0, 1]
+    assert any(records for records in workers.values())
+    events = chrome_trace_events(TRACER, workers=workers)
+    pids = {e["pid"] for e in events}
+    assert {1, 2, 3} <= pids  # parent + one track per worker
+    names = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"worker-0", "worker-1"} <= names
