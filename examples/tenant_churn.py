@@ -26,11 +26,12 @@ from repro import (
 )
 from repro.analysis import (
     capacity_report,
-    evaluate_slo,
+    evaluate_objective,
     format_capacity_report,
     jain_index,
     stranded_bandwidth,
 )
+from repro.slo import SloObjective
 from repro.units import to_Gbps, to_us, us
 from repro.workloads import AppKind, TraceGenerator, TraceReplayer
 
@@ -84,9 +85,10 @@ def main() -> None:
 
     # --- operator reports ------------------------------------------------
     print("\n== SLO compliance (kv-tenant, guaranteed) ==")
-    report = evaluate_slo(kv.stats.latencies, slo)
-    print(f"requests={report.samples}  p99={to_us(report.p99):.1f}us  "
-          f"slo={to_us(slo):.0f}us  compliance={report.compliance:.1%}  "
+    report = evaluate_objective(kv.stats.latencies,
+                                SloObjective("kv-p99", slo))
+    print(f"requests={report.samples}  p99={to_us(report.achieved):.1f}us  "
+          f"slo={to_us(slo):.0f}us  attainment={report.attainment:.1%}  "
           f"met={report.met}")
 
     print("\n== per-tenant fabric shares on pcie-nic0 (this instant) ==")

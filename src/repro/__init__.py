@@ -81,6 +81,17 @@ from .monitor import (
     HostMonitor,
     localize,
 )
+from .slo import (
+    FleetSloMonitor,
+    LatencyHistogram,
+    LatencyProbe,
+    LatencyRegressionConfig,
+    LatencyRegressionReport,
+    SloAlert,
+    SloConfig,
+    SloObjective,
+    run_latency_regression,
+)
 from .sim import (
     SYSTEM_TENANT,
     Engine,
@@ -225,6 +236,16 @@ __all__ = [
     "DynamicArbiter",
     "VirtualHostView",
     "migrate_tenant",
+    # slo
+    "SloObjective",
+    "SloConfig",
+    "SloAlert",
+    "LatencyHistogram",
+    "LatencyProbe",
+    "FleetSloMonitor",
+    "LatencyRegressionConfig",
+    "LatencyRegressionReport",
+    "run_latency_regression",
     # resilience
     "AdmissionRetryQueue",
     "ChaosConfig",

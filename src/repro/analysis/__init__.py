@@ -14,7 +14,9 @@ from .fairness import (
     weighted_jain_index,
 )
 from .slo import (
+    ObjectiveReport,
     SloReport,
+    evaluate_objective,
     evaluate_slo,
     violation_episodes,
     violation_time_fraction,
@@ -26,6 +28,8 @@ __all__ = [
     "slowdown",
     "goodput_retention",
     "isolation_scorecard",
+    "ObjectiveReport",
+    "evaluate_objective",
     "SloReport",
     "evaluate_slo",
     "violation_episodes",

@@ -1,16 +1,70 @@
-"""SLO compliance analysis over recorded latency samples and rate series."""
+"""SLO compliance analysis over recorded latency samples and rate series.
+
+This is the *offline* counterpart of the live :mod:`repro.slo` pipeline:
+the same :class:`~repro.slo.objective.SloObjective` vocabulary (a
+percentile bound with an error budget), scored in one pass over a
+recorded sample list instead of streamed through probes and burn-rate
+trackers.  The pre-unification ``evaluate_slo`` / ``SloReport`` entry
+points survive as warn-once deprecation shims.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..slo.objective import SloObjective
 from ..stats import percentile
 
 
 @dataclass(frozen=True)
+class ObjectiveReport:
+    """Batch compliance of a latency sample set against one objective.
+
+    Attributes:
+        objective: The :class:`SloObjective` scored.
+        samples: Number of samples evaluated.
+        attainment: Good-sample fraction (samples within the bound) —
+            the same statistic :meth:`FleetSloMonitor.attainment`
+            tracks live.
+        achieved: The objective's target percentile over the samples.
+        worst: The worst observed sample.
+    """
+
+    objective: SloObjective
+    samples: int
+    attainment: float
+    achieved: float
+    worst: float
+
+    @property
+    def met(self) -> bool:
+        """Whether the achieved percentile is within the bound (the
+        standard criterion)."""
+        return self.achieved <= self.objective.bound
+
+
+def evaluate_objective(latencies: Sequence[float],
+                       objective: SloObjective) -> ObjectiveReport:
+    """Score recorded *latencies* against *objective*; raises on empty
+    input."""
+    if not latencies:
+        raise ValueError("evaluate_objective of empty sample set")
+    good = sum(1 for sample in latencies if not objective.is_bad(sample))
+    return ObjectiveReport(
+        objective=objective,
+        samples=len(latencies),
+        attainment=good / len(latencies),
+        achieved=percentile(latencies, objective.percentile),
+        worst=max(latencies),
+    )
+
+
+@dataclass(frozen=True)
 class SloReport:
-    """Compliance of a latency sample set against a target.
+    """Deprecated report shape; produced only by the
+    :func:`evaluate_slo` shim.  Use :class:`ObjectiveReport`.
 
     Attributes:
         slo: The latency bound (seconds).
@@ -33,19 +87,22 @@ class SloReport:
 
 
 def evaluate_slo(latencies: Sequence[float], slo: float) -> SloReport:
-    """Score *latencies* against *slo*; raises on empty input."""
+    """Deprecated: build an :class:`SloObjective` and call
+    :func:`evaluate_objective` (the live monitors' vocabulary)."""
+    warnings.warn(
+        "evaluate_slo() is deprecated; build an SloObjective and call "
+        "evaluate_objective() (the same vocabulary repro.slo evaluates "
+        "live)",
+        DeprecationWarning, stacklevel=2,
+    )
     if not latencies:
         raise ValueError("evaluate_slo of empty sample set")
     if slo <= 0:
         raise ValueError("slo must be > 0")
-    within = sum(1 for sample in latencies if sample <= slo)
-    return SloReport(
-        slo=slo,
-        samples=len(latencies),
-        compliance=within / len(latencies),
-        p99=percentile(latencies, 99),
-        worst=max(latencies),
-    )
+    report = evaluate_objective(latencies, SloObjective("legacy-p99", slo))
+    return SloReport(slo=slo, samples=report.samples,
+                     compliance=report.attainment, p99=report.achieved,
+                     worst=report.worst)
 
 
 def violation_episodes(

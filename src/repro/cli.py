@@ -27,6 +27,14 @@ paper's tooling would be driven in production:
   byte-identical load and writing a machine-readable JSON report;
   ``--faults K`` injects a seeded host-fault schedule during the
   replay, turning the report into an SLO-under-failure study;
+  ``--slo`` arms continuous latency probes and appends the burn-rate
+  monitor's report;
+* ``fleet slo [--hosts N --seed S --clock C --parallel N]`` — the
+  seeded latency-regression scenario: a host's links silently degrade
+  under churn, the multi-window burn-rate alert names it, and the
+  fleet live-migrates its sessions until attainment recovers (exit 1
+  when the injected regression fails to produce a committed
+  latency-driven migration);
 * ``fleet chaos [--hosts N --seed S --fault-rate R]`` — seeded
   fleet-scale fault campaign (crashes, degrades, partitions) under
   churn with self-healing evacuation, audited by the fleet invariant
@@ -319,6 +327,7 @@ def _make_fleet(args: argparse.Namespace):
 def cmd_fleet(args: argparse.Namespace) -> int:
     """``fleet run``: seeded churn against a multi-host cluster;
     ``fleet replay``: datacenter-trace replay with an SLO/JCT report;
+    ``fleet slo``: the seeded latency-regression closed-loop scenario;
     ``fleet chaos``: seeded fault campaign with the fleet oracle;
     ``fleet describe``: print a fresh fleet's layout."""
     if args.hosts < 1:
@@ -331,6 +340,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         return 2
     if args.fleet_command == "chaos":
         return _cmd_fleet_chaos(args)
+    if args.fleet_command == "slo":
+        return _cmd_fleet_slo(args)
     if args.fleet_command == "describe":
         fleet = _make_fleet(args)
         try:
@@ -400,6 +411,37 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_fleet_slo(args: argparse.Namespace) -> int:
+    """``fleet slo``: one seeded latency-regression run, closed loop.
+
+    Exit 0 when the loop closed (or no regression was injected), 1 when
+    an injected regression produced no committed latency-driven
+    migration, 2 on bad arguments.
+    """
+    from .errors import SloError
+    from .slo import LatencyRegressionConfig, run_latency_regression
+    from .units import us
+
+    try:
+        config = LatencyRegressionConfig(
+            seed=args.seed, hosts=args.hosts, horizon=args.horizon,
+            arrival_rate=args.arrival_rate, bound=us(args.bound),
+            probe_period=args.probe_period,
+            sample_stride=args.sample_stride,
+            degrade_at=args.degrade_at,
+            degrade_factor=args.degrade_factor,
+            restore_at=args.restore_at, max_moves=args.max_moves)
+    except SloError as exc:
+        print(f"fleet slo: {exc}", file=sys.stderr)
+        return 2
+    report = run_latency_regression(
+        config, parallel=_clamp_parallel(args), clock=args.clock)
+    print(report.describe())
+    injected = args.degrade_factor < 1.0
+    closed = report.first_migration_time is not None
+    return 0 if (not injected or closed) else 1
+
+
 def _fault_schedule(args: argparse.Namespace, horizon: float):
     """A seeded fault schedule over the replay fleet's host ids.
 
@@ -460,6 +502,10 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
         schedule = _fault_schedule(args, trace.horizon)
         print()
         print(schedule.describe())
+    if args.slo and args.compare:
+        print("fleet replay: --slo reports on one fleet; it does not "
+              "combine with --compare", file=sys.stderr)
+        return 2
     if args.compare:
         from .fleet import PLACEMENT_POLICIES
 
@@ -478,17 +524,28 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
     else:
         from .fleet import Fleet
 
+        slo = None
+        if args.slo:
+            from .slo import SloConfig
+            from .units import us
+
+            slo = SloConfig.default(bound=us(args.slo_bound))
         fleet = Fleet(args.preset, hosts=args.hosts, policy=args.policy,
                       clock=args.clock, max_attempts=args.max_attempts,
                       rebalance_threshold=args.rebalance_threshold,
                       failure_domains=args.domains,
-                      parallel=_clamp_parallel(args))
+                      parallel=_clamp_parallel(args), slo=slo)
         try:
             report = replay_trace(fleet, trace, config, faults=schedule)
+            slo_text = (fleet.slo.describe()
+                        if fleet.slo is not None else None)
         finally:
             fleet.shutdown()
         print()
         print(report.describe())
+        if slo_text is not None:
+            print()
+            print(slo_text)
         payload = report.to_json()
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -567,6 +624,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_replay = fleet_sub.add_parser(
         "replay", help="replay a datacenter trace (or a synthesized "
                        "one) with an SLO/JCT report"
+    )
+    fleet_slo = fleet_sub.add_parser(
+        "slo", help="seeded latency-regression scenario: burn-rate "
+                    "alert names the silently degraded host, the fleet "
+                    "migrates its sessions away, attainment recovers"
     )
     fleet_chaos = fleet_sub.add_parser(
         "chaos", help="seeded fleet fault campaign (crashes/degrades/"
@@ -657,9 +719,52 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the identical storm")
     fleet_replay.add_argument("--domains", type=int, default=1,
                               help="failure domains to spread hosts over")
+    fleet_replay.add_argument("--slo", action="store_true",
+                              help="arm continuous latency probes and "
+                                   "append the burn-rate monitor's "
+                                   "report")
+    fleet_replay.add_argument("--slo-bound", type=float, default=200.0,
+                              metavar="US",
+                              help="probe latency bound in microseconds "
+                                   "(with --slo; default: 200)")
     fleet_replay.add_argument("--report", default=None,
                               help="write the machine-readable JSON "
                                    "report here")
+
+    fleet_slo.add_argument("--hosts", type=int, default=4,
+                           help="number of hosts in the fleet")
+    fleet_slo.add_argument("--clock", default="event",
+                           choices=sorted(FLEET_CLOCKS),
+                           help="fleet clock discipline (bit-identical "
+                                "outcome either way)")
+    fleet_slo.add_argument("--parallel", type=int, default=None,
+                           metavar="N",
+                           help="shard host simulations across N worker "
+                                "processes (deterministic: same outcome "
+                                "as serial)")
+    fleet_slo.add_argument("--seed", type=int, default=0,
+                           help="churn seed (fully deterministic)")
+    fleet_slo.add_argument("--horizon", type=float, default=0.12,
+                           help="simulated seconds")
+    fleet_slo.add_argument("--arrival-rate", type=float, default=2000.0,
+                           help="intent arrivals per simulated second")
+    fleet_slo.add_argument("--bound", type=float, default=200.0,
+                           metavar="US",
+                           help="objective latency bound in microseconds")
+    fleet_slo.add_argument("--probe-period", type=float, default=0.002,
+                           help="seconds between probe sweeps")
+    fleet_slo.add_argument("--sample-stride", type=int, default=1,
+                           help="sample every k-th placement per sweep")
+    fleet_slo.add_argument("--degrade-at", type=float, default=0.04,
+                           help="when the target host's links silently "
+                                "degrade")
+    fleet_slo.add_argument("--degrade-factor", type=float, default=0.05,
+                           help="remaining capacity fraction (1.0 "
+                                "injects no regression)")
+    fleet_slo.add_argument("--restore-at", type=float, default=None,
+                           help="optional repair instant")
+    fleet_slo.add_argument("--max-moves", type=int, default=4,
+                           help="migration budget per alert")
 
     fleet_chaos.add_argument("--seed", type=int, default=0,
                              help="campaign seed (fully deterministic)")

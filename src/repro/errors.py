@@ -138,6 +138,10 @@ class WorkloadError(HostNetError):
     """Base class for workload/application configuration failures."""
 
 
+class SloError(HostNetError):
+    """Base class for latency-SLO subsystem misconfiguration."""
+
+
 # --------------------------------------------------------------------------
 # Fleet (multi-host cluster) errors.
 # --------------------------------------------------------------------------

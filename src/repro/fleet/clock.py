@@ -30,7 +30,7 @@ escalation draining and rebalance moves bit-for-bit.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple, Type, Union, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, Type, Union, TYPE_CHECKING
 
 from ..errors import ClockError, FleetError
 
@@ -210,6 +210,12 @@ class EventDrivenFleetClock(FleetClock):
                  start: float = 0.0) -> None:
         super().__init__(fleet, quantum, start)
         self._heap: List[Tuple[float, str]] = []
+        # One representative in-heap entry per host: pushing a peek that
+        # is already queued is pure churn (stale entries cost two
+        # re-validation peeks each at the next advance).  With latency
+        # probes armed every host always *has* a finite peek, so every
+        # fleet-surface wake would otherwise push a duplicate.
+        self._queued: Dict[str, float] = {}
         self._primed = False
         # Recovery controllers are attached at host construction and the
         # fleet's membership is fixed, so one scan decides forever whether
@@ -221,14 +227,25 @@ class EventDrivenFleetClock(FleetClock):
 
     def _prime(self) -> None:
         self._heap = []
+        self._queued = {}
         for host_id, engine in self._engines.items():
             if host_id in self._inactive:
                 continue  # crashed hosts never enter the heap
             t_ev = engine.peek_time()
             if t_ev is not None:
                 self._heap.append((t_ev, host_id))
+                self._queued[host_id] = t_ev
         heapq.heapify(self._heap)
         self._primed = True
+
+    def _push_peek(self, host_id: str, t_ev: float) -> None:
+        if self._queued.get(host_id) != t_ev:
+            heapq.heappush(self._heap, (t_ev, host_id))
+            self._queued[host_id] = t_ev
+
+    def _drop_entry(self, host_id: str, t_ev: float) -> None:
+        if self._queued.get(host_id) == t_ev:
+            del self._queued[host_id]
 
     def notify(self, host_id: str) -> None:
         """Re-peek *host_id* after an out-of-band mutation.
@@ -242,7 +259,7 @@ class EventDrivenFleetClock(FleetClock):
             return
         t_ev = self.fleet.host(host_id).engine.peek_time()
         if t_ev is not None:
-            heapq.heappush(self._heap, (t_ev, host_id))
+            self._push_peek(host_id, t_ev)
 
     def wake(self, host_id: str, t: Optional[float] = None) -> int:
         if host_id in self._inactive:
@@ -256,7 +273,7 @@ class EventDrivenFleetClock(FleetClock):
         if self._primed:
             t_ev = engine.peek_time()
             if t_ev is not None:
-                heapq.heappush(self._heap, (t_ev, host_id))
+                self._push_peek(host_id, t_ev)
         return processed
 
     # -- the advance -------------------------------------------------------
@@ -286,6 +303,7 @@ class EventDrivenFleetClock(FleetClock):
             if host_id in self._inactive:
                 # Crashed since this entry was pushed: lazily evicted.
                 heapq.heappop(heap)
+                self._drop_entry(host_id, t_ev)
                 continue
             engine = engines[host_id]
             actual = engine.peek_time()
@@ -293,14 +311,16 @@ class EventDrivenFleetClock(FleetClock):
                 # Stale: the event ran, was cancelled, or an earlier one
                 # was scheduled since this entry was pushed.
                 heapq.heappop(heap)
+                self._drop_entry(host_id, t_ev)
                 if actual is not None:
-                    heapq.heappush(heap, (actual, host_id))
+                    self._push_peek(host_id, actual)
                 continue
             heapq.heappop(heap)
+            self._drop_entry(host_id, t_ev)
             processed += engine.run_until(t_ev)
             nxt = engine.peek_time()
             if nxt is not None:
-                heapq.heappush(heap, (nxt, host_id))
+                self._push_peek(host_id, nxt)
         if t > self._now:
             self._now = t
         return processed

@@ -42,6 +42,9 @@ from ..errors import FleetError, UnknownHostError
 from ..host import Host
 from ..monitor.failures import FailureInjector
 from ..resilience.invariants import check_invariants
+from ..slo.monitor import FleetSloMonitor, SloSample
+from ..slo.objective import SloAlert
+from ..slo.probe import normalize_slo
 from ..topology.elements import LinkClass
 from ..topology.graph import HostTopology
 from ..topology.presets import load_preset
@@ -108,6 +111,20 @@ class Fleet:
         resilience: Forwarded to each :class:`Host`; when armed, each
             host's recovery controller escalates unrecoverable placements
             to the fleet's migration planner.
+        slo: Arm fleet-wide latency observability: ``True`` uses the
+            default :class:`~repro.slo.probe.SloConfig`; a config or a
+            single :class:`~repro.slo.objective.SloObjective` tunes it.
+            Every host runs a sampled
+            :class:`~repro.slo.probe.LatencyProbe` (in-process serially,
+            inside the workers with ``parallel=`` — their samples ride
+            piggybacked on every reply), and :meth:`advance_to` folds
+            the merged stream into :attr:`slo`, a
+            :class:`~repro.slo.monitor.FleetSloMonitor` whose fast-window
+            burn-rate alerts hand the offending host to
+            :meth:`~repro.fleet.migration.MigrationPlanner
+            .relieve_latency` — the fleet half of the DESIGN.md §16
+            closed loop.
+        slo_max_moves: Migration budget per latency alert (default 4).
         **host_kwargs: Remaining keywords forwarded to every
             :class:`Host` (``coalesce_recompute``, ``arbiter_period``,
             ``decision_latency``, ...).
@@ -129,6 +146,8 @@ class Fleet:
         start: float = 0.0,
         parallel: Optional[int] = None,
         resilience=None,
+        slo=None,
+        slo_max_moves: int = 4,
         **host_kwargs,
     ) -> None:
         if isinstance(topology, HostTopology):
@@ -172,6 +191,32 @@ class Fleet:
             raise FleetError(f"duplicate host ids in {ids}")
         if not ids:
             raise FleetError("a fleet needs at least one host")
+        if slo_max_moves < 0:
+            raise FleetError(
+                f"slo_max_moves must be >= 0, got {slo_max_moves}")
+        slo_config = normalize_slo(slo)
+        self._slo_max_moves = slo_max_moves
+        if slo_config is not None:
+            # Probes run host-side (serially in this process, inside the
+            # workers with parallel=), so the config must reach every
+            # Host constructor — including the ones built post-fork.
+            host_kwargs["slo"] = slo_config
+            #: Fleet-wide SLO state (None unless built with ``slo=``).
+            self.slo: Optional[FleetSloMonitor] = FleetSloMonitor(
+                slo_config.objectives,
+                keep_samples=slo_config.keep_samples)
+            # Every probe arms at fleet build (host time 0), so they all
+            # fire on the same exact grid k * probe_period; advance
+            # boundaries before the next grid point cannot have produced
+            # samples and skip the drain/evaluate entirely.
+            self._slo_period = slo_config.probe_period
+            self._slo_fires = 0
+            self._slo_next_due = slo_config.probe_period
+        else:
+            self.slo = None
+        # Hosts soft-quarantined by the latency alert sink (telemetry-
+        # faulted so placement ranks them last until their burn clears).
+        self._slo_quarantined: set = set()
 
         #: The device-id vocabulary intents are written against.
         self.reference_topology = factory()
@@ -231,6 +276,8 @@ class Fleet:
                     lambda intent_id, _links, hid=host_id:
                         self.planner.request_escalation(hid, intent_id)
                 )
+        if self.slo is not None:
+            self.slo.on_alert(self._handle_slo_alert)
 
     # -- membership ----------------------------------------------------------
 
@@ -289,8 +336,88 @@ class Fleet:
         woken; idle hosts fast-forward (their local clocks catch up at
         the next fleet interaction).  Returns the number of host events
         processed.
+
+        When ``slo=`` is armed this is also the SLO evaluation point:
+        probe samples accumulated during the advance are drained (from
+        the in-process probes serially, from the piggybacked reply
+        mirrors with ``parallel=``), folded into :attr:`slo`, and due
+        burn-rate alerts fire — into the default
+        :meth:`~repro.fleet.migration.MigrationPlanner.relieve_latency`
+        sink and any listeners.  Advances happen at the same fleet times
+        in every execution mode, so evaluation (and therefore the alert
+        log) is bit-identical across them.
         """
-        return self.clock.advance_to(t)
+        processed = self.clock.advance_to(t)
+        if self.slo is not None:
+            now = self.clock.now
+            if now >= self._slo_next_due:
+                self.slo.ingest(self._drain_slo_samples())
+                self.slo.evaluate(now)
+                if self._slo_quarantined:
+                    self._clear_slo_quarantine()
+                # Advance the gate past every grid point now covers.
+                # The fold itself already happened at the first boundary
+                # at or after each grid point (probes buffer until
+                # drained), so gating on the exact grid skips only
+                # provably-empty drains and keeps the alert log
+                # bit-identical across backends and clock disciplines.
+                fires, period = self._slo_fires, self._slo_period
+                due = self._slo_next_due
+                while due <= now:
+                    fires += 1
+                    due = (fires + 1) * period
+                self._slo_fires = fires
+                self._slo_next_due = due
+        return processed
+
+    def _clear_slo_quarantine(self) -> None:
+        """Un-fault quarantined hosts whose burn demonstrably cleared.
+
+        Clearing needs positive evidence — healthy samples in the fast
+        window (see :meth:`FleetSloMonitor.host_clear`) — so a drained
+        host stays quarantined until overflow placements probe it good
+        again.  The fleet fault model's own telemetry marks are never
+        clobbered: a host in a faulted domain stays marked.
+        """
+        for host_id in sorted(self._slo_quarantined):
+            if self.slo.host_clear(host_id, self.now):
+                self._slo_quarantined.discard(host_id)
+                if host_id not in self.health.avoid_hosts():
+                    self.telemetry.set_fault(host_id, False)
+
+    def _drain_slo_samples(self) -> List[SloSample]:
+        """Collect host-tagged probe samples accumulated since the last
+        drain (the fold input for :attr:`slo`)."""
+        if self._backend is not None:
+            return self._backend.take_slo()
+        samples: List[SloSample] = []
+        for host_id in self._host_ids:
+            probe = self._hosts[host_id].slo_probe
+            if probe is None:  # pragma: no cover - armed fleets probe all
+                continue
+            for t, tenant, path, value in probe.take_delta():
+                samples.append((t, host_id, tenant, path, value))
+        return samples
+
+    def _handle_slo_alert(self, alert: SloAlert) -> None:
+        """Default alert sink: a fast-window burn on a named host drains
+        its sessions toward headroom (DESIGN.md §16's closed loop).
+
+        Slow-window alerts are advisory (they stay in the audit log but
+        trigger no movement), matching the SRE playbook where only the
+        fast burn pages.
+        """
+        if alert.window != "fast" or not alert.host_id:
+            return
+        if alert.host_id not in self._slo_quarantined:
+            # Soft-quarantine: a telemetry-faulted host ranks last in
+            # every placement policy, so new arrivals only land on it as
+            # overflow while it burns budget.
+            self._slo_quarantined.add(alert.host_id)
+            self.telemetry.set_fault(alert.host_id, True)
+        if self._slo_max_moves:
+            self.planner.relieve_latency(
+                alert.host_id, max_moves=self._slo_max_moves)
 
     def wake(self, host_id: str, t: Optional[float] = None) -> int:
         """Bring one host's local clock up to fleet time (or *t*).
@@ -394,6 +521,17 @@ class Fleet:
     # worker wakes the host first — the serial caller has already issued
     # its own fleet.wake by this point).
 
+    def worker_index(self, host_id: str) -> Optional[int]:
+        """Which worker shard simulates *host_id* (``None`` serially).
+
+        The scheduler's probe-batching key: consecutive ranked hosts
+        with equal worker indices can share one ``try_submit_seq``
+        round-trip.
+        """
+        if self._backend is None:
+            return None
+        return self._backend.worker_of.get(host_id)
+
     def manager_try_submit(self, host_id: str,
                            intent: PerformanceTarget) -> Optional[Placement]:
         """``manager.try_submit`` on one host (``None`` on rejection)."""
@@ -401,6 +539,43 @@ class Fleet:
             return self._backend.call(host_id, "try_submit", {
                 "host_id": host_id, "now": self.now, "intent": intent})
         return self.host(host_id).manager.try_submit(intent)
+
+    def manager_try_submit_run(
+        self, attempts: List[Tuple[str, PerformanceTarget]],
+    ) -> Tuple[int, Optional[Placement]]:
+        """Probe ``(host_id, remapped_intent)`` attempts in order until
+        one admits; returns ``(tried, placement-or-None)``.
+
+        The batched probe primitive behind
+        :meth:`ClusterScheduler._place`: serially it replays the classic
+        wake/try/notify loop host by host; with ``parallel=`` the whole
+        run (all attempts on one worker, by construction) ships as a
+        single ``try_submit_seq`` op — one pipe round-trip however many
+        hosts get probed.  The worker replays the identical loop, so
+        per-host event histories match the serial ones instruction for
+        instruction.
+        """
+        if self._backend is not None:
+            widx = self._backend.worker_of[attempts[0][0]]
+            tried, placement = self._backend.call_worker(
+                widx, "try_submit_seq",
+                {"now": self.now, "attempts": attempts})
+            return tried, placement
+        tried = 0
+        for host_id, intent in attempts:
+            # Probed hosts must be at fleet time so the reservation (and
+            # any deferred re-solve it schedules) is stamped "now", not
+            # at whatever time the host was last woken.
+            self.wake(host_id)
+            tried += 1
+            placement = self.host(host_id).manager.try_submit(intent)
+            # Either outcome may have scheduled host events (arbiter
+            # enforcement after its decision latency, retry backoffs);
+            # they postdate the wake above, so re-notify the clock.
+            self.notify(host_id)
+            if placement is not None:
+                return tried, placement
+        return tried, None
 
     def manager_submit(self, host_id: str,
                        intent: PerformanceTarget) -> Placement:
@@ -439,8 +614,9 @@ class Fleet:
         self, bindings: Dict[str, str],
     ) -> List[Tuple[str, str, Placement]]:
         """``(intent_id, host_id, placement)`` for every binding, in
-        intent-id order — one bulk op per worker instead of one per
-        placement."""
+        intent-id order — one scatter round-trip (all workers compute
+        their bulk slices concurrently) instead of one blocking
+        round-trip per worker."""
         pairs = sorted(bindings.items())
         if self._backend is None:
             return [(iid, hid, self.host(hid).manager.placement(iid))
@@ -450,10 +626,12 @@ class Fleet:
             widx = self._backend.worker_of[hid]
             per_worker.setdefault(widx, []).append((hid, iid))
         by_intent: Dict[str, Placement] = {}
+        results = self._backend.scatter(
+            "placements_bulk",
+            {widx: {"pairs": wpairs}
+             for widx, wpairs in per_worker.items()})
         for widx, wpairs in sorted(per_worker.items()):
-            placements = self._backend.call_worker(
-                widx, "placements_bulk", {"pairs": wpairs})
-            for (_hid, iid), placement in zip(wpairs, placements):
+            for (_hid, iid), placement in zip(wpairs, results[widx]):
                 by_intent[iid] = placement
         return [(iid, hid, by_intent[iid]) for iid, hid in pairs]
 
@@ -595,6 +773,8 @@ class Fleet:
         ]
         lines.append(self.scheduler.describe())
         lines.append(self.telemetry.describe())
+        if self.slo is not None:
+            lines.append(self.slo.describe())
         if self.planner.records:
             lines.append(self.planner.describe())
         return "\n".join(lines)

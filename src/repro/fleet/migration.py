@@ -46,7 +46,9 @@ class MigrationRecord:
 
     Attributes:
         kind: ``"migrate"`` (explicit), ``"escalate"`` (resilience-driven),
-            or ``"rebalance"`` (threshold-driven).
+            ``"rebalance"`` (threshold-driven), or ``"slo"``
+            (latency-burn-rate-driven, via :meth:`MigrationPlanner.
+            relieve_latency`).
         time: Fleet-clock time of the decision.
         intent_id: The moved (or unmovable) intent.
         src: Source host.
@@ -250,6 +252,60 @@ class MigrationPlanner:
         self._record("escalate", intent_id, src_host_id, None, ok=False,
                      detail=f"no host among {len(candidates)} admitted it")
         return None
+
+    # -- latency-driven relief (the SLO alert sink) --------------------------
+
+    def relieve_latency(self, host_id: str, max_moves: int = 4) -> int:
+        """Live-migrate sessions off a latency-violating host.
+
+        The fleet-side sink for burn-rate alerts (DESIGN.md §16): the
+        offending host's placements are drained largest-first to the
+        policy's best-ranked healthy destinations, until *max_moves*
+        migrations commit or nothing else fits anywhere.  Large
+        reservations go first because they dominate the serialization
+        term that inflated the probes.  Failed drains are recorded with
+        ``kind="slo"`` so the audit log shows the alert was acted on
+        even when no destination admitted anything.
+
+        Returns the number of committed migrations.
+        """
+        health = self.fleet.health
+        candidates = sorted(
+            self.scheduler.placements_on(host_id),
+            key=lambda p: (-p.placement.intent.bandwidth, p.intent_id),
+        )
+        moved = 0
+        for fleet_placement in candidates:
+            if moved >= max_moves:
+                break
+            intent_id = fleet_placement.intent_id
+            if not self.scheduler.has_intent(intent_id):
+                continue
+            intent = self.scheduler.original_intent(intent_id)
+            destinations = [
+                h for h in self.scheduler.policy.rank_matrix(
+                    self.scheduler.request_for(
+                        intent, avoid_hosts=health.avoid_hosts()),
+                    self.fleet.telemetry.matrix(),
+                )
+                if h != host_id and not health.is_crashed(h)
+                and health.reachable(host_id, h)
+            ]
+            placed = False
+            for dst_host_id in destinations:
+                try:
+                    self.migrate(intent_id, dst_host_id, kind="slo")
+                    placed = True
+                    break
+                except (MigrationError, AdmissionError):
+                    continue
+            if placed:
+                moved += 1
+            else:
+                self._record("slo", intent_id, host_id, None, ok=False,
+                             detail=f"no host among {len(destinations)} "
+                                    f"admitted it")
+        return moved
 
     # -- the fleet control loop ----------------------------------------------
 

@@ -9,9 +9,10 @@ and driven over pipes with the compact protocol in
 * :class:`ParallelBackend` — owns the worker processes and pipes, routes
   per-host ops to the owning worker, broadcasts fleet-wide ops with a
   send-all-then-receive-all round (the only barrier in the system), and
-  maintains the two piggybacked mirrors every reply refreshes: each
-  worker's minimum pending-event time and the set of hosts whose
-  telemetry went stale.
+  maintains the piggybacked mirrors every reply refreshes: each
+  worker's minimum pending-event time, the set of hosts whose
+  telemetry went stale, and — when ``slo=`` is armed — the latency-probe
+  samples accumulated since the last reply.
 * :class:`ParallelFleetClock` — the :class:`~repro.fleet.clock.FleetClock`
   discipline over workers.  The serial event clock's lazy
   ``(peek_time, host_id)`` heap becomes a *heap over per-worker minima*:
@@ -76,6 +77,9 @@ class ParallelBackend:
         #: shard's events only change through ops routed to that worker.
         self.min_peeks: List[Optional[float]] = [None] * len(self.shards)
         self._dirty: Set[str] = set()
+        #: Latency-probe samples piggybacked on replies since the last
+        #: take_slo() (empty unless the fleet armed slo=).
+        self._slo: List[tuple] = []
         self._conns: list = []
         self._procs: list = []
         self._alive = [True] * len(self.shards)
@@ -121,7 +125,7 @@ class ParallelBackend:
 
     def _recv(self, widx: int):
         try:
-            status, value, min_peek, dirty = self._conns[widx].recv()
+            status, value, min_peek, dirty, slo = self._conns[widx].recv()
         except (EOFError, OSError):
             self._alive[widx] = False
             self._worker_failed(
@@ -134,6 +138,7 @@ class ParallelBackend:
                 f"fleet worker {widx} (hosts: {hosts}) failed:\n{value}")
         self.min_peeks[widx] = min_peek
         self._dirty.update(dirty)
+        self._slo.extend(slo)
         if status == ERR:
             raise decode_error(*value)
         return value
@@ -177,11 +182,44 @@ class ParallelBackend:
             raise first_exc
         return results
 
+    def scatter(self, op: str, payloads: Dict[int, dict]) -> Dict[int, Any]:
+        """Send *op* with a per-worker payload, then collect all replies.
+
+        The batched cousin of :meth:`broadcast` for reads whose payload
+        differs per worker (placement-bulk fetches, headroom refreshes):
+        one pipe round-trip per worker instead of one per item.  Like
+        broadcast, every reply is drained even when one raises — the
+        pipes stay in lockstep with the op stream — and the first error
+        re-raises afterwards.
+        """
+        targets = sorted(payloads)
+        for widx in targets:
+            self._send(widx, op, payloads[widx])
+        results: Dict[int, Any] = {}
+        first_exc: Optional[BaseException] = None
+        for widx in targets:
+            try:
+                results[widx] = self._recv(widx)
+            except Exception as exc:
+                if first_exc is None:
+                    first_exc = exc
+                results[widx] = None
+        if first_exc is not None:
+            raise first_exc
+        return results
+
     def take_dirty(self) -> Set[str]:
         """Hosts whose telemetry changed since the last take (and clear)."""
         dirty = self._dirty
         self._dirty = set()
         return dirty
+
+    def take_slo(self) -> List[tuple]:
+        """Host-tagged probe samples piggybacked since the last take
+        (and clear) — ``(time, host_id, tenant, path, value)`` tuples."""
+        samples = self._slo
+        self._slo = []
+        return samples
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -10,12 +10,16 @@ between the parent's control plane and those workers:
   how the caller enumerated its hosts (the hypothesis property in
   ``tests/test_fleet_parallel.py``).
 * Request/reply framing — requests are ``(op, payload)`` tuples, replies
-  are ``(status, value, min_peek, dirty)`` where ``status`` is one of
-  :data:`OK` / :data:`ERR` / :data:`FATAL`.  Two mirrors piggyback on
-  **every** reply so the parent needs no poll round-trips: ``min_peek``
-  is the worker's earliest pending host-event time (the parent's heap
-  over per-worker minima), and ``dirty`` is the hosts whose telemetry
-  went stale during the op (the parent's push-invalidation mirror).
+  are ``(status, value, min_peek, dirty, slo)`` where ``status`` is one
+  of :data:`OK` / :data:`ERR` / :data:`FATAL`.  Three mirrors piggyback
+  on **every** reply so the parent needs no poll round-trips:
+  ``min_peek`` is the worker's earliest pending host-event time (the
+  parent's heap over per-worker minima), ``dirty`` is the hosts whose
+  telemetry went stale during the op (the parent's push-invalidation
+  mirror), and ``slo`` is the host-tagged latency-probe samples
+  accumulated since the last reply (always ``()`` unless the fleet was
+  built with ``slo=``; folded by the parent's
+  :class:`~repro.slo.monitor.FleetSloMonitor`).
 * :func:`encode_error` / :func:`decode_error` — library exceptions
   (:class:`~repro.errors.HostNetError` subclasses) crossing the process
   boundary.  Several carry custom multi-argument constructors

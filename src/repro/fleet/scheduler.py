@@ -162,23 +162,32 @@ class ClusterScheduler:
         ]
         if self.max_attempts is not None:
             order = order[:self.max_attempts]
-        for host_id in order:
-            self.probe_count += 1
-            # Probed hosts must be at fleet time so the reservation (and
-            # any deferred re-solve it schedules) is stamped "now", not
-            # at whatever time the host was last woken.
-            self.fleet.wake(host_id)
-            remapped = self.fleet.remap_intent(intent, host_id)
-            placement = self.fleet.manager_try_submit(host_id, remapped)
-            # Either outcome may have scheduled host events (arbiter
-            # enforcement after its decision latency, retry backoffs);
-            # they postdate the wake above, so re-notify the clock.
-            self.fleet.notify(host_id)
-            if placement is None:
-                continue
-            self._bind(intent, host_id)
-            self.telemetry.invalidate(host_id)
-            return FleetPlacement(host_id, placement), len(order)
+        # Probe in ranked order, but batched: maximal runs of consecutive
+        # hosts owned by the same worker go out as one try_submit_seq op
+        # (one pipe round-trip instead of one per probed host).  Serially
+        # every host maps to the same (None) worker, so the whole ranking
+        # is one run and the loop below degenerates to the classic
+        # wake/try/notify sequence — the probe order, stop-at-first-
+        # success semantics, and per-host event histories are identical
+        # in both modes.
+        fleet = self.fleet
+        index = 0
+        while index < len(order):
+            widx = fleet.worker_index(order[index])
+            end = index + 1
+            while end < len(order) and fleet.worker_index(order[end]) == widx:
+                end += 1
+            run = order[index:end]
+            attempts = [(host_id, fleet.remap_intent(intent, host_id))
+                        for host_id in run]
+            tried, placement = fleet.manager_try_submit_run(attempts)
+            self.probe_count += tried
+            if placement is not None:
+                host_id = run[tried - 1]
+                self._bind(intent, host_id)
+                self.telemetry.invalidate(host_id)
+                return FleetPlacement(host_id, placement), len(order)
+            index = end
         return None, len(order)
 
     def place(self, intent: PerformanceTarget,

@@ -53,13 +53,22 @@ def canonical_device_keys(topology: HostTopology) -> Dict[str, str]:
     so the n-th NIC of every host shares one key no matter what each
     host's topology calls it — which is what lets a policy compare one
     intent's attach links across a heterogeneous fleet.
+
+    Memoized per topology instance, guarded by device count (devices are
+    only ever added): telemetry, intent remapping, and every armed
+    latency probe ask for the same map.
     """
+    count = len(topology.devices())
+    cached = getattr(topology, "_canonical_device_keys", None)
+    if cached is not None and cached[0] == count:
+        return cached[1]
     keys: Dict[str, str] = {}
     for dtype in DeviceType:
         for i, device_id in enumerate(
             sorted(d.device_id for d in topology.devices(dtype))
         ):
             keys[device_id] = f"{dtype.value}:{i}"
+    topology._canonical_device_keys = (count, keys)
     return keys
 
 
@@ -566,7 +575,7 @@ class ParallelFleetTelemetry:
     Args:
         backend: The fleet's :class:`~repro.fleet.parallel
             .ParallelBackend` (duck-typed: needs ``worker_of``,
-            ``workers``, ``call``/``call_worker``, and ``take_dirty``).
+            ``workers``, ``call``/``scatter``, and ``take_dirty``).
     """
 
     def __init__(self, backend) -> None:
@@ -594,14 +603,22 @@ class ParallelFleetTelemetry:
         self._dirty |= self._backend.take_dirty()
 
     def _fetch(self, host_ids: Sequence[str]) -> None:
-        """Refetch summaries for *host_ids*, grouped one op per worker."""
+        """Refetch summaries for *host_ids*, one scatter round-trip.
+
+        All owning workers compute their shard's summaries concurrently
+        (the payloads go out before any reply is awaited), instead of
+        the old one-blocking-round-trip-per-worker loop.
+        """
         per_worker: Dict[int, List[str]] = {}
         for host_id in host_ids:
             widx = self._backend.worker_of[host_id]
             per_worker.setdefault(widx, []).append(host_id)
-        for widx, shard_ids in sorted(per_worker.items()):
-            fresh = self._backend.call_worker(
-                widx, "headrooms", {"host_ids": shard_ids})
+        results = self._backend.scatter(
+            "headrooms",
+            {widx: {"host_ids": shard_ids}
+             for widx, shard_ids in per_worker.items()})
+        for widx in sorted(per_worker):
+            fresh = results[widx]
             self._cache.update(fresh)
             self.refresh_count += len(fresh)
         self._dirty.difference_update(host_ids)

@@ -214,6 +214,26 @@ class _Worker:
         self._dirty_delta.clear()
         return dirty
 
+    def take_slo(self) -> tuple:
+        """Drain since-last-reply latency-probe samples, host-tagged.
+
+        Samples only appear while host events execute (the probe rides
+        each host's own engine), and every reply ships the accumulated
+        delta, so after an advance to *t* the parent holds every sample
+        stamped at or before *t* — the completeness property
+        :class:`~repro.slo.monitor.FleetSloMonitor` relies on.
+        ``self.hosts`` was built in sorted host order, so the tagged
+        tuples come out host-ordered within equal timestamps for free.
+        """
+        samples = []
+        for host_id, host in self.hosts.items():
+            probe = host.slo_probe
+            if probe is None:
+                continue
+            for t, tenant, path, value in probe.take_delta():
+                samples.append((t, host_id, tenant, path, value))
+        return tuple(samples)
+
     def _host(self, host_id: str) -> Host:
         try:
             return self.hosts[host_id]
@@ -254,6 +274,29 @@ class _Worker:
             return host.manager.try_submit(p["intent"])
         finally:
             self.clock.notify(host_id)
+
+    def op_try_submit_seq(self, p):
+        """Probe a ranked run of this shard's hosts in one round-trip.
+
+        Replays the scheduler's serial probe loop — wake the host to
+        fleet ``now``, ``try_submit``, notify the shard clock — for each
+        ``(host_id, intent)`` attempt in order, stopping at the first
+        admission.  Returns ``(tried, placement-or-None)``; the caller
+        maps ``tried`` back to the admitting host.
+        """
+        now = p["now"]
+        tried = 0
+        for host_id, intent in p["attempts"]:
+            host = self._host(host_id)
+            self.clock.wake(host_id, now)
+            tried += 1
+            try:
+                placement = host.manager.try_submit(intent)
+            finally:
+                self.clock.notify(host_id)
+            if placement is not None:
+                return tried, placement
+        return tried, None
 
     def op_submit(self, p):
         host_id = p["host_id"]
@@ -373,25 +416,27 @@ def worker_main(conn, worker_id: int, host_ids: Sequence[str],
                 host_kwargs: Dict[str, Any]) -> None:
     """Serve fleet ops for one host shard until shutdown or EOF.
 
-    Replies ``(OK, result, min_peek, dirty)`` on success, ``(ERR,
-    encoded exception, min_peek, dirty)`` when the op raised a library
-    error the parent re-raises in place (admission rejections, migration
-    rollbacks), and ``(FATAL, traceback, None, ())`` on anything
-    unexpected — after which the parent tears the fleet down rather than
-    trusting the shard.  Two mirrors ride on every reply so the parent
-    never needs a poll round-trip: the shard's minimum pending-event
-    time, and the hosts whose telemetry went stale during the op.
+    Replies ``(OK, result, min_peek, dirty, slo)`` on success, ``(ERR,
+    encoded exception, min_peek, dirty, slo)`` when the op raised a
+    library error the parent re-raises in place (admission rejections,
+    migration rollbacks), and ``(FATAL, traceback, None, (), ())`` on
+    anything unexpected — after which the parent tears the fleet down
+    rather than trusting the shard.  Three mirrors ride on every reply
+    so the parent never needs a poll round-trip: the shard's minimum
+    pending-event time, the hosts whose telemetry went stale during the
+    op, and the latency-probe samples accumulated since the last reply
+    (empty unless the fleet armed ``slo=``).
     """
     try:
         worker = _Worker(host_ids, factory, start, host_kwargs)
     except BaseException:  # pragma: no cover - construction never fails
         try:
-            conn.send((FATAL, traceback.format_exc(), None, ()))
+            conn.send((FATAL, traceback.format_exc(), None, (), ()))
         finally:
             conn.close()
         return
     conn.send((OK, None, worker.clock.min_peek(),
-               worker.take_dirty()))  # construction ack
+               worker.take_dirty(), worker.take_slo()))  # construction ack
     while True:
         try:
             op, payload = conn.recv()
@@ -401,16 +446,16 @@ def worker_main(conn, worker_id: int, host_ids: Sequence[str],
             result = getattr(worker, f"op_{op}")(payload)
         except HostNetError as exc:
             conn.send((ERR, encode_error(exc), worker.clock.min_peek(),
-                       worker.take_dirty()))
+                       worker.take_dirty(), worker.take_slo()))
             continue
         except BaseException:
             try:
-                conn.send((FATAL, traceback.format_exc(), None, ()))
+                conn.send((FATAL, traceback.format_exc(), None, (), ()))
             except OSError:  # pragma: no cover - parent died mid-reply
                 pass
             break
         conn.send((OK, result, worker.clock.min_peek(),
-                   worker.take_dirty()))
+                   worker.take_dirty(), worker.take_slo()))
         if op == "shutdown":
             break
     conn.close()

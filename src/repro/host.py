@@ -66,6 +66,16 @@ class Host:
             (:attr:`recovery`), and an
             :class:`~repro.core.admission.AdmissionRetryQueue`
             (:attr:`retry`) kicked on every release.
+        slo: Arm continuous latency observability: ``True`` uses the
+            default :class:`~repro.slo.probe.SloConfig`; a config (or a
+            single :class:`~repro.slo.objective.SloObjective`) tunes it.
+            Builds and starts a sampled
+            :class:`~repro.slo.probe.LatencyProbe` (:attr:`slo_probe`)
+            over the placement ledger; when ``resilience=`` is also
+            armed, burn-rate alerts feed
+            :meth:`~repro.resilience.controller.RecoveryController.
+            handle_latency_alert` (re-place off the hot path, else
+            degrade) — the host-local half of the §16 closed loop.
         scheduler / headroom / work_conserving / arbiter_period /
         decision_latency / candidate_paths / auto_start_arbiter:
             Forwarded to :class:`HostNetworkManager`.
@@ -82,6 +92,7 @@ class Host:
         managed: bool = True,
         trace: Union[bool, TraceConfig, None] = None,
         resilience=None,
+        slo=None,
         scheduler: Optional[Scheduler] = None,
         headroom: float = 0.9,
         work_conserving: bool = True,
@@ -118,8 +129,11 @@ class Host:
         self.monitor = None
         self.recovery = None
         self.retry = None
+        self.slo_probe = None
         if resilience:
             self._enable_resilience(resilience)
+        if slo:
+            self._enable_slo(slo)
 
     def _enable_resilience(self, resilience) -> None:
         """Build and arm the monitor / recovery / retry loop.
@@ -153,6 +167,28 @@ class Host:
                 max_parked=config.retry_max_parked, seed=config.seed,
             )
             self._manager.on_release(lambda _intent_id: self.retry.kick())
+
+    def _enable_slo(self, slo) -> None:
+        """Build and arm the sampled latency probe.
+
+        *slo* is ``True`` (defaults), an
+        :class:`~repro.slo.probe.SloConfig`, or a single
+        :class:`~repro.slo.objective.SloObjective`.  Imported lazily,
+        like resilience, to keep :class:`Host` import-light.  The
+        probe's local burn-rate evaluation only runs when a listener is
+        attached — i.e. when this host also runs a recovery controller;
+        fleet hosts leave evaluation to the parent-side
+        :class:`~repro.slo.monitor.FleetSloMonitor`.
+        """
+        from .slo.probe import LatencyProbe, normalize_slo
+
+        if self._manager is None:
+            raise RuntimeError("slo requires a managed host (managed=True)")
+        config = normalize_slo(slo)
+        self.slo_probe = LatencyProbe(self.network, self._manager, config)
+        self.slo_probe.start()
+        if self.recovery is not None:
+            self.slo_probe.on_alert(self.recovery.handle_latency_alert)
 
     # -- constituent access --------------------------------------------------
 
@@ -245,7 +281,9 @@ class Host:
         return self.manager.placements()
 
     def shutdown(self) -> None:
-        """Stop recovery, retry, monitoring, and the arbiter."""
+        """Stop recovery, retry, monitoring, probing, and the arbiter."""
+        if self.slo_probe is not None:
+            self.slo_probe.stop()
         if self.recovery is not None:
             self.recovery.stop()
         if self.retry is not None:

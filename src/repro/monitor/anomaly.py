@@ -194,6 +194,52 @@ class CusumDetector(Detector):
         )
 
 
+class LatencyInflationDetector(Detector):
+    """Flags latency streams inflating past an SLO bound.
+
+    The latency-side signal the SLO subsystem (:mod:`repro.slo`) feeds
+    into the anomaly vocabulary: a sample beyond ``bound * factor``
+    opens an inflation episode for its metric and is flagged once;
+    further bad samples in the same episode are suppressed until the
+    stream drops back under the bound (episode semantics — one anomaly
+    per regression, not one per probe tick).
+
+    Args:
+        bound: The latency bound in seconds (an objective's bound).
+        factor: Inflation multiple that opens an episode; 1.0 flags any
+            bound violation.
+        metric_prefix: Metric-name filter, as in
+            :class:`ThresholdDetector`.
+    """
+
+    def __init__(self, bound: float, factor: float = 1.0,
+                 metric_prefix: str = "") -> None:
+        if bound <= 0:
+            raise ValueError(f"bound must be > 0, got {bound}")
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.bound = bound
+        self.factor = factor
+        self.metric_prefix = metric_prefix
+        self._inflated: Dict[str, bool] = {}
+
+    def observe(self, metric: str, t: float, value: float) -> Optional[Anomaly]:
+        """Flag the first sample of each inflation episode."""
+        if self.metric_prefix and not metric.startswith(self.metric_prefix):
+            return None
+        threshold = self.bound * self.factor
+        inflated = value > threshold
+        was_inflated = self._inflated.get(metric, False)
+        self._inflated[metric] = inflated
+        if not inflated or was_inflated:
+            return None
+        return Anomaly(
+            time=t, metric=metric, kind=AnomalyKind.LATENCY_INFLATION,
+            value=value, expected=self.bound,
+            severity=value / self.bound,
+        )
+
+
 def scan_store(store: MetricStore, detectors: List[Detector],
                metrics: Optional[List[str]] = None) -> List[Anomaly]:
     """Replay a :class:`MetricStore` through *detectors*, oldest first.

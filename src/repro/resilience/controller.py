@@ -481,6 +481,48 @@ class RecoveryController:
             if iid == intent_id and record.active
         ]
 
+    # -- latency SLO sink ----------------------------------------------------
+
+    def handle_latency_alert(self, alert, max_actions: int = 2) -> int:
+        """React to a burn-rate alert from this host's latency probe.
+
+        The host-local half of the §16 SLO closed loop (the fleet-level
+        half is :meth:`~repro.fleet.migration.MigrationPlanner
+        .relieve_latency`): walk the placement ledger and re-place
+        sessions off their current — hot — paths onto alternate
+        candidates; where no alternate exists, fall back to graceful
+        degradation, shrinking utilization ceilings on the hot links so
+        queueing inflation stays bounded (the ceilings clear through the
+        normal restore path once the links read healthy).  *alert* is an
+        :class:`~repro.slo.objective.SloAlert`; only fast-window alerts
+        act — slow-window alerts are recorded for the audit trail only.
+        ``max_actions`` bounds the work per alert (the probe's alert
+        cooldown bounds the rate).  Returns the number of sessions
+        re-placed.
+        """
+        self._record(
+            "latency",
+            detail=f"{alert.objective}: {alert.window}-window burn "
+                   f"{alert.burn_long:.1f}x over threshold "
+                   f"{alert.threshold:g}x")
+        if alert.window != "fast":
+            return 0
+        moved = 0
+        actions = 0
+        for placement in list(self.manager.placements()):
+            if actions >= max_actions:
+                break
+            links = set(placement.links())
+            if self._try_replace(placement, links):
+                moved += 1
+                actions += 1
+                continue
+            self._degrade(placement, links, set(),
+                          {link: self.config.degrade_floor
+                           for link in links})
+            actions += 1
+        return moved
+
     # -- queries ------------------------------------------------------------
 
     def degradations(self, tenant_id: Optional[str] = None,

@@ -12,7 +12,8 @@ from __future__ import annotations
 import itertools
 import math
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple)
 
 from ..errors import FlowError, UnknownLinkError
 from ..trace.recorder import TRACER
@@ -410,7 +411,9 @@ class FabricNetwork:
             return 1.0 if busiest > 0 else 0.0
         return min(busiest / cap, 1.0)
 
-    def link_utilizations(self, clamp: bool = True) -> Dict[str, float]:
+    def link_utilizations(self, clamp: bool = True,
+                          only: Optional[Iterable[str]] = None,
+                          ) -> Dict[str, float]:
         """Instantaneous utilization of *every* link in one pass.
 
         Like the other rate queries, this flushes any pending coalesced
@@ -421,12 +424,21 @@ class FabricNetwork:
         one vectorized segment-sum when numpy is available) instead of a
         python sweep over every flow's hops.  With ``clamp`` (the
         default) values are capped at 1.0; ``clamp=False`` exposes
-        oversubscription.
+        oversubscription.  ``only=`` restricts the result to the given
+        link ids (the latency probe asks for just its sampled paths'
+        links); values are identical to the unrestricted query's.
         """
         self.flush_recompute()
         directed_rates = self._solver.constraint_usage()
         utilizations: Dict[str, float] = {}
-        for link_id in self._link_bytes:
+        if only is None:
+            wanted: Iterable[str] = self._link_bytes
+        else:
+            wanted = only
+            for link_id in wanted:
+                if link_id not in self._link_bytes:
+                    raise UnknownLinkError(link_id)
+        for link_id in wanted:
             busiest = max(
                 directed_rates.get(directed_id(link_id, FORWARD), 0.0),
                 directed_rates.get(directed_id(link_id, REVERSE), 0.0),

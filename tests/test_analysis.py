@@ -1,11 +1,14 @@
 """Analysis helpers: fairness, SLO compliance, capacity reports."""
 
+import warnings
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
     capacity_report,
+    evaluate_objective,
     evaluate_slo,
     format_capacity_report,
     goodput_retention,
@@ -18,6 +21,7 @@ from repro.analysis import (
     weighted_jain_index,
 )
 from repro.core import HostNetworkManager, pipe
+from repro.slo import SloObjective
 from repro.topology import shortest_path
 from repro.units import Gbps
 
@@ -80,18 +84,52 @@ class TestInterferenceMetrics:
 
 class TestSlo:
     def test_full_compliance(self):
-        report = evaluate_slo([1.0, 2.0, 3.0], slo=5.0)
-        assert report.compliance == 1.0
+        report = evaluate_objective([1.0, 2.0, 3.0],
+                                    SloObjective("o", 5.0))
+        assert report.attainment == 1.0
         assert report.met
 
     def test_partial_compliance(self):
-        report = evaluate_slo([1.0] * 98 + [10.0, 10.0], slo=5.0)
-        assert report.compliance == pytest.approx(0.98)
+        report = evaluate_objective([1.0] * 98 + [10.0, 10.0],
+                                    SloObjective("o", 5.0))
+        assert report.attainment == pytest.approx(0.98)
         assert not report.met  # p99 lands on the bad tail
+
+    def test_scoped_percentile(self):
+        report = evaluate_objective([1.0] * 9 + [10.0],
+                                    SloObjective("o", 5.0, percentile=50))
+        assert report.met  # p50 is fine even though the tail is not
+        assert report.worst == 10.0
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
-            evaluate_slo([], slo=1.0)
+            evaluate_objective([], SloObjective("o", 1.0))
+
+    def test_evaluate_slo_shim_warns_once_and_matches(self):
+        """The legacy entry point: exactly one DeprecationWarning, and
+        field-for-field agreement with evaluate_objective."""
+        samples = [1.0] * 98 + [10.0, 10.0]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = evaluate_slo(samples, slo=5.0)
+        deps = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1, [str(w.message) for w in deps]
+        assert "evaluate_objective" in str(deps[0].message)
+        modern = evaluate_objective(samples, SloObjective("o", 5.0))
+        assert legacy.samples == modern.samples
+        assert legacy.compliance == modern.attainment
+        assert legacy.p99 == modern.achieved
+        assert legacy.worst == modern.worst
+        assert legacy.met == modern.met
+
+    def test_evaluate_slo_shim_rejects_bad_input(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                evaluate_slo([], slo=1.0)
+            with pytest.raises(ValueError):
+                evaluate_slo([1.0], slo=0.0)
 
     def test_violation_episodes(self):
         series = [(0.0, 100.0), (1.0, 50.0), (2.0, 50.0), (3.0, 100.0),
